@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Ablation study of the generator's design choices (the decisions
+ * DESIGN.md Sec. 6 calls out, beyond the paper's Fig. 9 stages):
+ *
+ *   - pooled-array allocation (one allocation per working-set size
+ *     vs a private copy per block),
+ *   - size-aware pointer-chase placement (largest sets first vs the
+ *     same budget spread uniformly -- approximated by chaseScale=0),
+ *   - per-size regular/irregular assignment vs none (Random only).
+ *
+ * Each ablation clones the integration reference service with one
+ * mechanism degraded and reports the IPC/L1d/L2 error vs the
+ * original, showing why the mechanism is needed.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "hw/block_builder.h"
+
+using namespace ditto;
+using namespace ditto::bench;
+
+namespace {
+
+/** The integration-test reference service (mixed working sets). */
+app::ServiceSpec
+referenceService()
+{
+    app::ServiceSpec spec;
+    spec.name = "ref";
+    spec.threads.workers = 2;
+
+    hw::BlockSpec parse;
+    parse.label = "ref.parse";
+    parse.instCount = 600;
+    parse.mix = hw::MixWeights::parserCode();
+    parse.branchFraction = 0.18;
+    parse.branchKinds = {{2, 2}, {3, 3}};
+    parse.memFraction = 0.25;
+    parse.streams = {{256 << 10, hw::StreamKind::Sequential, false, 1}};
+    parse.seed = 41;
+    spec.blocks.push_back(hw::buildBlock(parse));
+
+    hw::BlockSpec lookup;
+    lookup.label = "ref.lookup";
+    lookup.instCount = 120;
+    lookup.mix = hw::MixWeights::hashCode();
+    lookup.memFraction = 0.35;
+    lookup.streams = {
+        {8u << 20, hw::StreamKind::PointerChase, true, 0.6},
+        {128u << 10, hw::StreamKind::Random, true, 0.4}};
+    lookup.seed = 42;
+    spec.blocks.push_back(hw::buildBlock(lookup));
+
+    app::EndpointSpec ep;
+    ep.name = "query";
+    ep.responseBytesMin = 512;
+    ep.responseBytesMax = 2048;
+    ep.handler.ops = {
+        app::opCall("a", {{app::opCompute(0, 6, 10)}}),
+        app::opCall("b", {{app::opCompute(1, 10, 18)}}),
+        app::opCall("c", {{app::opCompute(0, 2, 3)}}),
+    };
+    spec.endpoints.push_back(ep);
+    return spec;
+}
+
+/** Degrade a generated spec per the ablation under study. */
+void
+unpoolStreams(app::ServiceSpec &spec)
+{
+    for (auto &block : spec.blocks) {
+        for (auto &stream : block.streams)
+            stream.poolKey = 0;  // private allocation per block
+    }
+}
+
+void
+randomizeKinds(app::ServiceSpec &spec)
+{
+    for (auto &block : spec.blocks) {
+        for (auto &stream : block.streams) {
+            if (stream.kind == hw::StreamKind::Sequential)
+                stream.kind = hw::StreamKind::Random;
+        }
+    }
+}
+
+void
+dropChases(app::ServiceSpec &spec)
+{
+    for (auto &block : spec.blocks) {
+        for (auto &stream : block.streams) {
+            if (stream.kind == hw::StreamKind::PointerChase)
+                stream.kind = hw::StreamKind::Random;
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const app::ServiceSpec original = referenceService();
+    workload::LoadSpec load;
+    load.qps = 3000;
+    load.connections = 8;
+
+    // Profile + generate once (untuned, to isolate the mechanisms).
+    app::Deployment dep(81);
+    os::Machine &machine = dep.addMachine("node", hw::platformA());
+    app::ServiceInstance &svc = dep.deploy(original, machine);
+    dep.wireAll();
+    workload::LoadGen gen(dep, svc, load, 5);
+    gen.start();
+    core::CloneOptions opts;
+    opts.fineTune = false;
+    opts.profiling.warmup = sim::milliseconds(100);
+    opts.profiling.window = sim::milliseconds(120);
+    const core::CloneResult clone =
+        core::cloneService(dep, svc, load, hw::platformA(), opts);
+
+    const RunResult target =
+        runSingleTier(original, load, hw::platformA());
+
+    struct Ablation
+    {
+        const char *name;
+        void (*degrade)(app::ServiceSpec &);
+    };
+    const Ablation ablations[] = {
+        {"full generator", nullptr},
+        {"no pooled arrays", unpoolStreams},
+        {"no regular streams", randomizeKinds},
+        {"no pointer chasing", dropChases},
+    };
+
+    stats::printBanner(
+        std::cout,
+        "Ablation: generator mechanisms vs clone accuracy "
+        "(untuned, reference service)");
+    stats::TablePrinter table({"variant", "IPC", "IPC err", "L1d err",
+                               "L2 err", "LLC err"});
+    table.addRow({"original (target)", cell(target.report.ipc, 3),
+                  "-", "-", "-", "-"});
+    table.addSeparator();
+
+    for (const Ablation &ablation : ablations) {
+        app::ServiceSpec variant = clone.spec;
+        if (ablation.degrade)
+            ablation.degrade(variant);
+        const RunResult run = runSingleTier(
+            variant, core::cloneLoadSpec(load), hw::platformA());
+        table.addRow(
+            {ablation.name, cell(run.report.ipc, 3),
+             stats::formatPercent(profile::relativeError(
+                 run.report.ipc, target.report.ipc), 1),
+             stats::formatPercent(profile::relativeError(
+                 run.report.l1dMissRate, target.report.l1dMissRate),
+                 1),
+             stats::formatPercent(profile::relativeError(
+                 run.report.l2MissRate, target.report.l2MissRate),
+                 1),
+             stats::formatPercent(profile::relativeError(
+                 run.report.llcMissRate, target.report.llcMissRate),
+                 1)});
+        std::cout << "  " << ablation.name << " done\n";
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared harness for the figure/table reproduction benchmarks.
+ *
+ * Every bench binary regenerates one table or figure of the paper:
+ * it deploys originals, clones them with Ditto, re-deploys the
+ * clones, measures both under identical load, and prints the same
+ * rows/series the paper plots. Absolute numbers come from the machine
+ * model, not the authors' Xeons; the *shape* (who wins, crossovers,
+ * relative degradations) is the reproduction target (see
+ * EXPERIMENTS.md).
+ */
+
+#ifndef DITTO_BENCH_BENCH_COMMON_H_
+#define DITTO_BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/catalog.h"
+#include "core/ditto.h"
+#include "profile/perf_report.h"
+#include "stats/histogram.h"
+#include "stats/table.h"
+
+namespace ditto::bench {
+
+/** One single-tier application under test. */
+struct AppCase
+{
+    std::string name;
+    app::ServiceSpec spec;
+    apps::AppLoad load;
+};
+
+/** The paper's four single-tier applications. */
+std::vector<AppCase> singleTierApps();
+
+/** Result of one measured run. */
+struct RunResult
+{
+    profile::PerfReport report;
+    stats::LatencyHistogram clientLatency;
+    double achievedQps = 0;
+};
+
+/** Deploy + drive one single-tier service and measure a window. */
+RunResult runSingleTier(const app::ServiceSpec &spec,
+                        const workload::LoadSpec &load,
+                        const hw::PlatformSpec &platform,
+                        sim::Time warm = sim::milliseconds(200),
+                        sim::Time measure = sim::milliseconds(300),
+                        std::uint64_t seed = 77);
+
+/** Result of one Social Network run: per-tier reports + e2e latency. */
+struct SnRunResult
+{
+    std::map<std::string, profile::PerfReport> tiers;
+    stats::LatencyHistogram clientLatency;
+    double achievedQps = 0;
+};
+
+/**
+ * Deploy + drive a Social Network (original tier specs or clones)
+ * and measure per-tier counters plus end-to-end latency.
+ */
+SnRunResult runSocialNetwork(const std::vector<app::ServiceSpec> &tiers,
+                             const std::string &rootName,
+                             const workload::LoadSpec &load,
+                             const hw::PlatformSpec &platform,
+                             sim::Time warm = sim::milliseconds(250),
+                             sim::Time measure = sim::milliseconds(300),
+                             std::uint64_t seed = 78);
+
+/** Profile + clone one single-tier app at its medium load. */
+core::CloneResult cloneSingleTier(const AppCase &app, bool fineTune,
+                                  std::uint64_t seed = 79);
+
+/** Clone the whole Social Network (profiled at medium load). */
+core::TopologyCloneResult cloneSocialNetwork(std::uint64_t seed = 80);
+
+/** The Social Network load spec translated for the cloned tiers. */
+workload::LoadSpec socialCloneLoad(double qps);
+
+/** Format helper: "0.873" style metric cell. */
+std::string cell(double v, int precision = 3);
+
+/** Add the standard Fig. 5/7 metric rows for one (orig, synth) pair. */
+void addMetricRows(stats::TablePrinter &table, const std::string &tag,
+                   const profile::PerfReport &orig,
+                   const profile::PerfReport &synth);
+
+/** Track per-metric relative errors for the Sec. 6.2.1 summary. */
+class ErrorAccumulator
+{
+  public:
+    void add(const profile::PerfReport &orig,
+             const profile::PerfReport &synth);
+
+    /** Print the avg-error summary table. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::map<std::string, std::pair<double, int>> sums_;
+    void record(const std::string &metric, double orig, double synth,
+                double denomFloor);
+};
+
+} // namespace ditto::bench
+
+#endif // DITTO_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig. 11: power-management study -- p99 latency of actual and
+ * synthetic Memcached across a grid of active core counts and CPU
+ * frequencies, with a 1 ms QoS. Cells marked 'X' violate the QoS:
+ * the clone must draw the same feasibility frontier as the original,
+ * which is what lets a provider evaluate power management without
+ * the original's source.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+using namespace ditto;
+using namespace ditto::bench;
+
+namespace {
+
+constexpr double kQosMs = 2.0;
+constexpr double kStudyQps = 17000;
+
+std::string
+cellFor(double p99ms)
+{
+    if (p99ms > kQosMs)
+        return "X";
+    return stats::formatDouble(p99ms, 2) + "ms";
+}
+
+double
+p99At(const app::ServiceSpec &spec, const workload::LoadSpec &load,
+      unsigned cores, double ghz)
+{
+    hw::PlatformSpec platform =
+        hw::withCoresAndFrequency(hw::platformA(), cores, ghz);
+    platform.smtEnabled = false;  // the study scales physical cores
+    const RunResult run =
+        runSingleTier(spec, load, platform, sim::milliseconds(150),
+                      sim::milliseconds(200));
+    return run.report.p99LatencyMs;
+}
+
+} // namespace
+
+int
+main()
+{
+    const AppCase memcached{"Memcached", apps::memcachedSpec(),
+                            apps::memcachedLoad()};
+    const workload::LoadSpec load = memcached.load.at(kStudyQps);
+
+    std::cout << "Cloning Memcached...\n";
+    const core::CloneResult clone = cloneSingleTier(memcached, true);
+    const workload::LoadSpec cloneLoad = core::cloneLoadSpec(load);
+
+    const unsigned coreGrid[] = {4, 6, 8, 10, 12, 14, 16};
+    const double freqGrid[] = {2.1, 1.9, 1.7, 1.5, 1.3, 1.1};
+
+    stats::printBanner(
+        std::cout,
+        "Fig. 11: Memcached p99 under core/frequency scaling "
+        "(QoS = 2ms, X = violated), " +
+            std::to_string(static_cast<int>(kStudyQps)) + " QPS");
+
+    for (const bool synthetic : {false, true}) {
+        std::vector<std::string> header{"GHz \\ cores"};
+        for (unsigned c : coreGrid)
+            header.push_back(std::to_string(c));
+        stats::TablePrinter table(header);
+        for (double ghz : freqGrid) {
+            std::vector<std::string> row{stats::formatDouble(ghz, 1)};
+            for (unsigned cores : coreGrid) {
+                const double p99 = synthetic
+                    ? p99At(clone.spec, cloneLoad, cores, ghz)
+                    : p99At(memcached.spec, load, cores, ghz);
+                row.push_back(cellFor(p99));
+            }
+            table.addRow(row);
+            std::cout << "  " << (synthetic ? "synthetic" : "actual")
+                      << " " << ghz << "GHz row done\n";
+        }
+        stats::printBanner(std::cout, synthetic
+                               ? "Synthetic Memcached"
+                               : "Actual Memcached");
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Fig. 5: CPU performance metrics (IPC, branch misprediction,
+ * L1i/L1d/L2/LLC miss rates), network bandwidth, disk bandwidth
+ * (MongoDB), and avg/p95/p99 latency under low/medium/high load for
+ * six services -- original vs Ditto clone, on Platform A.
+ *
+ * Clones are generated from a single profiling run at medium load
+ * (the paper profiles only medium load); low/high-load behaviour is
+ * the clone reacting, not re-profiling.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+using namespace ditto;
+using namespace ditto::bench;
+
+namespace {
+
+void
+latencyRow(stats::TablePrinter &table, const std::string &tag,
+           const RunResult &orig, const RunResult &synth)
+{
+    table.addRow(
+        {tag,
+         cell(sim::toMilliseconds(orig.clientLatency.mean()), 3) +
+             " / " +
+             cell(sim::toMilliseconds(
+                      orig.clientLatency.percentile(0.95)), 3) +
+             " / " +
+             cell(sim::toMilliseconds(
+                      orig.clientLatency.percentile(0.99)), 3),
+         cell(sim::toMilliseconds(synth.clientLatency.mean()), 3) +
+             " / " +
+             cell(sim::toMilliseconds(
+                      synth.clientLatency.percentile(0.95)), 3) +
+             " / " +
+             cell(sim::toMilliseconds(
+                      synth.clientLatency.percentile(0.99)), 3)});
+}
+
+} // namespace
+
+int
+main()
+{
+    const hw::PlatformSpec platform = hw::platformA();
+    ErrorAccumulator errors;
+
+    stats::printBanner(
+        std::cout,
+        "Fig. 5: original vs synthetic under varying load "
+        "(Platform A; profiled at medium load only)");
+
+    // ---- the four single-tier applications -----------------------------
+    for (const AppCase &app : singleTierApps()) {
+        std::cout << "\n-- " << app.name
+                  << ": profiling + cloning at medium load...\n";
+        const core::CloneResult clone = cloneSingleTier(app, true);
+        std::cout << "   fine tuning: " << clone.tuning.iterations
+                  << " iterations, final IPC error "
+                  << stats::formatPercent(clone.tuning.finalIpcError,
+                                          1)
+                  << "\n";
+
+        stats::TablePrinter table(
+            {"load", "metric", "actual", "synthetic", "err"});
+        stats::TablePrinter latTable(
+            {"load", "actual avg/p95/p99 (ms)",
+             "synthetic avg/p95/p99 (ms)"});
+
+        const struct
+        {
+            const char *tag;
+            double qps;
+        } loads[] = {{"low", app.load.lowQps},
+                     {"medium", app.load.mediumQps},
+                     {"high", app.load.highQps}};
+
+        for (const auto &[tag, qps] : loads) {
+            const RunResult orig = runSingleTier(
+                app.spec, app.load.at(qps), platform);
+            const RunResult synth = runSingleTier(
+                clone.spec, core::cloneLoadSpec(app.load.at(qps)),
+                platform);
+            addMetricRows(table, tag, orig.report, synth.report);
+            table.addSeparator();
+            latencyRow(latTable, tag, orig, synth);
+            errors.add(orig.report, synth.report);
+        }
+        stats::printBanner(std::cout, app.name + " (Fig. 5 panel)");
+        table.print(std::cout);
+        latTable.print(std::cout);
+    }
+
+    // ---- TextService and SocialGraphService (Social Network tiers) ----
+    std::cout << "\n-- Social Network: profiling + cloning the "
+                 "topology at medium load...\n";
+    const core::TopologyCloneResult snClone = cloneSocialNetwork();
+    std::cout << "   cloned " << snClone.specs.size() << " tiers; root "
+              << snClone.rootClone << "\n";
+
+    const auto snLoad = apps::socialNetworkLoad();
+    const struct
+    {
+        const char *tag;
+        double qps;
+    } snLoads[] = {{"low", snLoad.lowQps},
+                   {"medium", snLoad.mediumQps},
+                   {"high", snLoad.highQps}};
+
+    for (const char *tier : {"sn.text", "sn.socialgraph"}) {
+        const std::string pretty = std::string(tier) == "sn.text"
+            ? "TextService" : "SocialGraphService";
+        stats::TablePrinter table(
+            {"load", "metric", "actual", "synthetic", "err"});
+        stats::TablePrinter latTable(
+            {"load", "actual avg/p95/p99 (ms)",
+             "synthetic avg/p95/p99 (ms)"});
+
+        for (const auto &[tag, qps] : snLoads) {
+            const SnRunResult orig = runSocialNetwork(
+                apps::socialNetworkSpecs(),
+                apps::socialNetworkFrontend(), snLoad.at(qps),
+                platform);
+            const SnRunResult synth = runSocialNetwork(
+                snClone.specs, snClone.rootClone,
+                socialCloneLoad(qps), platform);
+            const auto &o = orig.tiers.at(tier);
+            const auto &s = synth.tiers.at(std::string(tier) +
+                                           "_clone");
+            addMetricRows(table, tag, o, s);
+            table.addSeparator();
+            latTable.addRow(
+                {tag,
+                 cell(o.avgLatencyMs, 3) + " / " +
+                     cell(o.p95LatencyMs, 3) + " / " +
+                     cell(o.p99LatencyMs, 3),
+                 cell(s.avgLatencyMs, 3) + " / " +
+                     cell(s.p95LatencyMs, 3) + " / " +
+                     cell(s.p99LatencyMs, 3)});
+            errors.add(o, s);
+        }
+        stats::printBanner(std::cout, pretty + " (Fig. 5 panel)");
+        table.print(std::cout);
+        latTable.print(std::cout);
+    }
+
+    errors.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 6: end-to-end Social Network latency (p50/p95/p99) vs QPS,
+ * with every microservice replaced by its Ditto clone.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+using namespace ditto;
+using namespace ditto::bench;
+
+int
+main()
+{
+    const hw::PlatformSpec platform = hw::platformA();
+
+    std::cout << "Cloning the Social Network topology (profiled at "
+                 "medium load)...\n";
+    const core::TopologyCloneResult clone = cloneSocialNetwork();
+    std::cout << "Cloned " << clone.specs.size() << " tiers.\n";
+
+    stats::printBanner(
+        std::cout,
+        "Fig. 6: Social Network end-to-end latency vs QPS "
+        "(all tiers replaced by clones)");
+
+    stats::TablePrinter table({"QPS", "actual p50 (ms)", "synth p50",
+                               "actual p95", "synth p95",
+                               "actual p99", "synth p99"});
+
+    const auto load = apps::socialNetworkLoad();
+    for (double qps : {200.0, 500.0, 1000.0, 1500.0, 2000.0, 2400.0}) {
+        const SnRunResult orig = runSocialNetwork(
+            apps::socialNetworkSpecs(), apps::socialNetworkFrontend(),
+            load.at(qps), platform);
+        const SnRunResult synth = runSocialNetwork(
+            clone.specs, clone.rootClone, socialCloneLoad(qps),
+            platform);
+        auto ms = [](const stats::LatencyHistogram &h, double q) {
+            return cell(sim::toMilliseconds(h.percentile(q)), 2);
+        };
+        table.addRow({cell(qps, 0),
+                      ms(orig.clientLatency, 0.50),
+                      ms(synth.clientLatency, 0.50),
+                      ms(orig.clientLatency, 0.95),
+                      ms(synth.clientLatency, 0.95),
+                      ms(orig.clientLatency, 0.99),
+                      ms(synth.clientLatency, 0.99)});
+        std::cout << "  measured qps=" << qps
+                  << " (actual achieved " << orig.achievedQps
+                  << ", synth achieved " << synth.achievedQps << ")\n";
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fig. 7: validation across platforms. Every application is profiled
+ * ONLY on Platform A; the same clone spec is then deployed on
+ * Platforms A, B and C at medium load, next to the original. The
+ * clone must react to the platform change (smaller L2, older core,
+ * HDD vs SSD, 1Gbe vs 10Gbe) the same way the original does.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+using namespace ditto;
+using namespace ditto::bench;
+
+int
+main()
+{
+    const hw::PlatformSpec platforms[] = {
+        hw::platformA(), hw::platformB(), hw::platformC()};
+    ErrorAccumulator errors;
+
+    stats::printBanner(
+        std::cout,
+        "Fig. 7: cross-platform validation (profiled on A only, "
+        "medium load)");
+
+    for (const AppCase &app : singleTierApps()) {
+        std::cout << "\n-- " << app.name << ": cloning on A...\n";
+        const core::CloneResult clone = cloneSingleTier(app, true);
+
+        stats::TablePrinter table(
+            {"platform", "metric", "actual", "synthetic", "err"});
+        stats::TablePrinter latTable(
+            {"platform", "actual avg/p99 (ms)", "synth avg/p99 (ms)"});
+
+        for (const auto &platform : platforms) {
+            const RunResult orig = runSingleTier(
+                app.spec, app.load.at(app.load.mediumQps), platform);
+            const RunResult synth = runSingleTier(
+                clone.spec,
+                core::cloneLoadSpec(app.load.at(app.load.mediumQps)),
+                platform);
+            addMetricRows(table, platform.name, orig.report,
+                          synth.report);
+            table.addSeparator();
+            latTable.addRow(
+                {platform.name,
+                 cell(orig.report.avgLatencyMs, 3) + " / " +
+                     cell(orig.report.p99LatencyMs, 3),
+                 cell(synth.report.avgLatencyMs, 3) + " / " +
+                     cell(synth.report.p99LatencyMs, 3)});
+            errors.add(orig.report, synth.report);
+        }
+        stats::printBanner(std::cout, app.name + " (Fig. 7 panel)");
+        table.print(std::cout);
+        latTable.print(std::cout);
+    }
+
+    // Social Network tiers across platforms.
+    std::cout << "\n-- Social Network: cloning on A...\n";
+    const core::TopologyCloneResult snClone = cloneSocialNetwork();
+    const auto snLoad = apps::socialNetworkLoad();
+
+    for (const char *tier : {"sn.text", "sn.socialgraph"}) {
+        const std::string pretty = std::string(tier) == "sn.text"
+            ? "TextService" : "SocialGraphService";
+        stats::TablePrinter table(
+            {"platform", "metric", "actual", "synthetic", "err"});
+        for (const auto &platform : platforms) {
+            const SnRunResult orig = runSocialNetwork(
+                apps::socialNetworkSpecs(),
+                apps::socialNetworkFrontend(),
+                snLoad.at(snLoad.mediumQps), platform);
+            const SnRunResult synth = runSocialNetwork(
+                snClone.specs, snClone.rootClone,
+                socialCloneLoad(snLoad.mediumQps), platform);
+            const auto &o = orig.tiers.at(tier);
+            const auto &s =
+                synth.tiers.at(std::string(tier) + "_clone");
+            addMetricRows(table, platform.name, o, s);
+            table.addSeparator();
+            errors.add(o, s);
+        }
+        stats::printBanner(std::cout, pretty + " (Fig. 7 panel)");
+        table.print(std::cout);
+    }
+
+    errors.print(std::cout);
+    return 0;
+}

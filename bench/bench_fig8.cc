@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 8: top-down CPI breakdown (retiring / frontend / bad
+ * speculation / backend), actual vs synthetic, for all six services
+ * at medium load on Platform A.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+using namespace ditto;
+using namespace ditto::bench;
+
+namespace {
+
+void
+addBreakdownRows(stats::TablePrinter &table, const std::string &name,
+                 const profile::PerfReport &r, const char *tag)
+{
+    table.addRow({name, tag, cell(r.cpi, 3),
+                  stats::formatPercent(r.retiringFrac, 1),
+                  stats::formatPercent(r.frontendFrac, 1),
+                  stats::formatPercent(r.badSpecFrac, 1),
+                  stats::formatPercent(r.backendFrac, 1)});
+}
+
+} // namespace
+
+int
+main()
+{
+    const hw::PlatformSpec platform = hw::platformA();
+
+    stats::printBanner(
+        std::cout,
+        "Fig. 8: top-down cycles breakdown, actual (A) vs "
+        "synthetic (S), medium load");
+
+    stats::TablePrinter table({"service", "", "CPI", "retiring",
+                               "front-end", "bad spec", "back-end"});
+
+    for (const AppCase &app : singleTierApps()) {
+        std::cout << "-- " << app.name << "...\n";
+        const core::CloneResult clone = cloneSingleTier(app, true);
+        const RunResult orig = runSingleTier(
+            app.spec, app.load.at(app.load.mediumQps), platform);
+        const RunResult synth = runSingleTier(
+            clone.spec,
+            core::cloneLoadSpec(app.load.at(app.load.mediumQps)),
+            platform);
+        addBreakdownRows(table, app.name, orig.report, "A");
+        addBreakdownRows(table, "", synth.report, "S");
+        table.addSeparator();
+    }
+
+    std::cout << "-- Social Network tiers...\n";
+    const core::TopologyCloneResult snClone = cloneSocialNetwork();
+    const auto snLoad = apps::socialNetworkLoad();
+    const SnRunResult orig = runSocialNetwork(
+        apps::socialNetworkSpecs(), apps::socialNetworkFrontend(),
+        snLoad.at(snLoad.mediumQps), platform);
+    const SnRunResult synth = runSocialNetwork(
+        snClone.specs, snClone.rootClone,
+        socialCloneLoad(snLoad.mediumQps), platform);
+    for (const char *tier : {"sn.text", "sn.socialgraph"}) {
+        const std::string pretty = std::string(tier) == "sn.text"
+            ? "TextService" : "SocialGraphService";
+        addBreakdownRows(table, pretty, orig.tiers.at(tier), "A");
+        addBreakdownRows(table, "",
+                         synth.tiers.at(std::string(tier) + "_clone"),
+                         "S");
+        table.addSeparator();
+    }
+
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Substrate micro-benchmarks (google-benchmark): throughput of the
+ * building blocks every experiment rests on -- event queue, cache
+ * simulation, branch predictor, block interpretation with and
+ * without replay acceleration, stack-distance profiling, and
+ * end-to-end simulated-requests-per-host-second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "app/deployment.h"
+#include "hw/block_builder.h"
+#include "hw/cpu_core.h"
+#include "hw/platform.h"
+#include "profile/stack_distance.h"
+#include "sim/event_queue.h"
+#include "workload/loadgen.h"
+
+using namespace ditto;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        for (int i = 0; i < 1000; ++i)
+            q.scheduleAt(static_cast<sim::Time>(i * 7 % 997), [] {});
+        benchmark::DoNotOptimize(q.runAll());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    hw::Cache cache(static_cast<std::uint64_t>(state.range(0)), 8);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr, false));
+        addr += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(32 << 10)->Arg(1 << 20)->Arg(30 << 20);
+
+static void
+BM_BranchPredictor(benchmark::State &state)
+{
+    hw::BranchPredictor bp(14, 12);
+    hw::BranchDesc desc{3, 4};
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bp.predictAndUpdate(
+            0x1000 + (i % 64) * 4,
+            hw::BranchPattern::direction(desc, i)));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictor);
+
+static void
+BM_StackDistance(benchmark::State &state)
+{
+    profile::StackDistanceCurve curve;
+    sim::Rng rng(1);
+    for (auto _ : state)
+        curve.access(rng.uniformInt(std::uint64_t{1} << 16));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StackDistance);
+
+static void
+BM_BlockInterpret(benchmark::State &state)
+{
+    const bool exact = state.range(0) != 0;
+    hw::PlatformSpec spec = hw::platformA();
+    hw::Cache llc(spec.llcBytes, spec.llcWays);
+    hw::CacheHierarchy caches(spec.l1iBytes, spec.l1iWays,
+                              spec.l1dBytes, spec.l1dWays,
+                              spec.l2Bytes, spec.l2Ways, &llc, true);
+    hw::CpuCore core(0, spec, caches, nullptr);
+    core.setExactMode(exact);
+    hw::ExecContext ctx(0, 1);
+    hw::CodeImage image(0x400000, 0x10000000, 4);
+    hw::BlockSpec bs;
+    bs.label = "bench";
+    bs.instCount = 256;
+    bs.memFraction = 0.3;
+    bs.branchFraction = 0.1;
+    bs.streams = {{256 << 10, hw::StreamKind::Sequential, false, 1.0}};
+    bs.seed = 1;
+    const auto block = image.addBlock(hw::buildBlock(bs));
+
+    hw::ExecStats stats;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core.run(image, block, 4, ctx, stats));
+    state.SetItemsProcessed(state.iterations() * 4 * 256);
+    state.SetLabel(exact ? "exact" : "replay");
+}
+BENCHMARK(BM_BlockInterpret)->Arg(1)->Arg(0);
+
+static void
+BM_EndToEndRequests(benchmark::State &state)
+{
+    // Simulated requests per host second through the full stack.
+    for (auto _ : state) {
+        app::Deployment dep(1);
+        os::Machine &m = dep.addMachine("n", hw::platformA());
+        app::ServiceSpec spec;
+        spec.name = "micro";
+        spec.threads.workers = 2;
+        hw::BlockSpec bs;
+        bs.label = "micro.h";
+        bs.instCount = 128;
+        bs.seed = 2;
+        spec.blocks.push_back(hw::buildBlock(bs));
+        app::EndpointSpec ep;
+        ep.name = "op";
+        ep.handler.ops = {app::opCompute(0, 20)};
+        spec.endpoints.push_back(ep);
+        app::ServiceInstance &svc = dep.deploy(spec, m);
+        dep.wireAll();
+        workload::LoadSpec load;
+        load.qps = 5000;
+        load.connections = 4;
+        workload::LoadGen gen(dep, svc, load, 3);
+        gen.start();
+        dep.runFor(sim::milliseconds(100));
+        benchmark::DoNotOptimize(gen.completed());
+        state.SetItemsProcessed(
+            state.items_processed() +
+            static_cast<std::int64_t>(gen.completed()));
+    }
+}
+BENCHMARK(BM_EndToEndRequests)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table 1: server platform specifications. Prints the configured
+ * machine models A/B/C and sanity-checks the derived microarch
+ * parameters the rest of the benchmarks rely on.
+ */
+
+#include <iostream>
+
+#include "hw/platform.h"
+#include "stats/table.h"
+
+int
+main()
+{
+    using namespace ditto;
+
+    stats::printBanner(std::cout,
+                       "Table 1: Server platform specifications");
+
+    stats::TablePrinter table(
+        {"", "Platform A", "Platform B", "Platform C"});
+    const hw::PlatformSpec specs[] = {hw::platformA(), hw::platformB(),
+                                      hw::platformC()};
+
+    auto row = [&](const std::string &name, auto getter) {
+        std::vector<std::string> cells{name};
+        for (const auto &p : specs)
+            cells.push_back(getter(p));
+        table.addRow(cells);
+    };
+
+    row("CPU model",
+        [](const hw::PlatformSpec &p) { return p.cpuModel; });
+    row("Base frequency", [](const hw::PlatformSpec &p) {
+        return stats::formatDouble(p.baseFrequencyGhz, 2) + "GHz";
+    });
+    row("CPU cores", [](const hw::PlatformSpec &p) {
+        return std::to_string(p.coresPerSocket);
+    });
+    row("CPU family",
+        [](const hw::PlatformSpec &p) { return p.cpuFamily; });
+    row("Sockets", [](const hw::PlatformSpec &p) {
+        return std::to_string(p.sockets);
+    });
+    row("L1i/L1d", [](const hw::PlatformSpec &p) {
+        return stats::formatBytes(static_cast<double>(p.l1iBytes)) +
+            "/" + stats::formatBytes(static_cast<double>(p.l1dBytes));
+    });
+    row("L2", [](const hw::PlatformSpec &p) {
+        return stats::formatBytes(static_cast<double>(p.l2Bytes));
+    });
+    row("LLC", [](const hw::PlatformSpec &p) {
+        return stats::formatBytes(static_cast<double>(p.llcBytes));
+    });
+    row("RAM", [](const hw::PlatformSpec &p) {
+        return stats::formatBytes(static_cast<double>(p.ramBytes)) +
+            "@" + std::to_string(p.ramMhz);
+    });
+    row("Disk", [](const hw::PlatformSpec &p) {
+        return stats::formatBytes(static_cast<double>(p.diskBytes)) +
+            (p.disk == hw::DiskKind::Ssd ? " SSD" : " HDD");
+    });
+    row("Network", [](const hw::PlatformSpec &p) {
+        return stats::formatDouble(p.nicGbps, 0) + "Gbe";
+    });
+    table.addSeparator();
+    row("(model) issue width", [](const hw::PlatformSpec &p) {
+        return std::to_string(p.issueWidth);
+    });
+    row("(model) mispredict penalty", [](const hw::PlatformSpec &p) {
+        return std::to_string(p.mispredictPenalty) + " cyc";
+    });
+    row("(model) mem latency", [](const hw::PlatformSpec &p) {
+        return std::to_string(p.latency.memory) + " cyc";
+    });
+    table.print(std::cout);
+    return 0;
+}

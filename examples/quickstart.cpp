@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Quickstart: clone your first service in ~60 lines.
+ *
+ * The workflow every Ditto user follows:
+ *   1. deploy the (opaque) original service on a machine model,
+ *   2. drive it with a representative load,
+ *   3. call cloneService() -- profiling, skeleton analysis, body
+ *      generation, and fine tuning happen automatically,
+ *   4. deploy the returned ServiceSpec anywhere and compare.
+ */
+
+#include <cstdio>
+
+#include "core/ditto.h"
+#include "hw/block_builder.h"
+#include "hw/platform.h"
+#include "profile/perf_report.h"
+#include "workload/loadgen.h"
+
+using namespace ditto;
+
+// A toy key-value service standing in for "your production binary".
+// Ditto never looks inside this function's output -- only at runtime
+// observations.
+static app::ServiceSpec
+myProductionService()
+{
+    app::ServiceSpec spec;
+    spec.name = "kvstore";
+    spec.serverModel = app::ServerModel::IoMultiplex;
+    spec.threads.workers = 2;
+
+    hw::BlockSpec lookup;
+    lookup.label = "kvstore.lookup";
+    lookup.instCount = 300;
+    lookup.mix = hw::MixWeights::hashCode();
+    lookup.memFraction = 0.3;
+    lookup.streams = {{8u << 20, hw::StreamKind::PointerChase, true, 1}};
+    lookup.seed = 7;
+    spec.blocks.push_back(hw::buildBlock(lookup));
+
+    app::EndpointSpec get;
+    get.name = "get";
+    get.responseBytesMin = 256;
+    get.responseBytesMax = 1024;
+    get.handler.ops = {
+        app::opCall("lookup", {{app::opCompute(0, 10, 20)}}),
+    };
+    spec.endpoints.push_back(get);
+    return spec;
+}
+
+int
+main()
+{
+    // 1. Deploy the original on a Platform A machine model.
+    app::Deployment dep(/*seed=*/1);
+    os::Machine &machine = dep.addMachine("node0", hw::platformA());
+    app::ServiceInstance &original =
+        dep.deploy(myProductionService(), machine);
+    dep.wireAll();
+
+    // 2. Drive it with a representative load.
+    workload::LoadSpec load;
+    load.qps = 4000;
+    load.connections = 8;
+    workload::LoadGen gen(dep, original, load, /*seed=*/2);
+    gen.start();
+
+    // 3. Clone it. This profiles the running service (instruction
+    //    mix, working sets, branches, dependencies, syscalls, thread
+    //    model), generates a synthetic spec, and fine-tunes it.
+    std::printf("Profiling and cloning 'kvstore'...\n");
+    const core::CloneResult clone = core::cloneService(
+        dep, original, load, hw::platformA());
+    std::printf("  -> clone '%s': %zu synthetic blocks, "
+                "%u tuning iterations, final IPC error %.1f%%\n",
+                clone.spec.name.c_str(), clone.spec.blocks.size(),
+                clone.tuning.iterations,
+                clone.tuning.finalIpcError * 100);
+
+    // 4. Deploy the clone in a fresh world and compare counters.
+    app::Deployment cloneDep(/*seed=*/3);
+    os::Machine &cloneMachine =
+        cloneDep.addMachine("node0", hw::platformA());
+    app::ServiceInstance &synthetic =
+        cloneDep.deploy(clone.spec, cloneMachine);
+    cloneDep.wireAll();
+    workload::LoadGen cloneGen(cloneDep, synthetic,
+                               core::cloneLoadSpec(load), 2);
+    cloneGen.start();
+
+    auto measure = [](app::Deployment &d, app::ServiceInstance &svc,
+                      workload::LoadGen &g) {
+        d.runFor(sim::milliseconds(200));
+        d.beginMeasureAll();
+        g.beginMeasure();
+        d.runFor(sim::milliseconds(300));
+        auto report = profile::snapshotService(svc);
+        profile::overrideLatency(report, g.latency());
+        return report;
+    };
+    const profile::PerfReport orig = measure(dep, original, gen);
+    const profile::PerfReport synth =
+        measure(cloneDep, synthetic, cloneGen);
+
+    std::printf("\n%-22s %12s %12s\n", "metric", "original",
+                "synthetic");
+    auto row = [](const char *name, double a, double b) {
+        std::printf("%-22s %12.3f %12.3f\n", name, a, b);
+    };
+    row("IPC", orig.ipc, synth.ipc);
+    row("branch mispredict", orig.branchMispredictRate,
+        synth.branchMispredictRate);
+    row("L1d miss rate", orig.l1dMissRate, synth.l1dMissRate);
+    row("avg latency (ms)", orig.avgLatencyMs, synth.avgLatencyMs);
+    row("p99 latency (ms)", orig.p99LatencyMs, synth.p99LatencyMs);
+    std::printf("\nThe synthetic spec contains no trace of the "
+                "original's code -- share it freely.\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Example: share a clone as a file artifact.
+ *
+ * The provider clones a service and writes the synthetic spec to
+ * disk; the consumer (a hardware vendor, say) loads the file in a
+ * completely separate context and runs studies on it. The file
+ * contains only the generated artifacts -- synthetic instruction
+ * blocks, working-set descriptors, quantized branch behaviours,
+ * syscall ops -- never the original's code or inputs.
+ */
+
+#include <cstdio>
+
+#include "core/ditto.h"
+#include "core/spec_io.h"
+#include "hw/block_builder.h"
+#include "hw/platform.h"
+#include "profile/perf_report.h"
+#include "workload/loadgen.h"
+
+using namespace ditto;
+
+static app::ServiceSpec
+proprietaryService()
+{
+    app::ServiceSpec spec;
+    spec.name = "prod-secret";
+    spec.threads.workers = 2;
+    hw::BlockSpec bs;
+    bs.label = "prod-secret.logic";
+    bs.instCount = 400;
+    bs.mix = hw::MixWeights::serverCode();
+    bs.memFraction = 0.3;
+    bs.branchFraction = 0.12;
+    bs.streams = {{2u << 20, hw::StreamKind::Random, true, 1.0}};
+    bs.seed = 99;
+    spec.blocks.push_back(hw::buildBlock(bs));
+    app::EndpointSpec ep;
+    ep.name = "api";
+    ep.handler.ops = {app::opCall("handle", {{app::opCompute(0, 8, 16)}})};
+    ep.responseBytesMin = 256;
+    ep.responseBytesMax = 768;
+    spec.endpoints.push_back(ep);
+    return spec;
+}
+
+int
+main()
+{
+    const std::string path = "/tmp/prod-secret.clone.dto";
+    workload::LoadSpec load;
+    load.qps = 3000;
+    load.connections = 6;
+
+    // ---- provider side -------------------------------------------------
+    {
+        app::Deployment dep(1);
+        os::Machine &m = dep.addMachine("prod-host", hw::platformA());
+        app::ServiceInstance &svc =
+            dep.deploy(proprietaryService(), m);
+        dep.wireAll();
+        workload::LoadGen gen(dep, svc, load, 2);
+        gen.start();
+        std::printf("[provider] cloning prod-secret...\n");
+        const core::CloneResult clone =
+            core::cloneService(dep, svc, load, hw::platformA());
+        core::saveTopology(path, {clone.spec});
+        std::printf("[provider] wrote %s\n", path.c_str());
+        // Prove the artifact carries no original labels.
+        const std::string text = core::specToString(clone.spec);
+        std::printf("[provider] artifact mentions 'logic': %s, "
+                    "'handle': %s\n",
+                    text.find("logic") == std::string::npos ? "no"
+                                                            : "YES",
+                    text.find("handle") == std::string::npos ? "no"
+                                                             : "YES");
+    }
+
+    // ---- consumer side (no access to proprietaryService()) ------------
+    {
+        const auto specs = core::loadTopology(path);
+        std::printf("[consumer] loaded %zu spec(s): %s\n",
+                    specs.size(), specs[0].name.c_str());
+        app::Deployment dep(7);
+        os::Machine &m = dep.addMachine("lab-host", hw::platformB());
+        app::ServiceInstance &svc = dep.deploy(specs[0], m);
+        dep.wireAll();
+        workload::LoadGen gen(dep, svc, core::cloneLoadSpec(load), 2);
+        gen.start();
+        dep.runFor(sim::milliseconds(200));
+        dep.beginMeasureAll();
+        gen.beginMeasure();
+        dep.runFor(sim::milliseconds(300));
+        const auto report = profile::snapshotService(svc);
+        std::printf("[consumer] ran the clone on Platform B: "
+                    "IPC %.3f, L1d miss %.3f, p99 %.3f ms\n",
+                    report.ipc, report.l1dMissRate,
+                    sim::toMilliseconds(
+                        gen.latency().percentile(0.99)));
+        std::printf("[consumer] study done -- without ever seeing "
+                    "the original.\n");
+    }
+    std::remove(path.c_str());
+    return 0;
+}

@@ -1,0 +1,69 @@
+#include "app/deployment.h"
+
+namespace ditto::app {
+
+Deployment::Deployment(std::uint64_t seed, double traceSampleRate)
+    : seed_(seed), network_(events_), tracer_(traceSampleRate)
+{
+}
+
+Deployment::~Deployment() = default;
+
+os::Machine &
+Deployment::addMachine(const std::string &name,
+                       const hw::PlatformSpec &spec)
+{
+    machines_.push_back(std::make_unique<os::Machine>(
+        name, spec, events_, seed_ ^ machines_.size()));
+    os::Machine &m = *machines_.back();
+    m.kernel().setNetwork(&network_);
+    machinesByName_[name] = &m;
+    return m;
+}
+
+ServiceInstance &
+Deployment::deploy(const ServiceSpec &spec, os::Machine &machine)
+{
+    services_.push_back(std::make_unique<ServiceInstance>(
+        spec, machine, network_, &tracer_,
+        seed_ ^ (services_.size() * 0x9e3779b9ull)));
+    ServiceInstance &svc = *services_.back();
+    registry_[spec.name] = &svc;
+    return svc;
+}
+
+void
+Deployment::wireAll()
+{
+    for (auto &svc : services_)
+        svc->wire(registry_);
+}
+
+ServiceInstance *
+Deployment::find(const std::string &name)
+{
+    auto it = registry_.find(name);
+    return it != registry_.end() ? it->second : nullptr;
+}
+
+os::Machine *
+Deployment::machine(const std::string &name)
+{
+    auto it = machinesByName_.find(name);
+    return it != machinesByName_.end() ? it->second : nullptr;
+}
+
+void
+Deployment::runFor(sim::Time duration)
+{
+    events_.runUntil(events_.now() + duration);
+}
+
+void
+Deployment::beginMeasureAll()
+{
+    for (auto &svc : services_)
+        svc->beginMeasure();
+}
+
+} // namespace ditto::app

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deployment: a cluster of machines, a network, a tracer, and a set
+ * of deployed services -- the top-level harness every benchmark and
+ * example builds on.
+ */
+
+#ifndef DITTO_APP_DEPLOYMENT_H_
+#define DITTO_APP_DEPLOYMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/service.h"
+#include "hw/platform.h"
+#include "os/machine.h"
+#include "os/network.h"
+#include "sim/event_queue.h"
+#include "trace/tracer.h"
+
+namespace ditto::app {
+
+class Deployment
+{
+  public:
+    explicit Deployment(std::uint64_t seed = 1,
+                        double traceSampleRate = 1.0);
+    ~Deployment();
+
+    Deployment(const Deployment &) = delete;
+    Deployment &operator=(const Deployment &) = delete;
+
+    /** Add a server node with the given platform. */
+    os::Machine &addMachine(const std::string &name,
+                            const hw::PlatformSpec &spec);
+
+    /** Deploy a service instance onto a machine. */
+    ServiceInstance &deploy(const ServiceSpec &spec,
+                            os::Machine &machine);
+
+    /** Resolve downstream references; call after all deploys. */
+    void wireAll();
+
+    ServiceInstance *find(const std::string &name);
+
+    os::Machine *machine(const std::string &name);
+
+    sim::EventQueue &events() { return events_; }
+    os::Network &network() { return network_; }
+    trace::Tracer &tracer() { return tracer_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Advance the simulation by `duration`. */
+    void runFor(sim::Time duration);
+
+    /** Reset all service measurement windows. */
+    void beginMeasureAll();
+
+    const std::vector<std::unique_ptr<ServiceInstance>> &
+    services() const
+    {
+        return services_;
+    }
+
+  private:
+    std::uint64_t seed_;
+    sim::EventQueue events_;
+    os::Network network_;
+    trace::Tracer tracer_;
+    std::vector<std::unique_ptr<os::Machine>> machines_;
+    std::map<std::string, os::Machine *> machinesByName_;
+    std::vector<std::unique_ptr<ServiceInstance>> services_;
+    std::map<std::string, ServiceInstance *> registry_;
+};
+
+} // namespace ditto::app
+
+#endif // DITTO_APP_DEPLOYMENT_H_

@@ -1,0 +1,113 @@
+#include "app/program.h"
+
+namespace ditto::app {
+
+Op
+opCompute(std::uint32_t block, std::uint64_t itersMin,
+          std::uint64_t itersMax)
+{
+    Op op;
+    op.kind = OpKind::Compute;
+    op.block = block;
+    op.itersMin = itersMin;
+    op.itersMax = itersMax;
+    return op;
+}
+
+Op
+opCompute(std::uint32_t block, std::uint64_t iters)
+{
+    return opCompute(block, iters, iters);
+}
+
+Op
+opFileRead(std::uint32_t fileRef, std::uint64_t bytesMin,
+           std::uint64_t bytesMax)
+{
+    Op op;
+    op.kind = OpKind::FileRead;
+    op.fileRef = fileRef;
+    op.bytesMin = bytesMin;
+    op.bytesMax = bytesMax;
+    return op;
+}
+
+Op
+opFileWrite(std::uint32_t fileRef, std::uint64_t bytesMin,
+            std::uint64_t bytesMax)
+{
+    Op op;
+    op.kind = OpKind::FileWrite;
+    op.fileRef = fileRef;
+    op.bytesMin = bytesMin;
+    op.bytesMax = bytesMax;
+    return op;
+}
+
+Op
+opRpc(std::uint32_t target, std::uint32_t endpoint,
+      std::uint32_t reqBytes, std::uint32_t respBytes)
+{
+    Op op;
+    op.kind = OpKind::Rpc;
+    op.rpcs.push_back(RpcCallSpec{target, endpoint, reqBytes, respBytes});
+    return op;
+}
+
+Op
+opRpcFanout(std::vector<RpcCallSpec> calls)
+{
+    Op op;
+    op.kind = OpKind::Rpc;
+    op.rpcs = std::move(calls);
+    return op;
+}
+
+Op
+opLock(std::uint32_t lockRef)
+{
+    Op op;
+    op.kind = OpKind::Lock;
+    op.lockRef = lockRef;
+    return op;
+}
+
+Op
+opUnlock(std::uint32_t lockRef)
+{
+    Op op;
+    op.kind = OpKind::Unlock;
+    op.lockRef = lockRef;
+    return op;
+}
+
+Op
+opSleep(sim::Time duration)
+{
+    Op op;
+    op.kind = OpKind::Sleep;
+    op.duration = duration;
+    return op;
+}
+
+Op
+opChoice(std::vector<double> probs, std::vector<Program> arms)
+{
+    Op op;
+    op.kind = OpKind::Choice;
+    op.probs = std::move(probs);
+    op.subs = std::move(arms);
+    return op;
+}
+
+Op
+opCall(std::string label, Program body)
+{
+    Op op;
+    op.kind = OpKind::Call;
+    op.label = std::move(label);
+    op.subs.push_back(std::move(body));
+    return op;
+}
+
+} // namespace ditto::app

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Application-level program IR: the ops a request handler or
+ * background thread executes.
+ *
+ * A Program is a sequence of Ops over a service's linked code blocks:
+ * compute loops, file I/O, downstream RPCs, locks, sleeps,
+ * probabilistic control flow, and labeled calls (which give the
+ * thread profiler a call graph to cluster on). Both the hand-authored
+ * "original" applications and Ditto-generated clones are Programs;
+ * the skeleton runtime (src/app/service.h) is shared.
+ */
+
+#ifndef DITTO_APP_PROGRAM_H_
+#define DITTO_APP_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/code.h"
+#include "sim/time.h"
+
+namespace ditto::app {
+
+struct Op;
+
+/** A sequence of ops. */
+struct Program
+{
+    std::vector<Op> ops;
+
+    bool empty() const { return ops.empty(); }
+};
+
+/** One downstream RPC inside an Rpc op. */
+struct RpcCallSpec
+{
+    /** Index into the service's downstream list. */
+    std::uint32_t target = 0;
+    /** Downstream endpoint id. */
+    std::uint32_t endpoint = 0;
+    std::uint32_t requestBytes = 128;
+    std::uint32_t responseBytes = 256;
+};
+
+enum class OpKind : std::uint8_t
+{
+    Compute,   //!< run a code block for a sampled iteration count
+    FileRead,  //!< pread() from a service file at a random offset
+    FileWrite, //!< pwrite() to a service file
+    Rpc,       //!< one or more downstream calls (fanout)
+    Lock,      //!< acquire a service lock (futex on contention)
+    Unlock,    //!< release a service lock
+    Sleep,     //!< nanosleep
+    Choice,    //!< probabilistic branch over sub-programs
+    Call,      //!< labeled sub-program (call-graph node)
+};
+
+/**
+ * One op. A tagged union kept as a fat struct for clarity; only the
+ * fields relevant to `kind` are meaningful.
+ */
+struct Op
+{
+    OpKind kind = OpKind::Compute;
+
+    // Compute
+    std::uint32_t block = 0;          //!< block id in the service image
+    std::uint64_t itersMin = 1;
+    std::uint64_t itersMax = 1;
+
+    // FileRead / FileWrite
+    std::uint32_t fileRef = 0;        //!< index into the service's files
+    std::uint64_t bytesMin = 0;
+    std::uint64_t bytesMax = 0;
+
+    // Rpc
+    std::vector<RpcCallSpec> rpcs;
+
+    // Lock / Unlock
+    std::uint32_t lockRef = 0;
+
+    // Sleep
+    sim::Time duration = 0;
+
+    // Choice / Call
+    std::vector<double> probs;        //!< arm weights (Choice)
+    std::vector<Program> subs;        //!< arms (Choice) or body (Call)
+    std::string label;                //!< call-graph label (Call)
+};
+
+// ---- convenience constructors ------------------------------------------
+
+Op opCompute(std::uint32_t block, std::uint64_t itersMin,
+             std::uint64_t itersMax);
+Op opCompute(std::uint32_t block, std::uint64_t iters);
+Op opFileRead(std::uint32_t fileRef, std::uint64_t bytesMin,
+              std::uint64_t bytesMax);
+Op opFileWrite(std::uint32_t fileRef, std::uint64_t bytesMin,
+               std::uint64_t bytesMax);
+Op opRpc(std::uint32_t target, std::uint32_t endpoint,
+         std::uint32_t reqBytes, std::uint32_t respBytes);
+Op opRpcFanout(std::vector<RpcCallSpec> calls);
+Op opLock(std::uint32_t lockRef);
+Op opUnlock(std::uint32_t lockRef);
+Op opSleep(sim::Time duration);
+Op opChoice(std::vector<double> probs, std::vector<Program> arms);
+Op opCall(std::string label, Program body);
+
+/** Server-side network models (Sec. 4.3.1). */
+enum class ServerModel : std::uint8_t
+{
+    IoMultiplex,       //!< epoll-based workers (Memcached/Redis/NGINX)
+    BlockingPerConn,   //!< blocking read, thread per connection
+    NonBlocking,       //!< polling non-blocking reads
+};
+
+/** Client-side communication model for downstream RPCs. */
+enum class ClientModel : std::uint8_t
+{
+    Sync,   //!< issue one call at a time, block for each response
+    Async,  //!< issue fanouts in parallel, collect all responses
+};
+
+/** Thread model (Sec. 4.3.2). */
+struct ThreadModelSpec
+{
+    /** Long-lived worker pool size (IoMultiplex / NonBlocking). */
+    unsigned workers = 4;
+    /** Spawn a (possibly short-lived) thread per connection. */
+    bool threadPerConnection = false;
+};
+
+/** A request type exposed by a service. */
+struct EndpointSpec
+{
+    std::string name;
+    Program handler;
+    std::uint32_t responseBytesMin = 64;
+    std::uint32_t responseBytesMax = 64;
+};
+
+/** A background (timer-triggered) thread. */
+struct BackgroundSpec
+{
+    std::string name;
+    Program body;
+    sim::Time period = sim::milliseconds(100);
+};
+
+/**
+ * Complete, platform-independent description of one service. This is
+ * the unit Ditto generates: deployable on any Machine without change.
+ */
+struct ServiceSpec
+{
+    std::string name;
+    ServerModel serverModel = ServerModel::IoMultiplex;
+    ClientModel clientModel = ClientModel::Sync;
+    ThreadModelSpec threads;
+    std::vector<hw::CodeBlock> blocks;
+    std::vector<EndpointSpec> endpoints;
+    std::vector<BackgroundSpec> background;
+    /** Names of downstream services (RPC targets, by index). */
+    std::vector<std::string> downstreams;
+    /** Sizes of files to create at deploy time (index = fileRef). */
+    std::vector<std::uint64_t> fileBytes;
+    /** Number of user-space locks (index = lockRef). */
+    unsigned locks = 0;
+    /**
+     * Pages of each file to pre-touch into the page cache at deploy
+     * (fraction, 0..1). Databases warm their working set.
+     */
+    double filePrewarmFraction = 0.0;
+};
+
+} // namespace ditto::app
+
+#endif // DITTO_APP_PROGRAM_H_

@@ -1,0 +1,772 @@
+#include "app/service.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ditto::app {
+
+namespace {
+
+/** Private-copy slots reserved per service image. */
+constexpr unsigned kServiceThreadSlots = 64;
+
+/** Cycles for an uncontended user-space lock acquire/release. */
+constexpr double kUserLockCycles = 40;
+
+} // namespace
+
+std::string_view
+sysKindName(SysKind kind)
+{
+    switch (kind) {
+      case SysKind::SocketRead: return "read";
+      case SysKind::SocketWrite: return "write";
+      case SysKind::EpollWait: return "epoll_wait";
+      case SysKind::Pread: return "pread";
+      case SysKind::Pwrite: return "pwrite";
+      case SysKind::FutexWait: return "futex_wait";
+      case SysKind::FutexWake: return "futex_wake";
+      case SysKind::Nanosleep: return "nanosleep";
+      case SysKind::Clone: return "clone";
+    }
+    return "?";
+}
+
+void
+ServiceStats::reset(sim::Time now)
+{
+    exec = hw::ExecStats{};
+    latency.reset();
+    requests = 0;
+    rxBytes = 0;
+    txBytes = 0;
+    diskReadBytes = 0;
+    diskWriteBytes = 0;
+    measureStart = now;
+}
+
+double
+ServiceStats::qps(sim::Time now) const
+{
+    const double secs = sim::toSeconds(now - measureStart);
+    return secs > 0 ? static_cast<double>(requests) / secs : 0.0;
+}
+
+double
+ServiceStats::netBandwidth(sim::Time now) const
+{
+    const double secs = sim::toSeconds(now - measureStart);
+    return secs > 0 ?
+        static_cast<double>(rxBytes + txBytes) / secs : 0.0;
+}
+
+double
+ServiceStats::diskBandwidth(sim::Time now) const
+{
+    const double secs = sim::toSeconds(now - measureStart);
+    return secs > 0 ?
+        static_cast<double>(diskReadBytes + diskWriteBytes) / secs : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// ProgramRunner
+// ---------------------------------------------------------------------------
+
+void
+ProgramRunner::start(const Program *prog)
+{
+    stack_.clear();
+    stack_.push_back(Frame{prog, 0, 0, 0, nullptr});
+}
+
+ProgramRunner::Status
+ProgramRunner::run(os::StepCtx &ctx, Worker &worker)
+{
+    while (!stack_.empty()) {
+        if (ctx.overBudget())
+            return Status::Budget;
+
+        Frame &frame = stack_.back();
+        if (frame.pc >= frame.prog->ops.size()) {
+            if (frame.callLabel && worker.service().probe()) {
+                worker.service().probe()->onCallExit(worker,
+                                                     *frame.callLabel);
+            }
+            stack_.pop_back();
+            continue;
+        }
+
+        const Op &op = frame.prog->ops[frame.pc];
+        const Status st = execOp(ctx, worker, frame, op);
+        if (st != Status::Done)
+            return st;
+    }
+    return Status::Done;
+}
+
+ProgramRunner::Status
+ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
+                      const Op &op)
+{
+    ServiceInstance &service = worker.service();
+    os::Kernel &kernel = ctx.kernel;
+    sim::Rng &rng = service.rng();
+
+    switch (op.kind) {
+      case OpKind::Compute: {
+        const std::uint64_t iters = op.itersMin >= op.itersMax
+            ? op.itersMin
+            : static_cast<std::uint64_t>(rng.uniformInt(
+                  static_cast<std::int64_t>(op.itersMin),
+                  static_cast<std::int64_t>(op.itersMax)));
+        hw::ExecStats scratch;
+        const double cycles = ctx.core.run(
+            service.image(), op.block, iters, worker.execContext(),
+            scratch);
+        ctx.cyclesUsed += cycles;
+        if (worker.statsSink())
+            worker.statsSink()->add(scratch);
+        frame.pc++;
+        return Status::Done;
+      }
+
+      case OpKind::FileRead: {
+        if (frame.phase == 0) {
+            const std::uint64_t bytes = op.bytesMin >= op.bytesMax
+                ? op.bytesMin
+                : static_cast<std::uint64_t>(rng.uniformInt(
+                      static_cast<std::int64_t>(op.bytesMin),
+                      static_cast<std::int64_t>(op.bytesMax)));
+            const std::uint64_t fileSize =
+                service.fileSize(op.fileRef);
+            const std::uint64_t maxOff =
+                fileSize > bytes ? fileSize - bytes : 0;
+            std::uint64_t offset = rng.uniformInt(maxOff + 1);
+            offset &= ~(os::kPageBytes - 1);
+            worker.probeSyscall(SysKind::Pread, bytes);
+            if (service.probe()) {
+                service.probe()->onFileAccess(worker, offset, bytes,
+                                              false);
+            }
+            std::uint64_t diskBytes = 0;
+            const os::SysResult res = kernel.sysPread(
+                ctx, worker, service.fileId(op.fileRef), offset,
+                bytes, diskBytes);
+            worker.accountDiskRead(diskBytes);
+            if (res == os::SysResult::Ok) {
+                frame.pc++;
+                return Status::Done;
+            }
+            frame.phase = 1;
+            frame.aux = bytes;
+            return Status::Blocked;
+        }
+        kernel.sysPreadFinish(ctx, worker, frame.aux);
+        frame.phase = 0;
+        frame.pc++;
+        return Status::Done;
+      }
+
+      case OpKind::FileWrite: {
+        const std::uint64_t bytes = op.bytesMin >= op.bytesMax
+            ? op.bytesMin
+            : static_cast<std::uint64_t>(rng.uniformInt(
+                  static_cast<std::int64_t>(op.bytesMin),
+                  static_cast<std::int64_t>(op.bytesMax)));
+        const std::uint64_t fileSize = service.fileSize(op.fileRef);
+        const std::uint64_t maxOff =
+            fileSize > bytes ? fileSize - bytes : 0;
+        const std::uint64_t offset = rng.uniformInt(maxOff + 1);
+        worker.probeSyscall(SysKind::Pwrite, bytes);
+        if (service.probe())
+            service.probe()->onFileAccess(worker, offset, bytes, true);
+        kernel.sysPwrite(ctx, worker, service.fileId(op.fileRef),
+                         offset, bytes);
+        worker.accountDiskWrite(bytes);
+        frame.pc++;
+        return Status::Done;
+      }
+
+      case OpKind::Rpc: {
+        const bool async =
+            service.spec().clientModel == ClientModel::Async;
+        const std::size_t n = op.rpcs.size();
+        if (n == 0) {
+            frame.pc++;
+            return Status::Done;
+        }
+
+        auto send_call = [&](const RpcCallSpec &call) {
+            os::Socket *conn = worker.downConn(call.target);
+            os::Message req;
+            req.kind = os::MsgKind::Request;
+            req.bytes = call.requestBytes;
+            req.endpoint = call.endpoint;
+            req.tag = service.nextTag();
+            req.traceId = worker.currentRequest().msg.traceId;
+            req.parentSpan = worker.currentRequest().serverSpan;
+            req.sendTime = worker.now(ctx);
+            worker.probeSyscall(SysKind::SocketWrite, req.bytes);
+            if (service.probe()) {
+                service.probe()->onRpcIssued(
+                    worker, call.target, call.endpoint,
+                    call.requestBytes, call.responseBytes);
+            }
+            if (service.tracer()) {
+                ServiceInstance *target =
+                    service.downstream(call.target);
+                service.tracer()->recordEdge(trace::RpcEdge{
+                    req.traceId, req.parentSpan, service.name(),
+                    target ? target->name() : "?", call.endpoint,
+                    call.requestBytes, call.responseBytes});
+            }
+            service.stats().txBytes += call.requestBytes;
+            kernel.sysSocketWrite(ctx, worker, *conn, std::move(req));
+        };
+
+        auto finish_response = [&](const RpcCallSpec &call,
+                                   const os::Message &resp) {
+            service.stats().rxBytes += resp.bytes;
+            (void)call;
+        };
+
+        if (!async) {
+            // Sync client: send call k, await its response, repeat.
+            while (true) {
+                const std::size_t callIdx =
+                    static_cast<std::size_t>(frame.phase) / 2;
+                if (callIdx >= n) {
+                    frame.phase = 0;
+                    frame.pc++;
+                    return Status::Done;
+                }
+                const RpcCallSpec &call = op.rpcs[callIdx];
+                if (frame.phase % 2 == 0) {
+                    send_call(call);
+                    frame.phase++;
+                } else {
+                    os::Message resp;
+                    const os::SysResult res = kernel.sysSocketRead(
+                        ctx, worker, *worker.downConn(call.target),
+                        resp);
+                    if (res == os::SysResult::WouldBlock)
+                        return Status::Blocked;
+                    worker.probeSyscall(SysKind::SocketRead, resp.bytes);
+                    finish_response(call, resp);
+                    frame.phase++;
+                }
+                if (ctx.overBudget() &&
+                    static_cast<std::size_t>(frame.phase) / 2 < n) {
+                    return Status::Budget;
+                }
+            }
+        }
+
+        // Async client: fire the whole fanout, then collect.
+        if (frame.phase == 0) {
+            for (const RpcCallSpec &call : op.rpcs)
+                send_call(call);
+            frame.aux = (n >= 64) ? ~std::uint64_t{0}
+                                  : ((std::uint64_t{1} << n) - 1);
+            frame.phase = 1;
+        }
+        // Collect phase: drain whatever is ready.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!(frame.aux & (std::uint64_t{1} << i)))
+                continue;
+            os::Socket *conn = worker.downConn(op.rpcs[i].target);
+            conn->removeWaiter(&worker);
+            os::Message resp;
+            if (kernel.sysSocketTryRead(ctx, worker, *conn, resp) ==
+                os::SysResult::Ok) {
+                worker.probeSyscall(SysKind::SocketRead, resp.bytes);
+                finish_response(op.rpcs[i], resp);
+                frame.aux &= ~(std::uint64_t{1} << i);
+            }
+        }
+        if (frame.aux == 0) {
+            frame.phase = 0;
+            frame.pc++;
+            return Status::Done;
+        }
+        // Park on every still-pending connection.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (frame.aux & (std::uint64_t{1} << i))
+                worker.downConn(op.rpcs[i].target)->addWaiter(&worker);
+        }
+        return Status::Blocked;
+      }
+
+      case OpKind::Lock: {
+        ServiceInstance::LockState &lock = service.lock(op.lockRef);
+        if (!lock.held) {
+            lock.held = true;
+            ctx.cyclesUsed += kUserLockCycles;
+            frame.pc++;
+            return Status::Done;
+        }
+        worker.probeSyscall(SysKind::FutexWait, 0);
+        kernel.sysFutexWait(ctx, worker, *lock.queue);
+        return Status::Blocked;  // retry the acquire after wakeup
+      }
+
+      case OpKind::Unlock: {
+        ServiceInstance::LockState &lock = service.lock(op.lockRef);
+        ctx.cyclesUsed += kUserLockCycles;
+        if (lock.queue->hasWaiters()) {
+            worker.probeSyscall(SysKind::FutexWake, 0);
+            kernel.sysFutexWake(ctx, worker, *lock.queue, 0);
+        }
+        // The slice is computed ahead of simulated time: release the
+        // lock (and wake a waiter) when the unlock logically executes,
+        // so concurrent threads actually contend for the section.
+        ServiceInstance::LockState *lockPtr = &lock;
+        service.machine().events().scheduleAfter(
+            kernel.sliceOffset(ctx), [lockPtr] {
+                lockPtr->held = false;
+                lockPtr->queue->wake(1);
+            });
+        frame.pc++;
+        return Status::Done;
+      }
+
+      case OpKind::Sleep: {
+        if (frame.phase == 0) {
+            worker.probeSyscall(SysKind::Nanosleep, 0);
+            kernel.sysNanosleep(ctx, worker, op.duration);
+            frame.phase = 1;
+            return Status::Blocked;
+        }
+        frame.phase = 0;
+        frame.pc++;
+        return Status::Done;
+      }
+
+      case OpKind::Choice: {
+        double total = 0;
+        for (double p : op.probs)
+            total += p;
+        double roll = rng.uniform() * (total > 0 ? total : 1.0);
+        std::size_t arm = 0;
+        for (; arm + 1 < op.probs.size(); ++arm) {
+            if (roll < op.probs[arm])
+                break;
+            roll -= op.probs[arm];
+        }
+        frame.pc++;
+        if (arm < op.subs.size() && !op.subs[arm].empty())
+            stack_.push_back(Frame{&op.subs[arm], 0, 0, 0, nullptr});
+        return Status::Done;
+      }
+
+      case OpKind::Call: {
+        if (service.probe())
+            service.probe()->onCallEnter(worker, op.label);
+        frame.pc++;
+        stack_.push_back(Frame{&op.subs[0], 0, 0, 0, &op.label});
+        return Status::Done;
+      }
+    }
+    frame.pc++;
+    return Status::Done;
+}
+
+// ---------------------------------------------------------------------------
+// ServiceInstance
+// ---------------------------------------------------------------------------
+
+ServiceInstance::ServiceInstance(const ServiceSpec &spec,
+                                 os::Machine &machine,
+                                 os::Network &network,
+                                 trace::Tracer *tracer,
+                                 std::uint64_t seed)
+    : spec_(spec), machine_(machine), network_(network),
+      tracer_(tracer), rng_(seed ^ 0x5e41ceull)
+{
+    const os::Machine::AddressRegion region = machine_.allocRegion();
+    image_ = std::make_unique<hw::CodeImage>(
+        region.textBase, region.dataBase, kServiceThreadSlots);
+    for (const hw::CodeBlock &block : spec_.blocks)
+        image_->addBlock(block);
+
+    for (std::size_t i = 0; i < spec_.fileBytes.size(); ++i) {
+        fileIds_.push_back(machine_.vfs().create(
+            spec_.name + ".file" + std::to_string(i),
+            spec_.fileBytes[i]));
+        if (spec_.filePrewarmFraction > 0) {
+            const std::uint64_t pages =
+                spec_.fileBytes[i] / os::kPageBytes;
+            const auto warm = static_cast<std::uint64_t>(
+                static_cast<double>(pages) * spec_.filePrewarmFraction);
+            for (std::uint64_t p = 0; p < warm; ++p) {
+                machine_.pageCache().access(
+                    fileIds_.back(), p * os::kPageBytes, 1);
+            }
+        }
+    }
+
+    locks_.resize(spec_.locks);
+    for (LockState &lock : locks_)
+        lock.queue = machine_.createWaitQueue();
+
+    // Long-lived worker pool (unless connections spawn threads).
+    if (!spec_.threads.threadPerConnection) {
+        for (unsigned w = 0; w < std::max(1u, spec_.threads.workers);
+             ++w) {
+            spawnWorker(ThreadRole::Worker,
+                        spec_.name + ".worker" + std::to_string(w),
+                        nullptr, 0);
+        }
+    }
+    for (const BackgroundSpec &bg : spec_.background) {
+        spawnWorker(ThreadRole::Background,
+                    spec_.name + "." + bg.name, &bg.body, bg.period);
+    }
+}
+
+ServiceInstance::~ServiceInstance() = default;
+
+std::uint64_t
+ServiceInstance::fileSize(std::uint32_t ref) const
+{
+    return spec_.fileBytes[ref];
+}
+
+Worker *
+ServiceInstance::spawnWorker(ThreadRole role, const std::string &name,
+                             const Program *background,
+                             sim::Time period)
+{
+    auto worker = std::make_unique<Worker>(
+        *this, role, name, nextThreadSlot_++ % kServiceThreadSlots,
+        background, period, rng_());
+    worker->setStatsSink(&stats_.exec);
+    Worker *raw = worker.get();
+    machine_.scheduler().add(std::move(worker));
+    workers_.push_back(raw);
+    if (wired_)
+        openDownstreamConns(*raw);
+    return raw;
+}
+
+void
+ServiceInstance::wire(
+    const std::map<std::string, ServiceInstance *> &registry)
+{
+    downstreams_.clear();
+    for (const std::string &name : spec_.downstreams) {
+        auto it = registry.find(name);
+        downstreams_.push_back(
+            it != registry.end() ? it->second : nullptr);
+    }
+    wired_ = true;
+    for (Worker *w : workers_) {
+        if (w->role() != ThreadRole::Background ||
+            !spec_.downstreams.empty()) {
+            openDownstreamConns(*w);
+        }
+    }
+}
+
+void
+ServiceInstance::openDownstreamConns(Worker &w)
+{
+    std::vector<os::Socket *> conns;
+    for (ServiceInstance *target : downstreams_) {
+        if (!target) {
+            conns.push_back(nullptr);
+            continue;
+        }
+        os::Socket *mine = machine_.createSocket();
+        os::Socket *theirs = target->openConnection();
+        os::Network::connect(*mine, *theirs);
+        conns.push_back(mine);
+    }
+    w.setDownConns(std::move(conns));
+}
+
+os::Socket *
+ServiceInstance::openConnection()
+{
+    os::Socket *sock = machine_.createSocket();
+    if (spec_.threads.threadPerConnection) {
+        Worker *w = spawnWorker(
+            ThreadRole::ConnHandler,
+            spec_.name + ".conn" + std::to_string(nextWorkerForConn_++),
+            nullptr, 0);
+        w->addConnection(sock);
+        return sock;
+    }
+    // Round-robin over the long-lived pool (skip background threads).
+    std::vector<Worker *> pool;
+    for (Worker *w : workers_) {
+        if (w->role() == ThreadRole::Worker)
+            pool.push_back(w);
+    }
+    assert(!pool.empty() && "service has no request workers");
+    Worker *w = pool[nextWorkerForConn_++ % pool.size()];
+    w->addConnection(sock);
+    return sock;
+}
+
+void
+ServiceInstance::beginMeasure()
+{
+    stats_.reset(machine_.events().now());
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+Worker::Worker(ServiceInstance &service, ThreadRole role,
+               std::string name, unsigned threadSlot,
+               const Program *background, sim::Time period,
+               std::uint64_t seed)
+    : os::Thread(std::move(name), threadSlot, seed), service_(service),
+      role_(role), background_(background), period_(period)
+{
+    if (role_ == ThreadRole::Worker &&
+        service_.spec().serverModel == ServerModel::IoMultiplex) {
+        epoll_ = service_.machine().createEpoll();
+    }
+}
+
+void
+Worker::addConnection(os::Socket *sock)
+{
+    conns_.push_back(sock);
+    if (epoll_)
+        epoll_->watch(sock);
+}
+
+sim::Time
+Worker::now(const os::StepCtx &ctx) const
+{
+    return service_.machine().events().now() +
+        service_.machine().cyclesToTime(ctx.cyclesUsed);
+}
+
+void
+Worker::probeSyscall(SysKind kind, std::uint64_t bytes)
+{
+    if (service_.probe())
+        service_.probe()->onSyscall(*this, kind, bytes);
+}
+
+void
+Worker::accountDiskRead(std::uint64_t bytes)
+{
+    service_.stats().diskReadBytes += bytes;
+}
+
+void
+Worker::accountDiskWrite(std::uint64_t bytes)
+{
+    service_.stats().diskWriteBytes += bytes;
+}
+
+os::StepResult
+Worker::step(os::StepCtx &ctx)
+{
+    if (!started_) {
+        started_ = true;
+        if (service_.probe())
+            service_.probe()->onThreadStart(*this, role_);
+        if (role_ == ThreadRole::ConnHandler) {
+            probeSyscall(SysKind::Clone, 0);
+            ctx.kernel.sysClone(ctx, *this);
+        }
+    }
+    if (role_ == ThreadRole::Background)
+        return stepBackground(ctx);
+    return stepServer(ctx);
+}
+
+os::StepResult
+Worker::stepBackground(os::StepCtx &ctx)
+{
+    while (!ctx.overBudget()) {
+        if (runner_.active()) {
+            const ProgramRunner::Status st = runner_.run(ctx, *this);
+            if (st == ProgramRunner::Status::Blocked)
+                return {os::StopReason::Block};
+            if (st == ProgramRunner::Status::Budget)
+                return {os::StopReason::Yield};
+            bgPhase_ = 0;
+            continue;
+        }
+        if (bgPhase_ == 0) {
+            probeSyscall(SysKind::Nanosleep, 0);
+            ctx.kernel.sysNanosleep(ctx, *this, period_);
+            bgPhase_ = 1;
+            return {os::StopReason::Block};
+        }
+        // Woke from the timer: run one period's body.
+        bgPhase_ = 0;
+        if (background_ && !background_->empty())
+            runner_.start(background_);
+        else
+            bgPhase_ = 0;
+    }
+    return {os::StopReason::Yield};
+}
+
+bool
+Worker::fetchNextRequest(os::StepCtx &ctx, bool &blocked)
+{
+    os::Kernel &kernel = ctx.kernel;
+    const ServerModel model = service_.spec().serverModel;
+    blocked = false;
+
+    if (role_ == ThreadRole::ConnHandler ||
+        model == ServerModel::BlockingPerConn) {
+        if (conns_.empty()) {
+            blocked = true;  // no connection yet; nothing to do
+            return false;
+        }
+        os::Message msg;
+        if (kernel.sysSocketRead(ctx, *this, *conns_[0], msg) ==
+            os::SysResult::Ok) {
+            probeSyscall(SysKind::SocketRead, msg.bytes);
+            beginRequest(ctx, conns_[0], std::move(msg));
+            return true;
+        }
+        blocked = true;
+        return false;
+    }
+
+    if (model == ServerModel::NonBlocking) {
+        // One polling sweep over all connections.
+        for (std::size_t i = 0; i < conns_.size(); ++i) {
+            os::Socket *sock =
+                conns_[(pollCursor_ + i) % conns_.size()];
+            os::Message msg;
+            if (kernel.sysSocketTryRead(ctx, *this, *sock, msg) ==
+                os::SysResult::Ok) {
+                probeSyscall(SysKind::SocketRead, msg.bytes);
+                pollCursor_ = (pollCursor_ + i + 1) % conns_.size();
+                beginRequest(ctx, sock, std::move(msg));
+                return true;
+            }
+            // Empty poll: visible to the profiler as a failed read.
+            probeSyscall(SysKind::SocketRead, 0);
+        }
+        return false;  // not blocked: busy-poll again next slice
+    }
+
+    // IoMultiplex.
+    while (!readyList_.empty()) {
+        os::Socket *sock = readyList_.front();
+        readyList_.pop_front();
+        if (!sock->readable())
+            continue;
+        os::Message msg;
+        if (kernel.sysSocketTryRead(ctx, *this, *sock, msg) ==
+            os::SysResult::Ok) {
+            probeSyscall(SysKind::SocketRead, msg.bytes);
+            beginRequest(ctx, sock, std::move(msg));
+            return true;
+        }
+    }
+    std::vector<os::Socket *> ready;
+    probeSyscall(SysKind::EpollWait, 0);
+    if (kernel.sysEpollWait(ctx, *this, *epoll_, ready) ==
+        os::SysResult::Ok) {
+        readyList_.assign(ready.begin(), ready.end());
+        // Loop around in the caller to drain the ready list.
+        return false;
+    }
+    blocked = true;
+    return false;
+}
+
+void
+Worker::beginRequest(os::StepCtx &ctx, os::Socket *sock,
+                     os::Message msg)
+{
+    req_.sock = sock;
+    req_.start = now(ctx);
+    req_.active = true;
+    req_.serverSpan = 0;
+    if (service_.tracer() && service_.tracer()->sampled(msg.traceId))
+        req_.serverSpan = service_.tracer()->newSpanId();
+    req_.msg = std::move(msg);
+
+    const auto endpoint = std::min<std::uint32_t>(
+        req_.msg.endpoint,
+        static_cast<std::uint32_t>(
+            service_.spec().endpoints.size() - 1));
+    req_.msg.endpoint = endpoint;
+    runner_.start(&service_.spec().endpoints[endpoint].handler);
+}
+
+void
+Worker::finishRequest(os::StepCtx &ctx)
+{
+    const EndpointSpec &ep =
+        service_.spec().endpoints[req_.msg.endpoint];
+    sim::Rng &rng = service_.rng();
+    const std::uint32_t respBytes =
+        ep.responseBytesMin >= ep.responseBytesMax
+        ? ep.responseBytesMin
+        : static_cast<std::uint32_t>(
+              rng.uniformInt(
+                  static_cast<std::int64_t>(ep.responseBytesMin),
+                  static_cast<std::int64_t>(ep.responseBytesMax)));
+
+    os::Message resp;
+    resp.kind = os::MsgKind::Response;
+    resp.bytes = respBytes;
+    resp.endpoint = req_.msg.endpoint;
+    resp.tag = req_.msg.tag;
+    resp.traceId = req_.msg.traceId;
+    resp.sendTime = req_.msg.sendTime;
+    probeSyscall(SysKind::SocketWrite, respBytes);
+    ctx.kernel.sysSocketWrite(ctx, *this, *req_.sock, std::move(resp));
+
+    const sim::Time end = now(ctx);
+    ServiceStats &stats = service_.stats();
+    stats.requests += 1;
+    stats.rxBytes += req_.msg.bytes;
+    stats.txBytes += respBytes;
+    const sim::Time latency =
+        end > req_.start ? end - req_.start : 0;
+    stats.latency.record(latency);
+    if (service_.probe())
+        service_.probe()->onRequestDone(req_.msg.endpoint, latency);
+    if (req_.serverSpan && service_.tracer()) {
+        service_.tracer()->recordSpan(trace::Span{
+            req_.msg.traceId, req_.serverSpan, req_.msg.parentSpan,
+            service_.name(), req_.msg.endpoint, req_.start, end});
+    }
+    req_.active = false;
+    req_.sock = nullptr;
+}
+
+os::StepResult
+Worker::stepServer(os::StepCtx &ctx)
+{
+    while (!ctx.overBudget()) {
+        if (req_.active) {
+            const ProgramRunner::Status st = runner_.run(ctx, *this);
+            if (st == ProgramRunner::Status::Blocked)
+                return {os::StopReason::Block};
+            if (st == ProgramRunner::Status::Budget)
+                return {os::StopReason::Yield};
+            finishRequest(ctx);
+            continue;
+        }
+        bool blocked = false;
+        if (fetchNextRequest(ctx, blocked))
+            continue;
+        if (blocked)
+            return {os::StopReason::Block};
+        if (service_.spec().serverModel == ServerModel::NonBlocking)
+            return {os::StopReason::Yield};  // busy-poll
+        // IoMultiplex: epoll returned a ready list; loop to drain it.
+    }
+    return {os::StopReason::Yield};
+}
+
+} // namespace ditto::app

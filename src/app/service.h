@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Service runtime: deploys a ServiceSpec on a Machine and runs it.
+ *
+ * The runtime implements the paper's application-skeleton layer
+ * (Sec. 4.3): worker threads under the configured network model
+ * (I/O multiplexing with epoll, blocking thread-per-connection, or
+ * polling non-blocking), background timer threads, and downstream RPC
+ * connections with sync or async client behaviour. Request handlers
+ * are interpreted Programs (Sec. "application body").
+ *
+ * Profiling hooks (ServiceProbe) expose the observable events a real
+ * toolchain would see -- per-thread syscalls, call-graph enter/exit,
+ * thread spawns, RPCs -- without exposing the ServiceSpec itself.
+ */
+
+#ifndef DITTO_APP_SERVICE_H_
+#define DITTO_APP_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/program.h"
+#include "hw/code.h"
+#include "hw/cpu_core.h"
+#include "os/kernel.h"
+#include "os/machine.h"
+#include "os/network.h"
+#include "os/thread.h"
+#include "stats/histogram.h"
+#include "trace/tracer.h"
+
+namespace ditto::app {
+
+class ServiceInstance;
+class Worker;
+
+/** App-level syscall identity for profiling probes. */
+enum class SysKind : std::uint8_t
+{
+    SocketRead,
+    SocketWrite,
+    EpollWait,
+    Pread,
+    Pwrite,
+    FutexWait,
+    FutexWake,
+    Nanosleep,
+    Clone,
+};
+
+/** Human-readable syscall name. */
+std::string_view sysKindName(SysKind kind);
+
+/** Thread roles, for the thread-model analyzer. */
+enum class ThreadRole : std::uint8_t
+{
+    Worker,       //!< long-lived request worker
+    ConnHandler,  //!< per-connection (possibly short-lived) thread
+    Background,   //!< timer-triggered
+};
+
+/**
+ * Profiling probe surface (the SystemTap stand-in). All callbacks
+ * are no-ops by default.
+ */
+class ServiceProbe
+{
+  public:
+    virtual ~ServiceProbe() = default;
+
+    virtual void
+    onSyscall(const os::Thread &t, SysKind kind, std::uint64_t bytes)
+    {
+        (void)t;
+        (void)kind;
+        (void)bytes;
+    }
+
+    virtual void
+    onCallEnter(const os::Thread &t, const std::string &label)
+    {
+        (void)t;
+        (void)label;
+    }
+
+    virtual void
+    onCallExit(const os::Thread &t, const std::string &label)
+    {
+        (void)t;
+        (void)label;
+    }
+
+    virtual void
+    onThreadStart(const os::Thread &t, ThreadRole role)
+    {
+        (void)t;
+        (void)role;
+    }
+
+    virtual void
+    onRpcIssued(const os::Thread &t, std::uint32_t target,
+                std::uint32_t endpoint, std::uint32_t reqBytes,
+                std::uint32_t respBytes)
+    {
+        (void)t;
+        (void)target;
+        (void)endpoint;
+        (void)reqBytes;
+        (void)respBytes;
+    }
+
+    virtual void
+    onRequestDone(std::uint32_t endpoint, sim::Time latency)
+    {
+        (void)endpoint;
+        (void)latency;
+    }
+
+    /** File I/O with resolved offset (pread/pwrite argument probe). */
+    virtual void
+    onFileAccess(const os::Thread &t, std::uint64_t offset,
+                 std::uint64_t bytes, bool write)
+    {
+        (void)t;
+        (void)offset;
+        (void)bytes;
+        (void)write;
+    }
+};
+
+/** Aggregated runtime metrics of a service instance. */
+struct ServiceStats
+{
+    hw::ExecStats exec;
+    stats::LatencyHistogram latency;  //!< service-side request latency
+    std::uint64_t requests = 0;
+    std::uint64_t rxBytes = 0;
+    std::uint64_t txBytes = 0;
+    std::uint64_t diskReadBytes = 0;
+    std::uint64_t diskWriteBytes = 0;
+    sim::Time measureStart = 0;
+
+    void reset(sim::Time now);
+
+    /** Requests per second over the window ending at `now`. */
+    double qps(sim::Time now) const;
+
+    /** Network bytes/sec (rx+tx) over the window ending at `now`. */
+    double netBandwidth(sim::Time now) const;
+
+    /** Disk bytes/sec over the window ending at `now`. */
+    double diskBandwidth(sim::Time now) const;
+};
+
+/**
+ * The op-program interpreter. Owns a frame stack; resumable after
+ * blocking syscalls and budget exhaustion.
+ */
+class ProgramRunner
+{
+  public:
+    enum class Status : std::uint8_t
+    {
+        Done,
+        Blocked,
+        Budget,
+    };
+
+    void start(const Program *prog);
+    bool active() const { return !stack_.empty(); }
+    void abort() { stack_.clear(); }
+
+    Status run(os::StepCtx &ctx, Worker &worker);
+
+  private:
+    struct Frame
+    {
+        const Program *prog = nullptr;
+        std::size_t pc = 0;
+        int phase = 0;
+        std::uint64_t aux = 0;
+        const std::string *callLabel = nullptr;
+    };
+
+    std::vector<Frame> stack_;
+
+    Status execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
+                  const Op &op);
+};
+
+/**
+ * One running copy of a service on one machine.
+ */
+class ServiceInstance
+{
+  public:
+    ServiceInstance(const ServiceSpec &spec, os::Machine &machine,
+                    os::Network &network, trace::Tracer *tracer,
+                    std::uint64_t seed);
+    ~ServiceInstance();
+
+    ServiceInstance(const ServiceInstance &) = delete;
+    ServiceInstance &operator=(const ServiceInstance &) = delete;
+
+    const ServiceSpec &spec() const { return spec_; }
+    const std::string &name() const { return spec_.name; }
+    os::Machine &machine() { return machine_; }
+    os::Network &network() { return network_; }
+    trace::Tracer *tracer() { return tracer_; }
+    const hw::CodeImage &image() const { return *image_; }
+
+    /**
+     * Resolve downstream services and open per-worker connections.
+     * Must be called once after all services are constructed.
+     */
+    void wire(const std::map<std::string, ServiceInstance *> &registry);
+
+    /**
+     * Open a new inbound connection; returns the server-side socket
+     * (the caller connects it to its own endpoint).
+     */
+    os::Socket *openConnection();
+
+    ServiceStats &stats() { return stats_; }
+
+    /** Reset measurement counters (start of a measured window). */
+    void beginMeasure();
+
+    void setProbe(ServiceProbe *probe) { probe_ = probe; }
+    ServiceProbe *probe() const { return probe_; }
+
+    // ---- runtime internals used by Worker --------------------------------
+
+    struct LockState
+    {
+        bool held = false;
+        os::WaitQueue *queue = nullptr;
+    };
+
+    LockState &lock(std::uint32_t ref) { return locks_[ref]; }
+    std::uint32_t fileId(std::uint32_t ref) const
+    {
+        return fileIds_[ref];
+    }
+    std::uint64_t fileSize(std::uint32_t ref) const;
+    ServiceInstance *downstream(std::uint32_t idx)
+    {
+        return downstreams_[idx];
+    }
+
+    std::uint64_t nextTag() { return nextTag_++; }
+
+    sim::Rng &rng() { return rng_; }
+
+  private:
+    friend class Worker;
+
+    const ServiceSpec spec_;
+    os::Machine &machine_;
+    os::Network &network_;
+    trace::Tracer *tracer_;
+    std::unique_ptr<hw::CodeImage> image_;
+    ServiceStats stats_;
+    ServiceProbe *probe_ = nullptr;
+    sim::Rng rng_;
+
+    std::vector<Worker *> workers_;       //!< owned by the scheduler
+    std::vector<std::uint32_t> fileIds_;
+    std::vector<LockState> locks_;
+    std::vector<ServiceInstance *> downstreams_;
+    unsigned nextWorkerForConn_ = 0;
+    unsigned nextThreadSlot_ = 0;
+    std::uint64_t nextTag_ = 1;
+    bool wired_ = false;
+
+    Worker *spawnWorker(ThreadRole role, const std::string &name,
+                        const Program *background, sim::Time period);
+    void openDownstreamConns(Worker &w);
+};
+
+/**
+ * A service thread: epoll worker, per-connection handler, or
+ * background timer thread; also the execution context handed to the
+ * ProgramRunner.
+ */
+class Worker : public os::Thread
+{
+  public:
+    Worker(ServiceInstance &service, ThreadRole role, std::string name,
+           unsigned threadSlot, const Program *background,
+           sim::Time period, std::uint64_t seed);
+
+    os::StepResult step(os::StepCtx &ctx) override;
+
+    ThreadRole role() const { return role_; }
+    ServiceInstance &service() { return service_; }
+
+    /** Attach an inbound connection socket. */
+    void addConnection(os::Socket *sock);
+
+    /** Downstream connection socket for RPC target `idx`. */
+    os::Socket *downConn(std::uint32_t idx) { return downConns_[idx]; }
+    void setDownConns(std::vector<os::Socket *> conns)
+    {
+        downConns_ = std::move(conns);
+    }
+
+    /** Current wall time including cycles consumed this slice. */
+    sim::Time now(const os::StepCtx &ctx) const;
+
+    // ---- hooks used by ProgramRunner -------------------------------------
+    void probeSyscall(SysKind kind, std::uint64_t bytes);
+    void accountDiskRead(std::uint64_t bytes);
+    void accountDiskWrite(std::uint64_t bytes);
+
+    struct CurrentRequest
+    {
+        os::Socket *sock = nullptr;
+        os::Message msg;
+        sim::Time start = 0;
+        std::uint64_t serverSpan = 0;
+        bool active = false;
+    };
+
+    CurrentRequest &currentRequest() { return req_; }
+
+  private:
+    ServiceInstance &service_;
+    ThreadRole role_;
+    const Program *background_;
+    sim::Time period_;
+    ProgramRunner runner_;
+    std::deque<os::Socket *> readyList_;
+    std::vector<os::Socket *> conns_;       //!< inbound connections
+    std::vector<os::Socket *> downConns_;   //!< outbound RPC conns
+    os::Epoll *epoll_ = nullptr;
+    CurrentRequest req_;
+    bool started_ = false;
+    int bgPhase_ = 0;
+    unsigned pollCursor_ = 0;
+
+    os::StepResult stepServer(os::StepCtx &ctx);
+    os::StepResult stepBackground(os::StepCtx &ctx);
+    bool fetchNextRequest(os::StepCtx &ctx, bool &blocked);
+    void beginRequest(os::StepCtx &ctx, os::Socket *sock,
+                      os::Message msg);
+    void finishRequest(os::StepCtx &ctx);
+};
+
+} // namespace ditto::app
+
+#endif // DITTO_APP_SERVICE_H_

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The "original" applications of the evaluation (Sec. 6.1.2):
+ * Memcached, NGINX, MongoDB, Redis, and the Social Network
+ * microservice topology (with TextService and SocialGraphService as
+ * the tiers reported in the figures).
+ *
+ * These are hand-authored models with rich internal structure --
+ * instruction-level code blocks, realistic working sets, syscall and
+ * RPC behaviour -- that Ditto profiles as opaque binaries. Nothing in
+ * src/core may look at these specs; clones are built purely from
+ * profiles.
+ */
+
+#ifndef DITTO_APPS_CATALOG_H_
+#define DITTO_APPS_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "app/deployment.h"
+#include "app/program.h"
+#include "workload/loadgen.h"
+
+namespace ditto::apps {
+
+/** Memcached 1.6.9-like KVS: 4 workers, 10K x 4KB items, epoll. */
+app::ServiceSpec memcachedSpec();
+
+/** NGINX 1.20-like web server: 1 worker, static content, epoll. */
+app::ServiceSpec nginxSpec();
+
+/** MongoDB 4.4-like document store: thread-per-conn, 40GB dataset. */
+app::ServiceSpec mongodbSpec();
+
+/** Redis 6.2-like single-threaded store, persistence disabled. */
+app::ServiceSpec redisSpec();
+
+/** Load definition bundled with each application. */
+struct AppLoad
+{
+    bool openLoop = true;
+    unsigned connections = 8;
+    double lowQps = 0;
+    double mediumQps = 0;
+    double highQps = 0;
+    std::vector<workload::EndpointLoad> endpoints;
+
+    workload::LoadSpec
+    at(double qps) const
+    {
+        workload::LoadSpec spec;
+        spec.qps = qps;
+        spec.connections = connections;
+        spec.openLoop = openLoop;
+        spec.endpoints = endpoints;
+        return spec;
+    }
+};
+
+/** Per-application load levels used in the Fig. 5 sweeps. */
+AppLoad memcachedLoad();
+AppLoad nginxLoad();
+AppLoad mongodbLoad();
+AppLoad redisLoad();
+AppLoad socialNetworkLoad();
+
+/**
+ * Deploy the Social Network topology (DeathStarBench-style) onto a
+ * machine (single-node) and return the frontend instance. Deploys
+ * all tiers; call dep.wireAll() afterwards.
+ */
+app::ServiceInstance &deploySocialNetwork(app::Deployment &dep,
+                                          os::Machine &machine);
+
+/** Tier specs of the Social Network, in dependency order. */
+std::vector<app::ServiceSpec> socialNetworkSpecs();
+
+/** Name of the Social Network's entry tier. */
+std::string socialNetworkFrontend();
+
+} // namespace ditto::apps
+
+#endif // DITTO_APPS_CATALOG_H_

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * The four single-tier "original" applications: Memcached, NGINX,
+ * MongoDB, Redis (Sec. 6.1.2 configurations).
+ */
+
+#include "apps/catalog.h"
+
+#include "hw/block_builder.h"
+
+namespace ditto::apps {
+
+namespace {
+
+using hw::BlockSpec;
+using hw::MixWeights;
+using hw::StreamKind;
+using hw::StreamSpec;
+
+/**
+ * Handler work multiplier: scales loop iteration counts so service
+ * times land in a realistic range (tens of microseconds) and the
+ * Fig. 5 load levels actually approach saturation.
+ */
+constexpr std::uint64_t W = 28;
+
+/** MongoDB stays disk-bound: its CPU path scales less. */
+constexpr std::uint64_t WM = 7;
+
+hw::CodeBlock
+block(const std::string &label, unsigned insts, MixWeights mix,
+      std::vector<StreamSpec> streams, double memFrac,
+      double branchFrac, std::vector<hw::BranchDesc> branches,
+      double depTight, std::uint64_t seed)
+{
+    BlockSpec spec;
+    spec.label = label;
+    spec.instCount = insts;
+    spec.mix = mix;
+    spec.streams = std::move(streams);
+    spec.memFraction = memFrac;
+    spec.branchFraction = branchFrac;
+    spec.branchKinds = std::move(branches);
+    spec.depTightness = depTight;
+    spec.seed = seed;
+    return hw::buildBlock(spec);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Memcached: in-memory KVS. Four epoll workers share the hash table
+// and the slab-allocated values; GETs stream a 4KB value back.
+// ---------------------------------------------------------------------------
+
+app::ServiceSpec
+memcachedSpec()
+{
+    app::ServiceSpec spec;
+    spec.name = "memcached";
+    spec.serverModel = app::ServerModel::IoMultiplex;
+    spec.clientModel = app::ClientModel::Sync;
+    spec.threads.workers = 4;
+    spec.locks = 1;  // LRU/slab maintenance lock
+
+    // 10K items x (30B key + 4KB value) ~ 40MB of values plus the
+    // bucket array and slab metadata.
+    enum { kParse, kHash, kLookup, kValue, kStoreVal, kResp };
+    spec.blocks.push_back(block(
+        "memcached.parse", 260, MixWeights::parserCode(),
+        {{8192, StreamKind::Sequential, false, 1.0}},
+        0.22, 0.20, {{2, 3}, {3, 4}, {1, 2}}, 0.45, 11));
+    spec.blocks.push_back(block(
+        "memcached.hash", 110, MixWeights::hashCode(),
+        {{2048, StreamKind::Sequential, false, 1.0}},
+        0.18, 0.08, {{3, 4}}, 0.55, 12));
+    spec.blocks.push_back(block(
+        "memcached.lookup", 96, MixWeights::serverCode(),
+        {{4u << 20, StreamKind::PointerChase, true, 0.7},
+         {64u << 10, StreamKind::Random, true, 0.3}},
+        0.30, 0.14, {{2, 3}, {4, 4}, {1, 2}}, 0.50, 13));
+    spec.blocks.push_back(block(
+        "memcached.value", 64, MixWeights::serverCode(),
+        {{40u << 20, StreamKind::Random, true, 0.55},
+         {16u << 10, StreamKind::Sequential, false, 0.45}},
+        0.55, 0.05, {{2, 4}}, 0.30, 14));
+    spec.blocks.push_back(block(
+        "memcached.store_value", 72, MixWeights::serverCode(),
+        {{40u << 20, StreamKind::Random, true, 0.6},
+         {16u << 10, StreamKind::Sequential, false, 0.4}},
+        0.60, 0.05, {{2, 4}}, 0.30, 15));
+    spec.blocks.push_back(block(
+        "memcached.respond", 180, MixWeights::serverCode(),
+        {{8192, StreamKind::Sequential, false, 1.0}},
+        0.25, 0.12, {{2, 3}, {3, 4}}, 0.40, 16));
+
+    // GET: parse -> hash -> bucket walk -> value copy -> respond.
+    app::EndpointSpec get;
+    get.name = "get";
+    get.responseBytesMin = 4096;
+    get.responseBytesMax = 4160;
+    get.handler.ops = {
+        app::opCall("parse", {{app::opCompute(kParse, 2 * W, 3 * W)}}),
+        app::opCall("hash", {{app::opCompute(kHash, 3 * W, 4 * W)}}),
+        app::opCall("assoc_find",
+                    {{app::opCompute(kLookup, 4 * W, 9 * W)}}),
+        app::opCall("value_copy",
+                    {{app::opCompute(kValue, 8 * W, 12 * W)}}),
+        app::opCall("respond", {{app::opCompute(kResp, 2 * W, 3 * W)}}),
+    };
+    spec.endpoints.push_back(std::move(get));
+
+    // SET: parse -> hash -> bucket walk -> LRU lock -> store.
+    app::EndpointSpec set;
+    set.name = "set";
+    set.responseBytesMin = set.responseBytesMax = 48;
+    set.handler.ops = {
+        app::opCall("parse", {{app::opCompute(kParse, 2 * W, 3 * W)}}),
+        app::opCall("hash", {{app::opCompute(kHash, 3 * W, 4 * W)}}),
+        app::opCall("assoc_find",
+                    {{app::opCompute(kLookup, 4 * W, 9 * W)}}),
+        app::opLock(0),
+        app::opCall("item_store",
+                    {{app::opCompute(kStoreVal, 8 * W, 12 * W)}}),
+        app::opUnlock(0),
+        app::opCall("respond", {{app::opCompute(kResp, 1 * W, 2 * W)}}),
+    };
+    spec.endpoints.push_back(std::move(set));
+
+    // LRU crawler: periodic background sweep over the value slabs.
+    app::BackgroundSpec crawler;
+    crawler.name = "lru_crawler";
+    crawler.period = sim::milliseconds(50);
+    crawler.body.ops = {app::opCompute(kValue, 24 * W, 32 * W)};
+    spec.background.push_back(std::move(crawler));
+    return spec;
+}
+
+AppLoad
+memcachedLoad()
+{
+    AppLoad load;
+    load.openLoop = true;  // mutated, open loop
+    load.connections = 16;
+    load.lowQps = 4000;
+    load.mediumQps = 14000;
+    load.highQps = 26000;
+    load.endpoints = {
+        {0, 0.9, 56, 72},        // GET: key-sized request
+        {1, 0.1, 4128, 4224},    // SET: key+value
+    };
+    return load;
+}
+
+// ---------------------------------------------------------------------------
+// NGINX: single-worker web server; branchy HTTP parsing over a large
+// text footprint, static files served from the page cache.
+// ---------------------------------------------------------------------------
+
+app::ServiceSpec
+nginxSpec()
+{
+    app::ServiceSpec spec;
+    spec.name = "nginx";
+    spec.serverModel = app::ServerModel::IoMultiplex;
+    spec.threads.workers = 1;
+
+    // Static content set, fully page-cache resident after warmup.
+    spec.fileBytes = {96ull << 20};
+    spec.filePrewarmFraction = 1.0;
+
+    enum { kParse1, kParse2, kRoute, kHeaders, kCopy, kLog };
+    spec.blocks.push_back(block(
+        "nginx.parse_request", 1100, MixWeights::parserCode(),
+        {{16u << 10, StreamKind::Sequential, false, 1.0}},
+        0.24, 0.22, {{2, 2}, {3, 3}, {1, 2}}, 0.50, 21));
+    spec.blocks.push_back(block(
+        "nginx.parse_headers", 900, MixWeights::parserCode(),
+        {{16u << 10, StreamKind::Sequential, false, 1.0}},
+        0.22, 0.24, {{2, 2}, {3, 3}, {4, 4}}, 0.50, 22));
+    spec.blocks.push_back(block(
+        "nginx.route", 480, MixWeights::serverCode(),
+        {{256u << 10, StreamKind::Random, false, 1.0}},
+        0.28, 0.16, {{2, 3}, {4, 4}}, 0.45, 23));
+    spec.blocks.push_back(block(
+        "nginx.build_headers", 420, MixWeights::serverCode(),
+        {{32u << 10, StreamKind::Sequential, false, 1.0}},
+        0.30, 0.12, {{1, 2}}, 0.40, 24));
+    spec.blocks.push_back(block(
+        "nginx.body_copy", 48, MixWeights::serverCode(),
+        {{1u << 20, StreamKind::Sequential, false, 1.0}},
+        0.62, 0.04, {{2, 4}}, 0.25, 25));
+    spec.blocks.push_back(block(
+        "nginx.access_log", 220, MixWeights::serverCode(),
+        {{8u << 10, StreamKind::Sequential, false, 1.0}},
+        0.26, 0.10, {{2, 3}}, 0.40, 26));
+
+    app::EndpointSpec get;
+    get.name = "http_get";
+    get.responseBytesMin = 1024;
+    get.responseBytesMax = 16384;
+    get.handler.ops = {
+        app::opCall("http_parse",
+                    {{app::opCompute(kParse1, 1 * W, 2 * W),
+                      app::opCompute(kParse2, 1 * W, 2 * W)}}),
+        app::opCall("route", {{app::opCompute(kRoute, 1 * W, 2 * W)}}),
+        app::opCall("serve_static",
+                    {{app::opFileRead(0, 1024, 16384),
+                      app::opCompute(kCopy, 4 * W, 16 * W)}}),
+        app::opCall("headers",
+                    {{app::opCompute(kHeaders, 1 * W, 2 * W)}}),
+        app::opCall("log", {{app::opCompute(kLog, W / 2, W)}}),
+    };
+    spec.endpoints.push_back(std::move(get));
+    return spec;
+}
+
+AppLoad
+nginxLoad()
+{
+    AppLoad load;
+    load.openLoop = true;  // tcpkali, open loop
+    load.connections = 12;
+    load.lowQps = 1500;
+    load.mediumQps = 6000;
+    load.highQps = 12500;
+    load.endpoints = {{0, 1.0, 180, 420}};  // HTTP GET requests
+    return load;
+}
+
+// ---------------------------------------------------------------------------
+// MongoDB: document store, thread per connection, 40GB dataset read
+// uniformly (YCSB C) -- page-cache misses make it disk-bound.
+// ---------------------------------------------------------------------------
+
+app::ServiceSpec
+mongodbSpec()
+{
+    app::ServiceSpec spec;
+    spec.name = "mongodb";
+    spec.serverModel = app::ServerModel::BlockingPerConn;
+    spec.clientModel = app::ClientModel::Sync;
+    spec.threads.threadPerConnection = true;
+    spec.locks = 1;
+
+    // 40GB collection + index files.
+    spec.fileBytes = {40ull << 30};
+    spec.filePrewarmFraction = 0.0;
+
+    enum { kParse, kPlan, kIndex, kDecode, kSerialize };
+    spec.blocks.push_back(block(
+        "mongodb.parse_bson", 520, MixWeights::parserCode(),
+        {{32u << 10, StreamKind::Sequential, false, 1.0}},
+        0.26, 0.18, {{2, 3}, {3, 3}}, 0.50, 31));
+    spec.blocks.push_back(block(
+        "mongodb.query_plan", 700, MixWeights::serverCode(),
+        {{512u << 10, StreamKind::Random, false, 1.0}},
+        0.24, 0.16, {{3, 4}, {4, 4}}, 0.45, 32));
+    spec.blocks.push_back(block(
+        "mongodb.index_walk", 140, MixWeights::serverCode(),
+        {{16u << 20, StreamKind::PointerChase, true, 0.8},
+         {128u << 10, StreamKind::Random, true, 0.2}},
+        0.34, 0.14, {{2, 3}, {4, 4}}, 0.55, 33));
+    spec.blocks.push_back(block(
+        "mongodb.doc_decode", 380, MixWeights::serverCode(),
+        {{1u << 20, StreamKind::Sequential, false, 1.0}},
+        0.38, 0.10, {{2, 3}}, 0.40, 34));
+    spec.blocks.push_back(block(
+        "mongodb.serialize", 460, MixWeights::serverCode(),
+        {{256u << 10, StreamKind::Sequential, false, 1.0}},
+        0.32, 0.12, {{1, 2}, {2, 3}}, 0.40, 35));
+
+    app::EndpointSpec find;
+    find.name = "find";
+    find.responseBytesMin = 2048;
+    find.responseBytesMax = 8192;
+    find.handler.ops = {
+        app::opCall("parse", {{app::opCompute(kParse, WM, 2 * WM)}}),
+        app::opCall("plan", {{app::opCompute(kPlan, WM / 2, WM)}}),
+        app::opCall("index",
+                    {{app::opCompute(kIndex, 5 * WM, 9 * WM)}}),
+        app::opCall("fetch_index", {{app::opFileRead(0, 4096, 8192)}}),
+        app::opCall("fetch_doc",
+                    {{app::opFileRead(0, 24576, 65536)}}),
+        app::opCall("decode",
+                    {{app::opCompute(kDecode, 2 * WM, 4 * WM)}}),
+        app::opCall("reply",
+                    {{app::opCompute(kSerialize, WM, 2 * WM)}}),
+    };
+    spec.endpoints.push_back(std::move(find));
+
+    // Checkpointer flushing dirty pages periodically.
+    app::BackgroundSpec checkpoint;
+    checkpoint.name = "checkpointer";
+    checkpoint.period = sim::milliseconds(200);
+    checkpoint.body.ops = {
+        app::opCompute(kDecode, 8 * WM, 16 * WM),
+        app::opFileWrite(0, 16384, 65536),
+    };
+    spec.background.push_back(std::move(checkpoint));
+    return spec;
+}
+
+AppLoad
+mongodbLoad()
+{
+    AppLoad load;
+    load.openLoop = false;  // YCSB, closed loop
+    load.connections = 32;
+    load.lowQps = 500;
+    load.mediumQps = 1800;
+    load.highQps = 3600;
+    load.endpoints = {{0, 1.0, 220, 360}};  // uniform reads
+    return load;
+}
+
+// ---------------------------------------------------------------------------
+// Redis: single-threaded in-memory store, persistence disabled.
+// ---------------------------------------------------------------------------
+
+app::ServiceSpec
+redisSpec()
+{
+    app::ServiceSpec spec;
+    spec.name = "redis";
+    spec.serverModel = app::ServerModel::IoMultiplex;
+    spec.threads.workers = 1;  // famously single-threaded
+
+    enum { kParse, kDict, kValue, kStoreVal, kResp };
+    spec.blocks.push_back(block(
+        "redis.parse_resp", 300, MixWeights::parserCode(),
+        {{8u << 10, StreamKind::Sequential, false, 1.0}},
+        0.24, 0.18, {{2, 2}, {3, 3}}, 0.50, 41));
+    spec.blocks.push_back(block(
+        "redis.dict_find", 120, MixWeights::hashCode(),
+        {{8u << 20, StreamKind::PointerChase, false, 0.75},
+         {128u << 10, StreamKind::Random, false, 0.25}},
+        0.32, 0.12, {{2, 3}, {3, 4}}, 0.55, 42));
+    spec.blocks.push_back(block(
+        "redis.value_read", 72, MixWeights::serverCode(),
+        {{12u << 20, StreamKind::Random, false, 0.6},
+         {16u << 10, StreamKind::Sequential, false, 0.4}},
+        0.52, 0.06, {{2, 4}}, 0.30, 43));
+    spec.blocks.push_back(block(
+        "redis.value_write", 84, MixWeights::serverCode(),
+        {{12u << 20, StreamKind::Random, false, 0.65},
+         {16u << 10, StreamKind::Sequential, false, 0.35}},
+        0.56, 0.06, {{2, 4}}, 0.30, 44));
+    spec.blocks.push_back(block(
+        "redis.reply", 160, MixWeights::serverCode(),
+        {{8u << 10, StreamKind::Sequential, false, 1.0}},
+        0.26, 0.12, {{1, 2}}, 0.40, 45));
+
+    app::EndpointSpec get;
+    get.name = "get";
+    get.responseBytesMin = 512;
+    get.responseBytesMax = 1536;
+    get.handler.ops = {
+        app::opCall("parse", {{app::opCompute(kParse, W, 2 * W)}}),
+        app::opCall("lookupKey", {{app::opCompute(kDict, 3 * W, 6 * W)}}),
+        app::opCall("getValue", {{app::opCompute(kValue, 4 * W, 8 * W)}}),
+        app::opCall("addReply", {{app::opCompute(kResp, W, 2 * W)}}),
+    };
+    spec.endpoints.push_back(std::move(get));
+
+    app::EndpointSpec set;
+    set.name = "set";
+    set.responseBytesMin = set.responseBytesMax = 32;
+    set.handler.ops = {
+        app::opCall("parse", {{app::opCompute(kParse, W, 2 * W)}}),
+        app::opCall("lookupKey", {{app::opCompute(kDict, 3 * W, 6 * W)}}),
+        app::opCall("setValue",
+                    {{app::opCompute(kStoreVal, 4 * W, 8 * W)}}),
+        app::opCall("addReply", {{app::opCompute(kResp, W / 2, W)}}),
+    };
+    spec.endpoints.push_back(std::move(set));
+
+    // Expiration cycle (activeExpireCycle-style timer task).
+    app::BackgroundSpec expire;
+    expire.name = "serverCron";
+    expire.period = sim::milliseconds(100);
+    expire.body.ops = {app::opCompute(kDict, 8 * W, 16 * W)};
+    spec.background.push_back(std::move(expire));
+    return spec;
+}
+
+AppLoad
+redisLoad()
+{
+    AppLoad load;
+    load.openLoop = false;  // YCSB, closed loop
+    load.connections = 8;
+    load.lowQps = 800;
+    load.mediumQps = 2400;
+    load.highQps = 4200;
+    load.endpoints = {
+        {0, 0.95, 48, 96},     // GET
+        {1, 0.05, 560, 1600},  // SET
+    };
+    return load;
+}
+
+} // namespace ditto::apps

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Social Network microservice topology (DeathStarBench-style,
+ * Sec. 6.1.2): an NGINX-like frontend fanning out to compose/read
+ * paths across ~10 tiers, including the TextService and
+ * SocialGraphService reported in Figs. 5, 7 and 8. The social graph
+ * is sized after socfb-Reed98 (962 users, 18.8K follow edges).
+ */
+
+#include "apps/catalog.h"
+
+#include "hw/block_builder.h"
+
+namespace ditto::apps {
+
+namespace {
+
+using hw::MixWeights;
+using hw::StreamKind;
+using hw::StreamSpec;
+
+/** Iteration multiplier (see single_tier.cc). */
+constexpr std::uint64_t W = 100;
+
+hw::CodeBlock
+snBlock(const std::string &label, unsigned insts, MixWeights mix,
+        std::vector<StreamSpec> streams, double memFrac,
+        double branchFrac, std::vector<hw::BranchDesc> branches,
+        std::uint64_t seed)
+{
+    hw::BlockSpec spec;
+    spec.label = label;
+    spec.instCount = insts;
+    spec.mix = mix;
+    spec.streams = std::move(streams);
+    spec.memFraction = memFrac;
+    spec.branchFraction = branchFrac;
+    spec.branchKinds = std::move(branches);
+    spec.depTightness = 0.45;
+    spec.seed = seed;
+    return hw::buildBlock(spec);
+}
+
+/** A small RPC-microservice shell: 2 epoll workers, sync client. */
+app::ServiceSpec
+tierShell(const std::string &name, unsigned workers = 2)
+{
+    app::ServiceSpec spec;
+    spec.name = name;
+    spec.serverModel = app::ServerModel::IoMultiplex;
+    spec.clientModel = app::ClientModel::Sync;
+    spec.threads.workers = workers;
+    return spec;
+}
+
+} // namespace
+
+std::vector<app::ServiceSpec>
+socialNetworkSpecs()
+{
+    std::vector<app::ServiceSpec> tiers;
+
+    // ---- leaf tiers ------------------------------------------------------
+
+    // TextService: scans post text for mentions/urls (branchy parse).
+    {
+        app::ServiceSpec t = tierShell("sn.text");
+        t.blocks.push_back(snBlock(
+            "sn.text.scan", 900, MixWeights::parserCode(),
+            {{24u << 10, StreamKind::Sequential, false, 1.0}},
+            0.24, 0.22, {{1, 1}, {1, 2}, {2, 2}}, 101));
+        t.blocks.push_back(snBlock(
+            "sn.text.compose", 420, MixWeights::serverCode(),
+            {{128u << 10, StreamKind::Random, false, 1.0}},
+            0.30, 0.14, {{2, 3}}, 102));
+        t.downstreams = {"sn.urlshorten", "sn.usermention"};
+        app::EndpointSpec process;
+        process.name = "process_text";
+        process.responseBytesMin = 256;
+        process.responseBytesMax = 1024;
+        process.handler.ops = {
+            app::opCall("scan", {{app::opCompute(0, 2 * W, 4 * W)}}),
+            app::opRpcFanout({{0, 0, 160, 200}, {1, 0, 140, 220}}),
+            app::opCall("compose", {{app::opCompute(1, 1 * W, 2 * W)}}),
+        };
+        t.endpoints.push_back(std::move(process));
+        tiers.push_back(std::move(t));
+    }
+
+    // UrlShortenService.
+    {
+        app::ServiceSpec t = tierShell("sn.urlshorten");
+        t.blocks.push_back(snBlock(
+            "sn.urlshorten.shorten", 380, MixWeights::hashCode(),
+            {{2u << 20, StreamKind::Random, true, 1.0}},
+            0.28, 0.12, {{2, 3}}, 111));
+        app::EndpointSpec ep;
+        ep.name = "shorten";
+        ep.responseBytesMin = ep.responseBytesMax = 96;
+        ep.handler.ops = {
+            app::opCall("shorten", {{app::opCompute(0, 1 * W, 3 * W)}}),
+        };
+        t.endpoints.push_back(std::move(ep));
+        tiers.push_back(std::move(t));
+    }
+
+    // UserMentionService.
+    {
+        app::ServiceSpec t = tierShell("sn.usermention");
+        t.blocks.push_back(snBlock(
+            "sn.usermention.find", 340, MixWeights::serverCode(),
+            {{4u << 20, StreamKind::Random, true, 1.0}},
+            0.30, 0.14, {{2, 2}, {3, 3}}, 121));
+        app::EndpointSpec ep;
+        ep.name = "find_mentions";
+        ep.responseBytesMin = ep.responseBytesMax = 128;
+        ep.handler.ops = {
+            app::opCall("find", {{app::opCompute(0, 1 * W, 3 * W)}}),
+        };
+        t.endpoints.push_back(std::move(ep));
+        tiers.push_back(std::move(t));
+    }
+
+    // UserService: credentials / user id lookups.
+    {
+        app::ServiceSpec t = tierShell("sn.user");
+        t.blocks.push_back(snBlock(
+            "sn.user.lookup", 300, MixWeights::hashCode(),
+            {{6u << 20, StreamKind::PointerChase, true, 0.7},
+             {64u << 10, StreamKind::Random, true, 0.3}},
+            0.30, 0.12, {{2, 3}}, 131));
+        app::EndpointSpec ep;
+        ep.name = "get_user";
+        ep.responseBytesMin = ep.responseBytesMax = 160;
+        ep.handler.ops = {
+            app::opCall("lookup", {{app::opCompute(0, 2 * W, 4 * W)}}),
+        };
+        t.endpoints.push_back(std::move(ep));
+        tiers.push_back(std::move(t));
+    }
+
+    // MediaService.
+    {
+        app::ServiceSpec t = tierShell("sn.media");
+        t.blocks.push_back(snBlock(
+            "sn.media.process", 520, MixWeights::numericCode(),
+            {{8u << 20, StreamKind::Sequential, false, 1.0}},
+            0.36, 0.08, {{2, 4}}, 141));
+        app::EndpointSpec ep;
+        ep.name = "get_media";
+        ep.responseBytesMin = 256;
+        ep.responseBytesMax = 2048;
+        ep.handler.ops = {
+            app::opCall("media", {{app::opCompute(0, 1 * W, 4 * W)}}),
+        };
+        t.endpoints.push_back(std::move(ep));
+        tiers.push_back(std::move(t));
+    }
+
+    // SocialGraphService: follower/followee adjacency (Reed98-sized:
+    // 962 users, 18.8K edges, plus a Redis-like cache in front).
+    {
+        app::ServiceSpec t = tierShell("sn.socialgraph");
+        t.locks = 1;
+        t.blocks.push_back(snBlock(
+            "sn.socialgraph.adj_walk", 220, MixWeights::serverCode(),
+            {{1u << 20, StreamKind::PointerChase, true, 0.65},
+             {512u << 10, StreamKind::Sequential, true, 0.35}},
+            0.34, 0.14, {{1, 2}, {3, 3}}, 151));
+        t.blocks.push_back(snBlock(
+            "sn.socialgraph.cache", 180, MixWeights::hashCode(),
+            {{8u << 20, StreamKind::Random, true, 1.0}},
+            0.32, 0.10, {{2, 3}}, 152));
+        app::EndpointSpec followers;
+        followers.name = "get_followers";
+        followers.responseBytesMin = 128;
+        followers.responseBytesMax = 2048;  // follower lists vary
+        followers.handler.ops = {
+            app::opCall("cache_get", {{app::opCompute(1, 1 * W, 2 * W)}}),
+            app::opCall("adjacency", {{app::opCompute(0, 2 * W, 8 * W)}}),
+        };
+        t.endpoints.push_back(std::move(followers));
+        tiers.push_back(std::move(t));
+    }
+
+    // PostStorageService: MongoDB-backed post store with cache.
+    {
+        app::ServiceSpec t = tierShell("sn.poststorage");
+        t.fileBytes = {8ull << 30};
+        t.filePrewarmFraction = 0.02;
+        t.blocks.push_back(snBlock(
+            "sn.poststorage.cache", 240, MixWeights::hashCode(),
+            {{24u << 20, StreamKind::Random, true, 1.0}},
+            0.36, 0.10, {{2, 3}}, 161));
+        t.blocks.push_back(snBlock(
+            "sn.poststorage.codec", 420, MixWeights::serverCode(),
+            {{512u << 10, StreamKind::Sequential, false, 1.0}},
+            0.30, 0.12, {{2, 3}}, 162));
+        app::EndpointSpec read;
+        read.name = "read_posts";
+        read.responseBytesMin = 1024;
+        read.responseBytesMax = 6144;
+        read.handler.ops = {
+            app::opCall("cache_get", {{app::opCompute(0, 2 * W, 4 * W)}}),
+            // ~8% of post reads miss the cache and hit storage.
+            app::opChoice({0.92, 0.08},
+                          {{}, {{app::opFileRead(0, 4096, 16384)}}}),
+            app::opCall("decode", {{app::opCompute(1, 1 * W, 3 * W)}}),
+        };
+        t.endpoints.push_back(std::move(read));
+        app::EndpointSpec store;
+        store.name = "store_post";
+        store.responseBytesMin = store.responseBytesMax = 64;
+        store.handler.ops = {
+            app::opCall("encode", {{app::opCompute(1, 1 * W, 3 * W)}}),
+            app::opCall("cache_put", {{app::opCompute(0, 2 * W, 3 * W)}}),
+            app::opChoice({0.7, 0.3},
+                          {{}, {{app::opFileWrite(0, 2048, 8192)}}}),
+        };
+        t.endpoints.push_back(std::move(store));
+        tiers.push_back(std::move(t));
+    }
+
+    // UserTimelineService.
+    {
+        app::ServiceSpec t = tierShell("sn.usertimeline");
+        t.downstreams = {"sn.poststorage"};
+        t.blocks.push_back(snBlock(
+            "sn.usertimeline.index", 280, MixWeights::serverCode(),
+            {{12u << 20, StreamKind::Random, true, 1.0}},
+            0.32, 0.12, {{2, 3}}, 171));
+        app::EndpointSpec read;
+        read.name = "read_timeline";
+        read.responseBytesMin = 1024;
+        read.responseBytesMax = 8192;
+        read.handler.ops = {
+            app::opCall("index_get", {{app::opCompute(0, 2 * W, 4 * W)}}),
+            app::opRpc(0, 0, 256, 4096),  // read_posts
+        };
+        t.endpoints.push_back(std::move(read));
+        app::EndpointSpec write;
+        write.name = "write_timeline";
+        write.responseBytesMin = write.responseBytesMax = 48;
+        write.handler.ops = {
+            app::opCall("index_put", {{app::opCompute(0, 2 * W, 4 * W)}}),
+        };
+        t.endpoints.push_back(std::move(write));
+        tiers.push_back(std::move(t));
+    }
+
+    // HomeTimelineService: fans out to the social graph on writes.
+    {
+        app::ServiceSpec t = tierShell("sn.hometimeline");
+        t.downstreams = {"sn.poststorage", "sn.socialgraph"};
+        t.blocks.push_back(snBlock(
+            "sn.hometimeline.cache", 300, MixWeights::hashCode(),
+            {{16u << 20, StreamKind::Random, true, 1.0}},
+            0.34, 0.10, {{2, 3}}, 181));
+        app::EndpointSpec read;
+        read.name = "read_home";
+        read.responseBytesMin = 1024;
+        read.responseBytesMax = 8192;
+        read.handler.ops = {
+            app::opCall("cache_get", {{app::opCompute(0, 2 * W, 5 * W)}}),
+            app::opRpc(0, 0, 256, 4096),  // read_posts
+        };
+        t.endpoints.push_back(std::move(read));
+        app::EndpointSpec write;
+        write.name = "write_home";
+        write.responseBytesMin = write.responseBytesMax = 48;
+        write.handler.ops = {
+            app::opRpc(1, 0, 128, 1024),  // get_followers
+            app::opCall("fanout_insert", {{app::opCompute(0, 4 * W, 10 * W)}}),
+        };
+        t.endpoints.push_back(std::move(write));
+        tiers.push_back(std::move(t));
+    }
+
+    // ComposePostService: orchestrates the write path (async fanout).
+    {
+        app::ServiceSpec t = tierShell("sn.compose");
+        t.clientModel = app::ClientModel::Async;
+        t.downstreams = {"sn.text", "sn.user", "sn.media",
+                         "sn.poststorage", "sn.usertimeline",
+                         "sn.hometimeline"};
+        t.blocks.push_back(snBlock(
+            "sn.compose.assemble", 460, MixWeights::serverCode(),
+            {{256u << 10, StreamKind::Sequential, false, 1.0}},
+            0.28, 0.14, {{1, 2}, {2, 3}}, 191));
+        app::EndpointSpec compose;
+        compose.name = "compose_post";
+        compose.responseBytesMin = compose.responseBytesMax = 128;
+        compose.handler.ops = {
+            // Parallel gather of the post's components.
+            app::opRpcFanout({{0, 0, 512, 640},    // text
+                              {1, 0, 96, 160},     // user
+                              {2, 0, 128, 1024}}), // media
+            app::opCall("assemble", {{app::opCompute(0, 1 * W, 3 * W)}}),
+            // Then persist and fan out to timelines.
+            app::opRpcFanout({{3, 1, 2048, 64},    // store_post
+                              {4, 1, 256, 48},     // write user tl
+                              {5, 1, 256, 48}}),   // write home tl
+        };
+        t.endpoints.push_back(std::move(compose));
+        tiers.push_back(std::move(t));
+    }
+
+    // Frontend (NGINX + php-fpm-ish shim).
+    {
+        app::ServiceSpec t = tierShell("sn.frontend", 2);
+        t.downstreams = {"sn.compose", "sn.hometimeline",
+                         "sn.usertimeline"};
+        t.blocks.push_back(snBlock(
+            "sn.frontend.http", 800, MixWeights::parserCode(),
+            {{24u << 10, StreamKind::Sequential, false, 1.0}},
+            0.24, 0.20, {{1, 1}, {2, 2}}, 201));
+        t.blocks.push_back(snBlock(
+            "sn.frontend.render", 380, MixWeights::serverCode(),
+            {{128u << 10, StreamKind::Sequential, false, 1.0}},
+            0.30, 0.12, {{2, 3}}, 202));
+
+        app::EndpointSpec compose;
+        compose.name = "wrk2-api/post/compose";
+        compose.responseBytesMin = compose.responseBytesMax = 256;
+        compose.handler.ops = {
+            app::opCall("http", {{app::opCompute(0, 1 * W, 2 * W)}}),
+            app::opRpc(0, 0, 1024, 128),
+            app::opCall("render", {{app::opCompute(1, 1 * W, 1 * W)}}),
+        };
+        t.endpoints.push_back(std::move(compose));
+
+        app::EndpointSpec readHome;
+        readHome.name = "wrk2-api/home-timeline/read";
+        readHome.responseBytesMin = 2048;
+        readHome.responseBytesMax = 10240;
+        readHome.handler.ops = {
+            app::opCall("http", {{app::opCompute(0, 1 * W, 2 * W)}}),
+            app::opRpc(1, 0, 256, 4096),
+            app::opCall("render", {{app::opCompute(1, 1 * W, 2 * W)}}),
+        };
+        t.endpoints.push_back(std::move(readHome));
+
+        app::EndpointSpec readUser;
+        readUser.name = "wrk2-api/user-timeline/read";
+        readUser.responseBytesMin = 2048;
+        readUser.responseBytesMax = 10240;
+        readUser.handler.ops = {
+            app::opCall("http", {{app::opCompute(0, 1 * W, 2 * W)}}),
+            app::opRpc(2, 0, 256, 4096),
+            app::opCall("render", {{app::opCompute(1, 1 * W, 2 * W)}}),
+        };
+        t.endpoints.push_back(std::move(readUser));
+        tiers.push_back(std::move(t));
+    }
+
+    return tiers;
+}
+
+std::string
+socialNetworkFrontend()
+{
+    return "sn.frontend";
+}
+
+app::ServiceInstance &
+deploySocialNetwork(app::Deployment &dep, os::Machine &machine)
+{
+    app::ServiceInstance *frontend = nullptr;
+    for (const app::ServiceSpec &tier : socialNetworkSpecs()) {
+        app::ServiceInstance &svc = dep.deploy(tier, machine);
+        if (tier.name == socialNetworkFrontend())
+            frontend = &svc;
+    }
+    return *frontend;
+}
+
+AppLoad
+socialNetworkLoad()
+{
+    AppLoad load;
+    load.openLoop = true;  // modified wrk2, open loop
+    load.connections = 16;
+    load.lowQps = 300;
+    load.mediumQps = 1000;
+    load.highQps = 2000;
+    load.endpoints = {
+        {1, 0.60, 160, 320},   // read home timeline
+        {2, 0.30, 160, 320},   // read user timeline
+        {0, 0.10, 640, 1280},  // compose post
+    };
+    return load;
+}
+
+} // namespace ditto::apps

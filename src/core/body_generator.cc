@@ -1,0 +1,637 @@
+#include "core/body_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "app/service.h"
+#include "core/inst_clusterer.h"
+#include "sim/distributions.h"
+#include "sim/rng.h"
+
+namespace ditto::core {
+
+namespace {
+
+using profile::kWsSizes;
+
+/** Largest single generated block (128KB of text). */
+constexpr std::uint64_t kMaxBlockInsts = 32768;
+
+/** Index of the 32KB working set (64 << 9). */
+constexpr std::size_t kTailIndex = 9;
+
+/** Registers reserved for loop counters / base addresses. */
+constexpr std::uint8_t kUsableGprs = 10;
+
+/** One planned synthetic block. */
+struct BlockPlan
+{
+    std::uint64_t insts = 0;        //!< static instructions
+    double itersPerRequest = 0;     //!< dynamic executions / insts
+    std::vector<std::pair<std::size_t, std::uint64_t>> streamSlots;
+    //!< (ws size index, memory slots per iteration)
+    std::uint64_t memSlotsPerIter = 0;
+};
+
+/** Sample a branch-descriptor bin from the profiled distribution. */
+hw::BranchDesc
+sampleBranch(const profile::BranchProfile &branch, sim::Rng &rng,
+             int expShift, bool useProfile)
+{
+    if (!useProfile) {
+        // Stage-D worst case: 50% taken, always transitioning.
+        return hw::BranchDesc{1, 1};
+    }
+    // Flatten the (M, N) bin matrix into an empirical distribution.
+    double total = 0;
+    for (unsigned m = 1; m <= profile::kBranchExpMax; ++m) {
+        for (unsigned n = 1; n <= profile::kBranchExpMax; ++n)
+            total += branch.bins[m][n];
+    }
+    if (total <= 0)
+        return hw::BranchDesc{2, 3};
+    double roll = rng.uniform() * total;
+    for (unsigned m = 1; m <= profile::kBranchExpMax; ++m) {
+        for (unsigned n = 1; n <= profile::kBranchExpMax; ++n) {
+            roll -= branch.bins[m][n];
+            if (roll <= 0) {
+                const auto shift = [&](unsigned e) {
+                    const int shifted = static_cast<int>(e) + expShift;
+                    return static_cast<std::uint8_t>(std::clamp(
+                        shifted, 1, 10));
+                };
+                return hw::BranchDesc{shift(m), shift(n)};
+            }
+        }
+    }
+    return hw::BranchDesc{2, 3};
+}
+
+/** Tracks recent register writes/reads for distance-based choice. */
+class RegAllocator
+{
+  public:
+    explicit RegAllocator(const profile::DepProfile &dep, bool enabled)
+        : dep_(dep), enabled_(enabled)
+    {
+        lastWrite_.assign(hw::kNumRegs, -1);
+        lastRead_.assign(hw::kNumRegs, -1);
+    }
+
+    /** Choose a source register targeting a sampled RAW distance. */
+    std::uint8_t
+    pickSrc(bool xmm, std::int64_t instIdx, sim::Rng &rng)
+    {
+        if (!enabled_) {
+            // Strongest dependencies: single serial chain.
+            return xmm ? hw::kXmmBase : 1;
+        }
+        const std::int64_t want =
+            instIdx - sampleDistance(dep_.raw, rng);
+        return closestWritten(xmm, want);
+    }
+
+    /** Choose a destination targeting sampled WAR/WAW distances. */
+    std::uint8_t
+    pickDst(bool xmm, std::int64_t instIdx, sim::Rng &rng)
+    {
+        std::uint8_t reg;
+        if (!enabled_) {
+            reg = xmm ? hw::kXmmBase : 1;
+        } else {
+            const std::int64_t wantWaw =
+                instIdx - sampleDistance(dep_.waw, rng);
+            reg = closestWritten(xmm, wantWaw);
+        }
+        return reg;
+    }
+
+    void
+    noteInst(const hw::Inst &inst, std::int64_t instIdx)
+    {
+        if (inst.src0 != hw::kNoReg)
+            lastRead_[inst.src0] = instIdx;
+        if (inst.src1 != hw::kNoReg)
+            lastRead_[inst.src1] = instIdx;
+        if (inst.dst != hw::kNoReg)
+            lastWrite_[inst.dst] = instIdx;
+    }
+
+  private:
+    const profile::DepProfile &dep_;
+    bool enabled_;
+    std::vector<std::int64_t> lastWrite_;
+    std::vector<std::int64_t> lastRead_;
+
+    static std::int64_t
+    sampleDistance(const std::array<double, profile::kDepBins> &hist,
+                   sim::Rng &rng)
+    {
+        double total = 0;
+        for (double w : hist)
+            total += w;
+        if (total <= 0)
+            return 4;
+        double roll = rng.uniform() * total;
+        for (std::size_t bin = 0; bin < hist.size(); ++bin) {
+            roll -= hist[bin];
+            if (roll <= 0)
+                return std::int64_t{1} << bin;
+        }
+        return 1 << (profile::kDepBins - 1);
+    }
+
+    std::uint8_t
+    closestWritten(bool xmm, std::int64_t wantIdx)
+    {
+        const std::uint8_t lo = xmm ? hw::kXmmBase : 0;
+        const std::uint8_t hi =
+            xmm ? hw::kXmmBase + hw::kNumXmms : kUsableGprs;
+        std::uint8_t best = lo;
+        std::int64_t bestErr = std::numeric_limits<std::int64_t>::max();
+        for (std::uint8_t r = lo; r < hi; ++r) {
+            const std::int64_t err =
+                std::abs(lastWrite_[r] - wantIdx);
+            if (err < bestErr) {
+                bestErr = err;
+                best = r;
+            }
+        }
+        return best;
+    }
+};
+
+} // namespace
+
+GenerationConfig
+GenerationConfig::stage(char stage)
+{
+    GenerationConfig cfg;
+    cfg.syscalls = stage >= 'B';
+    cfg.instCount = stage >= 'C';
+    cfg.instMix = stage >= 'D';
+    cfg.branchBehavior = stage >= 'E';
+    cfg.instMem = stage >= 'F';
+    cfg.dataMem = stage >= 'G';
+    cfg.dataDeps = stage >= 'H';
+    return cfg;
+}
+
+GeneratedBody
+generateBody(const profile::ServiceProfile &prof,
+             const GenerationConfig &cfg,
+             const std::string &labelPrefix)
+{
+    GeneratedBody body;
+    sim::Rng rng(cfg.seed ^ 0x9e3779b97f4a7c15ull);
+    const hw::Isa &isa = hw::Isa::instance();
+    const double requests = std::max(1.0, prof.requestsObserved);
+
+    // ---- total instruction budget per request --------------------------
+    const double totalInsts = cfg.instCount
+        ? prof.mix.instsPerRequest * cfg.instScale
+        : 0.0;
+
+    // ---- instruction working-set plan (Eq. 2) ---------------------------
+    std::array<double, kWsSizes> execBySize{};
+    if (totalInsts > 0) {
+        if (cfg.instMem) {
+            execBySize = prof.imem.executionsBySize();
+            double sum = 0;
+            for (std::size_t j = 0; j < kWsSizes; ++j) {
+                execBySize[j] /= requests;
+                if (j >= kTailIndex)
+                    execBySize[j] *= cfg.imemTailScale;
+                sum += execBySize[j];
+            }
+            if (sum > 0) {
+                for (double &e : execBySize)
+                    e *= totalInsts / sum;
+            } else {
+                execBySize[4] = totalInsts;  // 1KB fallback
+            }
+        } else {
+            // Stages C-E: a single small instruction footprint.
+            execBySize[2] = totalInsts;  // 256B
+        }
+    }
+
+    // ---- data working-set plan (Eq. 1) -----------------------------------
+    double memFraction = 0.0;
+    std::array<double, kWsSizes> accBySize{};
+    if (cfg.instMix && totalInsts > 0) {
+        memFraction =
+            std::clamp(prof.dmem.accessesPerInst, 0.0, 0.75);
+        if (cfg.dataMem) {
+            accBySize = prof.dmem.accessesBySize();
+            double sum = 0;
+            for (std::size_t i = 0; i < kWsSizes; ++i) {
+                accBySize[i] /= requests;
+                if (i >= kTailIndex)
+                    accBySize[i] *= cfg.dmemTailScale;
+                sum += accBySize[i];
+            }
+            const double totalMemOps = memFraction * totalInsts;
+            if (sum > 0) {
+                for (double &a : accBySize)
+                    a *= totalMemOps / sum;
+            } else {
+                accBySize[0] = totalMemOps;
+            }
+        } else {
+            // Stage D: every access in the smallest working set.
+            accBySize[0] = memFraction * totalInsts;
+        }
+    }
+
+    // ---- plan blocks -------------------------------------------------------
+    std::vector<BlockPlan> plans;
+    for (std::size_t j = 0; j < kWsSizes; ++j) {
+        if (execBySize[j] < 1.0)
+            continue;
+        const std::uint64_t footprintInsts = 16ull << j;  // Fj / 4B
+        const std::uint64_t pieces = std::max<std::uint64_t>(
+            1, footprintInsts / kMaxBlockInsts);
+        const std::uint64_t instsPerPiece =
+            std::min(footprintInsts, kMaxBlockInsts);
+        for (std::uint64_t piece = 0; piece < pieces; ++piece) {
+            BlockPlan plan;
+            plan.insts = instsPerPiece;
+            plan.itersPerRequest = execBySize[j] /
+                static_cast<double>(footprintInsts);
+            plan.memSlotsPerIter = static_cast<std::uint64_t>(
+                std::llround(static_cast<double>(plan.insts) *
+                             memFraction));
+            plans.push_back(plan);
+        }
+    }
+
+    // Assign data streams to blocks' memory slots, biggest working
+    // sets first, matching each A_d(2^i) access budget.
+    {
+        std::vector<std::uint64_t> freeSlots(plans.size());
+        for (std::size_t b = 0; b < plans.size(); ++b)
+            freeSlots[b] = plans[b].memSlotsPerIter;
+        for (std::size_t i = kWsSizes; i-- > 0;) {
+            double remaining = accBySize[i];
+            if (remaining < 0.5)
+                continue;
+            for (std::size_t b = 0; b < plans.size() && remaining > 0.5;
+                 ++b) {
+                if (freeSlots[b] == 0 ||
+                    plans[b].itersPerRequest <= 0)
+                    continue;
+                const double perSlot = std::max(
+                    plans[b].itersPerRequest, 1e-9);
+                auto slots = static_cast<std::uint64_t>(
+                    std::ceil(remaining / perSlot));
+                slots = std::min(slots, freeSlots[b]);
+                if (slots == 0)
+                    continue;
+                plans[b].streamSlots.push_back({i, slots});
+                freeSlots[b] -= slots;
+                remaining -= static_cast<double>(slots) * perSlot;
+            }
+        }
+        // Any slots left over fall back to the smallest working set.
+        for (std::size_t b = 0; b < plans.size(); ++b) {
+            if (freeSlots[b] > 0)
+                plans[b].streamSlots.push_back({0, freeSlots[b]});
+        }
+    }
+
+    // ---- plan pointer-chase placement --------------------------------
+    // Serialized (chased) misses come from walking *large* linked
+    // structures: assign the chase budget to the biggest working
+    // sets first, so the chaseFraction of miss latency actually
+    // serializes like the original's.
+    const double plannedChaseFraction = cfg.dataDeps
+        ? std::clamp(prof.dep.chaseFraction * cfg.chaseScale, 0.0,
+                     0.95)
+        : 0.0;
+    std::vector<std::vector<bool>> chaseMark(plans.size());
+    {
+        struct ChaseRef
+        {
+            std::size_t block;
+            std::size_t entry;
+            std::uint64_t wsBytes;
+            double accesses;
+        };
+        std::vector<ChaseRef> refs;
+        double totalAccesses = 0;
+        for (std::size_t b = 0; b < plans.size(); ++b) {
+            chaseMark[b].assign(plans[b].streamSlots.size(), false);
+            for (std::size_t k = 0; k < plans[b].streamSlots.size();
+                 ++k) {
+                const auto &[sizeIdx, slots] = plans[b].streamSlots[k];
+                const double accesses = static_cast<double>(slots) *
+                    plans[b].itersPerRequest;
+                refs.push_back({b, k, profile::wsBytes(sizeIdx),
+                                accesses});
+                totalAccesses += accesses;
+            }
+        }
+        std::sort(refs.begin(), refs.end(),
+                  [](const ChaseRef &a, const ChaseRef &b) {
+                      if (a.wsBytes != b.wsBytes)
+                          return a.wsBytes > b.wsBytes;
+                      return a.accesses > b.accesses;
+                  });
+        double budget = plannedChaseFraction * totalAccesses;
+        for (const ChaseRef &ref : refs) {
+            if (budget <= 0)
+                break;
+            if (budget >= ref.accesses * 0.95) {
+                chaseMark[ref.block][ref.entry] = true;
+                budget -= ref.accesses;
+                continue;
+            }
+            // Partially covered group: split its slots so the chase
+            // knob stays continuous (whole-group flips make the
+            // fine-tuner oscillate).
+            const double fraction = budget / ref.accesses;
+            auto &entry = plans[ref.block].streamSlots[ref.entry];
+            const auto chasedSlots = static_cast<std::uint64_t>(
+                std::llround(fraction *
+                             static_cast<double>(entry.second)));
+            if (chasedSlots >= 1) {
+                entry.second -= chasedSlots;
+                plans[ref.block].streamSlots.push_back(
+                    {entry.first, chasedSlots});
+                chaseMark[ref.block].push_back(true);
+            }
+            budget = 0;
+        }
+    }
+
+    // ---- synthesize instruction sequences --------------------------------
+    InstClusterer clusterer(prof.mix.counts);
+    const double branchFraction =
+        cfg.instMix ? prof.branch.branchFraction : 0.0;
+    const double storeFraction =
+        prof.dmem.storeFraction > 0 ? prof.dmem.storeFraction : 0.3;
+
+    for (std::size_t b = 0; b < plans.size(); ++b) {
+        const BlockPlan &plan = plans[b];
+        hw::CodeBlock block;
+        block.label =
+            labelPrefix + ".blk" + std::to_string(b);
+
+        // Streams: one per (size, kind) slot group.
+        // kind split: chase / sequential(regular) / random.
+        struct StreamRef
+        {
+            std::uint16_t streamIdx;
+            std::uint64_t slots;
+        };
+        std::vector<StreamRef> streamRefs;
+        for (std::size_t entry = 0; entry < plan.streamSlots.size();
+             ++entry) {
+            const auto &[sizeIdx, slots] = plan.streamSlots[entry];
+            const std::uint64_t wsBytes = profile::wsBytes(sizeIdx);
+            hw::MemStreamDesc desc;
+            desc.wsBytes = wsBytes;
+            // One pooled allocation per (size, sharing): the paper's
+            // single synthetic array -- blocks share working sets
+            // instead of inflating the union footprint.
+            desc.poolKey = 1;
+            if (chaseMark[b][entry]) {
+                desc.kind = hw::StreamKind::PointerChase;
+            } else if (rng.bernoulli(
+                           prof.dmem.regularFractionOf(sizeIdx))) {
+                desc.kind = hw::StreamKind::Sequential;
+            } else {
+                desc.kind = hw::StreamKind::Random;
+            }
+            // The H_d curve was measured across all threads, so big
+            // working sets must be a single shared allocation (the
+            // paper's generated code uses one array); per-thread
+            // copies of them would inflate the global footprint.
+            // Small streams split private/shared per the profiled
+            // access ratio, which drives coherence misses.
+            desc.shared = cfg.dataMem &&
+                (wsBytes >= (1u << 20) ||
+                 rng.bernoulli(prof.dmem.sharedFraction));
+            const auto idx =
+                static_cast<std::uint16_t>(block.streams.size());
+            block.streams.push_back(desc);
+            streamRefs.push_back({idx, slots});
+        }
+
+        // Memory-op schedule: spread slots across the block.
+        std::vector<std::uint16_t> memSchedule;
+        for (const StreamRef &ref : streamRefs) {
+            for (std::uint64_t s = 0; s < ref.slots; ++s)
+                memSchedule.push_back(ref.streamIdx);
+        }
+        // Shuffle deterministically so sizes interleave.
+        for (std::size_t s = memSchedule.size(); s > 1; --s) {
+            const std::size_t k = rng.uniformInt(s);
+            std::swap(memSchedule[s - 1], memSchedule[k]);
+        }
+
+        const std::uint64_t n = plan.insts;
+        const std::uint64_t memEvery = memSchedule.empty()
+            ? 0
+            : std::max<std::uint64_t>(1, n / memSchedule.size());
+        std::size_t memCursor = 0;
+        // Branch slots only compete for non-memory positions, so
+        // compensate the per-slot probability to hit the profiled
+        // overall branch fraction.
+        const double memShare = memSchedule.empty()
+            ? 0.0
+            : std::min(0.9, static_cast<double>(memSchedule.size()) /
+                           static_cast<double>(n));
+        const double branchProb =
+            std::min(0.9, branchFraction / (1.0 - memShare));
+
+        RegAllocator regs(prof.dep, cfg.dataDeps);
+        for (std::uint64_t idx = 0; idx < n; ++idx) {
+            hw::Inst inst;
+            const auto signedIdx = static_cast<std::int64_t>(idx);
+            const bool memSlot = memEvery > 0 &&
+                idx % memEvery == memEvery - 1 &&
+                memCursor < memSchedule.size();
+
+            if (memSlot) {
+                const bool store = rng.bernoulli(storeFraction);
+                inst.opcode = cfg.instMix
+                    ? clusterer.sample(store ? InstRole::Store
+                                             : InstRole::Load, rng)
+                    : isa.opcode(store ? "MOV_MEM64_GPR64"
+                                       : "MOV_GPR64_MEM64");
+                inst.memStream = memSchedule[memCursor++];
+                if (store) {
+                    inst.src0 = regs.pickSrc(false, signedIdx, rng);
+                } else {
+                    inst.src0 = regs.pickSrc(false, signedIdx, rng);
+                    inst.dst = regs.pickDst(false, signedIdx, rng);
+                }
+                const hw::InstInfo &info = isa.info(inst.opcode);
+                if (info.repPerElem) {
+                    inst.repBytes = static_cast<std::uint32_t>(
+                        std::max(16.0, prof.mix.avgRepBytes));
+                }
+            } else if (branchFraction > 0 &&
+                       rng.bernoulli(branchProb)) {
+                inst.opcode = rng.bernoulli(0.5)
+                    ? isa.opcode("JZ_RELBR")
+                    : isa.opcode("JNZ_RELBR");
+                inst.branch = static_cast<std::uint16_t>(
+                    block.branches.size());
+                block.branches.push_back(sampleBranch(
+                    prof.branch, rng, cfg.branchExpShift,
+                    cfg.branchBehavior));
+                inst.src0 = regs.pickSrc(false, signedIdx, rng);
+            } else if (cfg.instMix) {
+                inst.opcode = clusterer.sample(InstRole::Alu, rng);
+                const hw::InstInfo &info = isa.info(inst.opcode);
+                const bool xmm =
+                    info.operands == hw::OperandKind::Xmm;
+                inst.src0 = regs.pickSrc(xmm, signedIdx, rng);
+                if (rng.bernoulli(0.5))
+                    inst.src1 = regs.pickSrc(xmm, signedIdx, rng);
+                inst.dst = regs.pickDst(xmm, signedIdx, rng);
+            } else {
+                // Stage C: homogeneous serial add chain.
+                inst.opcode = isa.opcode("ADD_GPR64_GPR64");
+                inst.dst = 1;
+                inst.src0 = 1;
+            }
+            regs.noteInst(inst, signedIdx);
+            block.insts.push_back(inst);
+        }
+
+        const auto blockId =
+            static_cast<std::uint32_t>(body.blocks.size());
+        body.blocks.push_back(std::move(block));
+
+        // Emit the compute op for this block.
+        const double iters = plan.itersPerRequest;
+        app::Op op;
+        if (iters >= 1.0) {
+            const auto lo = static_cast<std::uint64_t>(
+                std::max(1.0, std::floor(iters * 0.75)));
+            const auto hi = static_cast<std::uint64_t>(
+                std::max<double>(static_cast<double>(lo),
+                                 std::ceil(iters * 1.25)));
+            op = app::opCompute(blockId, lo, hi);
+            body.handler.ops.push_back(app::opCall(
+                "blk" + std::to_string(b), {{op}}));
+        } else if (iters > 1e-6) {
+            // Fractional execution: run once with probability iters.
+            op = app::opCompute(blockId, 1, 1);
+            body.handler.ops.push_back(app::opChoice(
+                {iters, 1.0 - iters},
+                {{{app::opCall("blk" + std::to_string(b), {{op}})}},
+                 {}}));
+        }
+    }
+
+    // ---- syscalls (Sec. 4.4.1) -------------------------------------------
+    if (cfg.syscalls) {
+        const auto &kinds = prof.syscalls.perKind;
+        auto stat_of = [&](app::SysKind k) -> const profile::SyscallStat * {
+            const auto it = kinds.find(static_cast<int>(k));
+            return it != kinds.end() ? &it->second : nullptr;
+        };
+
+        body.fileBytes = prof.syscalls.fileSpanBytes;
+        if (const auto *pread = stat_of(app::SysKind::Pread);
+            pread && pread->countPerRequest > 0.01 &&
+            body.fileBytes > 0) {
+            // Page-cache residency: if the original's reads rarely
+            // reached the disk (iostat-visible), the clone's file must
+            // be cache-resident too; if every read missed, it must be
+            // cold. Infer the prewarm fraction from the ratio of
+            // physical to logical read bytes.
+            const double logicalBytes =
+                pread->countPerRequest * pread->avgBytes;
+            const double missRatio = logicalBytes > 0
+                ? std::clamp(prof.syscalls.diskReadBytesPerRequest /
+                                 logicalBytes,
+                             0.0, 1.0)
+                : 1.0;
+            body.filePrewarmFraction = 1.0 - missRatio;
+            const auto lo = static_cast<std::uint64_t>(
+                std::max(512.0, pread->avgBytes * 0.5));
+            const auto hi = static_cast<std::uint64_t>(
+                std::max(static_cast<double>(lo) + 1,
+                         pread->avgBytes * 1.5));
+            const double perReq = pread->countPerRequest;
+            const auto whole = static_cast<unsigned>(perReq);
+            const double frac = perReq - whole;
+            std::vector<app::Op> readOps;
+            for (unsigned k = 0; k < whole; ++k)
+                readOps.push_back(app::opFileRead(0, lo, hi));
+            if (frac > 0.01) {
+                readOps.push_back(app::opChoice(
+                    {frac, 1.0 - frac},
+                    {{{app::opFileRead(0, lo, hi)}}, {}}));
+            }
+            // Interleave the file reads among the compute ops.
+            std::vector<app::Op> merged;
+            const std::size_t computeOps = body.handler.ops.size();
+            std::size_t nextRead = 0;
+            for (std::size_t i = 0; i < computeOps; ++i) {
+                merged.push_back(body.handler.ops[i]);
+                const std::size_t due =
+                    (i + 1) * readOps.size() / (computeOps + 1);
+                while (nextRead < due)
+                    merged.push_back(readOps[nextRead++]);
+            }
+            while (nextRead < readOps.size())
+                merged.push_back(readOps[nextRead++]);
+            body.handler.ops = std::move(merged);
+        }
+
+        // Futex-visible locking. Observed futex waits measure
+        // *contention*, which is rare even in lock-heavy services
+        // (fast paths stay in user space); guarding every request
+        // with a long critical section would serialize the clone.
+        // Instead, a fraction of requests take the lock around a
+        // short critical section, scaled so the clone's futex rate
+        // lands near the original's under similar load.
+        const auto *fwait = stat_of(app::SysKind::FutexWait);
+        const auto *fwake = stat_of(app::SysKind::FutexWake);
+        const double futexPerReq =
+            (fwait ? fwait->countPerRequest : 0) +
+            (fwake ? fwake->countPerRequest : 0);
+        if (futexPerReq > 0.001 && !body.handler.ops.empty()) {
+            body.usesLock = true;
+            const double lockProb =
+                std::clamp(futexPerReq * 4.0, 0.02, 1.0);
+            app::Program critical;
+            critical.ops.push_back(app::opLock(0));
+            // Short hold: one iteration of the first (smallest)
+            // generated block, if any.
+            if (!body.blocks.empty())
+                critical.ops.push_back(app::opCompute(0, 1, 1));
+            critical.ops.push_back(app::opUnlock(0));
+            const std::size_t mid = body.handler.ops.size() / 2;
+            body.handler.ops.insert(
+                body.handler.ops.begin() +
+                    static_cast<std::ptrdiff_t>(mid),
+                app::opChoice({lockProb, 1.0 - lockProb},
+                              {critical, {}}));
+        }
+
+        // Background flush work (pwrite outside the request path).
+        if (const auto *pwrite = stat_of(app::SysKind::Pwrite);
+            pwrite && pwrite->countPerRequest > 0.001 &&
+            body.fileBytes > 0) {
+            const auto lo = static_cast<std::uint64_t>(
+                std::max(512.0, pwrite->avgBytes * 0.5));
+            const auto hi = static_cast<std::uint64_t>(
+                std::max(static_cast<double>(lo) + 1,
+                         pwrite->avgBytes * 1.5));
+            body.background.ops.push_back(
+                app::opFileWrite(0, lo, hi));
+        }
+    }
+
+    return body;
+}
+
+} // namespace ditto::core

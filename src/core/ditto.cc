@@ -1,0 +1,181 @@
+#include "core/ditto.h"
+
+#include "profile/perf_report.h"
+
+namespace ditto::core {
+
+workload::LoadSpec
+cloneLoadSpec(const workload::LoadSpec &original)
+{
+    workload::LoadSpec spec = original;
+    for (auto &ep : spec.endpoints)
+        ep.endpoint = 0;  // clones expose a single endpoint
+    return spec;
+}
+
+namespace {
+
+/** Deploy a candidate clone in a sandbox and measure its counters. */
+profile::PerfReport
+runCandidate(const app::ServiceSpec &spec,
+             const workload::LoadSpec &loadSpec,
+             const hw::PlatformSpec &platform, sim::Time warmup,
+             sim::Time window, std::uint64_t seed)
+{
+    app::Deployment sandbox(seed);
+    os::Machine &machine = sandbox.addMachine("tune", platform);
+    app::ServiceInstance &svc = sandbox.deploy(spec, machine);
+    sandbox.wireAll();
+    workload::LoadGen gen(sandbox, svc, loadSpec, seed ^ 0x7e57);
+    gen.start();
+    sandbox.runFor(warmup);
+    sandbox.beginMeasureAll();
+    gen.beginMeasure();
+    sandbox.runFor(window);
+    profile::PerfReport report = profile::snapshotService(svc);
+    profile::overrideLatency(report, gen.latency());
+    return report;
+}
+
+} // namespace
+
+CloneResult
+cloneService(app::Deployment &dep, app::ServiceInstance &svc,
+             const workload::LoadSpec &loadSpec,
+             const hw::PlatformSpec &platform, const CloneOptions &opts)
+{
+    CloneResult result;
+
+    // 1. Profile the running original.
+    result.profile = profile::profileService(dep, svc, opts.profiling);
+
+    // 2. Infer the skeleton from the probe observations.
+    result.skeleton = analyzeSkeleton(
+        result.profile.threads, opts.profiling.window,
+        loadSpec.connections, result.profile.asyncEvidence);
+
+    // 3. Generate, optionally fine-tuning against the reference
+    //    counters on a sandbox deployment.
+    const std::map<std::string, std::string> nameMap = {
+        {result.profile.serviceName,
+         result.profile.serviceName + opts.cloneSuffix}};
+    const std::vector<profile::EdgeProfile> noEdges;
+
+    result.config = opts.gen;
+    if (opts.fineTune) {
+        const workload::LoadSpec tuneLoad = cloneLoadSpec(loadSpec);
+        CloneRunner runner = [&](const GenerationConfig &cfg) {
+            const app::ServiceSpec candidate = generateClone(
+                result.profile, result.skeleton, noEdges, nameMap,
+                cfg);
+            return runCandidate(candidate, tuneLoad, platform,
+                                opts.tuneWarmup, opts.tuneWindow,
+                                dep.seed() ^ 0x745e5eedull);
+        };
+        result.tuning = fineTune(result.profile.reference, opts.gen,
+                                 runner, opts.maxTuneIterations,
+                                 opts.tuneTolerance);
+        result.config = result.tuning.config;
+    }
+
+    result.spec = generateClone(result.profile, result.skeleton,
+                                noEdges, nameMap, result.config);
+    return result;
+}
+
+TopologyCloneResult
+cloneTopology(app::Deployment &dep,
+              const std::vector<std::string> &tiers,
+              unsigned rootConnections, const CloneOptions &opts)
+{
+    TopologyCloneResult result;
+
+    // 1. Recover the DAG from the traces collected so far plus the
+    //    profiling windows below.
+    // 2. Profile each tier in turn while the whole topology runs.
+    std::map<std::string, std::string> nameMap;
+    for (const std::string &tier : tiers)
+        nameMap[tier] = tier + opts.cloneSuffix;
+
+    for (const std::string &tier : tiers) {
+        app::ServiceInstance *svc = dep.find(tier);
+        if (!svc)
+            continue;
+        CloneResult clone;
+        clone.profile =
+            profile::profileService(dep, *svc, opts.profiling);
+        clone.skeleton = analyzeSkeleton(
+            clone.profile.threads, opts.profiling.window,
+            rootConnections, clone.profile.asyncEvidence);
+        clone.config = opts.gen;
+
+        if (opts.fineTune) {
+            // Tune each tier in a sandbox against its in-situ
+            // reference counters, driven at the rate and request
+            // sizes it actually observed. The candidate omits
+            // downstream RPCs (they don't exist in the sandbox);
+            // the CPU counters the tuner matches are unaffected.
+            workload::LoadSpec tierLoad;
+            tierLoad.qps = clone.profile.requestsObserved /
+                sim::toSeconds(opts.profiling.window);
+            tierLoad.connections = std::min(16u, rootConnections);
+            tierLoad.openLoop = true;
+            const auto req = static_cast<std::uint32_t>(
+                std::max(32.0, clone.profile.avgRequestBytes));
+            tierLoad.endpoints = {{0, 1.0, req, req}};
+
+            const std::map<std::string, std::string> tierMap = {
+                {tier, tier + opts.cloneSuffix}};
+            CloneRunner runner =
+                [&](const GenerationConfig &cfg) {
+                    const app::ServiceSpec candidate = generateClone(
+                        clone.profile, clone.skeleton, {}, tierMap,
+                        cfg);
+                    return runCandidate(candidate, tierLoad,
+                                        svc->machine().spec(),
+                                        opts.tuneWarmup,
+                                        opts.tuneWindow,
+                                        dep.seed() ^ 0x7e57e4);
+                };
+            clone.tuning = fineTune(clone.profile.reference, opts.gen,
+                                    runner, opts.maxTuneIterations,
+                                    opts.tuneTolerance);
+            clone.config = clone.tuning.config;
+        }
+        result.perService.emplace(tier, std::move(clone));
+    }
+
+    result.topology = analyzeTopology(dep.tracer());
+
+    // 3. Generate clones in dependency order so downstream clones
+    //    exist before their callers are deployed.
+    for (const std::string &tier : result.topology.services) {
+        auto it = result.perService.find(tier);
+        if (it == result.perService.end())
+            continue;
+        CloneResult &clone = it->second;
+        clone.spec = generateClone(
+            clone.profile, clone.skeleton,
+            result.topology.outEdges(tier), nameMap, clone.config);
+        result.specs.push_back(clone.spec);
+    }
+    // Tiers never seen in traces (no spans) still need clones if
+    // requested; generate them without RPC edges.
+    for (const std::string &tier : tiers) {
+        auto it = result.perService.find(tier);
+        if (it == result.perService.end())
+            continue;
+        if (!result.topology.contains(tier)) {
+            CloneResult &clone = it->second;
+            clone.spec = generateClone(clone.profile, clone.skeleton,
+                                       {}, nameMap, clone.config);
+            result.specs.push_back(clone.spec);
+        }
+    }
+
+    if (!result.topology.root.empty())
+        result.rootClone = nameMap[result.topology.root];
+    return result;
+}
+
+} // namespace ditto::core

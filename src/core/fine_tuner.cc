@@ -1,0 +1,119 @@
+#include "core/fine_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ditto::core {
+
+namespace {
+
+/** Multiplicative update toward target/actual, damped and clamped. */
+double
+nudge(double knob, double target, double actual, double power,
+      double lo, double hi)
+{
+    if (actual <= 1e-12 || target <= 1e-12)
+        return knob;
+    const double ratio = std::pow(target / actual, power);
+    return std::clamp(knob * std::clamp(ratio, 0.5, 2.0), lo, hi);
+}
+
+} // namespace
+
+TuneResult
+fineTune(const profile::ReferenceCounters &target,
+         const GenerationConfig &initial, const CloneRunner &run,
+         unsigned maxIterations, double tolerance)
+{
+    TuneResult result;
+    result.config = initial;
+
+    for (unsigned iter = 0; iter < maxIterations; ++iter) {
+        const profile::PerfReport report = run(result.config);
+        ++result.iterations;
+
+        TuneStep step;
+        step.report = report;
+        step.ipcError = profile::relativeError(report.ipc, target.ipc);
+        step.instError = profile::relativeError(
+            report.instructionsPerRequest,
+            target.instructionsPerRequest);
+        const double l1iErr = profile::relativeError(
+            report.l1iMissRate, target.l1iMissRate);
+        const double l1dErr = profile::relativeError(
+            report.l1dMissRate, target.l1dMissRate);
+        const double brErr = profile::relativeError(
+            report.branchMispredictRate, target.branchMispredictRate);
+        step.maxError = std::max({step.ipcError, step.instError});
+        result.trace.push_back(step);
+        result.finalIpcError = step.ipcError;
+
+        if (step.ipcError < tolerance && step.instError < tolerance &&
+            brErr < 4 * tolerance) {
+            result.converged = true;
+            break;
+        }
+
+        GenerationConfig &cfg = result.config;
+
+        // Group 1: instruction volume.
+        cfg.instScale = nudge(cfg.instScale,
+                              target.instructionsPerRequest,
+                              report.instructionsPerRequest, 1.0,
+                              0.25, 4.0);
+
+        // Group 2: frontend (i-footprint tail + branch bias, tuned
+        // jointly -- both feed branch aliasing and L1i pressure).
+        if (l1iErr > tolerance) {
+            cfg.imemTailScale = nudge(cfg.imemTailScale,
+                                      target.l1iMissRate,
+                                      report.l1iMissRate, 0.7,
+                                      0.1, 8.0);
+        }
+        if (brErr > 2 * tolerance) {
+            if (report.branchMispredictRate <
+                target.branchMispredictRate) {
+                cfg.branchExpShift = std::max(cfg.branchExpShift - 1,
+                                              -4);
+            } else {
+                cfg.branchExpShift = std::min(cfg.branchExpShift + 1,
+                                              4);
+            }
+        }
+
+        // Group 3: data hierarchy tail.
+        if (l1dErr > tolerance) {
+            cfg.dmemTailScale = nudge(cfg.dmemTailScale,
+                                      target.l1dMissRate,
+                                      report.l1dMissRate, 0.7,
+                                      0.1, 8.0);
+        } else {
+            // L1d is fine: steer the outer levels with a gentler hand.
+            const double l2Err = profile::relativeError(
+                report.l2MissRate, target.l2MissRate);
+            if (l2Err > 2 * tolerance) {
+                cfg.dmemTailScale = nudge(cfg.dmemTailScale,
+                                          target.l2MissRate,
+                                          report.l2MissRate, 0.3,
+                                          0.1, 8.0);
+            }
+        }
+
+        // Group 4: MLP, as the residual IPC correction once the
+        // instruction volume is right. Serialization is the strongest
+        // remaining lever on backend stalls.
+        if (step.instError < 2 * tolerance &&
+            step.ipcError > tolerance) {
+            if (report.ipc > target.ipc) {
+                cfg.chaseScale =
+                    std::clamp(cfg.chaseScale * 1.5, 0.05, 10.0);
+            } else {
+                cfg.chaseScale =
+                    std::clamp(cfg.chaseScale * 0.65, 0.05, 10.0);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace ditto::core

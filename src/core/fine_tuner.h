@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fine tuning (Sec. 4.5): feedback-driven calibration of the
+ * generator knobs against the original's performance counters.
+ *
+ * Knobs are tuned in near-orthogonal groups, mirroring the paper's
+ * observation that knob/metric relationships are mostly linear:
+ *   - instScale        <- instructions per request
+ *   - imemTailScale +
+ *     branchExpShift   <- L1i miss rate + branch misprediction (the
+ *                         paper notes these must be tuned jointly)
+ *   - dmemTailScale    <- L1d/L2/LLC miss rates
+ *   - chaseScale       <- residual IPC error (MLP)
+ */
+
+#ifndef DITTO_CORE_FINE_TUNER_H_
+#define DITTO_CORE_FINE_TUNER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/body_generator.h"
+#include "profile/perf_report.h"
+#include "profile/profile_data.h"
+
+namespace ditto::core {
+
+/** One tuning iteration's observed errors. */
+struct TuneStep
+{
+    profile::PerfReport report;
+    double ipcError = 0;
+    double instError = 0;
+    double maxError = 0;
+};
+
+struct TuneResult
+{
+    GenerationConfig config;
+    unsigned iterations = 0;
+    double finalIpcError = 0;
+    std::vector<TuneStep> trace;
+    bool converged = false;
+};
+
+/** Runs a candidate clone config and reports its counters. */
+using CloneRunner =
+    std::function<profile::PerfReport(const GenerationConfig &)>;
+
+/**
+ * Iterate generator configs until the clone's counters match the
+ * profiled reference within `tolerance`, or `maxIterations` passes.
+ */
+TuneResult fineTune(const profile::ReferenceCounters &target,
+                    const GenerationConfig &initial,
+                    const CloneRunner &run,
+                    unsigned maxIterations = 10,
+                    double tolerance = 0.05);
+
+} // namespace ditto::core
+
+#endif // DITTO_CORE_FINE_TUNER_H_

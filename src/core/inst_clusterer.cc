@@ -1,0 +1,190 @@
+#include "core/inst_clusterer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace ditto::core {
+
+InstRole
+instRoleOf(hw::Opcode op)
+{
+    const hw::InstInfo &info = hw::Isa::instance().info(op);
+    if (info.cls == hw::InstClass::Lock)
+        return InstRole::Atomic;
+    if (info.cls == hw::InstClass::RepString)
+        return InstRole::RepString;
+    if (info.isBranch)
+        return InstRole::Branch;
+    if (info.isStore)
+        return InstRole::Store;
+    if (info.isLoad)
+        return InstRole::Load;
+    return InstRole::Alu;
+}
+
+double
+InstClusterer::featureDistance(const hw::InstInfo &a,
+                               const hw::InstInfo &b)
+{
+    double d = 0;
+    // Functionality.
+    if (a.cls != b.cls)
+        d += 0.5;
+    // Operand kind (GPR / x87 / XMM / memory).
+    if (a.operands != b.operands)
+        d += 0.4;
+    // uop count and latency, log-scaled.
+    d += 0.3 * std::abs(std::log2(1.0 + a.uops) -
+                        std::log2(1.0 + b.uops));
+    d += 0.25 * std::abs(std::log2(1.0 + a.latency) -
+                         std::log2(1.0 + b.latency));
+    // Port-set similarity (Jaccard distance on the port mask).
+    const unsigned inter = static_cast<unsigned>(
+        std::popcount(static_cast<unsigned>(a.ports & b.ports)));
+    const unsigned uni = static_cast<unsigned>(
+        std::popcount(static_cast<unsigned>(a.ports | b.ports)));
+    if (uni > 0)
+        d += 0.5 * (1.0 - static_cast<double>(inter) /
+                        static_cast<double>(uni));
+    return d;
+}
+
+InstClusterer::InstClusterer(const std::vector<double> &counts,
+                             double threshold)
+{
+    const hw::Isa &isa = hw::Isa::instance();
+
+    // Group opcodes by role, then cluster within each role
+    // agglomeratively (single pass, average linkage approximated by
+    // centroid-free greedy merging -- the ISA is small).
+    for (int roleIdx = 0; roleIdx < 6; ++roleIdx) {
+        const auto role = static_cast<InstRole>(roleIdx);
+        std::vector<hw::Opcode> pool;
+        for (hw::Opcode op = 0; op < isa.size(); ++op) {
+            if (instRoleOf(op) == role)
+                pool.push_back(op);
+        }
+        // Start with singletons; merge closest pairs under threshold.
+        std::vector<std::vector<hw::Opcode>> groups;
+        for (hw::Opcode op : pool)
+            groups.push_back({op});
+
+        auto group_dist = [&](const std::vector<hw::Opcode> &ga,
+                              const std::vector<hw::Opcode> &gb) {
+            double sum = 0;
+            for (hw::Opcode a : ga) {
+                for (hw::Opcode b : gb)
+                    sum += featureDistance(isa.info(a), isa.info(b));
+            }
+            return sum / static_cast<double>(ga.size() * gb.size());
+        };
+
+        bool merged = true;
+        while (merged) {
+            merged = false;
+            double best = threshold;
+            std::size_t bi = 0;
+            std::size_t bj = 0;
+            for (std::size_t i = 0; i < groups.size(); ++i) {
+                for (std::size_t j = i + 1; j < groups.size(); ++j) {
+                    const double d = group_dist(groups[i], groups[j]);
+                    if (d <= best) {
+                        best = d;
+                        bi = i;
+                        bj = j;
+                        merged = true;
+                    }
+                }
+            }
+            if (merged) {
+                groups[bi].insert(groups[bi].end(),
+                                  groups[bj].begin(),
+                                  groups[bj].end());
+                groups.erase(groups.begin() +
+                             static_cast<std::ptrdiff_t>(bj));
+            }
+        }
+
+        for (auto &group : groups) {
+            InstCluster cluster;
+            cluster.role = role;
+            cluster.members = group;
+            // Medoid: member minimizing summed distance to others.
+            double bestSum = 1e18;
+            for (hw::Opcode cand : group) {
+                double sum = 0;
+                for (hw::Opcode other : group) {
+                    sum += featureDistance(isa.info(cand),
+                                           isa.info(other));
+                }
+                if (sum < bestSum) {
+                    bestSum = sum;
+                    cluster.medoid = cand;
+                }
+            }
+            for (hw::Opcode op : group) {
+                if (op < counts.size())
+                    cluster.weight += counts[op];
+            }
+            clusters_.push_back(std::move(cluster));
+        }
+    }
+
+    byRole_.resize(6);
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        const auto roleIdx =
+            static_cast<std::size_t>(clusters_[c].role);
+        if (clusters_[c].weight > 0) {
+            byRole_[roleIdx].add(static_cast<std::int64_t>(c),
+                                 clusters_[c].weight);
+        }
+    }
+}
+
+hw::Opcode
+InstClusterer::sample(InstRole role, sim::Rng &rng) const
+{
+    const auto roleIdx = static_cast<std::size_t>(role);
+    if (!byRole_[roleIdx].empty()) {
+        const auto c = static_cast<std::size_t>(
+            byRole_[roleIdx].sample(rng));
+        return clusters_[c].medoid;
+    }
+    // No profiled weight for this role: fall back to a canonical
+    // opcode so generation never fails.
+    const hw::Isa &isa = hw::Isa::instance();
+    switch (role) {
+      case InstRole::Load: return isa.opcode("MOV_GPR64_MEM64");
+      case InstRole::Store: return isa.opcode("MOV_MEM64_GPR64");
+      case InstRole::Branch: return isa.opcode("JNZ_RELBR");
+      case InstRole::Atomic: return isa.opcode("LOCK_ADD_MEM64_GPR64");
+      case InstRole::RepString: return isa.opcode("REP_MOVSB");
+      case InstRole::Alu:
+      default: return isa.opcode("ADD_GPR64_GPR64");
+    }
+}
+
+double
+InstClusterer::roleWeight(InstRole role) const
+{
+    double sum = 0;
+    for (const InstCluster &c : clusters_) {
+        if (c.role == role)
+            sum += c.weight;
+    }
+    return sum;
+}
+
+std::size_t
+InstClusterer::clusterCount(InstRole role) const
+{
+    std::size_t count = 0;
+    for (const InstCluster &c : clusters_) {
+        if (c.role == role)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace ditto::core

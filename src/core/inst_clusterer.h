@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Instruction-mix clustering (Sec. 4.4.2).
+ *
+ * Iforms are clustered hierarchically by functionality, operand kind,
+ * and hardware resource requirements (uops, latency, execution
+ * ports), so each cluster groups instructions with similar cost.
+ * Generation samples a cluster from the profiled mix distribution and
+ * emits the cluster's medoid -- preserving resource usage without
+ * copying the original's exact opcodes (the obfuscation property).
+ *
+ * Clusters never mix loads, stores, branches, LOCK or REP forms with
+ * plain ALU forms, since those structural roles must be preserved.
+ */
+
+#ifndef DITTO_CORE_INST_CLUSTERER_H_
+#define DITTO_CORE_INST_CLUSTERER_H_
+
+#include <vector>
+
+#include "hw/isa.h"
+#include "sim/distributions.h"
+#include "sim/rng.h"
+
+namespace ditto::core {
+
+/** Structural role that clustering must not blur. */
+enum class InstRole : std::uint8_t
+{
+    Alu,     //!< plain register compute
+    Load,
+    Store,
+    Branch,
+    Atomic,  //!< LOCK-prefixed
+    RepString,
+};
+
+/** Role of an opcode. */
+InstRole instRoleOf(hw::Opcode op);
+
+/** One cluster of similar iforms. */
+struct InstCluster
+{
+    InstRole role;
+    std::vector<hw::Opcode> members;
+    hw::Opcode medoid = 0;
+    double weight = 0;  //!< profiled dynamic share
+};
+
+/**
+ * Cluster the ISA's iforms, weighting by a profiled dynamic count
+ * vector (indexed by opcode). Clusters with zero weight are kept so
+ * the structure is profile-independent; sampling ignores them.
+ */
+class InstClusterer
+{
+  public:
+    /**
+     * @param counts   dynamic iform counts (profile)
+     * @param threshold merge threshold on the feature distance
+     */
+    explicit InstClusterer(const std::vector<double> &counts,
+                           double threshold = 0.45);
+
+    const std::vector<InstCluster> &clusters() const
+    {
+        return clusters_;
+    }
+
+    /** Sample a representative opcode for a role. */
+    hw::Opcode sample(InstRole role, sim::Rng &rng) const;
+
+    /** Total profiled weight of a role. */
+    double roleWeight(InstRole role) const;
+
+    /** Number of clusters with the given role. */
+    std::size_t clusterCount(InstRole role) const;
+
+  private:
+    std::vector<InstCluster> clusters_;
+    // Per-role sampling distributions over cluster indices.
+    std::vector<sim::EmpiricalDist> byRole_;
+
+    static double featureDistance(const hw::InstInfo &a,
+                                  const hw::InstInfo &b);
+};
+
+} // namespace ditto::core
+
+#endif // DITTO_CORE_INST_CLUSTERER_H_

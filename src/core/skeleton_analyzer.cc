@@ -1,0 +1,443 @@
+#include "core/skeleton_analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "app/service.h"
+
+namespace ditto::core {
+
+// ---------------------------------------------------------------------------
+// CallTree
+// ---------------------------------------------------------------------------
+
+int
+CallTree::findOrAdd(int parent, const std::string &label)
+{
+    for (int child : nodes_[parent].children) {
+        if (nodes_[child].label == label)
+            return child;
+    }
+    nodes_.push_back(Node{label, {}});
+    const int id = static_cast<int>(nodes_.size() - 1);
+    nodes_[parent].children.push_back(id);
+    return id;
+}
+
+CallTree
+CallTree::fromPaths(const std::vector<std::string> &paths)
+{
+    CallTree tree;
+    tree.nodes_.push_back(Node{"<root>", {}});
+    for (const std::string &path : paths) {
+        int cur = 0;
+        std::size_t pos = 0;
+        while (pos < path.size()) {
+            if (path[pos] == '/') {
+                ++pos;
+                continue;
+            }
+            const std::size_t end = path.find('/', pos);
+            const std::string label = path.substr(
+                pos, end == std::string::npos ? std::string::npos
+                                              : end - pos);
+            cur = tree.findOrAdd(cur, label);
+            if (end == std::string::npos)
+                break;
+            pos = end;
+        }
+    }
+    return tree;
+}
+
+// ---------------------------------------------------------------------------
+// Zhang-Shasha tree edit distance
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Postorder-indexed representation used by the DP. */
+struct ZsTree
+{
+    std::vector<std::string> labels;  //!< by postorder index
+    std::vector<int> lml;             //!< leftmost-leaf per node
+    std::vector<int> keyroots;
+};
+
+/** Build the ZS arrays (postorder labels, leftmost leaves, keyroots). */
+ZsTree
+buildZs(const CallTree &tree)
+{
+    ZsTree zs;
+    if (tree.size() == 0)
+        return zs;
+
+    // Iterative two-pass: first compute postorder indices.
+    std::vector<int> postIdx(tree.size(), -1);
+    {
+        // Emit postorder.
+        std::vector<std::pair<int, std::size_t>> stack;
+        stack.push_back({tree.root(), 0});
+        while (!stack.empty()) {
+            auto &[node, childPos] = stack.back();
+            const auto &n =
+                tree.nodes()[static_cast<std::size_t>(node)];
+            if (childPos < n.children.size()) {
+                const int child = n.children[childPos];
+                ++childPos;
+                stack.push_back({child, 0});
+            } else {
+                postIdx[static_cast<std::size_t>(node)] =
+                    static_cast<int>(zs.labels.size());
+                zs.labels.push_back(n.label);
+                stack.pop_back();
+            }
+        }
+    }
+
+    // Leftmost leaf per node (in postorder indices): lml(node) =
+    // lml(first child), or postIdx(node) for leaves.
+    zs.lml.assign(zs.labels.size(), 0);
+    {
+        std::vector<int> lmlByNode(tree.size(), -1);
+        struct Frame
+        {
+            int node;
+            std::size_t childPos;
+        };
+        std::vector<Frame> frames;
+        frames.push_back({tree.root(), 0});
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            const auto &n =
+                tree.nodes()[static_cast<std::size_t>(f.node)];
+            if (f.childPos < n.children.size()) {
+                frames.push_back({n.children[f.childPos], 0});
+                ++f.childPos;
+            } else {
+                int lml;
+                if (n.children.empty()) {
+                    lml = postIdx[static_cast<std::size_t>(f.node)];
+                } else {
+                    lml = lmlByNode[static_cast<std::size_t>(
+                        n.children.front())];
+                }
+                lmlByNode[static_cast<std::size_t>(f.node)] = lml;
+                zs.lml[static_cast<std::size_t>(
+                    postIdx[static_cast<std::size_t>(f.node)])] = lml;
+                frames.pop_back();
+            }
+        }
+    }
+
+    // Keyroots: nodes with distinct lml values, keeping the highest
+    // postorder index per lml.
+    std::map<int, int> highestByLml;
+    for (std::size_t i = 0; i < zs.lml.size(); ++i)
+        highestByLml[zs.lml[i]] = static_cast<int>(i);
+    for (const auto &[lml, idx] : highestByLml) {
+        (void)lml;
+        zs.keyroots.push_back(idx);
+    }
+    std::sort(zs.keyroots.begin(), zs.keyroots.end());
+    return zs;
+}
+
+} // namespace
+
+double
+treeEditDistance(const CallTree &a, const CallTree &b)
+{
+    const ZsTree t1 = buildZs(a);
+    const ZsTree t2 = buildZs(b);
+    const auto n = static_cast<int>(t1.labels.size());
+    const auto m = static_cast<int>(t2.labels.size());
+    if (n == 0 || m == 0)
+        return static_cast<double>(n + m);
+
+    std::vector<std::vector<double>> treedist(
+        static_cast<std::size_t>(n),
+        std::vector<double>(static_cast<std::size_t>(m), 0));
+    std::vector<std::vector<double>> fd(
+        static_cast<std::size_t>(n + 1),
+        std::vector<double>(static_cast<std::size_t>(m + 1), 0));
+
+    auto cost_rename = [&](int i, int j) {
+        return t1.labels[static_cast<std::size_t>(i)] ==
+            t2.labels[static_cast<std::size_t>(j)] ? 0.0 : 1.0;
+    };
+
+    for (int kr1 : t1.keyroots) {
+        for (int kr2 : t2.keyroots) {
+            const int l1 = t1.lml[static_cast<std::size_t>(kr1)];
+            const int l2 = t2.lml[static_cast<std::size_t>(kr2)];
+            const int rows = kr1 - l1 + 2;
+            const int cols = kr2 - l2 + 2;
+            fd[0][0] = 0;
+            for (int i = 1; i < rows; ++i)
+                fd[static_cast<std::size_t>(i)][0] =
+                    fd[static_cast<std::size_t>(i - 1)][0] + 1;
+            for (int j = 1; j < cols; ++j)
+                fd[0][static_cast<std::size_t>(j)] =
+                    fd[0][static_cast<std::size_t>(j - 1)] + 1;
+            for (int i = 1; i < rows; ++i) {
+                for (int j = 1; j < cols; ++j) {
+                    const int di = l1 + i - 1;
+                    const int dj = l2 + j - 1;
+                    const auto ii = static_cast<std::size_t>(i);
+                    const auto jj = static_cast<std::size_t>(j);
+                    if (t1.lml[static_cast<std::size_t>(di)] == l1 &&
+                        t2.lml[static_cast<std::size_t>(dj)] == l2) {
+                        fd[ii][jj] = std::min(
+                            {fd[ii - 1][jj] + 1, fd[ii][jj - 1] + 1,
+                             fd[ii - 1][jj - 1] +
+                                 cost_rename(di, dj)});
+                        treedist[static_cast<std::size_t>(di)]
+                                [static_cast<std::size_t>(dj)] =
+                            fd[ii][jj];
+                    } else {
+                        const int pi =
+                            t1.lml[static_cast<std::size_t>(di)] - l1;
+                        const int pj =
+                            t2.lml[static_cast<std::size_t>(dj)] - l2;
+                        fd[ii][jj] = std::min(
+                            {fd[ii - 1][jj] + 1, fd[ii][jj - 1] + 1,
+                             fd[static_cast<std::size_t>(pi)]
+                               [static_cast<std::size_t>(pj)] +
+                                 treedist[static_cast<std::size_t>(di)]
+                                         [static_cast<std::size_t>(
+                                             dj)]});
+                    }
+                }
+            }
+        }
+    }
+    return treedist[static_cast<std::size_t>(n - 1)]
+                   [static_cast<std::size_t>(m - 1)];
+}
+
+// ---------------------------------------------------------------------------
+// Agglomerative clustering
+// ---------------------------------------------------------------------------
+
+std::vector<int>
+agglomerativeCluster(const std::vector<std::vector<double>> &distance,
+                     double threshold)
+{
+    const std::size_t n = distance.size();
+    std::vector<int> cluster(n);
+    for (std::size_t i = 0; i < n; ++i)
+        cluster[i] = static_cast<int>(i);
+
+    auto avg_linkage = [&](int a, int b) {
+        double sum = 0;
+        int count = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (cluster[i] != a)
+                continue;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (cluster[j] != b)
+                    continue;
+                sum += distance[i][j];
+                ++count;
+            }
+        }
+        return count ? sum / count : 1e9;
+    };
+
+    while (true) {
+        // Find the closest pair of live clusters.
+        double best = threshold;
+        int bestA = -1;
+        int bestB = -1;
+        std::vector<int> live;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (std::find(live.begin(), live.end(), cluster[i]) ==
+                live.end()) {
+                live.push_back(cluster[i]);
+            }
+        }
+        for (std::size_t a = 0; a < live.size(); ++a) {
+            for (std::size_t b = a + 1; b < live.size(); ++b) {
+                const double d = avg_linkage(live[a], live[b]);
+                if (d <= best) {
+                    best = d;
+                    bestA = live[a];
+                    bestB = live[b];
+                }
+            }
+        }
+        if (bestA < 0)
+            break;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (cluster[i] == bestB)
+                cluster[i] = bestA;
+        }
+    }
+
+    // Renumber densely.
+    std::map<int, int> renumber;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (renumber.find(cluster[i]) == renumber.end()) {
+            const int next = static_cast<int>(renumber.size());
+            renumber[cluster[i]] = next;
+        }
+        cluster[i] = renumber[cluster[i]];
+    }
+    return cluster;
+}
+
+// ---------------------------------------------------------------------------
+// Skeleton inference
+// ---------------------------------------------------------------------------
+
+SkeletonInference
+analyzeSkeleton(const std::vector<profile::ThreadObservation> &threads,
+                sim::Time window, unsigned connections,
+                double asyncEvidence)
+{
+    using app::SysKind;
+    SkeletonInference inf;
+    inf.clientModel = asyncEvidence > 0.25 ? app::ClientModel::Async
+                                           : app::ClientModel::Sync;
+    if (threads.empty())
+        return inf;
+
+    const std::size_t n = threads.size();
+
+    // Pairwise distances: tree-edit (normalized) + syscall cosine.
+    std::vector<CallTree> trees;
+    trees.reserve(n);
+    for (const auto &t : threads)
+        trees.push_back(CallTree::fromPaths(t.callPaths));
+
+    auto syscall_vec = [&](const profile::ThreadObservation &t) {
+        std::vector<double> v(16, 0.0);
+        for (const auto &[k, c] : t.syscallCounts) {
+            if (k >= 0 && k < 16)
+                v[static_cast<std::size_t>(k)] =
+                    static_cast<double>(c);
+        }
+        double norm = 0;
+        for (double x : v)
+            norm += x * x;
+        norm = std::sqrt(norm);
+        if (norm > 0) {
+            for (double &x : v)
+                x /= norm;
+        }
+        return v;
+    };
+
+    std::vector<std::vector<double>> dist(
+        n, std::vector<double>(n, 0.0));
+    std::vector<std::vector<double>> sysvecs;
+    sysvecs.reserve(n);
+    for (const auto &t : threads)
+        sysvecs.push_back(syscall_vec(t));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double ted = treeEditDistance(trees[i], trees[j]);
+            const double maxSize = static_cast<double>(
+                std::max(trees[i].size(), trees[j].size()));
+            const double tedNorm =
+                maxSize > 0 ? ted / maxSize : 0.0;
+            double dot = 0;
+            for (std::size_t k = 0; k < sysvecs[i].size(); ++k)
+                dot += sysvecs[i][k] * sysvecs[j][k];
+            const double cosDist = 1.0 - dot;
+            dist[i][j] = dist[j][i] = 0.5 * tedNorm + 0.5 * cosDist;
+        }
+    }
+
+    inf.clusterOf = agglomerativeCluster(dist, 0.30);
+    int maxCluster = 0;
+    for (int c : inf.clusterOf)
+        maxCluster = std::max(maxCluster, c);
+    inf.clusterCount = static_cast<unsigned>(maxCluster + 1);
+
+    // Classify clusters.
+    auto count_of = [](const profile::ThreadObservation &t,
+                       SysKind kind) -> std::uint64_t {
+        const auto it =
+            t.syscallCounts.find(static_cast<int>(kind));
+        return it != t.syscallCounts.end() ? it->second : 0;
+    };
+    auto empty_of = [](const profile::ThreadObservation &t,
+                       SysKind kind) -> std::uint64_t {
+        const auto it =
+            t.emptySyscallCounts.find(static_cast<int>(kind));
+        return it != t.emptySyscallCounts.end() ? it->second : 0;
+    };
+
+    unsigned workerThreads = 0;
+    double totalEpoll = 0;
+    double totalReads = 0;
+    double totalEmptyReads = 0;
+
+    std::map<int, std::vector<std::size_t>> members;
+    for (std::size_t i = 0; i < n; ++i)
+        members[inf.clusterOf[i]].push_back(i);
+
+    for (const auto &[cid, idxs] : members) {
+        (void)cid;
+        double sleeps = 0;
+        double reads = 0;
+        double epolls = 0;
+        double pwrites = 0;
+        double emptyReads = 0;
+        for (std::size_t i : idxs) {
+            const auto &t = threads[i];
+            sleeps += static_cast<double>(
+                count_of(t, SysKind::Nanosleep));
+            reads += static_cast<double>(
+                count_of(t, SysKind::SocketRead));
+            epolls += static_cast<double>(
+                count_of(t, SysKind::EpollWait));
+            pwrites += static_cast<double>(
+                count_of(t, SysKind::Pwrite));
+            emptyReads += static_cast<double>(
+                empty_of(t, SysKind::SocketRead));
+        }
+        const bool background =
+            sleeps > 0 && reads == 0 && epolls == 0;
+        if (background) {
+            BackgroundInference bg;
+            bg.count = static_cast<unsigned>(idxs.size());
+            const double sleepsPerThread =
+                sleeps / static_cast<double>(idxs.size());
+            bg.period = sleepsPerThread > 0
+                ? static_cast<sim::Time>(
+                      static_cast<double>(window) / sleepsPerThread)
+                : sim::milliseconds(100);
+            bg.pwritesPerPeriod =
+                sleeps > 0 ? pwrites / sleeps : 0;
+            inf.background.push_back(bg);
+        } else {
+            workerThreads += static_cast<unsigned>(idxs.size());
+            totalEpoll += epolls;
+            totalReads += reads;
+            totalEmptyReads += emptyReads;
+        }
+    }
+
+    if (totalEpoll > 0) {
+        inf.serverModel = app::ServerModel::IoMultiplex;
+    } else if (totalReads > 0 &&
+               totalEmptyReads >
+                   2.0 * (totalReads - totalEmptyReads)) {
+        inf.serverModel = app::ServerModel::NonBlocking;
+    } else {
+        inf.serverModel = app::ServerModel::BlockingPerConn;
+    }
+
+    inf.workers = std::max(1u, workerThreads);
+    inf.threadPerConnection =
+        inf.serverModel == app::ServerModel::BlockingPerConn &&
+        connections > 0 &&
+        workerThreads + 1 >= connections;
+    return inf;
+}
+
+} // namespace ditto::core

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Application skeleton analyzer (Sec. 4.3).
+ *
+ * Clusters threads by behaviour and infers the network and thread
+ * models:
+ *  - per-thread call graphs are compared with Zhang-Shasha tree edit
+ *    distance and clustered agglomeratively (the cluster count is
+ *    unknown in advance, so a distance threshold cuts the dendrogram);
+ *  - thread clusters are classified (request workers, per-connection
+ *    handlers, timer-driven background threads) from their syscall
+ *    signatures and spawn behaviour;
+ *  - the server network model (blocking / non-blocking / I/O
+ *    multiplexing) falls out of the epoll / failed-read signature,
+ *    and the client model (sync / async) from RPC issue overlap.
+ */
+
+#ifndef DITTO_CORE_SKELETON_ANALYZER_H_
+#define DITTO_CORE_SKELETON_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "app/program.h"
+#include "profile/profile_data.h"
+#include "sim/time.h"
+
+namespace ditto::core {
+
+/** A rooted, labeled call tree built from observed call paths. */
+class CallTree
+{
+  public:
+    /** Build from "/a/b" style paths. */
+    static CallTree fromPaths(const std::vector<std::string> &paths);
+
+    struct Node
+    {
+        std::string label;
+        std::vector<int> children;
+    };
+
+    const std::vector<Node> &nodes() const { return nodes_; }
+    int root() const { return nodes_.empty() ? -1 : 0; }
+    std::size_t size() const { return nodes_.size(); }
+
+  private:
+    std::vector<Node> nodes_;
+
+    int findOrAdd(int parent, const std::string &label);
+};
+
+/**
+ * Zhang-Shasha ordered tree edit distance (unit costs). Used as the
+ * thread-similarity metric, per the paper's reference [30].
+ */
+double treeEditDistance(const CallTree &a, const CallTree &b);
+
+/**
+ * Average-linkage agglomerative clustering over a symmetric distance
+ * matrix; merging stops when the closest pair exceeds `threshold`.
+ * @return cluster id per element.
+ */
+std::vector<int> agglomerativeCluster(
+    const std::vector<std::vector<double>> &distance, double threshold);
+
+/** One inferred background-thread group. */
+struct BackgroundInference
+{
+    unsigned count = 0;
+    sim::Time period = 0;
+    double pwritesPerPeriod = 0;
+    double computeShare = 0.02;  //!< share of service compute
+};
+
+/** The inferred skeleton. */
+struct SkeletonInference
+{
+    app::ServerModel serverModel = app::ServerModel::IoMultiplex;
+    app::ClientModel clientModel = app::ClientModel::Sync;
+    unsigned workers = 1;
+    bool threadPerConnection = false;
+    std::vector<BackgroundInference> background;
+    unsigned clusterCount = 0;
+    std::vector<int> clusterOf;  //!< per observation
+};
+
+/**
+ * Infer the skeleton from per-thread observations.
+ *
+ * @param threads observations from the SystemTap-equivalent probe
+ * @param window  observation window length (for period estimation)
+ * @param connections number of client connections during profiling
+ *        (known workload input, used to spot thread-per-connection)
+ * @param asyncEvidence fraction of RPCs issued while previous ones
+ *        were outstanding
+ */
+SkeletonInference analyzeSkeleton(
+    const std::vector<profile::ThreadObservation> &threads,
+    sim::Time window, unsigned connections, double asyncEvidence);
+
+} // namespace ditto::core
+
+#endif // DITTO_CORE_SKELETON_ANALYZER_H_

@@ -1,0 +1,138 @@
+#include "core/skeleton_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ditto::core {
+
+namespace {
+
+std::string
+cloneNameOf(const std::map<std::string, std::string> &nameMap,
+            const std::string &original)
+{
+    const auto it = nameMap.find(original);
+    return it != nameMap.end() ? it->second : original + "_clone";
+}
+
+} // namespace
+
+app::ServiceSpec
+generateClone(const profile::ServiceProfile &prof,
+              const SkeletonInference &skeleton,
+              const std::vector<profile::EdgeProfile> &outEdges,
+              const std::map<std::string, std::string> &nameMap,
+              const GenerationConfig &cfg)
+{
+    app::ServiceSpec spec;
+    spec.name = cloneNameOf(nameMap, prof.serviceName);
+
+    // ---- skeleton -------------------------------------------------------
+    spec.serverModel = skeleton.serverModel;
+    spec.clientModel = skeleton.clientModel;
+    spec.threads.threadPerConnection = skeleton.threadPerConnection;
+    spec.threads.workers =
+        skeleton.threadPerConnection ? 0 : skeleton.workers;
+
+    // ---- body -------------------------------------------------------------
+    GeneratedBody body = generateBody(prof, cfg, spec.name);
+    spec.blocks = std::move(body.blocks);
+    if (body.usesLock)
+        spec.locks = 1;
+    if (body.fileBytes > 0) {
+        spec.fileBytes = {body.fileBytes};
+        spec.filePrewarmFraction = body.filePrewarmFraction;
+    }
+
+    app::EndpointSpec endpoint;
+    endpoint.name = "cloned";
+    endpoint.handler = std::move(body.handler);
+
+    // Response sizes from observed per-request bytes.
+    const double resp = std::max(16.0, prof.avgResponseBytes);
+    endpoint.responseBytesMin =
+        static_cast<std::uint32_t>(std::max(16.0, resp * 0.8));
+    endpoint.responseBytesMax =
+        static_cast<std::uint32_t>(std::max(17.0, resp * 1.2));
+
+    // ---- downstream RPCs from the topology -----------------------------
+    if (!outEdges.empty()) {
+        // Whole calls become one fanout (async clients issue them in
+        // parallel); fractional residues become Choice-wrapped calls.
+        std::vector<app::RpcCallSpec> wholeCalls;
+        std::vector<std::pair<double, app::RpcCallSpec>> fracCalls;
+        for (const auto &edge : outEdges) {
+            const std::string callee = cloneNameOf(nameMap, edge.callee);
+            auto target = static_cast<std::uint32_t>(
+                std::find(spec.downstreams.begin(),
+                          spec.downstreams.end(), callee) -
+                spec.downstreams.begin());
+            if (target == spec.downstreams.size())
+                spec.downstreams.push_back(callee);
+
+            app::RpcCallSpec call;
+            call.target = target;
+            call.endpoint = 0;  // clones expose a single endpoint
+            call.requestBytes = static_cast<std::uint32_t>(
+                std::max(16.0, edge.avgRequestBytes));
+            call.responseBytes = static_cast<std::uint32_t>(
+                std::max(16.0, edge.avgResponseBytes));
+
+            double calls = edge.callsPerCallerRequest;
+            while (calls >= 1.0) {
+                wholeCalls.push_back(call);
+                calls -= 1.0;
+            }
+            if (calls > 0.02)
+                fracCalls.push_back({calls, call});
+        }
+
+        // Insert the RPC ops after roughly 60% of the handler's
+        // compute (mid-request fanout, like the originals).
+        std::vector<app::Op> rpcOps;
+        if (!wholeCalls.empty()) {
+            if (spec.clientModel == app::ClientModel::Async) {
+                rpcOps.push_back(app::opRpcFanout(wholeCalls));
+            } else {
+                for (const auto &call : wholeCalls)
+                    rpcOps.push_back(app::opRpcFanout({call}));
+            }
+        }
+        for (const auto &[p, call] : fracCalls) {
+            rpcOps.push_back(app::opChoice(
+                {p, 1.0 - p}, {{{app::opRpcFanout({call})}}, {}}));
+        }
+        const auto insertAt = static_cast<std::ptrdiff_t>(
+            endpoint.handler.ops.size() * 3 / 5);
+        endpoint.handler.ops.insert(
+            endpoint.handler.ops.begin() + insertAt,
+            rpcOps.begin(), rpcOps.end());
+    }
+
+    spec.endpoints.push_back(std::move(endpoint));
+
+    // ---- background threads -----------------------------------------------
+    for (std::size_t i = 0; i < skeleton.background.size(); ++i) {
+        const BackgroundInference &bg = skeleton.background[i];
+        for (unsigned k = 0; k < bg.count; ++k) {
+            app::BackgroundSpec bgSpec;
+            bgSpec.name = "bg" + std::to_string(i) + "_" +
+                std::to_string(k);
+            bgSpec.period =
+                bg.period > 0 ? bg.period : sim::milliseconds(100);
+            bgSpec.body = body.background;
+            // Give the background thread a slice of compute so its
+            // cache footprint resembles the original's housekeeping.
+            if (!spec.blocks.empty()) {
+                bgSpec.body.ops.push_back(app::opCompute(
+                    static_cast<std::uint32_t>(spec.blocks.size() - 1),
+                    1, 2));
+            }
+            spec.background.push_back(std::move(bgSpec));
+        }
+    }
+
+    return spec;
+}
+
+} // namespace ditto::core

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Skeleton generator: assembles a complete, deployable clone
+ * ServiceSpec from the inferred skeleton, the generated body, and
+ * the topology's RPC edges (Secs. 4.2-4.3).
+ */
+
+#ifndef DITTO_CORE_SKELETON_GENERATOR_H_
+#define DITTO_CORE_SKELETON_GENERATOR_H_
+
+#include <map>
+#include <string>
+
+#include "app/program.h"
+#include "core/body_generator.h"
+#include "core/skeleton_analyzer.h"
+#include "core/topology_analyzer.h"
+#include "profile/profile_data.h"
+
+namespace ditto::core {
+
+/**
+ * Build the clone's ServiceSpec.
+ *
+ * @param prof      the service's profile
+ * @param skeleton  inferred network/thread models
+ * @param outEdges  topology edges where this service is the caller
+ * @param nameMap   original service name -> clone name (downstream
+ *                  references must point at the cloned tiers)
+ * @param cfg       generation config (stage toggles + knobs)
+ */
+app::ServiceSpec generateClone(
+    const profile::ServiceProfile &prof,
+    const SkeletonInference &skeleton,
+    const std::vector<profile::EdgeProfile> &outEdges,
+    const std::map<std::string, std::string> &nameMap,
+    const GenerationConfig &cfg);
+
+} // namespace ditto::core
+
+#endif // DITTO_CORE_SKELETON_GENERATOR_H_

@@ -1,0 +1,569 @@
+#include "core/spec_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "hw/isa.h"
+
+namespace ditto::core {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+const char *
+serverModelName(app::ServerModel m)
+{
+    switch (m) {
+      case app::ServerModel::IoMultiplex: return "iomultiplex";
+      case app::ServerModel::BlockingPerConn: return "blocking";
+      case app::ServerModel::NonBlocking: return "nonblocking";
+    }
+    return "iomultiplex";
+}
+
+const char *
+streamKindName(hw::StreamKind k)
+{
+    switch (k) {
+      case hw::StreamKind::Sequential: return "seq";
+      case hw::StreamKind::Strided: return "strided";
+      case hw::StreamKind::PointerChase: return "chase";
+      case hw::StreamKind::Random: return "random";
+    }
+    return "seq";
+}
+
+void
+writeProgram(std::ostream &os, const app::Program &prog, int depth);
+
+void
+writeOp(std::ostream &os, const app::Op &op, int depth)
+{
+    const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    switch (op.kind) {
+      case app::OpKind::Compute:
+        os << pad << "compute block=" << op.block << " iters="
+           << op.itersMin << ".." << op.itersMax << "\n";
+        break;
+      case app::OpKind::FileRead:
+        os << pad << "file_read file=" << op.fileRef << " bytes="
+           << op.bytesMin << ".." << op.bytesMax << "\n";
+        break;
+      case app::OpKind::FileWrite:
+        os << pad << "file_write file=" << op.fileRef << " bytes="
+           << op.bytesMin << ".." << op.bytesMax << "\n";
+        break;
+      case app::OpKind::Rpc:
+        os << pad << "rpc";
+        for (const auto &call : op.rpcs) {
+            os << " call=" << call.target << ":" << call.endpoint
+               << ":" << call.requestBytes << ":"
+               << call.responseBytes;
+        }
+        os << "\n";
+        break;
+      case app::OpKind::Lock:
+        os << pad << "lock ref=" << op.lockRef << "\n";
+        break;
+      case app::OpKind::Unlock:
+        os << pad << "unlock ref=" << op.lockRef << "\n";
+        break;
+      case app::OpKind::Sleep:
+        os << pad << "sleep ns=" << op.duration << "\n";
+        break;
+      case app::OpKind::Choice: {
+        os << pad << "choice probs=";
+        for (std::size_t i = 0; i < op.probs.size(); ++i)
+            os << (i ? "," : "") << op.probs[i];
+        os << " {\n";
+        for (const auto &arm : op.subs) {
+            os << pad << "  arm {\n";
+            writeProgram(os, arm, depth + 2);
+            os << pad << "  }\n";
+        }
+        os << pad << "}\n";
+        break;
+      }
+      case app::OpKind::Call:
+        os << pad << "call label=\"" << op.label << "\" {\n";
+        writeProgram(os, op.subs[0], depth + 1);
+        os << pad << "}\n";
+        break;
+    }
+}
+
+void
+writeProgram(std::ostream &os, const app::Program &prog, int depth)
+{
+    for (const app::Op &op : prog.ops)
+        writeOp(os, op, depth);
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/** Minimal tokenizer over the line-oriented format. */
+class Parser
+{
+  public:
+    explicit Parser(std::istream &is) : is_(is) {}
+
+    /** Next non-empty, non-comment line; false at EOF. */
+    bool
+    nextLine(std::string &line)
+    {
+        while (std::getline(is_, line)) {
+            ++lineNo_;
+            const auto start = line.find_first_not_of(" \t");
+            if (start == std::string::npos)
+                continue;
+            line = line.substr(start);
+            if (line[0] == '#')
+                continue;
+            return true;
+        }
+        return false;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("spec parse error (line " +
+                                 std::to_string(lineNo_) +
+                                 "): " + what);
+    }
+
+    int lineNo() const { return lineNo_; }
+
+  private:
+    std::istream &is_;
+    int lineNo_ = 0;
+};
+
+/** Split "key=value" attributes of a directive line. */
+std::map<std::string, std::string>
+attrsOf(const std::string &line)
+{
+    std::map<std::string, std::string> attrs;
+    std::istringstream ss(line);
+    std::string token;
+    ss >> token;  // directive name
+    while (ss >> token) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos)
+            continue;
+        attrs[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+    return attrs;
+}
+
+std::string
+quotedName(Parser &p, const std::string &line)
+{
+    const auto open = line.find('"');
+    const auto close = line.find('"', open + 1);
+    if (open == std::string::npos || close == std::string::npos)
+        p.fail("expected quoted name in: " + line);
+    return line.substr(open + 1, close - open - 1);
+}
+
+std::uint64_t
+u64Attr(Parser &p, const std::map<std::string, std::string> &attrs,
+        const std::string &key)
+{
+    const auto it = attrs.find(key);
+    if (it == attrs.end())
+        p.fail("missing attribute " + key);
+    return std::stoull(it->second);
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+rangeAttr(Parser &p, const std::map<std::string, std::string> &attrs,
+          const std::string &key)
+{
+    const auto it = attrs.find(key);
+    if (it == attrs.end())
+        p.fail("missing range attribute " + key);
+    const auto dots = it->second.find("..");
+    if (dots == std::string::npos)
+        p.fail("malformed range " + it->second);
+    return {std::stoull(it->second.substr(0, dots)),
+            std::stoull(it->second.substr(dots + 2))};
+}
+
+hw::StreamKind
+streamKindOf(Parser &p, const std::string &name)
+{
+    if (name == "seq")
+        return hw::StreamKind::Sequential;
+    if (name == "strided")
+        return hw::StreamKind::Strided;
+    if (name == "chase")
+        return hw::StreamKind::PointerChase;
+    if (name == "random")
+        return hw::StreamKind::Random;
+    p.fail("unknown stream kind " + name);
+}
+
+app::Program parseProgram(Parser &p);
+
+/** Parse one op line (or nested structure); false on '}'. */
+bool
+parseOpInto(Parser &p, app::Program &prog, const std::string &line)
+{
+    if (line == "}")
+        return false;
+    std::istringstream ss(line);
+    std::string directive;
+    ss >> directive;
+    const auto attrs = attrsOf(line);
+
+    if (directive == "compute") {
+        const auto [lo, hi] = rangeAttr(p, attrs, "iters");
+        prog.ops.push_back(app::opCompute(
+            static_cast<std::uint32_t>(u64Attr(p, attrs, "block")),
+            lo, hi));
+    } else if (directive == "file_read" ||
+               directive == "file_write") {
+        const auto [lo, hi] = rangeAttr(p, attrs, "bytes");
+        const auto file = static_cast<std::uint32_t>(
+            u64Attr(p, attrs, "file"));
+        prog.ops.push_back(directive == "file_read"
+                               ? app::opFileRead(file, lo, hi)
+                               : app::opFileWrite(file, lo, hi));
+    } else if (directive == "rpc") {
+        std::vector<app::RpcCallSpec> calls;
+        std::string token;
+        std::istringstream rescan(line);
+        rescan >> token;
+        while (rescan >> token) {
+            if (token.rfind("call=", 0) != 0)
+                continue;
+            app::RpcCallSpec call;
+            if (std::sscanf(token.c_str() + 5, "%u:%u:%u:%u",
+                            &call.target, &call.endpoint,
+                            &call.requestBytes,
+                            &call.responseBytes) != 4) {
+                p.fail("malformed rpc call " + token);
+            }
+            calls.push_back(call);
+        }
+        prog.ops.push_back(app::opRpcFanout(std::move(calls)));
+    } else if (directive == "lock") {
+        prog.ops.push_back(app::opLock(static_cast<std::uint32_t>(
+            u64Attr(p, attrs, "ref"))));
+    } else if (directive == "unlock") {
+        prog.ops.push_back(app::opUnlock(static_cast<std::uint32_t>(
+            u64Attr(p, attrs, "ref"))));
+    } else if (directive == "sleep") {
+        prog.ops.push_back(app::opSleep(u64Attr(p, attrs, "ns")));
+    } else if (directive == "choice") {
+        std::vector<double> probs;
+        const auto it = attrs.find("probs");
+        if (it == attrs.end())
+            p.fail("choice without probs");
+        std::istringstream ps(it->second);
+        std::string piece;
+        while (std::getline(ps, piece, ','))
+            probs.push_back(std::stod(piece));
+        std::vector<app::Program> arms;
+        std::string sub;
+        while (p.nextLine(sub)) {
+            if (sub == "}")
+                break;
+            if (sub.rfind("arm", 0) == 0) {
+                arms.push_back(parseProgram(p));
+            } else {
+                p.fail("expected arm/} in choice, got " + sub);
+            }
+        }
+        prog.ops.push_back(
+            app::opChoice(std::move(probs), std::move(arms)));
+    } else if (directive == "call") {
+        const std::string label = quotedName(p, line);
+        prog.ops.push_back(app::opCall(label, parseProgram(p)));
+    } else {
+        p.fail("unknown op directive " + directive);
+    }
+    return true;
+}
+
+/** Parse ops until the closing '}'. */
+app::Program
+parseProgram(Parser &p)
+{
+    app::Program prog;
+    std::string line;
+    while (p.nextLine(line)) {
+        if (!parseOpInto(p, prog, line))
+            return prog;
+    }
+    p.fail("unexpected EOF in program body");
+}
+
+hw::CodeBlock
+parseBlock(Parser &p, const std::string &header)
+{
+    hw::CodeBlock block;
+    block.label = quotedName(p, header);
+    const hw::Isa &isa = hw::Isa::instance();
+    std::string line;
+    while (p.nextLine(line)) {
+        if (line == "}")
+            return block;
+        const auto attrs = attrsOf(line);
+        if (line.rfind("stream", 0) == 0) {
+            hw::MemStreamDesc desc;
+            desc.wsBytes = u64Attr(p, attrs, "ws");
+            desc.kind = streamKindOf(p, attrs.at("kind"));
+            desc.shared = u64Attr(p, attrs, "shared") != 0;
+            desc.poolKey = static_cast<std::uint32_t>(
+                u64Attr(p, attrs, "pool"));
+            block.streams.push_back(desc);
+        } else if (line.rfind("branch", 0) == 0) {
+            block.branches.push_back(hw::BranchDesc{
+                static_cast<std::uint8_t>(u64Attr(p, attrs, "m")),
+                static_cast<std::uint8_t>(u64Attr(p, attrs, "n"))});
+        } else if (line.rfind("inst", 0) == 0) {
+            hw::Inst inst;
+            if (!isa.tryOpcode(attrs.at("op"), inst.opcode))
+                p.fail("unknown iform " + attrs.at("op"));
+            auto reg = [&](const char *key) -> std::uint8_t {
+                const auto it = attrs.find(key);
+                return it == attrs.end()
+                    ? hw::kNoReg
+                    : static_cast<std::uint8_t>(
+                          std::stoul(it->second));
+            };
+            inst.dst = reg("dst");
+            inst.src0 = reg("src0");
+            inst.src1 = reg("src1");
+            if (attrs.count("mem")) {
+                inst.memStream = static_cast<std::uint16_t>(
+                    u64Attr(p, attrs, "mem"));
+            }
+            if (attrs.count("br")) {
+                inst.branch = static_cast<std::uint16_t>(
+                    u64Attr(p, attrs, "br"));
+            }
+            if (attrs.count("rep")) {
+                inst.repBytes = static_cast<std::uint32_t>(
+                    u64Attr(p, attrs, "rep"));
+            }
+            block.insts.push_back(inst);
+        } else {
+            p.fail("unknown block directive: " + line);
+        }
+    }
+    p.fail("unexpected EOF in block");
+}
+
+app::ServiceSpec
+parseService(Parser &p, const std::string &header)
+{
+    app::ServiceSpec spec;
+    spec.name = quotedName(p, header);
+    std::string line;
+    while (p.nextLine(line)) {
+        if (line == "}")
+            return spec;
+        std::istringstream ss(line);
+        std::string directive;
+        ss >> directive;
+        const auto attrs = attrsOf(line);
+
+        if (directive == "server_model") {
+            std::string value;
+            ss >> value;
+            if (value == "iomultiplex")
+                spec.serverModel = app::ServerModel::IoMultiplex;
+            else if (value == "blocking")
+                spec.serverModel = app::ServerModel::BlockingPerConn;
+            else if (value == "nonblocking")
+                spec.serverModel = app::ServerModel::NonBlocking;
+            else
+                p.fail("unknown server model " + value);
+        } else if (directive == "client_model") {
+            std::string value;
+            ss >> value;
+            spec.clientModel = value == "async"
+                ? app::ClientModel::Async : app::ClientModel::Sync;
+        } else if (directive == "workers") {
+            unsigned w = 0;
+            ss >> w;
+            spec.threads.workers = w;
+        } else if (directive == "thread_per_connection") {
+            int v = 0;
+            ss >> v;
+            spec.threads.threadPerConnection = v != 0;
+        } else if (directive == "locks") {
+            ss >> spec.locks;
+        } else if (directive == "file") {
+            spec.fileBytes.push_back(u64Attr(p, attrs, "bytes"));
+            if (attrs.count("prewarm")) {
+                spec.filePrewarmFraction =
+                    std::stod(attrs.at("prewarm"));
+            }
+        } else if (directive == "downstream") {
+            spec.downstreams.push_back(quotedName(p, line));
+        } else if (directive == "block") {
+            spec.blocks.push_back(parseBlock(p, line));
+        } else if (directive == "endpoint") {
+            app::EndpointSpec ep;
+            ep.name = quotedName(p, line);
+            const auto [lo, hi] = rangeAttr(p, attrs, "resp");
+            ep.responseBytesMin = static_cast<std::uint32_t>(lo);
+            ep.responseBytesMax = static_cast<std::uint32_t>(hi);
+            ep.handler = parseProgram(p);
+            spec.endpoints.push_back(std::move(ep));
+        } else if (directive == "background") {
+            app::BackgroundSpec bg;
+            bg.name = quotedName(p, line);
+            bg.period = u64Attr(p, attrs, "period_ns");
+            bg.body = parseProgram(p);
+            spec.background.push_back(std::move(bg));
+        } else {
+            p.fail("unknown service directive " + directive);
+        }
+    }
+    p.fail("unexpected EOF in service");
+}
+
+} // namespace
+
+void
+writeSpec(std::ostream &os, const app::ServiceSpec &spec)
+{
+    const hw::Isa &isa = hw::Isa::instance();
+    os << "service \"" << spec.name << "\" {\n";
+    os << "  server_model " << serverModelName(spec.serverModel)
+       << "\n";
+    os << "  client_model "
+       << (spec.clientModel == app::ClientModel::Async ? "async"
+                                                       : "sync")
+       << "\n";
+    os << "  workers " << spec.threads.workers << "\n";
+    os << "  thread_per_connection "
+       << (spec.threads.threadPerConnection ? 1 : 0) << "\n";
+    if (spec.locks)
+        os << "  locks " << spec.locks << "\n";
+    for (std::uint64_t bytes : spec.fileBytes) {
+        os << "  file bytes=" << bytes
+           << " prewarm=" << spec.filePrewarmFraction << "\n";
+    }
+    for (const std::string &down : spec.downstreams)
+        os << "  downstream \"" << down << "\"\n";
+
+    for (const hw::CodeBlock &block : spec.blocks) {
+        os << "  block \"" << block.label << "\" {\n";
+        for (const auto &s : block.streams) {
+            os << "    stream ws=" << s.wsBytes << " kind="
+               << streamKindName(s.kind) << " shared="
+               << (s.shared ? 1 : 0) << " pool=" << s.poolKey << "\n";
+        }
+        for (const auto &b : block.branches) {
+            os << "    branch m=" << static_cast<int>(b.takenExp)
+               << " n=" << static_cast<int>(b.transExp) << "\n";
+        }
+        for (const auto &inst : block.insts) {
+            os << "    inst op=" << isa.info(inst.opcode).iform;
+            if (inst.dst != hw::kNoReg)
+                os << " dst=" << static_cast<int>(inst.dst);
+            if (inst.src0 != hw::kNoReg)
+                os << " src0=" << static_cast<int>(inst.src0);
+            if (inst.src1 != hw::kNoReg)
+                os << " src1=" << static_cast<int>(inst.src1);
+            if (inst.memStream != hw::kNoStream)
+                os << " mem=" << inst.memStream;
+            if (inst.branch != hw::kNoBranch)
+                os << " br=" << inst.branch;
+            if (inst.repBytes)
+                os << " rep=" << inst.repBytes;
+            os << "\n";
+        }
+        os << "  }\n";
+    }
+
+    for (const app::EndpointSpec &ep : spec.endpoints) {
+        os << "  endpoint \"" << ep.name << "\" resp="
+           << ep.responseBytesMin << ".." << ep.responseBytesMax
+           << " {\n";
+        writeProgram(os, ep.handler, 2);
+        os << "  }\n";
+    }
+    for (const app::BackgroundSpec &bg : spec.background) {
+        os << "  background \"" << bg.name << "\" period_ns="
+           << bg.period << " {\n";
+        writeProgram(os, bg.body, 2);
+        os << "  }\n";
+    }
+    os << "}\n";
+}
+
+void
+writeTopology(std::ostream &os,
+              const std::vector<app::ServiceSpec> &specs)
+{
+    os << "# ditto clone topology: " << specs.size()
+       << " service(s)\n";
+    for (const auto &spec : specs)
+        writeSpec(os, spec);
+}
+
+std::string
+specToString(const app::ServiceSpec &spec)
+{
+    std::ostringstream os;
+    writeSpec(os, spec);
+    return os.str();
+}
+
+std::vector<app::ServiceSpec>
+readSpecs(std::istream &is)
+{
+    Parser p(is);
+    std::vector<app::ServiceSpec> specs;
+    std::string line;
+    while (p.nextLine(line)) {
+        if (line.rfind("service", 0) == 0)
+            specs.push_back(parseService(p, line));
+        else
+            p.fail("expected 'service', got: " + line);
+    }
+    return specs;
+}
+
+std::vector<app::ServiceSpec>
+specsFromString(const std::string &text)
+{
+    std::istringstream is(text);
+    return readSpecs(is);
+}
+
+bool
+saveTopology(const std::string &path,
+             const std::vector<app::ServiceSpec> &specs)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeTopology(os, specs);
+    return static_cast<bool>(os);
+}
+
+std::vector<app::ServiceSpec>
+loadTopology(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot open " + path);
+    return readSpecs(is);
+}
+
+} // namespace ditto::core

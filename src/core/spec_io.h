@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Serialization of clone specs.
+ *
+ * The whole point of Ditto is that a synthetic clone can be *shared*
+ * -- with hardware vendors, cloud providers, researchers -- without
+ * revealing the original. This module writes a ServiceSpec (or a
+ * whole cloned topology) to a self-describing text format and reads
+ * it back, so clones survive as artifacts independent of the process
+ * that generated them.
+ *
+ * The format is a line-oriented s-expression-free key/value syntax:
+ *
+ *   service "memcached_clone" {
+ *     server_model iomultiplex
+ *     workers 4
+ *     block "memcached_clone.blk0" {
+ *       stream ws=4096 kind=seq shared=0 pool=1
+ *       inst op=ADD_GPR64_GPR64 dst=1 src0=2
+ *       ...
+ *     }
+ *     endpoint "cloned" resp=819..1228 {
+ *       compute block=0 iters=12..20
+ *       ...
+ *     }
+ *   }
+ *
+ * Round-tripping is exact (tests assert spec equality), and the
+ * format contains nothing but the synthetic artifacts -- no profile
+ * data, no original code.
+ */
+
+#ifndef DITTO_CORE_SPEC_IO_H_
+#define DITTO_CORE_SPEC_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "app/program.h"
+
+namespace ditto::core {
+
+/** Write one service spec. */
+void writeSpec(std::ostream &os, const app::ServiceSpec &spec);
+
+/** Write a whole topology (specs in deployment order). */
+void writeTopology(std::ostream &os,
+                   const std::vector<app::ServiceSpec> &specs);
+
+/** Serialize to a string. */
+std::string specToString(const app::ServiceSpec &spec);
+
+/**
+ * Parse one or more service specs.
+ * @throws std::runtime_error on malformed input.
+ */
+std::vector<app::ServiceSpec> readSpecs(std::istream &is);
+
+/** Parse from a string. */
+std::vector<app::ServiceSpec> specsFromString(const std::string &text);
+
+/** Save a topology to a file. @retval false on I/O failure. */
+bool saveTopology(const std::string &path,
+                  const std::vector<app::ServiceSpec> &specs);
+
+/** Load a topology from a file. @throws on parse errors. */
+std::vector<app::ServiceSpec> loadTopology(const std::string &path);
+
+} // namespace ditto::core
+
+#endif // DITTO_CORE_SPEC_IO_H_

@@ -1,0 +1,114 @@
+#include "core/topology_analyzer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ditto::core {
+
+std::vector<profile::EdgeProfile>
+Topology::outEdges(const std::string &service) const
+{
+    std::vector<profile::EdgeProfile> out;
+    for (const auto &e : edges) {
+        if (e.caller == service)
+            out.push_back(e);
+    }
+    return out;
+}
+
+bool
+Topology::contains(const std::string &service) const
+{
+    return std::find(services.begin(), services.end(), service) !=
+        services.end();
+}
+
+Topology
+analyzeTopology(const trace::Tracer &tracer)
+{
+    Topology topo;
+
+    // Server spans per service.
+    for (const trace::Span &span : tracer.spans())
+        topo.requestCounts[span.service] += 1;
+
+    // Aggregate client edges: (caller, callee, endpoint) -> stats.
+    struct Agg
+    {
+        double count = 0;
+        double reqBytes = 0;
+        double respBytes = 0;
+    };
+    std::map<std::tuple<std::string, std::string, std::uint32_t>, Agg>
+        aggs;
+    for (const trace::RpcEdge &edge : tracer.edges()) {
+        Agg &a = aggs[{edge.caller, edge.callee, edge.endpoint}];
+        a.count += 1;
+        a.reqBytes += edge.requestBytes;
+        a.respBytes += edge.responseBytes;
+    }
+
+    std::set<std::string> callees;
+    for (const auto &[key, agg] : aggs) {
+        const auto &[caller, callee, endpoint] = key;
+        profile::EdgeProfile e;
+        e.caller = caller;
+        e.callee = callee;
+        e.endpoint = endpoint;
+        const double callerRequests =
+            std::max(1.0, topo.requestCounts[caller]);
+        e.callsPerCallerRequest = agg.count / callerRequests;
+        e.avgRequestBytes = agg.reqBytes / agg.count;
+        e.avgResponseBytes = agg.respBytes / agg.count;
+        topo.edges.push_back(e);
+        callees.insert(callee);
+        if (topo.requestCounts.find(caller) == topo.requestCounts.end())
+            topo.requestCounts[caller] = 0;
+    }
+
+    // Root: a service with spans but never a callee. Topological
+    // order: repeatedly emit services all of whose callees are done.
+    std::set<std::string> all;
+    for (const auto &[name, count] : topo.requestCounts) {
+        (void)count;
+        all.insert(name);
+    }
+    for (const std::string &name : all) {
+        if (callees.find(name) == callees.end())
+            topo.root = name;
+    }
+
+    std::set<std::string> emitted;
+    while (emitted.size() < all.size()) {
+        bool progress = false;
+        for (const std::string &name : all) {
+            if (emitted.count(name))
+                continue;
+            bool ready = true;
+            for (const auto &e : topo.edges) {
+                if (e.caller == name && !emitted.count(e.callee) &&
+                    e.callee != name) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (ready) {
+                topo.services.push_back(name);
+                emitted.insert(name);
+                progress = true;
+            }
+        }
+        if (!progress) {
+            // Cycle (shouldn't happen for a DAG): emit the rest.
+            for (const std::string &name : all) {
+                if (!emitted.count(name)) {
+                    topo.services.push_back(name);
+                    emitted.insert(name);
+                }
+            }
+        }
+    }
+    return topo;
+}
+
+} // namespace ditto::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Microservice topology analyzer (Sec. 4.2).
+ *
+ * Consumes collected distributed traces (server spans + client RPC
+ * edges) and recovers the dependency DAG with per-edge statistics:
+ * calls per caller-request, request/response sizes. The skeleton
+ * generator turns this into the clone's RPC interfaces.
+ */
+
+#ifndef DITTO_CORE_TOPOLOGY_ANALYZER_H_
+#define DITTO_CORE_TOPOLOGY_ANALYZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "profile/profile_data.h"
+#include "trace/tracer.h"
+
+namespace ditto::core {
+
+/** Recovered service dependency graph. */
+struct Topology
+{
+    /** All services, topologically ordered (callees first). */
+    std::vector<std::string> services;
+    std::vector<profile::EdgeProfile> edges;
+    /** Server spans observed per service. */
+    std::map<std::string, double> requestCounts;
+    /** Entry service (receives external requests, no caller). */
+    std::string root;
+
+    /** Edges where `service` is the caller. */
+    std::vector<profile::EdgeProfile>
+    outEdges(const std::string &service) const;
+
+    /** True when the DAG contains the service. */
+    bool contains(const std::string &service) const;
+};
+
+/** Build the topology from a trace collection. */
+Topology analyzeTopology(const trace::Tracer &tracer);
+
+} // namespace ditto::core
+
+#endif // DITTO_CORE_TOPOLOGY_ANALYZER_H_

@@ -1,0 +1,264 @@
+#include "hw/block_builder.h"
+
+#include <algorithm>
+
+#include "sim/distributions.h"
+
+namespace ditto::hw {
+
+MixWeights
+MixWeights::serverCode()
+{
+    MixWeights w;
+    w.move = 0.34;
+    w.arith = 0.30;
+    w.logic = 0.09;
+    w.shift = 0.03;
+    w.mul = 0.01;
+    return w;
+}
+
+MixWeights
+MixWeights::hashCode()
+{
+    MixWeights w;
+    w.move = 0.26;
+    w.arith = 0.26;
+    w.logic = 0.12;
+    w.shift = 0.08;
+    w.mul = 0.05;
+    w.crc = 0.06;
+    return w;
+}
+
+MixWeights
+MixWeights::parserCode()
+{
+    MixWeights w;
+    w.move = 0.30;
+    w.arith = 0.34;
+    w.logic = 0.10;
+    w.shift = 0.04;
+    w.simd = 0.03;  // SSE scanning (memchr-style)
+    return w;
+}
+
+MixWeights
+MixWeights::numericCode()
+{
+    MixWeights w;
+    w.move = 0.24;
+    w.arith = 0.20;
+    w.logic = 0.04;
+    w.shift = 0.02;
+    w.mul = 0.04;
+    w.fp = 0.18;
+    w.simd = 0.10;
+    w.div = 0.01;
+    return w;
+}
+
+namespace {
+
+/** Pick a register-only opcode for a class bucket. */
+Opcode
+pickRegOpcode(const Isa &isa, sim::Rng &rng, int bucket)
+{
+    static const char *const kMove[] = {
+        "MOV_GPR64_GPR64", "MOV_GPR64_IMM64", "MOV_GPR32_GPR32",
+        "LEA_GPR64_AGEN", "CMOVZ_GPR64_GPR64", "CMOVNZ_GPR64_GPR64",
+    };
+    static const char *const kArith[] = {
+        "ADD_GPR64_GPR64", "ADD_GPR64_IMM32", "SUB_GPR64_GPR64",
+        "INC_GPR64", "DEC_GPR64", "CMP_GPR64_GPR64", "CMP_GPR64_IMM32",
+        "TEST_GPR64_GPR64", "NEG_GPR64",
+    };
+    static const char *const kLogic[] = {
+        "AND_GPR64_GPR64", "OR_GPR64_GPR64", "XOR_GPR64_GPR64",
+        "XOR_GPR32_GPR32", "NOT_GPR64",
+    };
+    static const char *const kShift[] = {
+        "SHL_GPR64_IMM8", "SHR_GPR64_IMM8", "SAR_GPR64_IMM8",
+        "ROL_GPR64_IMM8",
+    };
+    static const char *const kMul[] = {
+        "IMUL_GPR64_GPR64", "IMUL_GPR32_GPR32", "MUL_GPR64",
+    };
+    static const char *const kDiv[] = {
+        "DIV_GPR64", "IDIV_GPR32",
+    };
+    static const char *const kFp[] = {
+        "ADDSD_XMM_XMM", "SUBSD_XMM_XMM", "MULSD_XMM_XMM",
+        "UCOMISD_XMM_XMM", "CVTSI2SD_XMM_GPR64", "DIVSD_XMM_XMM",
+    };
+    static const char *const kSimd[] = {
+        "PADDQ_XMM_XMM", "PXOR_XMM_XMM", "PCMPEQB_XMM_XMM",
+        "PMOVMSKB_GPR32_XMM", "PSHUFB_XMM_XMM", "POR_XMM_XMM",
+    };
+    static const char *const kCrc[] = {
+        "CRC32_GPR64_GPR64", "POPCNT_GPR64_GPR64", "TZCNT_GPR64_GPR64",
+        "BSWAP_GPR64",
+    };
+    static const char *const kLock[] = {
+        "LOCK_ADD_MEM64_GPR64", "LOCK_XADD_MEM64_GPR64",
+        "LOCK_CMPXCHG_MEM64_GPR64",
+    };
+
+    auto pick = [&](const char *const *names, std::size_t n) {
+        return isa.opcode(names[rng.uniformInt(n)]);
+    };
+    switch (bucket) {
+      case 0: return pick(kMove, std::size(kMove));
+      case 1: return pick(kArith, std::size(kArith));
+      case 2: return pick(kLogic, std::size(kLogic));
+      case 3: return pick(kShift, std::size(kShift));
+      case 4: return pick(kMul, std::size(kMul));
+      case 5: return pick(kDiv, std::size(kDiv));
+      case 6: return pick(kFp, std::size(kFp));
+      case 7: return pick(kSimd, std::size(kSimd));
+      case 8: return pick(kCrc, std::size(kCrc));
+      case 9: return pick(kLock, std::size(kLock));
+      default: return isa.opcode("NOP");
+    }
+}
+
+/** Pick a memory-operand opcode: load or store. */
+Opcode
+pickMemOpcode(const Isa &isa, sim::Rng &rng, bool store)
+{
+    static const char *const kLoads[] = {
+        "MOV_GPR64_MEM64", "MOV_GPR32_MEM32", "MOVZX_GPR64_MEM8",
+        "ADD_GPR64_MEM64", "CMP_GPR64_MEM64", "AND_GPR64_MEM64",
+        "SUB_GPR64_MEM64",
+    };
+    static const char *const kStores[] = {
+        "MOV_MEM64_GPR64", "MOV_MEM32_GPR32",
+    };
+    if (store)
+        return isa.opcode(kStores[rng.uniformInt(std::size(kStores))]);
+    return isa.opcode(kLoads[rng.uniformInt(std::size(kLoads))]);
+}
+
+bool
+usesXmm(const InstInfo &info)
+{
+    return info.operands == OperandKind::Xmm;
+}
+
+} // namespace
+
+CodeBlock
+buildBlock(const BlockSpec &spec)
+{
+    const Isa &isa = Isa::instance();
+    sim::Rng rng(spec.seed ^ 0xd177000000ull);
+
+    CodeBlock block;
+    block.label = spec.label;
+
+    // Streams: default to one 4KB sequential stream if none given.
+    std::vector<StreamSpec> streams = spec.streams;
+    if (streams.empty())
+        streams.push_back(StreamSpec{});
+    sim::EmpiricalDist streamPick;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        block.streams.push_back(MemStreamDesc{
+            roundUpPow2(streams[i].wsBytes), streams[i].kind,
+            streams[i].shared, 1});
+        streamPick.add(static_cast<std::int64_t>(i), streams[i].weight);
+    }
+
+    // Branch sites: allocate one descriptor per branch instruction so
+    // each static site has its own pattern counter (like real code).
+    sim::EmpiricalDist classPick;
+    const double weights[] = {
+        spec.mix.move, spec.mix.arith, spec.mix.logic, spec.mix.shift,
+        spec.mix.mul, spec.mix.div, spec.mix.fp, spec.mix.simd,
+        spec.mix.crc, spec.mix.lock,
+    };
+    for (int i = 0; i < 10; ++i)
+        classPick.add(i, weights[i]);
+
+    // Recent destination registers, for dependency tightness. GPR
+    // r0..r11 are general; r12-r15 reserved (loop counters / bases),
+    // mirroring the paper's reserved-register convention.
+    std::vector<std::uint8_t> recentGpr = {0};
+    std::vector<std::uint8_t> recentXmm = {kXmmBase};
+    constexpr std::uint8_t kUsableGprs = 12;
+
+    auto pick_src = [&](bool xmm) -> std::uint8_t {
+        auto &recent = xmm ? recentXmm : recentGpr;
+        if (!recent.empty() && rng.bernoulli(spec.depTightness)) {
+            // Recently written register: short RAW distance.
+            const std::size_t window =
+                std::min<std::size_t>(recent.size(), 4);
+            return recent[recent.size() - 1 - rng.uniformInt(window)];
+        }
+        if (xmm)
+            return kXmmBase +
+                static_cast<std::uint8_t>(rng.uniformInt(kNumXmms));
+        return static_cast<std::uint8_t>(rng.uniformInt(kUsableGprs));
+    };
+    auto pick_dst = [&](bool xmm) -> std::uint8_t {
+        std::uint8_t reg;
+        if (xmm) {
+            reg = kXmmBase +
+                static_cast<std::uint8_t>(rng.uniformInt(kNumXmms));
+            recentXmm.push_back(reg);
+            if (recentXmm.size() > 8)
+                recentXmm.erase(recentXmm.begin());
+        } else {
+            reg = static_cast<std::uint8_t>(rng.uniformInt(kUsableGprs));
+            recentGpr.push_back(reg);
+            if (recentGpr.size() > 8)
+                recentGpr.erase(recentGpr.begin());
+        }
+        return reg;
+    };
+
+    for (unsigned i = 0; i < spec.instCount; ++i) {
+        Inst inst;
+        const double roll = rng.uniform();
+        if (roll < spec.branchFraction && !spec.branchKinds.empty()) {
+            // Conditional branch with its own pattern descriptor.
+            inst.opcode = isa.opcode(
+                rng.bernoulli(0.5) ? "JZ_RELBR" : "JNZ_RELBR");
+            BranchDesc desc = spec.branchKinds[
+                rng.uniformInt(spec.branchKinds.size())];
+            inst.branch = static_cast<std::uint16_t>(
+                block.branches.size());
+            block.branches.push_back(desc);
+            inst.src0 = pick_src(false);
+        } else if (roll < spec.branchFraction + spec.memFraction) {
+            const bool store = rng.bernoulli(spec.storeFraction);
+            inst.opcode = pickMemOpcode(isa, rng, store);
+            inst.memStream = static_cast<std::uint16_t>(
+                streamPick.sample(rng));
+            if (store) {
+                inst.src0 = pick_src(false);
+            } else {
+                inst.dst = pick_dst(false);
+                inst.src0 = pick_src(false);
+            }
+        } else {
+            const int bucket = static_cast<int>(classPick.sample(rng));
+            inst.opcode = pickRegOpcode(isa, rng, bucket);
+            const InstInfo &info = isa.info(inst.opcode);
+            const bool xmm = usesXmm(info);
+            // LOCK forms also need a (shared) stream.
+            if (info.isLoad || info.isStore) {
+                inst.memStream = static_cast<std::uint16_t>(
+                    streamPick.sample(rng));
+            }
+            inst.src0 = pick_src(xmm);
+            if (rng.bernoulli(0.6))
+                inst.src1 = pick_src(xmm);
+            inst.dst = pick_dst(xmm);
+        }
+        block.insts.push_back(inst);
+    }
+
+    return block;
+}
+
+} // namespace ditto::hw

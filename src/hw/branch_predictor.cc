@@ -1,0 +1,92 @@
+#include "hw/branch_predictor.h"
+
+#include <algorithm>
+
+namespace ditto::hw {
+
+bool
+BranchPattern::direction(const BranchDesc &desc, std::uint64_t count)
+{
+    const unsigned m = std::clamp<unsigned>(desc.takenExp, 0, 30);
+    const unsigned n = std::clamp<unsigned>(desc.transExp, 1, 30);
+    if (m == 0)
+        return true;  // taken rate 1.0
+    if (m > n + 1) {
+        // Saturated: one taken execution per 2^M period.
+        const std::uint64_t period = std::uint64_t{1} << m;
+        return (count % period) == 0;
+    }
+    const std::uint64_t period = std::uint64_t{1} << (n + 1);
+    const std::uint64_t takenRun = std::uint64_t{1} << (n + 1 - m);
+    return (count % period) < takenRun;
+}
+
+double
+BranchPattern::takenRate(const BranchDesc &desc)
+{
+    const unsigned m = std::clamp<unsigned>(desc.takenExp, 0, 30);
+    return 1.0 / static_cast<double>(std::uint64_t{1} << m);
+}
+
+double
+BranchPattern::transitionRate(const BranchDesc &desc)
+{
+    const unsigned m = std::clamp<unsigned>(desc.takenExp, 0, 30);
+    const unsigned n = std::clamp<unsigned>(desc.transExp, 1, 30);
+    if (m == 0)
+        return 0.0;
+    if (m > n + 1) {
+        // Two transitions per 2^M period.
+        return 2.0 / static_cast<double>(std::uint64_t{1} << m);
+    }
+    return 2.0 / static_cast<double>(std::uint64_t{1} << (n + 1));
+}
+
+BranchPredictor::BranchPredictor(unsigned log2Entries,
+                                 unsigned historyBits)
+    : pht_(std::size_t{1} << log2Entries, 1),
+      mask_((std::uint64_t{1} << log2Entries) - 1),
+      historyMask_((std::uint64_t{1} << historyBits) - 1)
+{
+}
+
+bool
+BranchPredictor::predictAndUpdate(std::uint64_t pc, bool taken)
+{
+    // Hash the pc down to line+offset entropy; xor with history.
+    std::uint64_t h = pc >> 2;
+    h ^= h >> 17;
+    const std::uint64_t index = (h ^ history_) & mask_;
+    std::uint8_t &counter = pht_[index];
+    const bool predictTaken = counter >= 2;
+
+    ++predictions_;
+    const bool mispredict = predictTaken != taken;
+    if (mispredict)
+        ++mispredictions_;
+
+    if (taken && counter < 3)
+        ++counter;
+    else if (!taken && counter > 0)
+        --counter;
+
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+    return mispredict;
+}
+
+void
+BranchPredictor::resetStats()
+{
+    predictions_ = 0;
+    mispredictions_ = 0;
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(pht_.begin(), pht_.end(), 1);
+    history_ = 0;
+    resetStats();
+}
+
+} // namespace ditto::hw

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Branch direction generation and prediction.
+ *
+ * Direction sequences follow the paper's bitmask construction
+ * (Sec. 4.4.3): a branch with taken-rate 2^-M and transition-rate
+ * 2^-N produces a periodic pattern equivalent to
+ * `test r8d, BITMASK; jz`. Prediction uses a gshare predictor with a
+ * finite pattern-history table, so prediction accuracy degrades with
+ * static branch count and instruction footprint (aliasing), which the
+ * paper identifies as significant contributors.
+ */
+
+#ifndef DITTO_HW_BRANCH_PREDICTOR_H_
+#define DITTO_HW_BRANCH_PREDICTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/code.h"
+
+namespace ditto::hw {
+
+/**
+ * Deterministic direction sequence for a BranchDesc.
+ *
+ * Pattern period is 2^(N+1) executions containing a single taken run,
+ * giving taken rate 2^-M and transition rate 2^-N (two transitions
+ * per period). When M > N+1 the taken run would be sub-unit, so the
+ * period stretches to 2^M with a single taken execution (the
+ * transition rate saturates -- same saturation as the quantized
+ * bitmask in the paper).
+ */
+class BranchPattern
+{
+  public:
+    /** Direction of the `count`-th execution (0-based). */
+    static bool direction(const BranchDesc &desc, std::uint64_t count);
+
+    /** Exact long-run taken rate of the generated pattern. */
+    static double takenRate(const BranchDesc &desc);
+
+    /** Exact long-run transition rate of the generated pattern. */
+    static double transitionRate(const BranchDesc &desc);
+};
+
+/**
+ * gshare predictor: PHT of 2-bit saturating counters indexed by
+ * (pc ^ global history).
+ */
+class BranchPredictor
+{
+  public:
+    /** @param log2Entries PHT size = 2^log2Entries counters. */
+    explicit BranchPredictor(unsigned log2Entries = 14,
+                             unsigned historyBits = 12);
+
+    /**
+     * Predict, then update with the actual outcome.
+     * @retval true when the prediction was wrong.
+     */
+    bool predictAndUpdate(std::uint64_t pc, bool taken);
+
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t mispredictions() const { return mispredictions_; }
+
+    double
+    mispredictRate() const
+    {
+        return predictions_ ? static_cast<double>(mispredictions_) /
+            static_cast<double>(predictions_) : 0.0;
+    }
+
+    void resetStats();
+    void reset();
+
+  private:
+    std::vector<std::uint8_t> pht_;
+    std::uint64_t mask_;
+    std::uint64_t history_ = 0;
+    std::uint64_t historyMask_;
+    std::uint64_t predictions_ = 0;
+    std::uint64_t mispredictions_ = 0;
+};
+
+} // namespace ditto::hw
+
+#endif // DITTO_HW_BRANCH_PREDICTOR_H_

@@ -1,0 +1,308 @@
+#include "hw/cache.h"
+
+#include <bit>
+#include <cassert>
+
+namespace ditto::hw {
+
+namespace {
+
+inline std::uint64_t
+lineOf(std::uint64_t addr)
+{
+    return addr / kLineBytes;
+}
+
+} // namespace
+
+Cache::Cache(std::uint64_t capacityBytes, unsigned ways)
+    : capacity_(capacityBytes), ways_(ways)
+{
+    assert(ways_ > 0);
+    std::uint64_t line_count = capacity_ / kLineBytes;
+    if (line_count < ways_)
+        line_count = ways_;
+    sets_ = line_count / ways_;
+    // Round the set count down to a power of two for mask indexing;
+    // capacities like 30.25MB (Platform A LLC) produce non-pow2 set
+    // counts, so keep the largest pow2 not exceeding it.
+    sets_ = std::bit_floor(sets_);
+    if (sets_ == 0)
+        sets_ = 1;
+    setMask_ = sets_ - 1;
+    setShift_ = static_cast<unsigned>(std::countr_zero(sets_));
+    lines_.assign(sets_ * ways_, Line{});
+}
+
+Cache::Line *
+Cache::find(std::uint64_t addr)
+{
+    const std::uint64_t line = lineOf(addr);
+    const std::uint64_t set = line & setMask_;
+    const std::uint64_t tag = line >> setShift_;
+    Line *base = &lines_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(std::uint64_t addr) const
+{
+    return const_cast<Cache *>(this)->find(addr);
+}
+
+Cache::Line *
+Cache::victim(std::uint64_t addr)
+{
+    const std::uint64_t line = lineOf(addr);
+    const std::uint64_t set = line & setMask_;
+    Line *base = &lines_[set * ways_];
+    Line *lru = &base[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!base[w].valid)
+            return &base[w];
+        if (base[w].lastUse < lru->lastUse)
+            lru = &base[w];
+    }
+    return lru;
+}
+
+bool
+Cache::access(std::uint64_t addr, bool /*isWrite*/)
+{
+    ++stats_.accesses;
+    ++tick_;
+    if (Line *line = find(addr)) {
+        if (line->prefetched) {
+            ++stats_.prefetchHits;
+            line->prefetched = false;
+        }
+        line->lastUse = tick_;
+        return true;
+    }
+    ++stats_.misses;
+    Line *line = victim(addr);
+    if (line->valid)
+        ++stats_.evictions;
+    const std::uint64_t lineAddr = lineOf(addr);
+    line->tag = lineAddr >> setShift_;
+    line->lastUse = tick_;
+    line->valid = true;
+    line->prefetched = false;
+    return false;
+}
+
+void
+Cache::fill(std::uint64_t addr, bool prefetch)
+{
+    ++tick_;
+    if (Line *line = find(addr)) {
+        line->lastUse = tick_;
+        return;
+    }
+    Line *line = victim(addr);
+    if (line->valid)
+        ++stats_.evictions;
+    const std::uint64_t lineAddr = lineOf(addr);
+    line->tag = lineAddr >> setShift_;
+    line->lastUse = tick_;
+    line->valid = true;
+    line->prefetched = prefetch;
+    if (prefetch)
+        ++stats_.prefetchFills;
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    return find(addr) != nullptr;
+}
+
+bool
+Cache::invalidate(std::uint64_t addr)
+{
+    if (Line *line = find(addr)) {
+        line->valid = false;
+        ++stats_.invalidations;
+        return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidateFraction(double fraction, std::uint64_t salt)
+{
+    if (fraction <= 0.0)
+        return;
+    // Deterministic pseudo-random selection keyed by line index+salt.
+    const auto threshold =
+        static_cast<std::uint64_t>(fraction * 4294967296.0);
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        if (!lines_[i].valid)
+            continue;
+        std::uint64_t h = (i * 0x9e3779b97f4a7c15ull) ^ salt;
+        h ^= h >> 29;
+        h *= 0xbf58476d1ce4e5b9ull;
+        h ^= h >> 32;
+        if ((h & 0xffffffffull) < threshold) {
+            lines_[i].valid = false;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+}
+
+StreamPrefetcher::StreamPrefetcher(unsigned tableSize, unsigned degree)
+    : table_(tableSize), degree_(degree)
+{
+}
+
+void
+StreamPrefetcher::observe(std::uint64_t lineAddr,
+                          std::vector<std::uint64_t> &out)
+{
+    out.clear();
+    ++tick_;
+    // Match an existing stream; remember the LRU slot for allocation.
+    StreamEntry *lruEntry = &table_[0];
+    for (StreamEntry &e : table_) {
+        if (!lruEntry->valid) {
+            // keep current lruEntry (free slot wins)
+        } else if (!e.valid || e.lastUse < lruEntry->lastUse) {
+            lruEntry = &e;
+        }
+        if (!e.valid)
+            continue;
+        const std::int64_t delta = static_cast<std::int64_t>(lineAddr) -
+            static_cast<std::int64_t>(e.lastLine);
+        if (delta != 0 && delta == e.stride) {
+            // Confirmed stream: issue prefetches.
+            if (++e.confidence >= 2) {
+                for (unsigned d = 1; d <= degree_; ++d) {
+                    out.push_back(static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(lineAddr) +
+                        e.stride * static_cast<std::int64_t>(d)));
+                }
+            }
+            e.lastLine = lineAddr;
+            e.lastUse = tick_;
+            return;
+        }
+        if (delta != 0 && delta >= -8 && delta <= 8) {
+            // Train a new stride on this entry.
+            e.stride = delta;
+            e.confidence = 1;
+            e.lastLine = lineAddr;
+            e.lastUse = tick_;
+            return;
+        }
+    }
+    // Allocate a fresh stream on the LRU entry.
+    lruEntry->valid = true;
+    lruEntry->lastLine = lineAddr;
+    lruEntry->stride = 0;
+    lruEntry->confidence = 0;
+    lruEntry->lastUse = tick_;
+}
+
+void
+StreamPrefetcher::reset()
+{
+    for (StreamEntry &e : table_)
+        e.valid = false;
+    tick_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(std::uint64_t l1iBytes, unsigned l1iWays,
+                               std::uint64_t l1dBytes, unsigned l1dWays,
+                               std::uint64_t l2Bytes, unsigned l2Ways,
+                               Cache *sharedLlc, bool prefetchEnabled)
+    : l1i_(l1iBytes, l1iWays), l1d_(l1dBytes, l1dWays),
+      l2_(l2Bytes, l2Ways), llc_(sharedLlc),
+      prefetchEnabled_(prefetchEnabled)
+{
+}
+
+CacheLevel
+CacheHierarchy::accessData(std::uint64_t addr, bool isWrite)
+{
+    CacheLevel level = CacheLevel::Memory;
+    if (l1d_.access(addr, isWrite)) {
+        level = CacheLevel::L1;
+    } else if (l2_.access(addr, isWrite)) {
+        level = CacheLevel::L2;
+        l1d_.fill(addr);
+    } else if (llc_ && llc_->access(addr, isWrite)) {
+        level = CacheLevel::L3;
+        l2_.fill(addr);
+        l1d_.fill(addr);
+    } else {
+        level = CacheLevel::Memory;
+        if (llc_)
+            llc_->fill(addr);
+        l2_.fill(addr);
+        l1d_.fill(addr);
+    }
+
+    if (prefetchEnabled_) {
+        prefetcher_.observe(addr / kLineBytes, prefetchScratch_);
+        for (std::uint64_t line : prefetchScratch_) {
+            const std::uint64_t pfAddr = line * kLineBytes;
+            if (!l2_.probe(pfAddr)) {
+                if (llc_ && !llc_->probe(pfAddr))
+                    llc_->fill(pfAddr, true);
+                l2_.fill(pfAddr, true);
+            }
+            if (!l1d_.probe(pfAddr))
+                l1d_.fill(pfAddr, true);
+        }
+    }
+    return level;
+}
+
+CacheLevel
+CacheHierarchy::accessInst(std::uint64_t addr)
+{
+    if (l1i_.access(addr, false))
+        return CacheLevel::L1;
+    if (l2_.access(addr, false)) {
+        l1i_.fill(addr);
+        return CacheLevel::L2;
+    }
+    if (llc_ && llc_->access(addr, false)) {
+        l2_.fill(addr);
+        l1i_.fill(addr);
+        return CacheLevel::L3;
+    }
+    if (llc_)
+        llc_->fill(addr);
+    l2_.fill(addr);
+    l1i_.fill(addr);
+    return CacheLevel::Memory;
+}
+
+void
+CacheHierarchy::invalidateData(std::uint64_t addr)
+{
+    l1d_.invalidate(addr);
+    l2_.invalidate(addr);
+}
+
+void
+CacheHierarchy::pollute(double fraction, std::uint64_t salt)
+{
+    l1i_.invalidateFraction(fraction, salt);
+    l1d_.invalidateFraction(fraction, salt ^ 0xabcdef);
+    l2_.invalidateFraction(fraction * 0.25, salt ^ 0x123456);
+}
+
+} // namespace ditto::hw

@@ -1,0 +1,82 @@
+#include "os/disk.h"
+
+#include <cmath>
+#include <memory>
+
+namespace ditto::os {
+
+DiskProfile
+DiskProfile::forKind(hw::DiskKind kind)
+{
+    DiskProfile p{};
+    switch (kind) {
+      case hw::DiskKind::Ssd:
+        // NVMe/SATA SSD: ~80us random read, ~500 MB/s, deep queue.
+        p.randomAccess = sim::microseconds(120);
+        p.bandwidthBytesPerNs = 500e6 / 1e9;
+        p.channels = 2;
+        p.latencyJitter = 0.25;
+        break;
+      case hw::DiskKind::Hdd:
+        // 7200rpm HDD: ~6ms seek+rotate, ~150 MB/s, one actuator.
+        p.randomAccess = sim::milliseconds(6);
+        p.bandwidthBytesPerNs = 150e6 / 1e9;
+        p.channels = 1;
+        p.latencyJitter = 0.35;
+        break;
+    }
+    return p;
+}
+
+Disk::Disk(sim::EventQueue &events, hw::DiskKind kind, std::uint64_t seed)
+    : events_(events), kind_(kind), profile_(DiskProfile::forKind(kind)),
+      rng_(seed)
+{
+}
+
+void
+Disk::submit(std::uint64_t bytes, bool isWrite, std::function<void()> done)
+{
+    ++requests_;
+    if (isWrite)
+        writeBytes_ += bytes;
+    else
+        readBytes_ += bytes;
+
+    const double access = static_cast<double>(profile_.randomAccess) *
+        rng_.logNormal(0.0, profile_.latencyJitter);
+    const double transfer =
+        static_cast<double>(bytes) / profile_.bandwidthBytesPerNs;
+    const auto service = static_cast<sim::Time>(access + transfer);
+
+    queue_.push_back(Pending{service, std::move(done)});
+    pump();
+}
+
+void
+Disk::pump()
+{
+    while (inFlight_ < profile_.channels && !queue_.empty()) {
+        Pending req = std::move(queue_.front());
+        queue_.pop_front();
+        ++inFlight_;
+        auto done = std::make_shared<std::function<void()>>(
+            std::move(req.done));
+        events_.scheduleAfter(req.serviceTime, [this, done] {
+            --inFlight_;
+            if (*done)
+                (*done)();
+            pump();
+        });
+    }
+}
+
+void
+Disk::resetStats()
+{
+    readBytes_ = 0;
+    writeBytes_ = 0;
+    requests_ = 0;
+}
+
+} // namespace ditto::os

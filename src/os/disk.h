@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Storage device model with queueing.
+ *
+ * SSDs serve multiple requests concurrently with low latency; HDDs
+ * serialize with a multi-millisecond seek. Queueing delays under load
+ * are what make MongoDB disk-bound in Fig. 5, so the device keeps a
+ * FIFO of outstanding requests served by `channels` parallel servers.
+ */
+
+#ifndef DITTO_OS_DISK_H_
+#define DITTO_OS_DISK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "hw/platform.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace ditto::os {
+
+/** Performance envelope of a storage device. */
+struct DiskProfile
+{
+    sim::Time randomAccess;       //!< per-request access latency
+    double bandwidthBytesPerNs;   //!< transfer rate
+    unsigned channels;            //!< concurrent in-flight requests
+    double latencyJitter;         //!< lognormal sigma on access time
+
+    static DiskProfile forKind(hw::DiskKind kind);
+};
+
+/** One storage device attached to a machine. */
+class Disk
+{
+  public:
+    Disk(sim::EventQueue &events, hw::DiskKind kind,
+         std::uint64_t seed = 42);
+
+    /**
+     * Submit an I/O; `done` fires when it completes (after queueing +
+     * access + transfer).
+     */
+    void submit(std::uint64_t bytes, bool isWrite,
+                std::function<void()> done);
+
+    std::uint64_t readBytes() const { return readBytes_; }
+    std::uint64_t writeBytes() const { return writeBytes_; }
+    std::uint64_t requests() const { return requests_; }
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    hw::DiskKind kind() const { return kind_; }
+
+    void resetStats();
+
+  private:
+    struct Pending
+    {
+        sim::Time serviceTime;
+        std::function<void()> done;
+    };
+
+    sim::EventQueue &events_;
+    hw::DiskKind kind_;
+    DiskProfile profile_;
+    sim::Rng rng_;
+    std::deque<Pending> queue_;
+    unsigned inFlight_ = 0;
+    std::uint64_t readBytes_ = 0;
+    std::uint64_t writeBytes_ = 0;
+    std::uint64_t requests_ = 0;
+
+    void pump();
+};
+
+} // namespace ditto::os
+
+#endif // DITTO_OS_DISK_H_

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Syscall layer: the kernel-side semantics and CPU costs of the
+ * system calls the applications use.
+ *
+ * Every syscall (a) runs its kernel code path on the calling thread's
+ * core -- charging real simulated instructions, i-cache pressure, and
+ * cycles into the thread's stats sink -- and (b) performs the
+ * semantic action (dequeue a message, look up the page cache, submit
+ * a disk I/O, park the thread on a wait queue).
+ *
+ * Blocking syscalls use a two-phase protocol: the issue phase either
+ * completes (Ok) or registers the thread as a waiter and returns
+ * WouldBlock; after being woken the caller re-issues or runs the
+ * completion phase. The op interpreter in src/app drives this.
+ */
+
+#ifndef DITTO_OS_KERNEL_H_
+#define DITTO_OS_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "os/kernel_code.h"
+#include "os/socket.h"
+#include "os/thread.h"
+#include "sim/time.h"
+
+namespace ditto::os {
+
+class Machine;
+class Network;
+
+/** Result of a potentially blocking syscall's issue phase. */
+enum class SysResult : std::uint8_t
+{
+    Ok,
+    WouldBlock,
+};
+
+/** Per-syscall invocation counters, kept per machine. */
+struct SyscallCounts
+{
+    std::uint64_t read = 0;
+    std::uint64_t write = 0;
+    std::uint64_t epollWait = 0;
+    std::uint64_t pread = 0;
+    std::uint64_t pwrite = 0;
+    std::uint64_t futex = 0;
+    std::uint64_t nanosleep = 0;
+    std::uint64_t clone = 0;
+};
+
+class Kernel
+{
+  public:
+    explicit Kernel(Machine &machine);
+
+    /** Attach the network used for socket sends. */
+    void setNetwork(Network *net) { network_ = net; }
+    Network *network() const { return network_; }
+
+    // ---- cost primitives ------------------------------------------------
+
+    /** Run a kernel code path on the current core. */
+    void runPath(StepCtx &ctx, Thread &t, KernelPath path,
+                 std::uint64_t iterations = 1);
+
+    /** Charge a copy_to/from_user of `bytes`. */
+    void chargeCopy(StepCtx &ctx, Thread &t, std::uint64_t bytes);
+
+    // ---- sockets ---------------------------------------------------------
+
+    /**
+     * read()/recv() on a socket. On Ok, `out` holds the message and
+     * rx-path + copy costs are charged. On WouldBlock the thread is
+     * registered as a waiter (entry cost only).
+     */
+    SysResult sysSocketRead(StepCtx &ctx, Thread &t, Socket &sock,
+                            Message &out);
+
+    /** Non-blocking variant: never registers a waiter. */
+    SysResult sysSocketTryRead(StepCtx &ctx, Thread &t, Socket &sock,
+                               Message &out);
+
+    /** write()/send(): tx path + copy + NIC/wire delivery. */
+    void sysSocketWrite(StepCtx &ctx, Thread &t, Socket &sock,
+                        Message msg);
+
+    /**
+     * epoll_wait(). On Ok, `ready` holds readable sockets; on
+     * WouldBlock the thread waits on the epoll instance.
+     */
+    SysResult sysEpollWait(StepCtx &ctx, Thread &t, Epoll &ep,
+                           std::vector<Socket *> &ready);
+
+    // ---- file I/O ----------------------------------------------------------
+
+    /**
+     * pread(). Page-cache hits complete inline (Ok). On a miss the
+     * disk I/O is submitted with a wake-on-complete and WouldBlock is
+     * returned; after waking, call sysPreadFinish().
+     */
+    SysResult sysPread(StepCtx &ctx, Thread &t, std::uint32_t fileId,
+                       std::uint64_t offset, std::uint64_t bytes,
+                       std::uint64_t &diskBytesOut);
+
+    /** Completion phase of a blocked pread: the user copy. */
+    void sysPreadFinish(StepCtx &ctx, Thread &t, std::uint64_t bytes);
+
+    /** pwrite(): page-cache write-back, usually asynchronous. */
+    void sysPwrite(StepCtx &ctx, Thread &t, std::uint32_t fileId,
+                   std::uint64_t offset, std::uint64_t bytes);
+
+    // ---- synchronization ---------------------------------------------------
+
+    /** futex wait: always blocks (caller checks the predicate). */
+    SysResult sysFutexWait(StepCtx &ctx, Thread &t, WaitQueue &q);
+
+    /** futex wake. */
+    void sysFutexWake(StepCtx &ctx, Thread &t, WaitQueue &q,
+                      unsigned n = 1);
+
+    /** nanosleep: parks the thread; a timer wakes it. */
+    SysResult sysNanosleep(StepCtx &ctx, Thread &t, sim::Time duration);
+
+    /** Charge the cost of clone() (thread creation). */
+    void sysClone(StepCtx &ctx, Thread &t);
+
+    const SyscallCounts &counts() const { return counts_; }
+    void resetCounts() { counts_ = SyscallCounts{}; }
+
+    /**
+     * Simulated time already consumed in the current slice -- used to
+     * time-shift asynchronous effects (sends, disk submits, timers)
+     * so they occur when the syscall logically executes.
+     */
+    sim::Time sliceOffset(const StepCtx &ctx) const;
+
+  private:
+    Machine &machine_;
+    Network *network_ = nullptr;
+    SyscallCounts counts_;
+};
+
+} // namespace ditto::os
+
+#endif // DITTO_OS_KERNEL_H_

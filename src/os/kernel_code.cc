@@ -1,0 +1,95 @@
+#include "os/kernel_code.h"
+
+#include "hw/block_builder.h"
+
+namespace ditto::os {
+
+namespace {
+
+/** Kernel virtual addresses live far away from user text/data. */
+constexpr std::uint64_t kKernelTextBase = 0x7f00'0000'0000ull;
+constexpr std::uint64_t kKernelDataBase = 0x7f80'0000'0000ull;
+
+/** Private-copy slots for per-thread kernel stacks/data. */
+constexpr unsigned kKernelThreadSlots = 64;
+
+hw::BlockSpec
+kernelSpec(const char *label, unsigned insts, std::uint64_t sharedWs,
+           std::uint64_t privateWs, std::uint64_t seed)
+{
+    hw::BlockSpec spec;
+    spec.label = label;
+    spec.instCount = insts;
+    spec.mix = hw::MixWeights::serverCode();
+    // Kernel code is branch-dense; most branches are biased (error
+    // paths, config checks) with a tail of hard data-dependent ones.
+    spec.branchFraction = 0.16;
+    spec.branchKinds = {{3, 4}, {4, 5}, {2, 4}, {5, 6}, {1, 2}};
+    spec.memFraction = 0.30;
+    spec.storeFraction = 0.33;
+    spec.depTightness = 0.40;
+    spec.seed = seed;
+    // Shared kernel structures (socket tables, runqueues) plus
+    // per-thread state (kernel stack, task struct).
+    spec.streams = {
+        {sharedWs, hw::StreamKind::Random, true, 0.45},
+        {privateWs, hw::StreamKind::Sequential, false, 0.55},
+    };
+    return spec;
+}
+
+} // namespace
+
+KernelCode::KernelCode(std::uint64_t seed)
+{
+    image_ = std::make_unique<hw::CodeImage>(
+        kKernelTextBase, kKernelDataBase, kKernelThreadSlots);
+
+    struct PathSpec
+    {
+        KernelPath path;
+        const char *label;
+        unsigned insts;
+        std::uint64_t sharedWs;
+        std::uint64_t privateWs;
+    };
+
+    // Footprints chosen so one request's kernel work touches tens of
+    // KB of text -- the frontend pressure the paper attributes to
+    // user/kernel mode switching.
+    const PathSpec paths[] = {
+        {KernelPath::SyscallEntry, "k.sys_entry", 500, 1 << 12, 1 << 10},
+        {KernelPath::TcpRx, "k.tcp_rx", 4200, 1 << 16, 1 << 12},
+        {KernelPath::TcpTx, "k.tcp_tx", 3400, 1 << 16, 1 << 12},
+        {KernelPath::EpollWait, "k.epoll_wait", 1300, 1 << 13, 1 << 10},
+        {KernelPath::EpollWake, "k.epoll_wake", 800, 1 << 13, 1 << 9},
+        {KernelPath::VfsRead, "k.vfs_read", 2600, 1 << 14, 1 << 11},
+        {KernelPath::VfsWrite, "k.vfs_write", 2700, 1 << 14, 1 << 11},
+        {KernelPath::PageCacheLookup, "k.pagecache", 950, 1 << 15, 1 << 9},
+        {KernelPath::BlockIo, "k.block_io", 2100, 1 << 14, 1 << 10},
+        {KernelPath::SchedSwitch, "k.sched", 1600, 1 << 13, 1 << 10},
+        {KernelPath::Futex, "k.futex", 720, 1 << 12, 1 << 8},
+        {KernelPath::Clone, "k.clone", 6300, 1 << 14, 1 << 12},
+        {KernelPath::CopyChunk, "k.copy", 24, 1 << 10, 1 << 16},
+    };
+
+    std::uint64_t salt = seed;
+    for (const PathSpec &p : paths) {
+        hw::BlockSpec spec = kernelSpec(p.label, p.insts, p.sharedWs,
+                                        p.privateWs, salt++);
+        if (p.path == KernelPath::CopyChunk) {
+            // The copy loop is load/store dominated, low-branch,
+            // streaming over the user buffer.
+            spec.memFraction = 0.70;
+            spec.storeFraction = 0.5;
+            spec.branchFraction = 0.05;
+            spec.streams = {
+                {1 << 16, hw::StreamKind::Sequential, false, 1.0},
+            };
+        }
+        blockIds_[static_cast<std::size_t>(p.path)] =
+            image_->addBlock(hw::buildBlock(spec));
+    }
+}
+
+} // namespace ditto::os

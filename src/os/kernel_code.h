@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Kernel text: procedurally authored code blocks for each syscall
+ * path.
+ *
+ * Cloud services spend a large fraction of their cycles in the
+ * kernel (Sec. 3.3.2), and kernel code is big and branchy -- a major
+ * source of i-cache pressure and frontend stalls. Each syscall path
+ * gets its own multi-KB block so user/kernel transitions thrash L1i
+ * for real in the machine model.
+ */
+
+#ifndef DITTO_OS_KERNEL_CODE_H_
+#define DITTO_OS_KERNEL_CODE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "hw/code.h"
+
+namespace ditto::os {
+
+/** Identifies a kernel code path. */
+enum class KernelPath : std::uint8_t
+{
+    SyscallEntry,   //!< entry/exit trampoline + dispatch
+    TcpRx,          //!< softirq + tcp receive path
+    TcpTx,          //!< tcp transmit path
+    EpollWait,      //!< epoll_wait bookkeeping
+    EpollWake,      //!< wait-queue wakeup path
+    VfsRead,        //!< read()/pread() path
+    VfsWrite,       //!< write path
+    PageCacheLookup,//!< radix-tree page lookup
+    BlockIo,        //!< block layer submit/complete
+    SchedSwitch,    //!< context switch
+    Futex,          //!< futex wait/wake
+    Clone,          //!< thread creation
+    CopyChunk,      //!< copy_to/from_user inner loop (per 256B)
+    Count,
+};
+
+/**
+ * The linked kernel image for one machine plus block ids per path.
+ */
+class KernelCode
+{
+  public:
+    /** Build and link the kernel image (deterministic given seed). */
+    explicit KernelCode(std::uint64_t seed = 0xbadc0de);
+
+    const hw::CodeImage &image() const { return *image_; }
+
+    /** Block id of a path. */
+    std::uint32_t blockOf(KernelPath path) const
+    {
+        return blockIds_[static_cast<std::size_t>(path)];
+    }
+
+  private:
+    std::unique_ptr<hw::CodeImage> image_;
+    std::uint32_t blockIds_[static_cast<std::size_t>(KernelPath::Count)];
+};
+
+} // namespace ditto::os
+
+#endif // DITTO_OS_KERNEL_CODE_H_

@@ -1,0 +1,119 @@
+#include "os/machine.h"
+
+#include <bit>
+
+#include "os/kernel.h"
+
+namespace ditto::os {
+
+namespace {
+
+/** User address-space layout: per-service regions. */
+constexpr std::uint64_t kUserTextBase = 0x0000'4000'0000ull;
+constexpr std::uint64_t kUserTextStride = 0x0000'0400'0000ull;  // 64MB
+constexpr std::uint64_t kUserDataBase = 0x0100'0000'0000ull;
+constexpr std::uint64_t kUserDataStride = 0x0010'0000'0000ull;  // 64GB
+
+/** Fraction of RAM the page cache may use. */
+constexpr double kPageCacheFraction = 0.6;
+
+} // namespace
+
+Machine::Machine(std::string name, const hw::PlatformSpec &spec,
+                 sim::EventQueue &events, std::uint64_t seed)
+    : name_(std::move(name)), spec_(spec), events_(events),
+      smtWays_(spec.smtEnabled ? 2 : 1)
+{
+    llc_ = std::make_unique<hw::Cache>(spec_.llcBytes, spec_.llcWays);
+
+    const unsigned physCores = spec_.totalCores();
+    for (unsigned p = 0; p < physCores; ++p) {
+        hierarchies_.push_back(std::make_unique<hw::CacheHierarchy>(
+            spec_.l1iBytes, spec_.l1iWays, spec_.l1dBytes,
+            spec_.l1dWays, spec_.l2Bytes, spec_.l2Ways, llc_.get(),
+            spec_.prefetchEnabled));
+        for (unsigned way = 0; way < smtWays_; ++way) {
+            const auto id = static_cast<unsigned>(cores_.size());
+            cores_.push_back(std::make_unique<hw::CpuCore>(
+                id, spec_, *hierarchies_.back(), this));
+        }
+    }
+
+    kernelCode_ = std::make_unique<KernelCode>(seed ^ 0x6b65726eull);
+    scheduler_ = std::make_unique<Scheduler>(*this, events_);
+    kernel_ = std::make_unique<Kernel>(*this);
+    disk_ = std::make_unique<Disk>(events_, spec_.disk, seed ^ 0xd15cull);
+    pageCache_ = std::make_unique<PageCache>(static_cast<std::uint64_t>(
+        static_cast<double>(spec_.ramBytes) * kPageCacheFraction));
+    nic_.bytesPerNs = spec_.nicGbps / 8.0;  // Gb/s -> bytes/ns
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::sharedWrite(unsigned coreId, std::uint64_t addr)
+{
+    // Write-invalidate: drop the line from the private caches of
+    // every other hierarchy that holds it. The sharers directory
+    // keeps the fan-out proportional to the actual sharer count.
+    const unsigned writer = coreId / smtWays_;
+    const std::uint64_t line = addr / hw::kLineBytes;
+    std::uint64_t &mask = sharers_[line];
+    std::uint64_t others = mask & ~(std::uint64_t{1} << writer);
+    while (others) {
+        const unsigned h = static_cast<unsigned>(
+            std::countr_zero(others));
+        others &= others - 1;
+        if (h < hierarchies_.size())
+            hierarchies_[h]->invalidateData(addr);
+    }
+    mask = std::uint64_t{1} << writer;
+}
+
+void
+Machine::sharedRead(unsigned coreId, std::uint64_t addr)
+{
+    const unsigned reader = coreId / smtWays_;
+    const std::uint64_t line = addr / hw::kLineBytes;
+    sharers_[line] |= std::uint64_t{1} << reader;
+}
+
+Socket *
+Machine::createSocket()
+{
+    auto sock = std::make_unique<Socket>(nextSocketId_++);
+    sock->machine = this;
+    sock->wakeFn = [this](Thread *t) { scheduler_->wake(t); };
+    sockets_.push_back(std::move(sock));
+    return sockets_.back().get();
+}
+
+Epoll *
+Machine::createEpoll()
+{
+    auto ep = std::make_unique<Epoll>(nextSocketId_++);
+    ep->wakeFn = [this](Thread *t) { scheduler_->wake(t); };
+    epolls_.push_back(std::move(ep));
+    return epolls_.back().get();
+}
+
+WaitQueue *
+Machine::createWaitQueue()
+{
+    auto q = std::make_unique<WaitQueue>();
+    q->wakeFn = [this](Thread *t) { scheduler_->wake(t); };
+    waitQueues_.push_back(std::move(q));
+    return waitQueues_.back().get();
+}
+
+Machine::AddressRegion
+Machine::allocRegion()
+{
+    AddressRegion region;
+    region.textBase = kUserTextBase + nextRegion_ * kUserTextStride;
+    region.dataBase = kUserDataBase + nextRegion_ * kUserDataStride;
+    ++nextRegion_;
+    return region;
+}
+
+} // namespace ditto::os

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * One server node: cores + caches, scheduler, kernel, devices.
+ *
+ * Machine aggregates the hardware model (logical cores in SMT pairs
+ * sharing cache hierarchies, a shared LLC, write-invalidate
+ * coherence) with the OS model (scheduler, kernel, page cache, disk)
+ * and the NIC state used by os::Network.
+ */
+
+#ifndef DITTO_OS_MACHINE_H_
+#define DITTO_OS_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/cache.h"
+#include "hw/cpu_core.h"
+#include "hw/platform.h"
+#include "os/disk.h"
+#include "os/kernel_code.h"
+#include "os/page_cache.h"
+#include "os/scheduler.h"
+#include "os/socket.h"
+#include "sim/event_queue.h"
+
+namespace ditto::os {
+
+class Kernel;
+
+/** Per-machine NIC accounting. */
+struct NicState
+{
+    double bytesPerNs = 1.25;        //!< 10 Gbps default
+    sim::Time txNextFree = 0;
+    std::uint64_t txBytes = 0;
+    std::uint64_t rxBytes = 0;
+    /** External bandwidth consumed by stressors (iperf3-style). */
+    double hogBytesPerNs = 0;
+
+    double
+    effectiveBytesPerNs() const
+    {
+        const double eff = bytesPerNs - hogBytesPerNs;
+        return eff > bytesPerNs * 0.05 ? eff : bytesPerNs * 0.05;
+    }
+};
+
+class Machine : public hw::CoherenceDomain
+{
+  public:
+    Machine(std::string name, const hw::PlatformSpec &spec,
+            sim::EventQueue &events, std::uint64_t seed = 7);
+    ~Machine() override;
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const std::string &name() const { return name_; }
+    const hw::PlatformSpec &spec() const { return spec_; }
+    sim::EventQueue &events() { return events_; }
+
+    Scheduler &scheduler() { return *scheduler_; }
+    Kernel &kernel() { return *kernel_; }
+    Disk &disk() { return *disk_; }
+    PageCache &pageCache() { return *pageCache_; }
+    Vfs &vfs() { return vfs_; }
+    const KernelCode &kernelCode() const { return *kernelCode_; }
+    NicState &nic() { return nic_; }
+    hw::Cache &llc() { return *llc_; }
+
+    unsigned coreCount() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+    hw::CpuCore &core(unsigned i) { return *cores_[i]; }
+
+    /** Logical cores per SMT pair (2 when SMT is on, else 1). */
+    unsigned smtWays() const { return smtWays_; }
+
+    /** Write-invalidate coherence fan-out (directory-filtered). */
+    void sharedWrite(unsigned coreId, std::uint64_t addr) override;
+
+    /** Track readers of shared lines in the directory. */
+    void sharedRead(unsigned coreId, std::uint64_t addr) override;
+
+    /** Convert cycles to simulated nanoseconds at this node's clock. */
+    sim::Time
+    cyclesToTime(double cycles) const
+    {
+        const double ns = spec_.cyclesToNs(cycles);
+        return ns <= 0 ? 0 : static_cast<sim::Time>(ns + 0.5);
+    }
+
+    double
+    timeslicCycles() const
+    {
+        return 1.0e6 * spec_.baseFrequencyGhz;  // 1ms worth of cycles
+    }
+
+    // ---- socket / epoll / wait-queue factories ----------------------
+    Socket *createSocket();
+    Epoll *createEpoll();
+    WaitQueue *createWaitQueue();
+
+    /**
+     * Allocate a text/data address region for a service image.
+     * Regions are large and disjoint so services never alias.
+     */
+    struct AddressRegion
+    {
+        std::uint64_t textBase;
+        std::uint64_t dataBase;
+    };
+    AddressRegion allocRegion();
+
+  private:
+    std::string name_;
+    hw::PlatformSpec spec_;
+    sim::EventQueue &events_;
+    unsigned smtWays_;
+
+    std::unique_ptr<hw::Cache> llc_;
+    std::vector<std::unique_ptr<hw::CacheHierarchy>> hierarchies_;
+    std::vector<std::unique_ptr<hw::CpuCore>> cores_;
+
+    std::unique_ptr<KernelCode> kernelCode_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::unique_ptr<Kernel> kernel_;
+    std::unique_ptr<Disk> disk_;
+    std::unique_ptr<PageCache> pageCache_;
+    Vfs vfs_;
+    NicState nic_;
+
+    std::vector<std::unique_ptr<Socket>> sockets_;
+    std::vector<std::unique_ptr<Epoll>> epolls_;
+    std::vector<std::unique_ptr<WaitQueue>> waitQueues_;
+
+    std::uint64_t nextSocketId_ = 1;
+    std::uint64_t nextRegion_ = 0;
+
+    /** Sharers directory: line address -> hierarchy bitmask. */
+    std::unordered_map<std::uint64_t, std::uint64_t> sharers_;
+};
+
+} // namespace ditto::os
+
+#endif // DITTO_OS_MACHINE_H_

@@ -1,0 +1,68 @@
+#include "os/network.h"
+
+#include <memory>
+
+#include "os/machine.h"
+
+namespace ditto::os {
+
+Network::Network(sim::EventQueue &events, sim::Time wireLatency,
+                 sim::Time loopbackLatency)
+    : events_(events), wireLatency_(wireLatency),
+      loopbackLatency_(loopbackLatency)
+{
+}
+
+void
+Network::connect(Socket &a, Socket &b)
+{
+    a.peer = &b;
+    b.peer = &a;
+}
+
+void
+Network::send(Socket &from, Message msg, sim::Time extraDelay)
+{
+    Socket *to = from.peer;
+    if (!to)
+        return;
+
+    sim::Time delay = extraDelay;
+    const bool loopback = from.machine && to->machine &&
+        from.machine == to->machine;
+
+    if (loopback) {
+        delay += loopbackLatency_;
+    } else {
+        // Sender-side NIC serialization (if the sender is a modeled
+        // machine; external clients have infinite-capacity uplinks).
+        if (from.machine) {
+            NicState &nic = from.machine->nic();
+            nic.txBytes += msg.bytes;
+            const double serNs = static_cast<double>(msg.bytes) /
+                nic.effectiveBytesPerNs();
+            const sim::Time depart = events_.now() + delay;
+            nic.txNextFree =
+                std::max(nic.txNextFree, depart) +
+                static_cast<sim::Time>(serNs + 0.5);
+            delay = nic.txNextFree - events_.now();
+        }
+        // Receiver-side NIC accounting + possible rx contention.
+        if (to->machine) {
+            NicState &nic = to->machine->nic();
+            nic.rxBytes += msg.bytes;
+            const double serNs = static_cast<double>(msg.bytes) /
+                nic.effectiveBytesPerNs();
+            delay += static_cast<sim::Time>(serNs + 0.5);
+        }
+        delay += wireLatency_;
+    }
+
+    auto payload = std::make_shared<Message>(std::move(msg));
+    events_.scheduleAfter(delay, [this, to, payload] {
+        ++delivered_;
+        to->push(std::move(*payload));
+    });
+}
+
+} // namespace ditto::os

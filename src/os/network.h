@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Message transport between sockets.
+ *
+ * Delivery latency = sender NIC serialization (bandwidth-shared with
+ * any configured stressor) + wire latency. Same-machine traffic takes
+ * the loopback path (no NIC, small latency). Kernel CPU costs of the
+ * tx/rx paths are charged separately by the Kernel's socket syscalls.
+ */
+
+#ifndef DITTO_OS_NETWORK_H_
+#define DITTO_OS_NETWORK_H_
+
+#include <cstdint>
+
+#include "os/socket.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace ditto::os {
+
+class Machine;
+
+class Network
+{
+  public:
+    explicit Network(sim::EventQueue &events,
+                     sim::Time wireLatency = sim::microseconds(25),
+                     sim::Time loopbackLatency = sim::microseconds(5));
+
+    /** Make two sockets peers of each other. */
+    static void connect(Socket &a, Socket &b);
+
+    /**
+     * Send `msg` from `from` to its peer; `extraDelay` shifts the
+     * departure to when the sending syscall logically executes.
+     */
+    void send(Socket &from, Message msg, sim::Time extraDelay = 0);
+
+    sim::Time wireLatency() const { return wireLatency_; }
+    sim::Time loopbackLatency() const { return loopbackLatency_; }
+
+    std::uint64_t messagesDelivered() const { return delivered_; }
+
+  private:
+    sim::EventQueue &events_;
+    sim::Time wireLatency_;
+    sim::Time loopbackLatency_;
+    std::uint64_t delivered_ = 0;
+};
+
+} // namespace ditto::os
+
+#endif // DITTO_OS_NETWORK_H_

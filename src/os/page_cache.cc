@@ -1,0 +1,80 @@
+#include "os/page_cache.h"
+
+namespace ditto::os {
+
+std::uint32_t
+Vfs::create(const std::string &name, std::uint64_t bytes)
+{
+    File f;
+    f.id = static_cast<std::uint32_t>(files_.size());
+    f.name = name;
+    f.bytes = bytes;
+    files_.push_back(f);
+    return f.id;
+}
+
+PageCache::PageCache(std::uint64_t capacityBytes)
+    : capacityPages_(capacityBytes / kPageBytes)
+{
+    if (capacityPages_ == 0)
+        capacityPages_ = 1;
+}
+
+std::uint64_t
+PageCache::access(std::uint32_t fileId, std::uint64_t offset,
+                  std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    const std::uint64_t first = offset / kPageBytes;
+    const std::uint64_t last = (offset + bytes - 1) / kPageBytes;
+    std::uint64_t missing = 0;
+    for (std::uint64_t page = first; page <= last; ++page) {
+        ++lookups_;
+        const Key key = (static_cast<Key>(fileId) << 40) | page;
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            touch(key);
+        } else {
+            ++misses_;
+            ++missing;
+            insert(key);
+        }
+    }
+    return missing;
+}
+
+void
+PageCache::touch(Key key)
+{
+    auto it = map_.find(key);
+    lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void
+PageCache::insert(Key key)
+{
+    if (map_.size() >= capacityPages_) {
+        const Key victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+    }
+    lru_.push_front(key);
+    map_[key] = lru_.begin();
+}
+
+double
+PageCache::hitRate() const
+{
+    return lookups_ ? 1.0 - static_cast<double>(misses_) /
+        static_cast<double>(lookups_) : 0.0;
+}
+
+void
+PageCache::resetStats()
+{
+    lookups_ = 0;
+    misses_ = 0;
+}
+
+} // namespace ditto::os

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Files and the page cache.
+ *
+ * The VFS layer is a registry of files (id -> size); the page cache
+ * is an LRU map of 4KB pages. pread() consults it per page; misses
+ * become disk reads. This is what lets a database configured with a
+ * dataset larger than RAM become disk-bound (MongoDB in the paper:
+ * 40GB dataset, uniform reads), while small hot files are served from
+ * memory.
+ */
+
+#ifndef DITTO_OS_PAGE_CACHE_H_
+#define DITTO_OS_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ditto::os {
+
+/** Page size of the cache. */
+inline constexpr std::uint64_t kPageBytes = 4096;
+
+/** A registered file. */
+struct File
+{
+    std::uint32_t id = 0;
+    std::string name;
+    std::uint64_t bytes = 0;
+};
+
+/** File registry for one machine. */
+class Vfs
+{
+  public:
+    /** Create a file; returns its id. */
+    std::uint32_t create(const std::string &name, std::uint64_t bytes);
+
+    const File &file(std::uint32_t id) const { return files_[id]; }
+    std::size_t fileCount() const { return files_.size(); }
+
+  private:
+    std::vector<File> files_;
+};
+
+/**
+ * LRU page cache with a fixed page budget.
+ */
+class PageCache
+{
+  public:
+    explicit PageCache(std::uint64_t capacityBytes);
+
+    /**
+     * Look up pages [offset, offset+bytes) of a file.
+     * @return number of missing pages (to be read from disk).
+     * Present pages are touched (LRU); missing pages are inserted
+     * (assumed subsequently filled by the disk read).
+     */
+    std::uint64_t access(std::uint32_t fileId, std::uint64_t offset,
+                         std::uint64_t bytes);
+
+    /** Fraction of page lookups that hit, since last reset. */
+    double hitRate() const;
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t residentPages() const { return map_.size(); }
+    std::uint64_t capacityPages() const { return capacityPages_; }
+
+    void resetStats();
+
+  private:
+    using Key = std::uint64_t;  // fileId << 40 | pageIndex
+
+    std::uint64_t capacityPages_;
+    std::list<Key> lru_;
+    std::unordered_map<Key, std::list<Key>::iterator> map_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t misses_ = 0;
+
+    void touch(Key key);
+    void insert(Key key);
+};
+
+} // namespace ditto::os
+
+#endif // DITTO_OS_PAGE_CACHE_H_

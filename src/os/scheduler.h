@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-machine thread scheduler.
+ *
+ * A simple multi-core run-queue scheduler: threads become Ready via
+ * wake(), idle cores pull from a FIFO ready queue (respecting core
+ * affinity), and each slice runs until the thread blocks, yields, or
+ * exhausts its timeslice. Context switches charge the kernel's
+ * sched-switch path and pollute the incoming core's private caches.
+ *
+ * SMT: logical cores come in sibling pairs sharing one cache
+ * hierarchy; when both siblings are busy the scheduler applies a
+ * pipeline contention factor to both (issue bandwidth is shared).
+ */
+
+#ifndef DITTO_OS_SCHEDULER_H_
+#define DITTO_OS_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "os/thread.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace ditto::os {
+
+class Machine;
+
+/** Scheduler statistics. */
+struct SchedStats
+{
+    std::uint64_t contextSwitches = 0;
+    std::uint64_t slices = 0;
+    std::uint64_t wakeups = 0;
+};
+
+class Scheduler
+{
+  public:
+    Scheduler(Machine &machine, sim::EventQueue &events);
+
+    /** Register and immediately wake a thread; takes ownership. */
+    Thread *add(std::unique_ptr<Thread> thread);
+
+    /** Make a blocked (or about-to-block) thread runnable. */
+    void wake(Thread *t);
+
+    /** Timeslice length. */
+    void setTimeslice(sim::Time slice) { timeslice_ = slice; }
+
+    const SchedStats &stats() const { return stats_; }
+
+    /** Number of threads not yet terminated. */
+    std::size_t liveThreads() const;
+
+    /** Fraction of logical cores currently busy. */
+    double utilization() const;
+
+    /** Cycle contention multiplier when SMT siblings co-run. */
+    static constexpr double kSmtContention = 1.45;
+
+  private:
+    struct CoreSlot
+    {
+        Thread *current = nullptr;
+        Thread *lastThread = nullptr;
+        bool busy = false;
+        sim::Time lastRelease = 0;
+    };
+
+    Machine &machine_;
+    sim::EventQueue &events_;
+    std::vector<std::unique_ptr<Thread>> threads_;
+    std::deque<Thread *> ready_;
+    std::vector<CoreSlot> slots_;
+    sim::Time timeslice_ = sim::milliseconds(1);
+    SchedStats stats_;
+    std::uint64_t switchSalt_ = 0;
+    bool dispatchScheduled_ = false;
+
+    void dispatch();
+    void runOn(unsigned coreIdx, Thread *t);
+    void onSliceDone(unsigned coreIdx, Thread *t, StepResult result);
+    void updateSmtContention(unsigned coreIdx);
+    int siblingOf(unsigned coreIdx) const;
+};
+
+} // namespace ditto::os
+
+#endif // DITTO_OS_SCHEDULER_H_

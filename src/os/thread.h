@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Schedulable threads for the kernel model.
+ *
+ * A Thread is an abstract execution entity: the scheduler grants it a
+ * core, calls step(), and the thread synchronously simulates work on
+ * the machine model (compute blocks, syscalls) until it blocks,
+ * exhausts its timeslice, or exits. The application layer implements
+ * step() with an op-program interpreter.
+ */
+
+#ifndef DITTO_OS_THREAD_H_
+#define DITTO_OS_THREAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hw/cpu_core.h"
+#include "sim/time.h"
+
+namespace ditto::os {
+
+class Kernel;
+class Machine;
+
+/** Why a thread stopped running in this slice. */
+enum class StopReason : std::uint8_t
+{
+    Yield,  //!< timeslice exhausted or voluntary yield; still runnable
+    Block,  //!< waiting on an event; a waker will make it runnable
+    Exit,   //!< terminated
+};
+
+/** Everything a thread needs while it holds a core. */
+struct StepCtx
+{
+    hw::CpuCore &core;
+    Kernel &kernel;
+    Machine &machine;
+    /** Timeslice budget in cycles. */
+    double cycleBudget;
+    /** Cycles consumed so far this slice (updated by the thread). */
+    double cyclesUsed = 0;
+
+    bool overBudget() const { return cyclesUsed >= cycleBudget; }
+};
+
+/** Outcome of one scheduling slice. */
+struct StepResult
+{
+    StopReason reason = StopReason::Yield;
+};
+
+/**
+ * Base class of all schedulable entities.
+ *
+ * Lifecycle: Created -> Ready -> Running -> {Ready, Blocked} ... ->
+ * Zombie. Transitions are owned by the Scheduler; wakers only call
+ * Scheduler::wake().
+ */
+class Thread
+{
+  public:
+    enum class State : std::uint8_t
+    {
+        Created,
+        Ready,
+        Running,
+        Blocked,
+        Zombie,
+    };
+
+    Thread(std::string name, unsigned threadSlot, std::uint64_t seed)
+        : name_(std::move(name)), execCtx_(threadSlot, seed)
+    {
+    }
+
+    virtual ~Thread() = default;
+
+    Thread(const Thread &) = delete;
+    Thread &operator=(const Thread &) = delete;
+
+    /**
+     * Run on `ctx.core` until block/yield/exit. Implementations must
+     * charge all consumed cycles into ctx.cyclesUsed.
+     */
+    virtual StepResult step(StepCtx &ctx) = 0;
+
+    const std::string &name() const { return name_; }
+
+    State state() const { return state_; }
+    void setState(State s) { state_ = s; }
+
+    /** Pinned core id, or -1 for any core. */
+    int affinity() const { return affinity_; }
+    void setAffinity(int core) { affinity_ = core; }
+
+    bool wakePending() const { return wakePending_; }
+    void setWakePending(bool p) { wakePending_ = p; }
+
+    hw::ExecContext &execContext() { return execCtx_; }
+
+    /** Stats sink this thread's work is attributed to (may be null). */
+    hw::ExecStats *statsSink() const { return statsSink_; }
+    void setStatsSink(hw::ExecStats *sink) { statsSink_ = sink; }
+
+    /** Core the thread last ran on (affinity hint), or -1. */
+    int lastCore() const { return lastCore_; }
+    void setLastCore(int core) { lastCore_ = core; }
+
+    std::uint64_t voluntarySwitches = 0;
+    std::uint64_t involuntarySwitches = 0;
+
+  private:
+    std::string name_;
+    State state_ = State::Created;
+    int affinity_ = -1;
+    int lastCore_ = -1;
+    bool wakePending_ = false;
+    hw::ExecContext execCtx_;
+    hw::ExecStats *statsSink_ = nullptr;
+};
+
+} // namespace ditto::os
+
+#endif // DITTO_OS_THREAD_H_

@@ -1,0 +1,80 @@
+#include "profile/perf_report.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ditto::profile {
+
+PerfReport
+snapshotService(app::ServiceInstance &svc)
+{
+    PerfReport r;
+    r.service = svc.name();
+    const app::ServiceStats &s = svc.stats();
+    const hw::ExecStats &e = s.exec;
+    const sim::Time now = svc.machine().events().now();
+
+    r.ipc = e.ipc();
+    r.cpi = e.cpi();
+    r.instructions = e.instructions;
+    r.cycles = e.cycles;
+    r.branchMispredictRate = e.mispredictRate();
+    r.branchMpki = e.branchMpki();
+    r.l1iMissRate = e.missRateL1i();
+    r.l1dMissRate = e.missRateL1d();
+    r.l2MissRate = e.missRateL2();
+    r.llcMissRate = e.missRateLlc();
+    r.kernelInstFraction =
+        e.instructions > 0 ? e.kernelInstructions / e.instructions : 0;
+    const double missCycles =
+        e.parallelMissCycles + e.serializedMissCycles;
+    r.mlpSerializedFraction =
+        missCycles > 0 ? e.serializedMissCycles / missCycles : 0;
+
+    const double totalTopdown = e.retiringCycles + e.frontendCycles +
+        e.badSpecCycles + e.backendCycles;
+    if (totalTopdown > 0) {
+        r.retiringFrac = e.retiringCycles / totalTopdown;
+        r.frontendFrac = e.frontendCycles / totalTopdown;
+        r.badSpecFrac = e.badSpecCycles / totalTopdown;
+        r.backendFrac = e.backendCycles / totalTopdown;
+    }
+
+    r.qps = s.qps(now);
+    r.netBandwidthBytesPerSec = s.netBandwidth(now);
+    r.diskBandwidthBytesPerSec = s.diskBandwidth(now);
+    r.avgLatencyMs = sim::toMilliseconds(
+        static_cast<sim::Time>(s.latency.mean()));
+    r.p50LatencyMs = sim::toMilliseconds(s.latency.percentile(0.50));
+    r.p95LatencyMs = sim::toMilliseconds(s.latency.percentile(0.95));
+    r.p99LatencyMs = sim::toMilliseconds(s.latency.percentile(0.99));
+
+    const double reqs = std::max<double>(1.0,
+        static_cast<double>(s.requests));
+    r.instructionsPerRequest = e.instructions / reqs;
+    r.cyclesPerRequest = e.cycles / reqs;
+    return r;
+}
+
+double
+relativeError(double actual, double target)
+{
+    const double denom = std::max(std::abs(target), 1e-9);
+    return std::abs(actual - target) / denom;
+}
+
+void
+overrideLatency(PerfReport &report,
+                const stats::LatencyHistogram &clientLatency)
+{
+    report.avgLatencyMs = sim::toMilliseconds(
+        static_cast<sim::Time>(clientLatency.mean()));
+    report.p50LatencyMs =
+        sim::toMilliseconds(clientLatency.percentile(0.50));
+    report.p95LatencyMs =
+        sim::toMilliseconds(clientLatency.percentile(0.95));
+    report.p99LatencyMs =
+        sim::toMilliseconds(clientLatency.percentile(0.99));
+}
+
+} // namespace ditto::profile

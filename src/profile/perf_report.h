@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Performance-counter reports: the Perf/VTune stand-in.
+ *
+ * A PerfReport snapshots every metric the paper's figures plot --
+ * IPC, branch misprediction, L1i/L1d/L2/LLC miss rates, network and
+ * disk bandwidth, latency percentiles, top-down cycle breakdown --
+ * for one service over one measured window. Fine tuning (Sec. 4.5)
+ * and every bench compare PerfReports between original and clone.
+ */
+
+#ifndef DITTO_PROFILE_PERF_REPORT_H_
+#define DITTO_PROFILE_PERF_REPORT_H_
+
+#include <string>
+
+#include "app/service.h"
+#include "sim/time.h"
+#include "stats/histogram.h"
+
+namespace ditto::profile {
+
+struct PerfReport
+{
+    std::string service;
+
+    // CPU metrics.
+    double ipc = 0;
+    double cpi = 0;
+    double instructions = 0;
+    double cycles = 0;
+    double branchMispredictRate = 0;
+    double branchMpki = 0;
+    double l1iMissRate = 0;
+    double l1dMissRate = 0;
+    double l2MissRate = 0;
+    double llcMissRate = 0;
+    double kernelInstFraction = 0;
+    double mlpSerializedFraction = 0;
+
+    // Top-down breakdown (fractions of total cycles).
+    double retiringFrac = 0;
+    double frontendFrac = 0;
+    double badSpecFrac = 0;
+    double backendFrac = 0;
+
+    // High-level metrics.
+    double qps = 0;
+    double netBandwidthBytesPerSec = 0;
+    double diskBandwidthBytesPerSec = 0;
+    double avgLatencyMs = 0;
+    double p50LatencyMs = 0;
+    double p95LatencyMs = 0;
+    double p99LatencyMs = 0;
+
+    double instructionsPerRequest = 0;
+    double cyclesPerRequest = 0;
+};
+
+/** Snapshot a service's measured window ending now. */
+PerfReport snapshotService(app::ServiceInstance &svc);
+
+/** Relative error |a-b| / max(|b|, eps), for accuracy tables. */
+double relativeError(double actual, double target);
+
+/** Build a report from client-side latency instead of server-side. */
+void overrideLatency(PerfReport &report,
+                     const stats::LatencyHistogram &clientLatency);
+
+} // namespace ditto::profile
+
+#endif // DITTO_PROFILE_PERF_REPORT_H_

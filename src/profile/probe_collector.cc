@@ -1,0 +1,168 @@
+#include "profile/probe_collector.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace ditto::profile {
+
+ProbeCollector::PerThread &
+ProbeCollector::slot(const os::Thread &t)
+{
+    PerThread &pt = threads_[&t];
+    if (pt.name.empty())
+        pt.name = t.name();
+    return pt;
+}
+
+void
+ProbeCollector::begin(sim::Time now)
+{
+    beginTime_ = now;
+    requests_ = 0;
+    rpcIssues_ = 0;
+    overlappedRpcs_ = 0;
+}
+
+void
+ProbeCollector::onSyscall(const os::Thread &t, app::SysKind kind,
+                          std::uint64_t bytes)
+{
+    PerThread &pt = slot(t);
+    const int k = static_cast<int>(kind);
+    pt.syscalls[k] += 1;
+    pt.syscallBytes[k] += static_cast<double>(bytes);
+    if (bytes == 0)
+        pt.emptySyscalls[k] += 1;
+    if (bytes > 0) {
+        const unsigned log2 = static_cast<unsigned>(
+            63 - std::countl_zero(bytes));
+        pt.bytesHist[k][log2] += 1;
+    }
+    if (kind == app::SysKind::SocketRead && pt.pendingRpcs > 0)
+        pt.pendingRpcs = 0;
+}
+
+void
+ProbeCollector::onCallEnter(const os::Thread &t,
+                            const std::string &label)
+{
+    PerThread &pt = slot(t);
+    pt.callStack.push_back(label);
+    std::string path;
+    for (const std::string &frame : pt.callStack) {
+        path += '/';
+        path += frame;
+    }
+    pt.callPaths[path] += 1;
+}
+
+void
+ProbeCollector::onCallExit(const os::Thread &t,
+                           const std::string &label)
+{
+    PerThread &pt = slot(t);
+    if (!pt.callStack.empty() && pt.callStack.back() == label)
+        pt.callStack.pop_back();
+}
+
+void
+ProbeCollector::onThreadStart(const os::Thread &t, app::ThreadRole)
+{
+    PerThread &pt = slot(t);
+    pt.sawStart = true;
+    pt.firstSeen = beginTime_;
+}
+
+void
+ProbeCollector::onRpcIssued(const os::Thread &t, std::uint32_t,
+                            std::uint32_t, std::uint32_t,
+                            std::uint32_t)
+{
+    PerThread &pt = slot(t);
+    ++rpcIssues_;
+    if (pt.pendingRpcs > 0)
+        ++overlappedRpcs_;  // issued before the previous one was read
+    ++pt.pendingRpcs;
+}
+
+void
+ProbeCollector::onRequestDone(std::uint32_t, sim::Time)
+{
+    ++requests_;
+}
+
+void
+ProbeCollector::onFileAccess(const os::Thread &, std::uint64_t offset,
+                             std::uint64_t bytes, bool)
+{
+    fileSpan_ = std::max(fileSpan_, offset + bytes);
+}
+
+std::vector<ThreadObservation>
+ProbeCollector::threadObservations() const
+{
+    std::vector<ThreadObservation> out;
+    for (const auto &[thread, pt] : threads_) {
+        (void)thread;
+        ThreadObservation obs;
+        obs.name = pt.name;
+        for (const auto &[path, count] : pt.callPaths) {
+            (void)count;
+            obs.callPaths.push_back(path);
+        }
+        obs.syscallCounts = pt.syscalls;
+        obs.emptySyscallCounts = pt.emptySyscalls;
+        obs.firstSeen = pt.firstSeen;
+        obs.spawnedAfterStart = pt.firstSeen > beginTime_;
+        out.push_back(std::move(obs));
+    }
+    // Deterministic order (unordered_map iteration is not).
+    std::sort(out.begin(), out.end(),
+              [](const ThreadObservation &a, const ThreadObservation &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+SyscallProfile
+ProbeCollector::syscallProfile() const
+{
+    SyscallProfile prof;
+    prof.requestsObserved = static_cast<double>(requests_);
+    std::map<int, std::uint64_t> counts;
+    std::map<int, double> bytes;
+    std::map<int, std::map<unsigned, double>> hists;
+    for (const auto &[thread, pt] : threads_) {
+        (void)thread;
+        for (const auto &[k, c] : pt.syscalls)
+            counts[k] += c;
+        for (const auto &[k, b] : pt.syscallBytes)
+            bytes[k] += b;
+        for (const auto &[k, h] : pt.bytesHist) {
+            for (const auto &[bin, w] : h)
+                hists[k][bin] += w;
+        }
+    }
+    const double reqs = std::max(1.0, prof.requestsObserved);
+    for (const auto &[k, c] : counts) {
+        SyscallStat stat;
+        stat.countPerRequest = static_cast<double>(c) / reqs;
+        stat.avgBytes = c > 0 ? bytes[k] / static_cast<double>(c) : 0;
+        stat.bytesLog2Hist = hists[k];
+        prof.perKind[k] = stat;
+    }
+    prof.fileSpanBytes = fileSpan_;
+    return prof;
+}
+
+double
+ProbeCollector::asyncEvidence() const
+{
+    return rpcIssues_ > 0
+        ? static_cast<double>(overlappedRpcs_) /
+            static_cast<double>(rpcIssues_)
+        : 0.0;
+}
+
+} // namespace ditto::profile

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Kernel/service probe collector: the SystemTap stand-in.
+ *
+ * Records per-thread syscall streams (type + argument sizes), call
+ * graph paths, thread start events, and RPC issue sequences. Ditto's
+ * SkeletonAnalyzer clusters threads from these observations; the
+ * SyscallSynth replays the per-request syscall distributions.
+ */
+
+#ifndef DITTO_PROFILE_PROBE_COLLECTOR_H_
+#define DITTO_PROFILE_PROBE_COLLECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "app/service.h"
+#include "profile/profile_data.h"
+
+namespace ditto::profile {
+
+class ProbeCollector : public app::ServiceProbe
+{
+  public:
+    ProbeCollector() = default;
+
+    void onSyscall(const os::Thread &t, app::SysKind kind,
+                   std::uint64_t bytes) override;
+    void onCallEnter(const os::Thread &t,
+                     const std::string &label) override;
+    void onCallExit(const os::Thread &t,
+                    const std::string &label) override;
+    void onThreadStart(const os::Thread &t,
+                       app::ThreadRole role) override;
+    void onRpcIssued(const os::Thread &t, std::uint32_t target,
+                     std::uint32_t endpoint, std::uint32_t reqBytes,
+                     std::uint32_t respBytes) override;
+    void onRequestDone(std::uint32_t endpoint,
+                       sim::Time latency) override;
+    void onFileAccess(const os::Thread &t, std::uint64_t offset,
+                      std::uint64_t bytes, bool write) override;
+
+    /** Mark the beginning of the observation window. */
+    void begin(sim::Time now);
+
+    /** Finalized per-thread observations. */
+    std::vector<ThreadObservation> threadObservations() const;
+
+    /** Finalized syscall profile, normalized by requests served. */
+    SyscallProfile syscallProfile() const;
+
+    /**
+     * Consecutive RPCs issued without an interposed response read --
+     * evidence of an async client (fanout issued in parallel).
+     */
+    double asyncEvidence() const;
+
+    std::uint64_t requests() const { return requests_; }
+
+  private:
+    struct PerThread
+    {
+        std::string name;
+        std::vector<std::string> callStack;
+        std::map<std::string, std::uint64_t> callPaths;
+        std::map<int, std::uint64_t> syscalls;
+        std::map<int, std::uint64_t> emptySyscalls;
+        std::map<int, double> syscallBytes;
+        std::map<int, std::map<unsigned, double>> bytesHist;
+        sim::Time firstSeen = 0;
+        bool sawStart = false;
+        unsigned pendingRpcs = 0;
+    };
+
+    std::unordered_map<const os::Thread *, PerThread> threads_;
+    sim::Time beginTime_ = 0;
+    std::uint64_t requests_ = 0;
+    std::uint64_t rpcIssues_ = 0;
+    std::uint64_t overlappedRpcs_ = 0;
+    std::uint64_t fileSpan_ = 0;
+
+    PerThread &slot(const os::Thread &t);
+};
+
+} // namespace ditto::profile
+
+#endif // DITTO_PROFILE_PROBE_COLLECTOR_H_

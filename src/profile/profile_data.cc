@@ -1,0 +1,77 @@
+#include "profile/profile_data.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace ditto::profile {
+
+std::size_t
+depBinOf(std::uint64_t distance)
+{
+    if (distance <= 1)
+        return 0;
+    const auto log2 = static_cast<std::size_t>(
+        63 - std::countl_zero(distance));
+    return std::min<std::size_t>(log2, kDepBins - 1);
+}
+
+double
+InstMixProfile::total() const
+{
+    double sum = 0;
+    for (double c : counts)
+        sum += c;
+    return sum;
+}
+
+double
+InstMixProfile::memOperandFraction() const
+{
+    const hw::Isa &isa = hw::Isa::instance();
+    double mem = 0;
+    double all = 0;
+    for (hw::Opcode op = 0; op < counts.size(); ++op) {
+        all += counts[op];
+        if (isa.touchesMemory(op))
+            mem += counts[op];
+    }
+    return all > 0 ? mem / all : 0;
+}
+
+double
+DataMemProfile::regularFractionOf(std::size_t sizeIdx) const
+{
+    if (sizeIdx < kWsSizes && accessSamplesBySize[sizeIdx] >= 16)
+        return regularBySize[sizeIdx] / accessSamplesBySize[sizeIdx];
+    return regularFraction;
+}
+
+std::array<double, kWsSizes>
+DataMemProfile::accessesBySize() const
+{
+    // Eq. 1: A_d(64) = H_d(64); A_d(2^i) = H_d(2^i) - H_d(2^{i-1}).
+    std::array<double, kWsSizes> a{};
+    a[0] = hitsBySize[0];
+    for (std::size_t i = 1; i < kWsSizes; ++i)
+        a[i] = std::max(0.0, hitsBySize[i] - hitsBySize[i - 1]);
+    return a;
+}
+
+std::array<double, kWsSizes>
+InstMemProfile::executionsBySize() const
+{
+    // Eq. 2 with a 64B line and 4B instructions: executions in a
+    // working set of 2^j bytes are 16x the incremental line hits;
+    // the smallest working set absorbs the remainder.
+    std::array<double, kWsSizes> e{};
+    double assigned = 0;
+    for (std::size_t j = 1; j < kWsSizes; ++j) {
+        e[j] = std::max(0.0, 16.0 * (hitsBySize[j] - hitsBySize[j - 1]));
+        assigned += e[j];
+    }
+    const double totalExec = 16.0 * hitsBySize[kWsSizes - 1];
+    e[0] = std::max(0.0, totalExec - assigned);
+    return e;
+}
+
+} // namespace ditto::profile

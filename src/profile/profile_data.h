@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Platform-independent profile data -- the only information Ditto's
+ * generators may consume (Sec. 4.1 "Abstraction": the clone is built
+ * from post-processed statistics, never from the original's spec).
+ *
+ * Every field corresponds to something the paper's toolchain
+ * measures: Intel SDE (iform counts, dependency distances,
+ * shared/private ratio), Valgrind (working-set hit curves for data
+ * and instructions), SystemTap (syscall type/argument distributions,
+ * thread behaviour), Perf (MLP, reference counters), and distributed
+ * tracing (the RPC topology).
+ */
+
+#ifndef DITTO_PROFILE_PROFILE_DATA_H_
+#define DITTO_PROFILE_PROFILE_DATA_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/isa.h"
+#include "sim/time.h"
+
+namespace ditto::profile {
+
+/** Number of power-of-two working-set sizes tracked (64B..2GB). */
+inline constexpr std::size_t kWsSizes = 26;
+
+/** Working-set size in bytes for index i. */
+inline constexpr std::uint64_t
+wsBytes(std::size_t i)
+{
+    return 64ull << i;
+}
+
+/** Dependency-distance bins: 1,2,4,...,1024 (11 bins, Sec. 4.4.6). */
+inline constexpr std::size_t kDepBins = 11;
+
+/** Bin index for a dependency distance. */
+std::size_t depBinOf(std::uint64_t distance);
+
+/** Branch rate quantization: exponents 1..10 (2^-1..2^-10). */
+inline constexpr unsigned kBranchExpMin = 1;
+inline constexpr unsigned kBranchExpMax = 10;
+
+/** Dynamic instruction mix (per-iform counts). */
+struct InstMixProfile
+{
+    /** Dynamic count per opcode (indexed by hw::Opcode). */
+    std::vector<double> counts;
+    /** Average user-level dynamic instructions per request. */
+    double instsPerRequest = 0;
+    /** Average repeat bytes of REP-prefixed executions. */
+    double avgRepBytes = 0;
+
+    double total() const;
+    /** Fraction of dynamic instructions with a memory operand. */
+    double memOperandFraction() const;
+};
+
+/** Branch behaviour (Sec. 4.4.3). */
+struct BranchProfile
+{
+    /**
+     * Weight of branch executions in quantized (takenExp, transExp)
+     * bins; indices are exponents clamped to [1, 10].
+     */
+    std::array<std::array<double, kBranchExpMax + 1>,
+               kBranchExpMax + 1> bins{};
+    double totalExecutions = 0;
+    /** Conditional branches per dynamic instruction. */
+    double branchFraction = 0;
+    /** Distinct static branch sites observed. */
+    std::uint64_t staticSites = 0;
+};
+
+/** Data memory access pattern (Sec. 4.4.4). */
+struct DataMemProfile
+{
+    /** H_d(2^i): hits in a 2^i-byte cache (8-way <1MB, 16-way >=). */
+    std::array<double, kWsSizes> hitsBySize{};
+    double totalAccesses = 0;
+    /** Memory accesses per dynamic instruction. */
+    double accessesPerInst = 0;
+    /** Fraction of accesses that are stores. */
+    double storeFraction = 0;
+    /** Fraction of accesses to data shared across threads. */
+    double sharedFraction = 0;
+    /** Fraction of accesses with regular (strided) patterns. */
+    double regularFraction = 0;
+    /**
+     * Regular fraction per working-set bucket (joint histogram of
+     * reuse size x stride regularity): large sequential buffers are
+     * prefetchable, random lookups into large tables are not, and
+     * the clone must preserve that correlation.
+     */
+    std::array<double, kWsSizes> regularBySize{};
+    /** Accesses observed per bucket (weights for regularBySize). */
+    std::array<double, kWsSizes> accessSamplesBySize{};
+
+    /** Regular fraction for a bucket, falling back to the global. */
+    double regularFractionOf(std::size_t sizeIdx) const;
+
+    /** A_d(2^i) per Eq. 1: accesses attributed to working set 2^i. */
+    std::array<double, kWsSizes> accessesBySize() const;
+};
+
+/** Instruction memory access pattern (Sec. 4.4.5). */
+struct InstMemProfile
+{
+    /** H_i(2^j): i-cache hits with a 2^j-byte i-cache. */
+    std::array<double, kWsSizes> hitsBySize{};
+    double totalFetches = 0;
+
+    /**
+     * E_i(2^j) per Eq. 2: dynamic instruction executions attributed
+     * to instruction working set 2^j (16 instructions per line).
+     */
+    std::array<double, kWsSizes> executionsBySize() const;
+};
+
+/** Register data-dependency distances (Sec. 4.4.6). */
+struct DepProfile
+{
+    std::array<double, kDepBins> raw{};
+    std::array<double, kDepBins> war{};
+    std::array<double, kDepBins> waw{};
+    /**
+     * Fraction of load-miss latency that is serialized (dependent
+     * loads), derived from MLP counters; drives the pointer-chase
+     * ratio in generated code.
+     */
+    double chaseFraction = 0;
+};
+
+/** One syscall kind's statistics. */
+struct SyscallStat
+{
+    double countPerRequest = 0;
+    double avgBytes = 0;
+    /** Byte-size histogram (log2 buckets, weight per bucket). */
+    std::map<unsigned, double> bytesLog2Hist;
+};
+
+/** Syscall profile per service (SystemTap stand-in). */
+struct SyscallProfile
+{
+    /** Keyed by app::SysKind numeric value. */
+    std::map<int, SyscallStat> perKind;
+    /** Total file bytes addressed (max offset seen), for file sizing. */
+    std::uint64_t fileSpanBytes = 0;
+    /** Actual disk read bytes per request (page-cache misses). */
+    double diskReadBytesPerRequest = 0;
+    double requestsObserved = 0;
+};
+
+/** A thread's observable behaviour (for skeleton analysis). */
+struct ThreadObservation
+{
+    std::string name;
+    /** Distinct call paths ("/outer/inner") observed. */
+    std::vector<std::string> callPaths;
+    std::map<int, std::uint64_t> syscallCounts;
+    /** Zero-byte (would-block / polling) syscalls per kind. */
+    std::map<int, std::uint64_t> emptySyscallCounts;
+    sim::Time firstSeen = 0;
+    bool spawnedAfterStart = false;
+};
+
+/** Observed RPC edge aggregate (from distributed traces). */
+struct EdgeProfile
+{
+    std::string caller;
+    std::string callee;
+    std::uint32_t endpoint = 0;
+    double callsPerCallerRequest = 0;
+    double avgRequestBytes = 0;
+    double avgResponseBytes = 0;
+};
+
+/** Reference counters from the original run (for fine tuning). */
+struct ReferenceCounters
+{
+    double ipc = 0;
+    double instructionsPerRequest = 0;  //!< incl. kernel
+    double cyclesPerRequest = 0;
+    double branchMispredictRate = 0;
+    double l1iMissRate = 0;
+    double l1dMissRate = 0;
+    double l2MissRate = 0;
+    double llcMissRate = 0;
+    double p99LatencyMs = 0;
+};
+
+/** Everything profiled about one service. */
+struct ServiceProfile
+{
+    std::string serviceName;
+    InstMixProfile mix;
+    BranchProfile branch;
+    DataMemProfile dmem;
+    InstMemProfile imem;
+    DepProfile dep;
+    SyscallProfile syscalls;
+    std::vector<ThreadObservation> threads;
+    ReferenceCounters reference;
+    double requestsObserved = 0;
+    /** Mean response bytes observed (for the skeleton). */
+    double avgResponseBytes = 0;
+    /** Mean request bytes observed. */
+    double avgRequestBytes = 0;
+    /** Fraction of RPCs issued while earlier ones were pending. */
+    double asyncEvidence = 0;
+};
+
+} // namespace ditto::profile
+
+#endif // DITTO_PROFILE_PROFILE_DATA_H_

@@ -1,0 +1,135 @@
+#include "sim/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ditto::sim {
+
+namespace {
+
+double
+zetaStatic(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+} // namespace
+
+ZipfDist::ZipfDist(std::uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n), theta_(theta)
+{
+    zetan_ = zetaStatic(n_, theta_);
+    zeta2_ = zetaStatic(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+        (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t
+ZipfDist::sample(Rng &rng) const
+{
+    if (theta_ == 0.0)
+        return rng.uniformInt(n_);
+
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const auto item = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return std::min(item, n_ - 1);
+}
+
+void
+EmpiricalDist::add(std::int64_t value, double weight)
+{
+    if (weight <= 0.0)
+        return;
+    values_.push_back(value);
+    weights_.push_back(weight);
+    total_ += weight;
+    cumulative_.push_back(total_);
+}
+
+std::int64_t
+EmpiricalDist::sample(Rng &rng) const
+{
+    assert(!empty() && "sampling from an empty distribution");
+    const double target = rng.uniform() * total_;
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+    const auto idx = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     values_.size() - 1)));
+    return values_[idx];
+}
+
+double
+EmpiricalDist::probabilityOf(std::int64_t value) const
+{
+    if (total_ <= 0.0)
+        return 0.0;
+    double mass = 0.0;
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (values_[i] == value)
+            mass += weights_[i];
+    }
+    return mass / total_;
+}
+
+double
+EmpiricalDist::mean() const
+{
+    if (total_ <= 0.0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < values_.size(); ++i)
+        sum += static_cast<double>(values_[i]) * weights_[i];
+    return sum / total_;
+}
+
+void
+RangeDist::add(double lo, double hi, double weight)
+{
+    if (weight <= 0.0 || hi < lo)
+        return;
+    buckets_.push_back({lo, hi, weight});
+    total_ += weight;
+    cumulative_.push_back(total_);
+}
+
+double
+RangeDist::sample(Rng &rng) const
+{
+    assert(!empty() && "sampling from an empty range distribution");
+    const double target = rng.uniform() * total_;
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+    const auto idx = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     buckets_.size() - 1)));
+    const Bucket &b = buckets_[idx];
+    return rng.uniform(b.lo, b.hi);
+}
+
+double
+RangeDist::mean() const
+{
+    if (total_ <= 0.0)
+        return 0.0;
+    double sum = 0.0;
+    for (const Bucket &b : buckets_)
+        sum += 0.5 * (b.lo + b.hi) * b.weight;
+    return sum / total_;
+}
+
+} // namespace ditto::sim

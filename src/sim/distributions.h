@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Reusable sampling distributions layered on top of sim::Rng.
+ *
+ * These power workload generation (key popularity, request sizes,
+ * service-time jitter) and the Ditto generators (sampling instruction
+ * mixes, branch-rate bins, dependency-distance tuples from profiled
+ * histograms).
+ */
+
+#ifndef DITTO_SIM_DISTRIBUTIONS_H_
+#define DITTO_SIM_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace ditto::sim {
+
+/**
+ * Zipfian distribution over [0, n) with parameter theta, using the
+ * Gray et al. rejection-free method popularized by YCSB. theta = 0
+ * degenerates to uniform; typical skewed workloads use ~0.99.
+ */
+class ZipfDist
+{
+  public:
+    ZipfDist(std::uint64_t n, double theta);
+
+    /** Sample an item index in [0, n). */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t itemCount() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double zetan_;
+    double alpha_;
+    double eta_;
+    double zeta2_;
+};
+
+/**
+ * Discrete empirical distribution over arbitrary bucket values.
+ *
+ * Built from (value, weight) pairs; sampling is O(log n) via the
+ * cumulative weight table. This is the workhorse for replaying
+ * profiled histograms (instruction mix, syscall arguments, branch
+ * bins, dependency distances).
+ */
+class EmpiricalDist
+{
+  public:
+    EmpiricalDist() = default;
+
+    /** Add an outcome with the given nonnegative weight. */
+    void add(std::int64_t value, double weight);
+
+    /** True when no outcome has positive weight. */
+    bool empty() const { return total_ <= 0.0; }
+
+    /** Number of distinct outcomes added. */
+    std::size_t size() const { return values_.size(); }
+
+    /** Sum of all weights. */
+    double totalWeight() const { return total_; }
+
+    /** Sample one outcome; requires !empty(). */
+    std::int64_t sample(Rng &rng) const;
+
+    /** Probability mass of an exact outcome value. */
+    double probabilityOf(std::int64_t value) const;
+
+    /** Weighted mean of the outcomes. */
+    double mean() const;
+
+    const std::vector<std::int64_t> &values() const { return values_; }
+    const std::vector<double> &weights() const { return weights_; }
+
+  private:
+    std::vector<std::int64_t> values_;
+    std::vector<double> weights_;
+    std::vector<double> cumulative_;
+    double total_ = 0.0;
+};
+
+/**
+ * Continuous empirical distribution: samples uniformly within the
+ * bucket chosen from a weighted set of [lo, hi) ranges. Used for
+ * syscall argument sizes (read counts, offsets) where the profiler
+ * records range histograms rather than exact values.
+ */
+class RangeDist
+{
+  public:
+    void add(double lo, double hi, double weight);
+
+    bool empty() const { return total_ <= 0.0; }
+
+    double sample(Rng &rng) const;
+
+    double mean() const;
+
+  private:
+    struct Bucket
+    {
+        double lo;
+        double hi;
+        double weight;
+    };
+
+    std::vector<Bucket> buckets_;
+    std::vector<double> cumulative_;
+    double total_ = 0.0;
+};
+
+} // namespace ditto::sim
+
+#endif // DITTO_SIM_DISTRIBUTIONS_H_

@@ -1,0 +1,115 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ditto::sim {
+
+EventId
+EventQueue::scheduleAt(Time when, Callback cb)
+{
+    assert(cb && "scheduling a null callback");
+    const Time effective = std::max(when, now_);
+    const EventId id = nextId_++;
+    heap_.push(Entry{effective, id, std::move(cb)});
+    ++liveEvents_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(Time delay, Callback cb)
+{
+    return scheduleAt(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == 0 || id >= nextId_)
+        return false;
+    if (isCancelled(id))
+        return false;
+    // Lazy deletion: remember the id; skip it when popped. We cannot
+    // cheaply verify membership in the heap, so only count live events
+    // down when the entry is actually skipped in runOne().
+    cancelled_.push_back(id);
+    std::push_heap(cancelled_.begin(), cancelled_.end(),
+                   std::greater<>());
+    return true;
+}
+
+bool
+EventQueue::isCancelled(EventId id) const
+{
+    return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+        cancelled_.end();
+}
+
+void
+EventQueue::dropCancelled(EventId id)
+{
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+    if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        std::make_heap(cancelled_.begin(), cancelled_.end(),
+                       std::greater<>());
+    }
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!heap_.empty()) {
+        // priority_queue::top() is const; we need to move the callback
+        // out, so copy the POD bits and pop first.
+        Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        if (isCancelled(entry.id)) {
+            dropCancelled(entry.id);
+            --liveEvents_;
+            continue;
+        }
+        assert(entry.when >= now_ && "time went backwards");
+        now_ = entry.when;
+        --liveEvents_;
+        ++executed_;
+        entry.cb();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::runUntil(Time limit)
+{
+    std::uint64_t count = 0;
+    while (!heap_.empty()) {
+        // Peek through cancelled entries to find the next live event.
+        if (isCancelled(heap_.top().id)) {
+            dropCancelled(heap_.top().id);
+            heap_.pop();
+            --liveEvents_;
+            continue;
+        }
+        if (heap_.top().when > limit)
+            break;
+        if (!runOne())
+            break;
+        ++count;
+    }
+    // Even if no event fired at `limit`, the caller observed that much
+    // simulated time pass.
+    now_ = std::max(now_, limit);
+    return count;
+}
+
+std::uint64_t
+EventQueue::runAll()
+{
+    std::uint64_t count = 0;
+    while (runOne())
+        ++count;
+    return count;
+}
+
+} // namespace ditto::sim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Discrete-event simulation core: a time-ordered event queue.
+ *
+ * Events scheduled at the same timestamp fire in insertion order
+ * (stable FIFO tie-break via a monotonically increasing sequence
+ * number), which keeps simulations deterministic.
+ */
+
+#ifndef DITTO_SIM_EVENT_QUEUE_H_
+#define DITTO_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ditto::sim {
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * Time-ordered queue of callbacks driving the simulation.
+ *
+ * The queue owns the simulated clock: now() advances only when an
+ * event is popped, never backwards.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /** Schedule a callback at an absolute timestamp (>= now). */
+    EventId scheduleAt(Time when, Callback cb);
+
+    /** Schedule a callback after a relative delay from now. */
+    EventId scheduleAfter(Time delay, Callback cb);
+
+    /**
+     * Cancel a previously scheduled event.
+     * @retval true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** True when no runnable events remain. */
+    bool empty() const { return liveEvents_ == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t size() const { return liveEvents_; }
+
+    /**
+     * Pop and run the next event.
+     * @retval false when the queue was empty and nothing ran.
+     */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains or the clock passes `limit`.
+     * Events stamped exactly at `limit` still run.
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Time limit);
+
+    /** Run all events to exhaustion. @return number executed. */
+    std::uint64_t runAll();
+
+    /** Total number of events ever executed. */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Time when;
+        EventId id;
+        Callback cb;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return id > other.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::vector<EventId> cancelled_;
+    Time now_ = 0;
+    EventId nextId_ = 1;
+    std::size_t liveEvents_ = 0;
+    std::uint64_t executed_ = 0;
+
+    bool isCancelled(EventId id) const;
+    void dropCancelled(EventId id);
+};
+
+} // namespace ditto::sim
+
+#endif // DITTO_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simulated time. The whole framework uses a single integral
+ * nanosecond-resolution clock; helpers convert from human units.
+ */
+
+#ifndef DITTO_SIM_TIME_H_
+#define DITTO_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace ditto::sim {
+
+/** Simulated time in nanoseconds since simulation start. */
+using Time = std::uint64_t;
+
+/** Sentinel meaning "never" / "no deadline". */
+inline constexpr Time kTimeNever = ~Time{0};
+
+inline constexpr Time
+nanoseconds(std::uint64_t n)
+{
+    return n;
+}
+
+inline constexpr Time
+microseconds(std::uint64_t us)
+{
+    return us * 1000ull;
+}
+
+inline constexpr Time
+milliseconds(std::uint64_t ms)
+{
+    return ms * 1000000ull;
+}
+
+inline constexpr Time
+seconds(std::uint64_t s)
+{
+    return s * 1000000000ull;
+}
+
+/** Convert a simulated duration to fractional milliseconds. */
+inline constexpr double
+toMilliseconds(Time t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+/** Convert a simulated duration to fractional microseconds. */
+inline constexpr double
+toMicroseconds(Time t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+/** Convert a simulated duration to fractional seconds. */
+inline constexpr double
+toSeconds(Time t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+} // namespace ditto::sim
+
+#endif // DITTO_SIM_TIME_H_

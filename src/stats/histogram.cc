@@ -1,0 +1,169 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace ditto::stats {
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto total = count_ + other.count_;
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    mean_ = (na * mean_ + nb * other.mean_) / (na + nb);
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = total;
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat{};
+}
+
+double
+RunningStat::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+LatencyHistogram::LatencyHistogram()
+{
+    // 64 exponents x 32 sub-buckets covers the full uint64 range.
+    buckets_.assign(64 * kSubBuckets, 0);
+}
+
+std::size_t
+LatencyHistogram::bucketIndex(std::uint64_t value)
+{
+    if (value < kSubBuckets)
+        return static_cast<std::size_t>(value);
+    const int msb = 63 - std::countl_zero(value);
+    const int shift = msb - kSubBucketBits;
+    const auto sub = static_cast<std::size_t>(
+        (value >> shift) & (kSubBuckets - 1));
+    const auto major = static_cast<std::size_t>(msb - kSubBucketBits + 1);
+    return major * kSubBuckets + sub;
+}
+
+std::uint64_t
+LatencyHistogram::bucketMidpoint(std::size_t index)
+{
+    const std::size_t major = index / kSubBuckets;
+    const std::size_t sub = index % kSubBuckets;
+    if (major == 0)
+        return sub;
+    const int shift = static_cast<int>(major) - 1;
+    const std::uint64_t base =
+        (std::uint64_t{kSubBuckets} + sub) << shift;
+    const std::uint64_t width = std::uint64_t{1} << shift;
+    return base + width / 2;
+}
+
+void
+LatencyHistogram::record(std::uint64_t value)
+{
+    record(value, 1);
+}
+
+void
+LatencyHistogram::record(std::uint64_t value, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (total_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    buckets_[bucketIndex(value)] += count;
+    total_ += count;
+    sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.total_ == 0)
+        return;
+    if (total_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    total_ = 0;
+    sum_ = 0.0;
+    min_ = max_ = 0;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+std::uint64_t
+LatencyHistogram::percentile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target && buckets_[i] > 0)
+            return std::clamp(bucketMidpoint(i), min_, max_);
+    }
+    return max_;
+}
+
+} // namespace ditto::stats

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Streaming histograms and summary statistics.
+ *
+ * LatencyHistogram is an HDR-style log-linear histogram over
+ * nanosecond values: cheap O(1) recording, bounded relative error,
+ * exact counts. It backs every latency percentile reported by the
+ * benchmarks (avg/p50/p95/p99 in Figs. 5-7, 10, 11).
+ */
+
+#ifndef DITTO_STATS_HISTOGRAM_H_
+#define DITTO_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ditto::stats {
+
+/** Welford-style running mean / variance / extrema tracker. */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    /** Merge another tracker into this one. */
+    void merge(const RunningStat &other);
+
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Log-linear histogram of nonnegative 64-bit values.
+ *
+ * Values are bucketed by (exponent, 1/32 sub-bucket) giving ~3%
+ * worst-case relative error on percentile queries, independent of the
+ * value range -- sufficient for latency reporting.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr int kSubBucketBits = 5;
+    static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+    LatencyHistogram();
+
+    void record(std::uint64_t value);
+
+    /** Record `count` occurrences of the same value. */
+    void record(std::uint64_t value, std::uint64_t count);
+
+    void merge(const LatencyHistogram &other);
+
+    void reset();
+
+    std::uint64_t count() const { return total_; }
+    double mean() const;
+    std::uint64_t minValue() const { return total_ ? min_ : 0; }
+    std::uint64_t maxValue() const { return total_ ? max_ : 0; }
+
+    /**
+     * Value at quantile q in [0, 1]; e.g. q = 0.99 for p99.
+     * Returns 0 on an empty histogram.
+     */
+    std::uint64_t percentile(double q) const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+
+    static std::size_t bucketIndex(std::uint64_t value);
+    static std::uint64_t bucketMidpoint(std::size_t index);
+};
+
+} // namespace ditto::stats
+
+#endif // DITTO_STATS_HISTOGRAM_H_

@@ -1,0 +1,130 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace ditto::stats {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows_.push_back({kSeparatorTag});
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kSeparatorTag)
+            continue;
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_rule = [&] {
+        os << '+';
+        for (std::size_t w : widths) {
+            for (std::size_t i = 0; i < w + 2; ++i)
+                os << '-';
+            os << '+';
+        }
+        os << '\n';
+    };
+
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << ' ' << cell;
+            for (std::size_t i = cell.size(); i < widths[c] + 1; ++i)
+                os << ' ';
+            os << '|';
+        }
+        os << '\n';
+    };
+
+    print_rule();
+    print_cells(headers_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kSeparatorTag) {
+            print_rule();
+            continue;
+        }
+        print_cells(row);
+    }
+    print_rule();
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    int unit = 0;
+    while (bytes >= 1024.0 && unit < 4) {
+        bytes /= 1024.0;
+        ++unit;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f%s", bytes, units[unit]);
+    return buf;
+}
+
+std::string
+formatRate(double perSecond, const std::string &unit)
+{
+    static const char *prefixes[] = {"", "K", "M", "G", "T"};
+    int prefix = 0;
+    while (perSecond >= 1000.0 && prefix < 4) {
+        perSecond /= 1000.0;
+        ++prefix;
+    }
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "%.2f%s%s/s", perSecond,
+                  prefixes[prefix], unit.c_str());
+    return buf;
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    const std::string rule(title.size() + 8, '=');
+    os << '\n' << rule << '\n'
+       << "==  " << title << "  ==" << '\n'
+       << rule << '\n';
+}
+
+} // namespace ditto::stats

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fixed-width text tables for benchmark output.
+ *
+ * Every bench binary regenerating a paper table/figure prints through
+ * TablePrinter so the output is uniform and diffable.
+ */
+
+#ifndef DITTO_STATS_TABLE_H_
+#define DITTO_STATS_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ditto::stats {
+
+/** Column-aligned table builder. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a full row; missing cells render empty. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render the table to the stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+
+    static constexpr const char *kSeparatorTag = "\x01--";
+};
+
+/** Format a double with fixed precision. */
+std::string formatDouble(double value, int precision = 3);
+
+/** Format a percentage (0.123 -> "12.3%"). */
+std::string formatPercent(double fraction, int precision = 1);
+
+/** Format a byte count with binary units (KB/MB/GB). */
+std::string formatBytes(double bytes);
+
+/** Format a rate in SI units (K/M/G suffix). */
+std::string formatRate(double perSecond, const std::string &unit);
+
+/** Print a section banner used between figure panels. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace ditto::stats
+
+#endif // DITTO_STATS_TABLE_H_

@@ -1,0 +1,40 @@
+#include "trace/tracer.h"
+
+namespace ditto::trace {
+
+bool
+Tracer::sampled(std::uint64_t traceId) const
+{
+    if (sampleRate_ >= 1.0)
+        return true;
+    if (sampleRate_ <= 0.0)
+        return false;
+    // Deterministic hash-based head sampling.
+    std::uint64_t h = traceId * 0x9e3779b97f4a7c15ull;
+    h ^= h >> 32;
+    return static_cast<double>(h & 0xffffffull) /
+        static_cast<double>(0x1000000) < sampleRate_;
+}
+
+void
+Tracer::recordSpan(Span span)
+{
+    if (sampled(span.traceId))
+        spans_.push_back(std::move(span));
+}
+
+void
+Tracer::recordEdge(RpcEdge edge)
+{
+    if (sampled(edge.traceId))
+        edges_.push_back(std::move(edge));
+}
+
+void
+Tracer::clear()
+{
+    spans_.clear();
+    edges_.clear();
+}
+
+} // namespace ditto::trace

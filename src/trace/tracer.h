@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Distributed tracing (the Jaeger/Zipkin/Dapper stand-in).
+ *
+ * Services record server-side spans for every handled request and
+ * client-side RPC edges for every downstream call. Ditto's
+ * TopologyAnalyzer consumes the collected traces to recover the
+ * microservice dependency DAG and per-edge call statistics
+ * (Sec. 4.2), exactly as it would from a production tracing backend.
+ */
+
+#ifndef DITTO_TRACE_TRACER_H_
+#define DITTO_TRACE_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ditto::trace {
+
+/** A server-side span: one request handled by one service. */
+struct Span
+{
+    std::uint64_t traceId = 0;
+    std::uint64_t spanId = 0;
+    std::uint64_t parentSpanId = 0;
+    std::string service;
+    std::uint32_t endpoint = 0;
+    sim::Time start = 0;
+    sim::Time end = 0;
+};
+
+/** A client-side RPC edge observation. */
+struct RpcEdge
+{
+    std::uint64_t traceId = 0;
+    std::uint64_t parentSpanId = 0;
+    std::string caller;
+    std::string callee;
+    std::uint32_t endpoint = 0;
+    std::uint32_t requestBytes = 0;
+    std::uint32_t responseBytes = 0;
+};
+
+/**
+ * Trace collector with head-based sampling.
+ *
+ * Sampling keeps tracing overhead negligible in production (the
+ * paper samples traces); the topology analyzer only needs relative
+ * edge frequencies, which sampling preserves.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(double sampleRate = 1.0)
+        : sampleRate_(sampleRate)
+    {
+    }
+
+    /** Whether a given trace id is sampled. */
+    bool sampled(std::uint64_t traceId) const;
+
+    /** Allocate a fresh span id. */
+    std::uint64_t newSpanId() { return nextSpanId_++; }
+
+    void recordSpan(Span span);
+    void recordEdge(RpcEdge edge);
+
+    const std::vector<Span> &spans() const { return spans_; }
+    const std::vector<RpcEdge> &edges() const { return edges_; }
+
+    void clear();
+
+    double sampleRate() const { return sampleRate_; }
+
+  private:
+    double sampleRate_;
+    std::uint64_t nextSpanId_ = 1;
+    std::vector<Span> spans_;
+    std::vector<RpcEdge> edges_;
+};
+
+} // namespace ditto::trace
+
+#endif // DITTO_TRACE_TRACER_H_

@@ -1,0 +1,142 @@
+#include "workload/loadgen.h"
+
+namespace ditto::workload {
+
+LoadGen::LoadGen(app::Deployment &dep, app::ServiceInstance &target,
+                 LoadSpec spec, std::uint64_t seed)
+    : dep_(dep), target_(target), spec_(std::move(spec)), rng_(seed)
+{
+    for (std::size_t i = 0; i < spec_.endpoints.size(); ++i)
+        endpointPick_.add(static_cast<std::int64_t>(i),
+                          spec_.endpoints[i].weight);
+
+    conns_.resize(std::max(1u, spec_.connections));
+    std::uint64_t sockId = 0xc11e0000;
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+        conns_[i].client = std::make_unique<os::Socket>(sockId++);
+        conns_[i].client->machine = nullptr;  // external client
+        conns_[i].server = target_.openConnection();
+        os::Network::connect(*conns_[i].client, *conns_[i].server);
+        const std::size_t idx = i;
+        conns_[i].client->onDeliver = [this, idx](const os::Message &m) {
+            onResponse(idx, m);
+        };
+    }
+}
+
+LoadGen::~LoadGen() = default;
+
+void
+LoadGen::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    measureStart_ = dep_.events().now();
+    if (spec_.openLoop) {
+        scheduleNextOpen();
+    } else {
+        for (std::size_t i = 0; i < conns_.size(); ++i)
+            scheduleNextClosed(i);
+    }
+}
+
+void
+LoadGen::stop()
+{
+    running_ = false;
+}
+
+void
+LoadGen::beginMeasure()
+{
+    latency_.reset();
+    measureStart_ = dep_.events().now();
+    measuredCompleted_ = 0;
+}
+
+double
+LoadGen::achievedQps() const
+{
+    const double secs =
+        sim::toSeconds(dep_.events().now() - measureStart_);
+    return secs > 0 ?
+        static_cast<double>(measuredCompleted_) / secs : 0.0;
+}
+
+void
+LoadGen::scheduleNextOpen()
+{
+    if (!running_ || spec_.qps <= 0)
+        return;
+    const double gapNs = rng_.exponential(1e9 / spec_.qps);
+    dep_.events().scheduleAfter(
+        static_cast<sim::Time>(gapNs), [this] {
+            if (!running_)
+                return;
+            sendOn(rrConn_++ % conns_.size());
+            scheduleNextOpen();
+        });
+}
+
+void
+LoadGen::scheduleNextClosed(std::size_t connIdx)
+{
+    if (!running_ || spec_.qps <= 0)
+        return;
+    // Per-connection rate-limited arrivals (YCSB target throughput).
+    const double perConnRate =
+        spec_.qps / static_cast<double>(conns_.size());
+    const double gapNs = rng_.exponential(1e9 / perConnRate);
+    dep_.events().scheduleAfter(
+        static_cast<sim::Time>(gapNs), [this, connIdx] {
+            if (!running_)
+                return;
+            if (conns_[connIdx].outstanding) {
+                // Still waiting (saturated): send immediately after
+                // the response arrives instead (closed loop).
+                return;
+            }
+            sendOn(connIdx);
+        });
+}
+
+void
+LoadGen::sendOn(std::size_t connIdx)
+{
+    Conn &conn = conns_[connIdx];
+    const auto pick = static_cast<std::size_t>(
+        endpointPick_.sample(rng_));
+    const EndpointLoad &ep = spec_.endpoints[pick];
+    const std::uint32_t bytes = ep.reqBytesMin >= ep.reqBytesMax
+        ? ep.reqBytesMin
+        : static_cast<std::uint32_t>(rng_.uniformInt(
+              static_cast<std::int64_t>(ep.reqBytesMin),
+              static_cast<std::int64_t>(ep.reqBytesMax)));
+
+    os::Message req;
+    req.kind = os::MsgKind::Request;
+    req.bytes = bytes;
+    req.endpoint = ep.endpoint;
+    req.tag = nextTrace_;
+    req.traceId = nextTrace_++;
+    req.sendTime = dep_.events().now();
+    conn.outstanding = true;
+    ++sent_;
+    dep_.network().send(*conn.client, std::move(req));
+}
+
+void
+LoadGen::onResponse(std::size_t connIdx, const os::Message &resp)
+{
+    Conn &conn = conns_[connIdx];
+    conn.outstanding = false;
+    ++completed_;
+    ++measuredCompleted_;
+    const sim::Time now = dep_.events().now();
+    latency_.record(now > resp.sendTime ? now - resp.sendTime : 0);
+    if (!spec_.openLoop)
+        scheduleNextClosed(connIdx);
+}
+
+} // namespace ditto::workload

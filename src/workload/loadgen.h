@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Load generation: open- and closed-loop clients.
+ *
+ * Open-loop clients (mutated / tcpkali / modified-wrk2 in the paper)
+ * send with Poisson interarrivals independent of completions, so
+ * saturation shows up as unbounded queueing and p99 blowup.
+ * Closed-loop clients (YCSB for MongoDB/Redis) allow one outstanding
+ * request per connection and rate-limit arrivals, so latency stays
+ * bounded at high load -- exactly the Fig. 5 latency shapes.
+ *
+ * The client itself is external to the simulated machines (its CPU is
+ * not modeled); requests enter through the server's NIC and kernel.
+ */
+
+#ifndef DITTO_WORKLOAD_LOADGEN_H_
+#define DITTO_WORKLOAD_LOADGEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "app/deployment.h"
+#include "app/service.h"
+#include "os/socket.h"
+#include "sim/distributions.h"
+#include "sim/rng.h"
+#include "stats/histogram.h"
+
+namespace ditto::workload {
+
+/** Mix entry: an endpoint plus its weight and request size range. */
+struct EndpointLoad
+{
+    std::uint32_t endpoint = 0;
+    double weight = 1.0;
+    std::uint32_t reqBytesMin = 64;
+    std::uint32_t reqBytesMax = 64;
+};
+
+/** Full description of the offered load. */
+struct LoadSpec
+{
+    double qps = 1000;
+    unsigned connections = 8;
+    bool openLoop = true;
+    std::vector<EndpointLoad> endpoints = {EndpointLoad{}};
+};
+
+class LoadGen
+{
+  public:
+    LoadGen(app::Deployment &dep, app::ServiceInstance &target,
+            LoadSpec spec, std::uint64_t seed = 99);
+    ~LoadGen();
+
+    LoadGen(const LoadGen &) = delete;
+    LoadGen &operator=(const LoadGen &) = delete;
+
+    /** Begin generating load. */
+    void start();
+
+    /** Stop issuing new requests (in-flight ones complete). */
+    void stop();
+
+    /** Reset measured latency/counters (start of measured window). */
+    void beginMeasure();
+
+    const stats::LatencyHistogram &latency() const { return latency_; }
+    std::uint64_t sent() const { return sent_; }
+    std::uint64_t completed() const { return completed_; }
+
+    /** Completed requests per second over the measured window. */
+    double achievedQps() const;
+
+    /** Change the target rate on the fly. */
+    void setQps(double qps) { spec_.qps = qps; }
+
+  private:
+    struct Conn
+    {
+        std::unique_ptr<os::Socket> client;
+        os::Socket *server = nullptr;
+        bool outstanding = false;
+    };
+
+    app::Deployment &dep_;
+    app::ServiceInstance &target_;
+    LoadSpec spec_;
+    sim::Rng rng_;
+    sim::EmpiricalDist endpointPick_;
+    std::vector<Conn> conns_;
+    stats::LatencyHistogram latency_;
+    std::uint64_t sent_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t nextTrace_ = 1;
+    unsigned rrConn_ = 0;
+    bool running_ = false;
+    sim::Time measureStart_ = 0;
+    std::uint64_t measuredCompleted_ = 0;
+
+    void scheduleNextOpen();
+    void scheduleNextClosed(std::size_t connIdx);
+    void sendOn(std::size_t connIdx);
+    void onResponse(std::size_t connIdx, const os::Message &resp);
+};
+
+} // namespace ditto::workload
+
+#endif // DITTO_WORKLOAD_LOADGEN_H_

@@ -1,0 +1,109 @@
+#include "workload/stressor.h"
+
+#include "hw/block_builder.h"
+
+namespace ditto::workload {
+
+std::string
+stressKindName(StressKind kind)
+{
+    switch (kind) {
+      case StressKind::Cpu: return "HT";
+      case StressKind::L1d: return "L1d";
+      case StressKind::L2: return "L2";
+      case StressKind::Llc: return "LLC";
+    }
+    return "?";
+}
+
+/** The stressor's never-blocking thread. */
+class CacheStressor::StressThread : public os::Thread
+{
+  public:
+    StressThread(const hw::CodeImage &image, std::uint32_t block,
+                 std::string name, std::uint64_t seed)
+        : os::Thread(std::move(name), 0, seed), image_(image),
+          block_(block)
+    {
+    }
+
+    os::StepResult
+    step(os::StepCtx &ctx) override
+    {
+        hw::ExecStats scratch;
+        while (!ctx.overBudget()) {
+            ctx.cyclesUsed += ctx.core.run(
+                image_, block_, 64, execContext(), scratch);
+        }
+        if (statsSink())
+            statsSink()->add(scratch);
+        return {os::StopReason::Yield};
+    }
+
+  private:
+    const hw::CodeImage &image_;
+    std::uint32_t block_;
+};
+
+CacheStressor::CacheStressor(os::Machine &machine, StressKind kind,
+                             int coreId, std::uint64_t seed)
+    : machine_(machine), kind_(kind)
+{
+    const os::Machine::AddressRegion region = machine_.allocRegion();
+    image_ = std::make_unique<hw::CodeImage>(region.textBase,
+                                             region.dataBase, 1);
+
+    hw::BlockSpec spec;
+    spec.label = "stress." + stressKindName(kind);
+    spec.seed = seed;
+    spec.mix = hw::MixWeights::serverCode();
+    spec.branchFraction = 0.04;
+    spec.branchKinds = {{1, 4}};
+    spec.depTightness = 0.15;  // high ILP: maximum pressure
+
+    const auto &p = machine_.spec();
+    switch (kind) {
+      case StressKind::Cpu:
+        spec.instCount = 96;
+        spec.memFraction = 0.04;
+        spec.streams = {{4096, hw::StreamKind::Sequential, false, 1.0}};
+        break;
+      case StressKind::L1d:
+        spec.instCount = 96;
+        spec.memFraction = 0.6;
+        spec.streams = {{p.l1dBytes * 2, hw::StreamKind::Random, false,
+                         1.0}};
+        break;
+      case StressKind::L2:
+        spec.instCount = 96;
+        spec.memFraction = 0.6;
+        spec.streams = {{p.l2Bytes * 2, hw::StreamKind::Random, false,
+                         1.0}};
+        break;
+      case StressKind::Llc:
+        spec.instCount = 96;
+        spec.memFraction = 0.6;
+        spec.streams = {{p.llcBytes, hw::StreamKind::Random, false,
+                         1.0}};
+        break;
+    }
+
+    blockId_ = image_->addBlock(hw::buildBlock(spec));
+    auto thread = std::make_unique<StressThread>(
+        *image_, blockId_, "stress." + stressKindName(kind), seed);
+    thread->setAffinity(coreId);
+    machine_.scheduler().add(std::move(thread));
+}
+
+NetStressor::NetStressor(os::Machine &machine, double gbps)
+    : machine_(machine), bytesPerNs_(gbps / 8.0)
+{
+    machine_.nic().hogBytesPerNs += bytesPerNs_;
+}
+
+NetStressor::~NetStressor()
+{
+    machine_.nic().hogBytesPerNs -= bytesPerNs_;
+}
+
+} // namespace ditto::workload

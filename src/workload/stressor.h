@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Interference stressors (the stress-ng / iBench / iperf3 stand-ins
+ * for the Fig. 10 study).
+ *
+ * A CacheStressor is a pinned, never-blocking thread that loops a
+ * stress code block sized to thrash a target cache level; pinning it
+ * to the SMT sibling of a service core contends for L1d/L2 (and
+ * pipeline issue) exactly like stress-ng co-location. An LLC stressor
+ * pinned to any core on the socket pressures the shared LLC. The
+ * network stressor consumes NIC bandwidth like a competing iperf3.
+ */
+
+#ifndef DITTO_WORKLOAD_STRESSOR_H_
+#define DITTO_WORKLOAD_STRESSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hw/code.h"
+#include "os/machine.h"
+#include "os/thread.h"
+
+namespace ditto::workload {
+
+/** What resource the stressor pressures. */
+enum class StressKind : std::uint8_t
+{
+    Cpu,   //!< tight ALU loop (hyperthread contention only)
+    L1d,   //!< thrashes a ~2x L1d working set
+    L2,    //!< thrashes a ~2x L2 working set
+    Llc,   //!< thrashes a ~LLC-sized working set
+};
+
+/**
+ * A pinned busy thread running a stress block forever.
+ */
+class CacheStressor
+{
+  public:
+    CacheStressor(os::Machine &machine, StressKind kind, int coreId,
+                  std::uint64_t seed = 0x57e55);
+
+    StressKind kind() const { return kind_; }
+
+  private:
+    class StressThread;
+
+    os::Machine &machine_;
+    StressKind kind_;
+    std::unique_ptr<hw::CodeImage> image_;
+    std::uint32_t blockId_ = 0;
+};
+
+/** Human-readable stressor name. */
+std::string stressKindName(StressKind kind);
+
+/**
+ * iperf3-style bandwidth hog: consumes a fraction of the machine's
+ * NIC bandwidth while alive.
+ */
+class NetStressor
+{
+  public:
+    NetStressor(os::Machine &machine, double gbps);
+    ~NetStressor();
+
+  private:
+    os::Machine &machine_;
+    double bytesPerNs_;
+};
+
+} // namespace ditto::workload
+
+#endif // DITTO_WORKLOAD_STRESSOR_H_

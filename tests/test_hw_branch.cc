@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for branch direction patterns (Sec. 4.4.3 bitmask semantics)
+ * and the gshare predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/branch_predictor.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace ditto::hw;
+
+/** Measured long-run rates must match the (M, N) construction. */
+class BranchPatternRates
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(BranchPatternRates, TakenAndTransitionRatesMatch)
+{
+    const auto [m, n] = GetParam();
+    BranchDesc desc{static_cast<std::uint8_t>(m),
+                    static_cast<std::uint8_t>(n)};
+    const std::uint64_t samples = 1 << 16;
+    std::uint64_t taken = 0;
+    std::uint64_t transitions = 0;
+    bool last = false;
+    for (std::uint64_t i = 0; i < samples; ++i) {
+        const bool dir = BranchPattern::direction(desc, i);
+        taken += dir;
+        if (i > 0 && dir != last)
+            ++transitions;
+        last = dir;
+    }
+    const double takenRate =
+        static_cast<double>(taken) / static_cast<double>(samples);
+    const double transRate = static_cast<double>(transitions) /
+        static_cast<double>(samples);
+    EXPECT_NEAR(takenRate, BranchPattern::takenRate(desc),
+                0.02 * BranchPattern::takenRate(desc) + 1e-4);
+    EXPECT_NEAR(transRate, BranchPattern::transitionRate(desc),
+                0.05 * BranchPattern::transitionRate(desc) + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QuantizedRates, BranchPatternRates,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 10),
+                       ::testing::Values(1, 2, 4, 6, 10)));
+
+TEST(BranchPattern, SaturatedCaseSingleTakenPerPeriod)
+{
+    // M > N+1: one taken execution per 2^M period.
+    BranchDesc desc{6, 1};
+    int taken = 0;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        taken += BranchPattern::direction(desc, i);
+    EXPECT_EQ(taken, 1);
+    EXPECT_TRUE(BranchPattern::direction(desc, 0));
+    EXPECT_TRUE(BranchPattern::direction(desc, 64));
+}
+
+TEST(BranchPattern, AlwaysTakenWhenExponentZero)
+{
+    BranchDesc desc{0, 1};
+    for (std::uint64_t i = 0; i < 100; ++i)
+        EXPECT_TRUE(BranchPattern::direction(desc, i));
+    EXPECT_DOUBLE_EQ(BranchPattern::takenRate(desc), 1.0);
+    EXPECT_DOUBLE_EQ(BranchPattern::transitionRate(desc), 0.0);
+}
+
+TEST(BranchPredictor, LearnsStronglyBiasedBranch)
+{
+    BranchPredictor bp(12, 8);
+    // 1/64 taken rate, rare transitions: highly predictable.
+    BranchDesc desc{6, 6};
+    for (std::uint64_t i = 0; i < 20000; ++i)
+        bp.predictAndUpdate(0x1000, BranchPattern::direction(desc, i));
+    EXPECT_LT(bp.mispredictRate(), 0.06);
+}
+
+TEST(BranchPredictor, RandomDirectionsHarderThanBiased)
+{
+    // With truly random directions, a 50/50 branch is unpredictable
+    // (~50% mispredicts) while a 95/5 branch is easy -- the taken
+    // rate's effect on accuracy (Sec. 4.4.3).
+    ditto::sim::Rng rng(77);
+    BranchPredictor coin(12, 8);
+    BranchPredictor biased(12, 8);
+    for (int i = 0; i < 20000; ++i) {
+        coin.predictAndUpdate(0x1000, rng.bernoulli(0.5));
+        biased.predictAndUpdate(0x2000, rng.bernoulli(0.05));
+    }
+    EXPECT_GT(coin.mispredictRate(), 0.35);
+    EXPECT_LT(biased.mispredictRate(), 0.12);
+    EXPECT_GT(coin.mispredictRate(), 2 * biased.mispredictRate());
+}
+
+TEST(BranchPredictor, PeriodicAlternationIsLearnable)
+{
+    // An always-transitioning pattern (M=1, N=1) is periodic, and a
+    // history-based predictor learns it -- unlike random 50/50.
+    BranchPredictor bp(12, 8);
+    BranchDesc hard{1, 1};
+    for (std::uint64_t i = 0; i < 20000; ++i)
+        bp.predictAndUpdate(0x1000, BranchPattern::direction(hard, i));
+    EXPECT_LT(bp.mispredictRate(), 0.1);
+}
+
+TEST(BranchPredictor, AliasingDegradesWithManySites)
+{
+    // Few sites: history-based prediction works well. Many sites on a
+    // tiny PHT: destructive aliasing raises mispredictions -- the
+    // paper's "static branch count matters" observation.
+    auto run = [](unsigned sites, unsigned log2Entries) {
+        BranchPredictor bp(log2Entries, 8);
+        BranchDesc desc{2, 3};
+        std::uint64_t count = 0;
+        for (std::uint64_t round = 0; round < 4000; ++round) {
+            for (unsigned s = 0; s < sites; ++s) {
+                bp.predictAndUpdate(0x4000 + s * 4,
+                                    BranchPattern::direction(
+                                        desc, count + s * 7));
+            }
+            ++count;
+        }
+        return bp.mispredictRate();
+    };
+    const double fewSites = run(4, 6);
+    const double manySites = run(512, 6);
+    EXPECT_GT(manySites, fewSites);
+}
+
+TEST(BranchPredictor, ResetRestoresColdState)
+{
+    BranchPredictor bp(10, 6);
+    for (int i = 0; i < 1000; ++i)
+        bp.predictAndUpdate(0x2000, true);
+    bp.reset();
+    EXPECT_EQ(bp.predictions(), 0u);
+    EXPECT_EQ(bp.mispredictions(), 0u);
+}
+
+TEST(BranchPredictor, StatsCount)
+{
+    BranchPredictor bp(10, 6);
+    for (int i = 0; i < 50; ++i)
+        bp.predictAndUpdate(0x3000, i % 2 == 0);
+    EXPECT_EQ(bp.predictions(), 50u);
+    EXPECT_GT(bp.mispredictions(), 0u);
+    bp.resetStats();
+    EXPECT_EQ(bp.predictions(), 0u);
+}
+
+} // namespace

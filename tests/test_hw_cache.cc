@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the cache model: LRU semantics, the paper's working-set
+ * property, hierarchy behaviour, prefetching, and coherence hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/cache.h"
+
+namespace {
+
+using namespace ditto::hw;
+
+TEST(Cache, HitsAfterFill)
+{
+    Cache c(1024, 2);
+    EXPECT_FALSE(c.access(0x1000, false));  // cold miss
+    EXPECT_TRUE(c.access(0x1000, false));   // now resident
+    EXPECT_TRUE(c.access(0x1020, false));   // same 64B line
+    EXPECT_EQ(c.stats().accesses, 3u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // 2 ways x 1 set: 128B direct conflict domain.
+    Cache c(128, 2);
+    ASSERT_EQ(c.sets(), 1u);
+    c.access(0 * 64, false);   // A
+    c.access(1 * 64, false);   // B
+    c.access(0 * 64, false);   // touch A -> B is LRU
+    c.access(2 * 64, false);   // C evicts B
+    EXPECT_TRUE(c.probe(0 * 64));
+    EXPECT_FALSE(c.probe(1 * 64));
+    EXPECT_TRUE(c.probe(2 * 64));
+}
+
+/**
+ * The paper's working-set guarantee (Sec. 4.4.4): a sequential cyclic
+ * walk over a 2^i-byte set hits (after warmup) iff capacity >= 2^i,
+ * and misses every access when capacity < 2^i under LRU.
+ */
+class WorkingSetProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(WorkingSetProperty, SequentialCyclicWalk)
+{
+    const std::uint64_t wsBytes = GetParam();
+    const std::uint64_t lines = wsBytes / kLineBytes;
+
+    // Capacity == working set: all hits after the first pass.
+    {
+        Cache fits(wsBytes, 8);
+        for (std::uint64_t pass = 0; pass < 3; ++pass) {
+            for (std::uint64_t l = 0; l < lines; ++l)
+                fits.access(l * kLineBytes, false);
+        }
+        EXPECT_EQ(fits.stats().misses, lines);  // cold only
+    }
+    // Capacity == half: every access misses (LRU worst case).
+    {
+        Cache small(wsBytes / 2, 8);
+        for (std::uint64_t pass = 0; pass < 3; ++pass) {
+            for (std::uint64_t l = 0; l < lines; ++l)
+                small.access(l * kLineBytes, false);
+        }
+        EXPECT_EQ(small.stats().misses, small.stats().accesses);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Sizes, WorkingSetProperty,
+                         ::testing::Values(1024, 4096, 32768,
+                                           262144, 1048576));
+
+TEST(Cache, NonPow2CapacityRoundsDown)
+{
+    // 30.25MB LLC (Platform A): must still construct and be usable.
+    Cache llc(31719424, 11);
+    EXPECT_GT(llc.sets(), 0u);
+    EXPECT_FALSE(llc.access(0x123456, false));
+    EXPECT_TRUE(llc.access(0x123456, false));
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(4096, 4);
+    c.access(0x40, true);
+    EXPECT_TRUE(c.probe(0x40));
+    EXPECT_TRUE(c.invalidate(0x40));
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.invalidate(0x40));
+    EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST(Cache, InvalidateFractionRemovesRoughlyThatShare)
+{
+    Cache c(64 * 1024, 8);
+    const std::uint64_t lines = 64 * 1024 / 64;
+    for (std::uint64_t l = 0; l < lines; ++l)
+        c.access(l * 64, false);
+    c.invalidateFraction(0.5, 1234);
+    std::uint64_t present = 0;
+    for (std::uint64_t l = 0; l < lines; ++l)
+        present += c.probe(l * 64);
+    EXPECT_NEAR(static_cast<double>(present),
+                static_cast<double>(lines) / 2,
+                static_cast<double>(lines) * 0.1);
+}
+
+TEST(CacheHierarchy, MissPathFillsAllLevels)
+{
+    Cache llc(1 << 20, 16);
+    CacheHierarchy h(32768, 8, 32768, 8, 262144, 8, &llc, false);
+    EXPECT_EQ(h.accessData(0x5000, false), CacheLevel::Memory);
+    // Now resident everywhere.
+    EXPECT_TRUE(h.l1d().probe(0x5000));
+    EXPECT_TRUE(h.l2().probe(0x5000));
+    EXPECT_TRUE(llc.probe(0x5000));
+    EXPECT_EQ(h.accessData(0x5000, false), CacheLevel::L1);
+}
+
+TEST(CacheHierarchy, L2HitAfterL1Eviction)
+{
+    Cache llc(1 << 20, 16);
+    CacheHierarchy h(4096, 4, 4096, 4, 262144, 8, &llc, false);
+    h.accessData(0x0, false);
+    // Thrash L1d (4KB) with 16KB of lines; 0x0 falls out of L1 but
+    // stays in L2.
+    for (std::uint64_t l = 1; l <= 256; ++l)
+        h.accessData(l * 64, false);
+    EXPECT_EQ(h.accessData(0x0, false), CacheLevel::L2);
+}
+
+TEST(CacheHierarchy, InstructionPathUsesL1i)
+{
+    Cache llc(1 << 20, 16);
+    CacheHierarchy h(32768, 8, 32768, 8, 262144, 8, &llc, false);
+    EXPECT_EQ(h.accessInst(0x7000), CacheLevel::Memory);
+    EXPECT_EQ(h.accessInst(0x7000), CacheLevel::L1);
+    // Data access to the same line does not hit in L1d (separate
+    // arrays) but does hit in the unified L2.
+    EXPECT_EQ(h.accessData(0x7000, false), CacheLevel::L2);
+}
+
+TEST(CacheHierarchy, CoherenceInvalidationForcesMiss)
+{
+    Cache llc(1 << 20, 16);
+    CacheHierarchy h(32768, 8, 32768, 8, 262144, 8, &llc, false);
+    h.accessData(0x9000, false);
+    EXPECT_EQ(h.accessData(0x9000, false), CacheLevel::L1);
+    h.invalidateData(0x9000);
+    // Line still in LLC: coherence miss is served from L3.
+    EXPECT_EQ(h.accessData(0x9000, false), CacheLevel::L3);
+}
+
+TEST(StreamPrefetcher, DetectsSequentialStream)
+{
+    StreamPrefetcher pf(8, 4);
+    std::vector<std::uint64_t> out;
+    pf.observe(100, out);
+    EXPECT_TRUE(out.empty());
+    pf.observe(101, out);  // trains stride +1
+    pf.observe(102, out);  // confirms -> prefetches
+    EXPECT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], 103u);
+    EXPECT_EQ(out[3], 106u);
+}
+
+TEST(StreamPrefetcher, IgnoresRandomAccesses)
+{
+    StreamPrefetcher pf(8, 4);
+    std::vector<std::uint64_t> out;
+    std::uint64_t addrs[] = {5, 900, 77, 12345, 42, 60000, 3, 777};
+    for (std::uint64_t a : addrs) {
+        pf.observe(a, out);
+        EXPECT_TRUE(out.empty()) << a;
+    }
+}
+
+TEST(CacheHierarchy, PrefetchHidesSequentialMisses)
+{
+    Cache llcA(8 << 20, 16);
+    Cache llcB(8 << 20, 16);
+    CacheHierarchy withPf(32768, 8, 32768, 8, 262144, 8, &llcA, true);
+    CacheHierarchy noPf(32768, 8, 32768, 8, 262144, 8, &llcB, false);
+
+    // Stream 1MB sequentially through both (exceeds L1/L2).
+    auto run = [](CacheHierarchy &h) {
+        std::uint64_t misses = 0;
+        for (std::uint64_t l = 0; l < 16384; ++l) {
+            if (h.accessData(l * 64, false) != CacheLevel::L1)
+                ++misses;
+        }
+        return misses;
+    };
+    const std::uint64_t pfMisses = run(withPf);
+    const std::uint64_t plainMisses = run(noPf);
+    EXPECT_LT(pfMisses, plainMisses / 4);
+}
+
+} // namespace

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the CPU core cost model: ILP, port pressure, memory
+ * stalls, pointer chasing, top-down accounting, sampling and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/block_builder.h"
+#include "hw/cpu_core.h"
+#include "hw/platform.h"
+
+namespace {
+
+using namespace ditto::hw;
+
+struct CoreFixture
+{
+    PlatformSpec spec = platformA();
+    Cache llc{spec.llcBytes, spec.llcWays};
+    CacheHierarchy caches{spec.l1iBytes, spec.l1iWays,
+                          spec.l1dBytes, spec.l1dWays,
+                          spec.l2Bytes, spec.l2Ways, &llc,
+                          spec.prefetchEnabled};
+    CpuCore core{0, spec, caches, nullptr};
+    ExecContext ctx{0, 1};
+
+    CoreFixture() { core.setExactMode(true); }
+
+    CodeImage
+    makeImage() const
+    {
+        return CodeImage(0x400000, 0x10000000, 4);
+    }
+};
+
+/** A block of `n` dependent adds: dst == src == r1. */
+CodeBlock
+serialAdds(unsigned n)
+{
+    const Isa &isa = Isa::instance();
+    CodeBlock block;
+    block.label = "serial";
+    for (unsigned i = 0; i < n; ++i) {
+        Inst inst;
+        inst.opcode = isa.opcode("ADD_GPR64_GPR64");
+        inst.dst = 1;
+        inst.src0 = 1;
+        block.insts.push_back(inst);
+    }
+    return block;
+}
+
+/** A block of `n` independent adds rotating over 8 registers. */
+CodeBlock
+parallelAdds(unsigned n)
+{
+    const Isa &isa = Isa::instance();
+    CodeBlock block;
+    block.label = "parallel";
+    for (unsigned i = 0; i < n; ++i) {
+        Inst inst;
+        inst.opcode = isa.opcode("ADD_GPR64_GPR64");
+        inst.dst = static_cast<std::uint8_t>(i % 8);
+        inst.src0 = static_cast<std::uint8_t>((i + 1) % 8);
+        block.insts.push_back(inst);
+    }
+    return block;
+}
+
+TEST(CpuCore, IlpSerialChainSlowerThanParallel)
+{
+    CoreFixture f;
+    CodeImage image = f.makeImage();
+    const auto serial = image.addBlock(serialAdds(64));
+    const auto parallel = image.addBlock(parallelAdds(64));
+
+    ExecStats s1;
+    ExecStats s2;
+    const double cSerial = f.core.run(image, serial, 50, f.ctx, s1);
+    const double cParallel =
+        f.core.run(image, parallel, 50, f.ctx, s2);
+    // Serial chain: ~1 inst/cycle bound by latency; parallel: bound
+    // by issue width 4.
+    EXPECT_GT(cSerial, 2.0 * cParallel);
+    EXPECT_GT(s2.ipc(), 2.0);
+    EXPECT_LT(s1.ipc(), 1.3);
+}
+
+TEST(CpuCore, PortPressureDivisionBound)
+{
+    CoreFixture f;
+    CodeImage image = f.makeImage();
+    const Isa &isa = Isa::instance();
+
+    CodeBlock divs;
+    divs.label = "divs";
+    for (int i = 0; i < 32; ++i) {
+        Inst inst;
+        inst.opcode = isa.opcode("DIV_GPR64");
+        inst.dst = static_cast<std::uint8_t>(i % 8);
+        divs.insts.push_back(inst);
+    }
+    const auto divBlock = image.addBlock(divs);
+    const auto addBlock = image.addBlock(parallelAdds(32));
+    ExecStats sd;
+    ExecStats sa;
+    const double cd = f.core.run(image, divBlock, 20, f.ctx, sd);
+    const double ca = f.core.run(image, addBlock, 20, f.ctx, sa);
+    // All divides contend for port 0 and carry many uops.
+    EXPECT_GT(cd, 5 * ca);
+}
+
+TEST(CpuCore, PointerChaseSerializesMisses)
+{
+    CoreFixture f;
+    CodeImage image = f.makeImage();
+    const Isa &isa = Isa::instance();
+
+    auto make_loads = [&](StreamKind kind, const char *label) {
+        CodeBlock block;
+        block.label = label;
+        block.streams.push_back(
+            MemStreamDesc{64 << 20, kind, false, 1});
+        for (int i = 0; i < 32; ++i) {
+            Inst inst;
+            inst.opcode = isa.opcode("MOV_GPR64_MEM64");
+            inst.dst = static_cast<std::uint8_t>(i % 8);
+            inst.memStream = 0;
+            block.insts.push_back(inst);
+        }
+        return block;
+    };
+    const auto chase =
+        image.addBlock(make_loads(StreamKind::PointerChase, "chase"));
+    const auto rand =
+        image.addBlock(make_loads(StreamKind::Random, "rand"));
+    ExecStats sc;
+    ExecStats sr;
+    const double cc = f.core.run(image, chase, 40, f.ctx, sc);
+    const double cr = f.core.run(image, rand, 40, f.ctx, sr);
+    // Both miss everywhere (64MB working set), but chasing cannot
+    // overlap misses: far slower, and the serialized-miss counter
+    // fills up.
+    EXPECT_GT(cc, 3 * cr);
+    EXPECT_GT(sc.serializedMissCycles, 10 * sc.parallelMissCycles);
+    EXPECT_GT(sr.parallelMissCycles, 10 * sr.serializedMissCycles);
+}
+
+TEST(CpuCore, WorkingSetSizeDrivesMissRatesAndIpc)
+{
+    CoreFixture f;
+    CodeImage image = f.makeImage();
+
+    BlockSpec small;
+    small.label = "small";
+    small.instCount = 64;
+    small.memFraction = 0.5;
+    small.streams = {{16 << 10, StreamKind::Sequential, false, 1.0}};
+    small.seed = 1;
+    BlockSpec huge = small;
+    huge.label = "huge";
+    huge.streams = {{128u << 20, StreamKind::Random, false, 1.0}};
+    huge.seed = 1;
+
+    const auto smallB = image.addBlock(buildBlock(small));
+    const auto hugeB = image.addBlock(buildBlock(huge));
+    ExecStats ss;
+    ExecStats sh;
+    f.core.run(image, smallB, 200, f.ctx, ss);
+    f.core.run(image, hugeB, 200, f.ctx, sh);
+    EXPECT_LT(ss.missRateL1d(), 0.1);
+    EXPECT_GT(sh.missRateL1d(), 0.5);
+    EXPECT_GT(ss.ipc(), 1.5 * sh.ipc());
+    // The huge working set spills past the LLC.
+    EXPECT_GT(sh.llcMisses, 0);
+}
+
+TEST(CpuCore, TopDownBucketsSumToCycles)
+{
+    CoreFixture f;
+    CodeImage image = f.makeImage();
+    BlockSpec spec;
+    spec.label = "mixed";
+    spec.instCount = 256;
+    spec.memFraction = 0.3;
+    spec.branchFraction = 0.15;
+    spec.streams = {{1 << 20, StreamKind::Random, false, 1.0}};
+    spec.seed = 3;
+    const auto b = image.addBlock(buildBlock(spec));
+    ExecStats s;
+    const double cycles = f.core.run(image, b, 100, f.ctx, s);
+    const double sum = s.retiringCycles + s.frontendCycles +
+        s.badSpecCycles + s.backendCycles;
+    EXPECT_NEAR(sum, cycles, cycles * 1e-6);
+    EXPECT_GT(s.retiringCycles, 0);
+    EXPECT_GT(s.backendCycles, 0);
+    EXPECT_GT(s.badSpecCycles, 0);
+}
+
+TEST(CpuCore, BigFootprintCausesFrontendStalls)
+{
+    CoreFixture f;
+    CodeImage image = f.makeImage();
+    // 128KB of straight-line code: busts the 32KB L1i every pass.
+    BlockSpec spec;
+    spec.label = "hugecode";
+    spec.instCount = 32768;
+    spec.memFraction = 0.05;
+    spec.branchFraction = 0.0;
+    spec.seed = 4;
+    const auto big = image.addBlock(buildBlock(spec));
+    const auto tiny = image.addBlock(parallelAdds(128));
+    ExecStats warm;
+    f.core.run(image, tiny, 50, f.ctx, warm);  // warm the tiny block
+    ExecStats sb;
+    ExecStats st;
+    f.core.run(image, big, 6, f.ctx, sb);
+    f.core.run(image, tiny, 50, f.ctx, st);
+    EXPECT_GT(sb.missRateL1i(), 0.5);
+    EXPECT_GT(sb.frontendCycles / sb.cycles,
+              st.frontendCycles / std::max(1.0, st.cycles) + 0.05);
+}
+
+TEST(CpuCore, SamplingApproximatesExact)
+{
+    // Same block, many iterations: sampled execution must track the
+    // exact interpreter within a few percent.
+    auto run = [&](bool exact) {
+        CoreFixture f;
+        f.core.setExactMode(exact);
+        CodeImage image = f.makeImage();
+        BlockSpec spec;
+        spec.label = "sampled";
+        spec.instCount = 128;
+        spec.memFraction = 0.3;
+        spec.branchFraction = 0.1;
+        spec.streams = {{256 << 10, StreamKind::Sequential, false, 1.0}};
+        spec.seed = 5;
+        const auto b = image.addBlock(buildBlock(spec));
+        ExecStats s;
+        f.core.run(image, b, 5000, f.ctx, s);
+        return s;
+    };
+    const ExecStats exact = run(true);
+    const ExecStats sampled = run(false);
+    EXPECT_NEAR(sampled.instructions, exact.instructions,
+                exact.instructions * 0.001);
+    EXPECT_NEAR(sampled.cycles, exact.cycles, exact.cycles * 0.10);
+    EXPECT_NEAR(sampled.ipc(), exact.ipc(), exact.ipc() * 0.10);
+}
+
+TEST(CpuCore, ReplayApproximatesSteadyState)
+{
+    // Repeated short calls: the replay cache must give nearly the
+    // same aggregate cycles as exact interpretation.
+    auto run = [&](bool exact) {
+        CoreFixture f;
+        f.core.setExactMode(exact);
+        CodeImage image = f.makeImage();
+        BlockSpec spec;
+        spec.label = "replayed";
+        spec.instCount = 200;
+        spec.memFraction = 0.3;
+        spec.branchFraction = 0.1;
+        spec.streams = {{64 << 10, StreamKind::Sequential, false, 1.0}};
+        spec.seed = 6;
+        const auto b = image.addBlock(buildBlock(spec));
+        ExecStats s;
+        for (int call = 0; call < 400; ++call)
+            f.core.run(image, b, 2, f.ctx, s);
+        return s;
+    };
+    const ExecStats exact = run(true);
+    const ExecStats replayed = run(false);
+    EXPECT_NEAR(replayed.instructions, exact.instructions,
+                exact.instructions * 0.001);
+    EXPECT_NEAR(replayed.cycles, exact.cycles, exact.cycles * 0.12);
+}
+
+TEST(CpuCore, ContentionFactorScalesCycles)
+{
+    CoreFixture f;
+    CodeImage image = f.makeImage();
+    const auto b = image.addBlock(parallelAdds(64));
+    ExecStats warm;
+    f.core.run(image, b, 100, f.ctx, warm);  // warm caches first
+    ExecStats s1;
+    const double base = f.core.run(image, b, 100, f.ctx, s1);
+    f.core.setContentionFactor(1.5);
+    ExecStats s2;
+    const double contended = f.core.run(image, b, 100, f.ctx, s2);
+    EXPECT_NEAR(contended, base * 1.5, base * 0.05);
+}
+
+TEST(CpuCore, KernelModeAttribution)
+{
+    CoreFixture f;
+    CodeImage image = f.makeImage();
+    const auto b = image.addBlock(parallelAdds(64));
+    ExecStats s;
+    f.core.run(image, b, 10, f.ctx, s, /*kernelMode=*/true);
+    EXPECT_DOUBLE_EQ(s.kernelInstructions, s.instructions);
+    f.core.run(image, b, 10, f.ctx, s, /*kernelMode=*/false);
+    EXPECT_LT(s.kernelInstructions, s.instructions);
+}
+
+TEST(CpuCore, RepStringCostScalesWithBytes)
+{
+    CoreFixture f;
+    CodeImage image = f.makeImage();
+    const Isa &isa = Isa::instance();
+    auto make_rep = [&](std::uint32_t bytes) {
+        CodeBlock block;
+        block.label = "rep";
+        block.streams.push_back(
+            MemStreamDesc{1 << 20, StreamKind::Sequential, false, 1});
+        Inst inst;
+        inst.opcode = isa.opcode("REP_MOVSB");
+        inst.memStream = 0;
+        inst.repBytes = bytes;
+        block.insts.push_back(inst);
+        return image.addBlock(block);
+    };
+    const auto small = make_rep(64);
+    const auto large = make_rep(8192);
+    ExecStats ss;
+    ExecStats sl;
+    const double cs = f.core.run(image, small, 20, f.ctx, ss);
+    const double cl = f.core.run(image, large, 20, f.ctx, sl);
+    EXPECT_GT(cl, 5 * cs);
+    // The large copy touches ~128 lines per instruction.
+    EXPECT_GT(sl.l1dAccesses, 100 * ss.instructions);
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Multi-node deployment tests: the Social Network spread across a
+ * cluster (the paper deploys it "both locally and on a cluster"),
+ * cross-machine RPC latency, and NIC accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "hw/platform.h"
+#include "workload/loadgen.h"
+
+namespace {
+
+using namespace ditto;
+
+TEST(MultiNode, SocialNetworkAcrossThreeMachines)
+{
+    app::Deployment dep(61);
+    os::Machine &m0 = dep.addMachine("node0", hw::platformA());
+    os::Machine &m1 = dep.addMachine("node1", hw::platformA());
+    os::Machine &m2 = dep.addMachine("node2", hw::platformA());
+
+    // Frontend + orchestration on node0, leaf logic on node1,
+    // storage-ish tiers on node2.
+    std::size_t i = 0;
+    for (const app::ServiceSpec &tier : apps::socialNetworkSpecs()) {
+        os::Machine *target = &m0;
+        if (tier.name == "sn.poststorage" ||
+            tier.name == "sn.usertimeline" ||
+            tier.name == "sn.hometimeline") {
+            target = &m2;
+        } else if (tier.name != "sn.frontend" &&
+                   tier.name != "sn.compose") {
+            target = &m1;
+        }
+        dep.deploy(tier, *target);
+        ++i;
+    }
+    dep.wireAll();
+
+    app::ServiceInstance *fe = dep.find("sn.frontend");
+    ASSERT_NE(fe, nullptr);
+    workload::LoadGen gen(dep, *fe,
+                          apps::socialNetworkLoad().at(300), 7);
+    gen.start();
+    dep.runFor(sim::milliseconds(400));
+
+    EXPECT_GT(gen.completed(), 50u);
+    // Cross-node RPC traffic flowed through the NICs.
+    EXPECT_GT(m0.nic().txBytes, 10000u);
+    EXPECT_GT(m1.nic().rxBytes, 1000u);
+    EXPECT_GT(m2.nic().rxBytes, 10000u);
+    // Every machine did CPU work.
+    EXPECT_GT(m1.scheduler().stats().slices, 50u);
+    EXPECT_GT(m2.scheduler().stats().slices, 100u);
+}
+
+TEST(MultiNode, ClusterDeploymentSlowerThanLocal)
+{
+    auto p99_for = [](bool split) {
+        app::Deployment dep(62);
+        os::Machine &m0 = dep.addMachine("node0", hw::platformA());
+        os::Machine *other = split
+            ? &dep.addMachine("node1", hw::platformA())
+            : &m0;
+        bool toggle = false;
+        for (const app::ServiceSpec &tier :
+             apps::socialNetworkSpecs()) {
+            // Alternate tiers across nodes when split.
+            dep.deploy(tier, toggle ? *other : m0);
+            toggle = !toggle;
+        }
+        dep.wireAll();
+        app::ServiceInstance *fe = dep.find("sn.frontend");
+        workload::LoadGen gen(dep, *fe,
+                              apps::socialNetworkLoad().at(300), 7);
+        gen.start();
+        dep.runFor(sim::milliseconds(200));
+        gen.beginMeasure();
+        dep.runFor(sim::milliseconds(300));
+        return gen.latency().percentile(0.5);
+    };
+    // Cross-node hops add wire latency on every RPC edge.
+    EXPECT_GT(p99_for(true), p99_for(false));
+}
+
+TEST(MultiNode, HeterogeneousClusterPlatformsApply)
+{
+    app::Deployment dep(63);
+    os::Machine &fast = dep.addMachine("fast", hw::platformA());
+    os::Machine &slow = dep.addMachine("slow", hw::platformB());
+    EXPECT_EQ(fast.spec().name, "A");
+    EXPECT_EQ(slow.spec().name, "B");
+    EXPECT_NE(fast.spec().baseFrequencyGhz,
+              slow.spec().baseFrequencyGhz);
+    // Disk kinds differ per Table 1 (SSD vs HDD).
+    EXPECT_EQ(fast.disk().kind(), hw::DiskKind::Ssd);
+    EXPECT_EQ(slow.disk().kind(), hw::DiskKind::Hdd);
+}
+
+} // namespace

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Unit tests for the simulation core: RNG, distributions, events.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "sim/distributions.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace {
+
+using namespace ditto::sim;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntUnbiasedSmallRange)
+{
+    Rng rng(9);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 30000; ++i)
+        counts[rng.uniformInt(std::uint64_t{3})]++;
+    EXPECT_EQ(counts.size(), 3u);
+    for (const auto &[v, c] : counts) {
+        EXPECT_LT(v, 3u);
+        EXPECT_NEAR(c, 10000, 500);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveRange)
+{
+    Rng rng(10);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(std::int64_t{5}, std::int64_t{8});
+        ASSERT_GE(v, 5);
+        ASSERT_LE(v, 8);
+    }
+    // Degenerate range returns the bound.
+    EXPECT_EQ(rng.uniformInt(std::int64_t{4}, std::int64_t{4}), 4);
+    EXPECT_EQ(rng.uniformInt(std::int64_t{9}, std::int64_t{3}), 9);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(250.0);
+    EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(12);
+    double sum = 0;
+    double sq = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(10.0, 3.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.poisson(3.5));
+    EXPECT_NEAR(sum / n, 3.5, 0.1);
+    sum = 0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.poisson(80.0));
+    EXPECT_NEAR(sum / n, 80.0, 0.5);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(14);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(20);
+    Rng b = a.split();
+    // Streams diverge.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 3);
+}
+
+TEST(ZipfDist, UniformWhenThetaZero)
+{
+    Rng rng(31);
+    ZipfDist zipf(10, 0.0);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i)
+        counts[zipf.sample(rng)]++;
+    for (const auto &[v, c] : counts) {
+        EXPECT_LT(v, 10u);
+        EXPECT_NEAR(c, 5000, 400);
+    }
+}
+
+TEST(ZipfDist, SkewedFavorsLowRanks)
+{
+    Rng rng(32);
+    ZipfDist zipf(1000, 0.99);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i)
+        counts[zipf.sample(rng)]++;
+    // Rank 0 should dominate any high rank by a wide margin.
+    EXPECT_GT(counts[0], 2000);
+    int tail = 0;
+    for (const auto &[v, c] : counts) {
+        if (v > 900)
+            tail += c;
+    }
+    EXPECT_LT(tail, counts[0]);
+}
+
+TEST(EmpiricalDist, SamplesProportionally)
+{
+    Rng rng(33);
+    EmpiricalDist dist;
+    dist.add(1, 1.0);
+    dist.add(2, 3.0);
+    EXPECT_FALSE(dist.empty());
+    EXPECT_DOUBLE_EQ(dist.totalWeight(), 4.0);
+    int twos = 0;
+    for (int i = 0; i < 40000; ++i)
+        twos += dist.sample(rng) == 2;
+    EXPECT_NEAR(twos / 40000.0, 0.75, 0.02);
+    EXPECT_NEAR(dist.mean(), 1.75, 1e-9);
+    EXPECT_NEAR(dist.probabilityOf(2), 0.75, 1e-9);
+}
+
+TEST(EmpiricalDist, IgnoresNonPositiveWeights)
+{
+    EmpiricalDist dist;
+    dist.add(5, 0.0);
+    dist.add(6, -1.0);
+    EXPECT_TRUE(dist.empty());
+    EXPECT_EQ(dist.size(), 0u);
+}
+
+TEST(RangeDist, SamplesWithinBuckets)
+{
+    Rng rng(34);
+    RangeDist dist;
+    dist.add(10.0, 20.0, 1.0);
+    dist.add(100.0, 200.0, 1.0);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = dist.sample(rng);
+        EXPECT_TRUE((x >= 10 && x < 20) || (x >= 100 && x < 200));
+    }
+    EXPECT_NEAR(dist.mean(), (15.0 + 150.0) / 2, 1e-9);
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, FifoForEqualTimestamps)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.scheduleAt(100, [&order, i] { order.push_back(i); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    const EventId id = q.scheduleAt(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));  // double-cancel is a no-op
+    q.runAll();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int count = 0;
+    q.scheduleAt(10, [&] { ++count; });
+    q.scheduleAt(20, [&] { ++count; });
+    q.scheduleAt(30, [&] { ++count; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20u);
+    q.runAll();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, EventsScheduledDuringRun)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            q.scheduleAfter(10, chain);
+    };
+    q.scheduleAt(0, chain);
+    q.runAll();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, ScheduleInPastClampsToNow)
+{
+    EventQueue q;
+    q.scheduleAt(100, [] {});
+    q.runAll();
+    EXPECT_EQ(q.now(), 100u);
+    bool ran = false;
+    q.scheduleAt(50, [&] { ran = true; });  // in the past
+    q.runAll();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(q.now(), 100u);  // did not go backwards
+}
+
+TEST(Time, UnitConversions)
+{
+    EXPECT_EQ(microseconds(1), 1000u);
+    EXPECT_EQ(milliseconds(1), 1000000u);
+    EXPECT_EQ(seconds(1), 1000000000u);
+    EXPECT_DOUBLE_EQ(toMilliseconds(milliseconds(5)), 5.0);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(2)), 2.0);
+    EXPECT_DOUBLE_EQ(toMicroseconds(microseconds(7)), 7.0);
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * End-to-end smoke test: a minimal echo-like service under load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/deployment.h"
+#include "hw/block_builder.h"
+#include "hw/platform.h"
+#include "workload/loadgen.h"
+
+namespace {
+
+using namespace ditto;
+
+app::ServiceSpec
+miniService()
+{
+    app::ServiceSpec spec;
+    spec.name = "mini";
+    spec.serverModel = app::ServerModel::IoMultiplex;
+    spec.threads.workers = 2;
+
+    hw::BlockSpec bs;
+    bs.label = "mini.handler";
+    bs.instCount = 128;
+    bs.streams = {{1 << 14, hw::StreamKind::Sequential, false, 1.0}};
+    bs.seed = 5;
+    spec.blocks.push_back(hw::buildBlock(bs));
+
+    app::EndpointSpec ep;
+    ep.name = "get";
+    ep.handler.ops.push_back(app::opCompute(0, 20));
+    ep.responseBytesMin = ep.responseBytesMax = 512;
+    spec.endpoints.push_back(ep);
+    return spec;
+}
+
+TEST(Smoke, SingleServiceServesRequests)
+{
+    app::Deployment dep(/*seed=*/1);
+    os::Machine &m = dep.addMachine("node0", hw::platformA());
+    app::ServiceInstance &svc = dep.deploy(miniService(), m);
+    dep.wireAll();
+
+    workload::LoadSpec load;
+    load.qps = 5000;
+    load.connections = 4;
+    load.openLoop = true;
+    workload::LoadGen gen(dep, svc, load, 3);
+    gen.start();
+
+    dep.runFor(sim::milliseconds(200));
+    dep.beginMeasureAll();
+    gen.beginMeasure();
+    dep.runFor(sim::milliseconds(500));
+
+    EXPECT_GT(gen.completed(), 1000u);
+    // Achieved ~ offered load.
+    EXPECT_NEAR(gen.achievedQps(), 5000, 1000);
+    // Latency is positive and sub-millisecond-ish at this light load.
+    const auto p50 = gen.latency().percentile(0.50);
+    EXPECT_GT(p50, sim::microseconds(30));
+    EXPECT_LT(p50, sim::milliseconds(5));
+    // Service-side counters move.
+    EXPECT_GT(svc.stats().requests, 1000u);
+    EXPECT_GT(svc.stats().exec.instructions, 1e6);
+    EXPECT_GT(svc.stats().exec.ipc(), 0.05);
+    EXPECT_LT(svc.stats().exec.ipc(), 6.0);
+}
+
+TEST(Smoke, ClosedLoopCapsOutstanding)
+{
+    app::Deployment dep(2);
+    os::Machine &m = dep.addMachine("node0", hw::platformA());
+    app::ServiceInstance &svc = dep.deploy(miniService(), m);
+    dep.wireAll();
+
+    workload::LoadSpec load;
+    load.qps = 200000;  // far beyond capacity of 4 conns
+    load.connections = 4;
+    load.openLoop = false;
+    workload::LoadGen gen(dep, svc, load, 3);
+    gen.start();
+    dep.runFor(sim::milliseconds(300));
+
+    // Closed loop: completions bounded by 4 conns x RTT, latency sane.
+    EXPECT_GT(gen.completed(), 100u);
+    EXPECT_LT(gen.latency().percentile(0.99), sim::milliseconds(10));
+}
+
+TEST(Smoke, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        app::Deployment dep(7);
+        os::Machine &m = dep.addMachine("node0", hw::platformA());
+        app::ServiceInstance &svc = dep.deploy(miniService(), m);
+        dep.wireAll();
+        workload::LoadSpec load;
+        load.qps = 3000;
+        load.connections = 2;
+        workload::LoadGen gen(dep, svc, load, 3);
+        gen.start();
+        dep.runFor(sim::milliseconds(300));
+        return std::tuple(gen.completed(),
+                          gen.latency().percentile(0.99),
+                          svc.stats().exec.instructions);
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for clone-spec serialization: round-trip fidelity, behaviour
+ * equivalence of a reloaded clone, and parse-error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/body_generator.h"
+#include "core/skeleton_generator.h"
+#include "core/spec_io.h"
+#include "hw/block_builder.h"
+#include "hw/platform.h"
+#include "profile/perf_report.h"
+#include "workload/loadgen.h"
+
+namespace {
+
+using namespace ditto;
+using namespace ditto::core;
+
+app::ServiceSpec
+richSpec()
+{
+    app::ServiceSpec spec;
+    spec.name = "svc";
+    spec.serverModel = app::ServerModel::BlockingPerConn;
+    spec.clientModel = app::ClientModel::Async;
+    spec.threads.workers = 3;
+    spec.threads.threadPerConnection = true;
+    spec.locks = 2;
+    spec.fileBytes = {1 << 30};
+    spec.filePrewarmFraction = 0.25;
+    spec.downstreams = {"other_clone"};
+
+    hw::CodeBlock block;
+    block.label = "svc.blk0";
+    block.streams.push_back(hw::MemStreamDesc{
+        4096, hw::StreamKind::PointerChase, true, 1, 7});
+    block.branches.push_back(hw::BranchDesc{3, 5});
+    hw::Inst inst;
+    inst.opcode = hw::Isa::instance().opcode("ADD_GPR64_GPR64");
+    inst.dst = 1;
+    inst.src0 = 2;
+    inst.src1 = 3;
+    block.insts.push_back(inst);
+    hw::Inst load;
+    load.opcode = hw::Isa::instance().opcode("MOV_GPR64_MEM64");
+    load.dst = 4;
+    load.memStream = 0;
+    block.insts.push_back(load);
+    hw::Inst jcc;
+    jcc.opcode = hw::Isa::instance().opcode("JNZ_RELBR");
+    jcc.src0 = 1;
+    jcc.branch = 0;
+    block.insts.push_back(jcc);
+    hw::Inst rep;
+    rep.opcode = hw::Isa::instance().opcode("REP_MOVSB");
+    rep.memStream = 0;
+    rep.repBytes = 512;
+    block.insts.push_back(rep);
+    spec.blocks.push_back(block);
+
+    app::EndpointSpec ep;
+    ep.name = "cloned";
+    ep.responseBytesMin = 100;
+    ep.responseBytesMax = 200;
+    ep.handler.ops = {
+        app::opCall("work", {{app::opCompute(0, 3, 9)}}),
+        app::opFileRead(0, 1024, 4096),
+        app::opLock(0),
+        app::opUnlock(0),
+        app::opChoice({0.4, 0.6},
+                      {{{app::opRpcFanout({{0, 0, 64, 128}})}}, {}}),
+        app::opSleep(12345),
+    };
+    spec.endpoints.push_back(ep);
+
+    app::BackgroundSpec bg;
+    bg.name = "flusher";
+    bg.period = sim::milliseconds(42);
+    bg.body.ops = {app::opFileWrite(0, 100, 300)};
+    spec.background.push_back(bg);
+    return spec;
+}
+
+void
+expectSpecsEqual(const app::ServiceSpec &a, const app::ServiceSpec &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.serverModel, b.serverModel);
+    EXPECT_EQ(a.clientModel, b.clientModel);
+    EXPECT_EQ(a.threads.workers, b.threads.workers);
+    EXPECT_EQ(a.threads.threadPerConnection,
+              b.threads.threadPerConnection);
+    EXPECT_EQ(a.locks, b.locks);
+    EXPECT_EQ(a.fileBytes, b.fileBytes);
+    EXPECT_DOUBLE_EQ(a.filePrewarmFraction, b.filePrewarmFraction);
+    EXPECT_EQ(a.downstreams, b.downstreams);
+    ASSERT_EQ(a.blocks.size(), b.blocks.size());
+    for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+        const auto &ba = a.blocks[i];
+        const auto &bb = b.blocks[i];
+        EXPECT_EQ(ba.label, bb.label);
+        ASSERT_EQ(ba.insts.size(), bb.insts.size());
+        for (std::size_t k = 0; k < ba.insts.size(); ++k) {
+            EXPECT_EQ(ba.insts[k].opcode, bb.insts[k].opcode);
+            EXPECT_EQ(ba.insts[k].dst, bb.insts[k].dst);
+            EXPECT_EQ(ba.insts[k].src0, bb.insts[k].src0);
+            EXPECT_EQ(ba.insts[k].src1, bb.insts[k].src1);
+            EXPECT_EQ(ba.insts[k].memStream, bb.insts[k].memStream);
+            EXPECT_EQ(ba.insts[k].branch, bb.insts[k].branch);
+            EXPECT_EQ(ba.insts[k].repBytes, bb.insts[k].repBytes);
+        }
+        ASSERT_EQ(ba.streams.size(), bb.streams.size());
+        for (std::size_t k = 0; k < ba.streams.size(); ++k) {
+            EXPECT_EQ(ba.streams[k].wsBytes, bb.streams[k].wsBytes);
+            EXPECT_EQ(ba.streams[k].kind, bb.streams[k].kind);
+            EXPECT_EQ(ba.streams[k].shared, bb.streams[k].shared);
+            EXPECT_EQ(ba.streams[k].poolKey, bb.streams[k].poolKey);
+        }
+        ASSERT_EQ(ba.branches.size(), bb.branches.size());
+        for (std::size_t k = 0; k < ba.branches.size(); ++k) {
+            EXPECT_EQ(ba.branches[k].takenExp,
+                      bb.branches[k].takenExp);
+            EXPECT_EQ(ba.branches[k].transExp,
+                      bb.branches[k].transExp);
+        }
+    }
+    ASSERT_EQ(a.endpoints.size(), b.endpoints.size());
+    ASSERT_EQ(a.background.size(), b.background.size());
+    for (std::size_t i = 0; i < a.background.size(); ++i)
+        EXPECT_EQ(a.background[i].period, b.background[i].period);
+    // Program equality via re-serialization.
+    EXPECT_EQ(specToString(a), specToString(b));
+}
+
+TEST(SpecIo, RoundTripsRichSpec)
+{
+    const app::ServiceSpec original = richSpec();
+    const std::string text = specToString(original);
+    const auto parsed = specsFromString(text);
+    ASSERT_EQ(parsed.size(), 1u);
+    expectSpecsEqual(original, parsed[0]);
+}
+
+TEST(SpecIo, RoundTripsGeneratedClone)
+{
+    // A real generated clone (hundreds of instructions, nested ops).
+    profile::ServiceProfile prof;
+    prof.serviceName = "orig";
+    prof.requestsObserved = 100;
+    prof.mix.counts.assign(hw::Isa::instance().size(), 1.0);
+    prof.mix.instsPerRequest = 5000;
+    prof.branch.branchFraction = 0.1;
+    prof.branch.bins[2][3] = 10;
+    prof.dmem.accessesPerInst = 0.3;
+    for (std::size_t i = 0; i < profile::kWsSizes; ++i)
+        prof.dmem.hitsBySize[i] = i >= 10 ? 1000 : 100.0 * i;
+    for (std::size_t i = 0; i < profile::kWsSizes; ++i)
+        prof.imem.hitsBySize[i] = i >= 8 ? 500 : 60.0 * i;
+    prof.dep.raw[3] = 10;
+    prof.avgResponseBytes = 400;
+
+    SkeletonInference skel;
+    skel.workers = 2;
+    const app::ServiceSpec clone = generateClone(
+        prof, skel, {}, {}, GenerationConfig::stage('H'));
+
+    const auto parsed = specsFromString(specToString(clone));
+    ASSERT_EQ(parsed.size(), 1u);
+    expectSpecsEqual(clone, parsed[0]);
+}
+
+TEST(SpecIo, MultiServiceTopology)
+{
+    std::ostringstream os;
+    app::ServiceSpec a = richSpec();
+    app::ServiceSpec b = richSpec();
+    b.name = "other_clone";
+    b.downstreams.clear();
+    writeTopology(os, {a, b});
+    const auto parsed = specsFromString(os.str());
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].name, "svc");
+    EXPECT_EQ(parsed[1].name, "other_clone");
+}
+
+TEST(SpecIo, ReloadedSpecBehavesIdentically)
+{
+    // Deploy original and reloaded specs in identical worlds: they
+    // must produce identical simulations (determinism + fidelity).
+    const app::ServiceSpec spec = richSpec();
+    const auto reloaded = specsFromString(specToString(spec));
+    ASSERT_EQ(reloaded.size(), 1u);
+
+    auto run = [](const app::ServiceSpec &s) {
+        app::Deployment dep(71);
+        os::Machine &m = dep.addMachine("n", hw::platformA());
+        app::ServiceSpec stub;
+        stub.name = "other_clone";
+        stub.threads.workers = 1;
+        hw::BlockSpec bs;
+        bs.label = "other_clone.h";
+        bs.instCount = 32;
+        bs.seed = 1;
+        stub.blocks.push_back(hw::buildBlock(bs));
+        app::EndpointSpec ep;
+        ep.name = "op";
+        ep.handler.ops = {app::opCompute(0, 1)};
+        stub.endpoints.push_back(ep);
+        dep.deploy(stub, m);
+        app::ServiceInstance &svc = dep.deploy(s, m);
+        dep.wireAll();
+        workload::LoadSpec load;
+        load.qps = 800;
+        load.connections = 3;
+        workload::LoadGen gen(dep, svc, load, 5);
+        gen.start();
+        dep.runFor(sim::milliseconds(250));
+        return std::tuple(svc.stats().requests,
+                          svc.stats().exec.instructions,
+                          gen.latency().percentile(0.99));
+    };
+    EXPECT_EQ(run(spec), run(reloaded[0]));
+}
+
+TEST(SpecIo, FileSaveAndLoad)
+{
+    const std::string path = "/tmp/ditto_spec_io_test.dto";
+    ASSERT_TRUE(saveTopology(path, {richSpec()}));
+    const auto loaded = loadTopology(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].name, "svc");
+    std::remove(path.c_str());
+}
+
+TEST(SpecIo, ParseErrorsAreDiagnosed)
+{
+    EXPECT_THROW(specsFromString("garbage at top level"),
+                 std::runtime_error);
+    EXPECT_THROW(specsFromString("service \"x\" {\n  bogus 1\n}\n"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        specsFromString("service \"x\" {\n"),  // unterminated
+        std::runtime_error);
+    EXPECT_THROW(specsFromString(
+                     "service \"x\" {\n  block \"b\" {\n"
+                     "    inst op=NOT_A_REAL_IFORM\n  }\n}\n"),
+                 std::exception);
+}
+
+TEST(SpecIo, CommentsAndBlankLinesIgnored)
+{
+    const std::string text =
+        "# a shared ditto clone\n\n" + specToString(richSpec()) +
+        "\n# trailing comment\n";
+    const auto parsed = specsFromString(text);
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].name, "svc");
+}
+
+} // namespace

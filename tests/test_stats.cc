@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for histograms, running stats, and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/histogram.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace ditto::stats;
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    RunningStat a;
+    RunningStat b;
+    RunningStat all;
+    for (int i = 0; i < 100; ++i) {
+        const double x = i * 0.37;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeIntoEmpty)
+{
+    RunningStat a;
+    RunningStat b;
+    b.add(3.0);
+    b.add(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+}
+
+TEST(LatencyHistogram, EmptyReturnsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, ExactForSmallValues)
+{
+    LatencyHistogram h;
+    for (std::uint64_t v = 0; v < 32; ++v)
+        h.record(v);
+    // Sub-bucket region is exact.
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 31u);
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.percentile(1.0), 31u);
+}
+
+TEST(LatencyHistogram, PercentileRelativeError)
+{
+    LatencyHistogram h;
+    // 1000 values uniform in [1000, 100000].
+    for (int i = 0; i < 1000; ++i)
+        h.record(1000 + static_cast<std::uint64_t>(i) * 99);
+    const auto p50 = h.percentile(0.50);
+    const auto p99 = h.percentile(0.99);
+    EXPECT_NEAR(static_cast<double>(p50), 50500.0, 50500.0 * 0.05);
+    EXPECT_NEAR(static_cast<double>(p99), 99010.0, 99010.0 * 0.05);
+    EXPECT_NEAR(h.mean(), 50500.0, 50500.0 * 0.05);
+}
+
+TEST(LatencyHistogram, WeightedRecord)
+{
+    LatencyHistogram h;
+    h.record(100, 99);
+    h.record(10000, 1);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 100.0, 5.0);
+    EXPECT_GT(h.percentile(0.999), 9000u);
+}
+
+TEST(LatencyHistogram, MergeAddsCounts)
+{
+    LatencyHistogram a;
+    LatencyHistogram b;
+    a.record(500);
+    b.record(1500);
+    b.record(2500);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.minValue(), 500u);
+    EXPECT_GE(a.maxValue(), 2400u);
+}
+
+TEST(LatencyHistogram, ResetClears)
+{
+    LatencyHistogram h;
+    h.record(123);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.99), 0u);
+}
+
+TEST(LatencyHistogram, MonotonePercentiles)
+{
+    LatencyHistogram h;
+    for (int i = 1; i <= 10000; ++i)
+        h.record(static_cast<std::uint64_t>(i) * i);
+    std::uint64_t prev = 0;
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+        const auto v = h.percentile(q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(TablePrinter, RendersAlignedCells)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addSeparator();
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| alpha"), std::string::npos);
+    EXPECT_NE(out.find("| 22"), std::string::npos);
+    // Separator renders as a rule, not a row.
+    EXPECT_EQ(out.find("\x01"), std::string::npos);
+}
+
+TEST(TablePrinter, HandlesShortRows)
+{
+    TablePrinter t({"a", "b", "c"});
+    t.addRow({"x"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("| x"), std::string::npos);
+}
+
+TEST(Format, Helpers)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatPercent(0.1234, 1), "12.3%");
+    EXPECT_EQ(formatBytes(2048), "2.0KB");
+    EXPECT_EQ(formatBytes(3.5 * 1024 * 1024), "3.5MB");
+    EXPECT_EQ(formatRate(2500000, "B"), "2.50MB/s");
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the distributed-tracing substrate (the Jaeger stand-in):
+ * span recording, deterministic head sampling, and clearing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/tracer.h"
+
+namespace {
+
+using namespace ditto::trace;
+
+TEST(Tracer, RecordsSpansAndEdges)
+{
+    Tracer tracer(1.0);
+    const auto spanId = tracer.newSpanId();
+    tracer.recordSpan({100, spanId, 0, "svc", 2, 10, 50});
+    tracer.recordEdge({100, spanId, "svc", "dep", 0, 128, 256});
+    ASSERT_EQ(tracer.spans().size(), 1u);
+    ASSERT_EQ(tracer.edges().size(), 1u);
+    EXPECT_EQ(tracer.spans()[0].service, "svc");
+    EXPECT_EQ(tracer.spans()[0].endpoint, 2u);
+    EXPECT_EQ(tracer.spans()[0].end - tracer.spans()[0].start, 40u);
+    EXPECT_EQ(tracer.edges()[0].callee, "dep");
+}
+
+TEST(Tracer, SpanIdsAreUnique)
+{
+    Tracer tracer;
+    std::set<std::uint64_t> ids;
+    for (int i = 0; i < 1000; ++i)
+        ids.insert(tracer.newSpanId());
+    EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST(Tracer, SamplingIsDeterministicPerTraceId)
+{
+    Tracer tracer(0.3);
+    for (std::uint64_t id = 1; id < 100; ++id)
+        EXPECT_EQ(tracer.sampled(id), tracer.sampled(id));
+}
+
+TEST(Tracer, SamplingRateApproximatelyHonored)
+{
+    Tracer tracer(0.25);
+    int sampled = 0;
+    for (std::uint64_t id = 1; id <= 20000; ++id)
+        sampled += tracer.sampled(id);
+    EXPECT_NEAR(sampled / 20000.0, 0.25, 0.02);
+}
+
+TEST(Tracer, UnsampledTracesAreDropped)
+{
+    Tracer tracer(0.25);
+    for (std::uint64_t id = 1; id <= 1000; ++id) {
+        tracer.recordSpan({id, tracer.newSpanId(), 0, "s", 0, 0, 1});
+        tracer.recordEdge({id, 1, "s", "d", 0, 10, 10});
+    }
+    EXPECT_LT(tracer.spans().size(), 400u);
+    EXPECT_GT(tracer.spans().size(), 150u);
+    EXPECT_EQ(tracer.spans().size(), tracer.edges().size());
+    // Only sampled trace ids appear.
+    for (const Span &span : tracer.spans())
+        EXPECT_TRUE(tracer.sampled(span.traceId));
+}
+
+TEST(Tracer, RateExtremes)
+{
+    Tracer never(0.0);
+    Tracer always(1.0);
+    for (std::uint64_t id = 1; id <= 50; ++id) {
+        EXPECT_FALSE(never.sampled(id));
+        EXPECT_TRUE(always.sampled(id));
+    }
+}
+
+TEST(Tracer, ClearResets)
+{
+    Tracer tracer;
+    tracer.recordSpan({1, 2, 0, "s", 0, 0, 1});
+    tracer.clear();
+    EXPECT_TRUE(tracer.spans().empty());
+    EXPECT_TRUE(tracer.edges().empty());
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for load generation and stressors: arrival processes, closed
+ * vs open loop semantics, endpoint mixes, and interference knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/deployment.h"
+#include "hw/block_builder.h"
+#include "hw/platform.h"
+#include "profile/perf_report.h"
+#include "workload/loadgen.h"
+#include "workload/stressor.h"
+
+namespace {
+
+using namespace ditto;
+
+app::ServiceSpec
+echoService(unsigned iters = 5)
+{
+    app::ServiceSpec spec;
+    spec.name = "echo";
+    spec.threads.workers = 2;
+    hw::BlockSpec bs;
+    bs.label = "echo.h";
+    bs.instCount = 64;
+    bs.seed = 3;
+    spec.blocks.push_back(hw::buildBlock(bs));
+    app::EndpointSpec a;
+    a.name = "a";
+    a.handler.ops = {app::opCompute(0, iters)};
+    a.responseBytesMin = a.responseBytesMax = 128;
+    spec.endpoints.push_back(a);
+    app::EndpointSpec b = a;
+    b.name = "b";
+    b.responseBytesMin = b.responseBytesMax = 4096;
+    spec.endpoints.push_back(b);
+    return spec;
+}
+
+struct World
+{
+    app::Deployment dep{41};
+    os::Machine &machine;
+    app::ServiceInstance &svc;
+
+    World()
+        : machine(dep.addMachine("n", hw::platformA())),
+          svc(dep.deploy(echoService(), machine))
+    {
+        dep.wireAll();
+    }
+};
+
+TEST(LoadGen, OpenLoopAchievesOfferedRate)
+{
+    World w;
+    workload::LoadSpec load;
+    load.qps = 3000;
+    load.connections = 6;
+    load.openLoop = true;
+    workload::LoadGen gen(w.dep, w.svc, load, 9);
+    gen.start();
+    w.dep.runFor(sim::milliseconds(200));
+    gen.beginMeasure();
+    w.dep.runFor(sim::milliseconds(400));
+    EXPECT_NEAR(gen.achievedQps(), 3000, 300);
+}
+
+TEST(LoadGen, PoissonArrivalsAreBursty)
+{
+    // Open-loop Poisson arrivals produce queueing even below
+    // capacity: p99 must clearly exceed p50.
+    World w;
+    workload::LoadSpec load;
+    load.qps = 4000;
+    load.connections = 8;
+    workload::LoadGen gen(w.dep, w.svc, load, 9);
+    gen.start();
+    w.dep.runFor(sim::milliseconds(400));
+    EXPECT_GT(gen.latency().percentile(0.99),
+              gen.latency().percentile(0.50));
+}
+
+TEST(LoadGen, ClosedLoopNeverExceedsOneOutstandingPerConn)
+{
+    // With 2 connections and closed loop, at most 2 requests can be
+    // in flight: sent - completed <= 2 at the end of any quiescent
+    // window.
+    World w;
+    workload::LoadSpec load;
+    load.qps = 100000;  // absurd offered rate
+    load.connections = 2;
+    load.openLoop = false;
+    workload::LoadGen gen(w.dep, w.svc, load, 9);
+    gen.start();
+    w.dep.runFor(sim::milliseconds(300));
+    EXPECT_LE(gen.sent() - gen.completed(), 2u);
+    // Latency bounded despite the absurd offered rate.
+    EXPECT_LT(gen.latency().percentile(0.99), sim::milliseconds(5));
+}
+
+TEST(LoadGen, EndpointMixFollowsWeights)
+{
+    World w;
+    workload::LoadSpec load;
+    load.qps = 4000;
+    load.connections = 6;
+    load.endpoints = {{0, 0.75, 64, 64}, {1, 0.25, 64, 64}};
+    workload::LoadGen gen(w.dep, w.svc, load, 9);
+    gen.start();
+    w.dep.runFor(sim::milliseconds(400));
+    // Endpoint b responds with 4KB, a with 128B: tx bytes tell us
+    // the realized mix.
+    const double perReq =
+        static_cast<double>(w.svc.stats().txBytes) /
+        static_cast<double>(w.svc.stats().requests);
+    const double expected = 0.75 * 128 + 0.25 * 4096;
+    EXPECT_NEAR(perReq, expected, expected * 0.15);
+}
+
+TEST(LoadGen, StopCeasesArrivals)
+{
+    World w;
+    workload::LoadSpec load;
+    load.qps = 2000;
+    load.connections = 4;
+    workload::LoadGen gen(w.dep, w.svc, load, 9);
+    gen.start();
+    w.dep.runFor(sim::milliseconds(100));
+    gen.stop();
+    const auto sentAtStop = gen.sent();
+    w.dep.runFor(sim::milliseconds(200));
+    EXPECT_EQ(gen.sent(), sentAtStop);
+}
+
+TEST(LoadGen, RequestBytesWithinConfiguredRange)
+{
+    World w;
+    workload::LoadSpec load;
+    load.qps = 1000;
+    load.connections = 2;
+    load.endpoints = {{0, 1.0, 200, 400}};
+    workload::LoadGen gen(w.dep, w.svc, load, 9);
+    gen.start();
+    w.dep.runFor(sim::milliseconds(300));
+    const double perReq =
+        static_cast<double>(w.svc.stats().rxBytes) /
+        static_cast<double>(w.svc.stats().requests);
+    EXPECT_GE(perReq, 200.0);
+    EXPECT_LE(perReq, 400.0);
+}
+
+TEST(Stressor, KindsHaveNames)
+{
+    EXPECT_EQ(workload::stressKindName(workload::StressKind::Cpu),
+              "HT");
+    EXPECT_EQ(workload::stressKindName(workload::StressKind::Llc),
+              "LLC");
+}
+
+TEST(Stressor, LlcStressorRaisesVictimMisses)
+{
+    auto llcMissRate = [](bool stressed) {
+        app::Deployment dep(42);
+        os::Machine &m = dep.addMachine("n", hw::platformA());
+        // Victim with an LLC-resident working set.
+        app::ServiceSpec spec = echoService(40);
+        spec.blocks[0] = [] {
+            hw::BlockSpec bs;
+            bs.label = "echo.h";
+            bs.instCount = 64;
+            bs.memFraction = 0.5;
+            bs.streams = {{12u << 20, hw::StreamKind::Random, false,
+                           1.0}};
+            bs.seed = 3;
+            return hw::buildBlock(bs);
+        }();
+        app::ServiceInstance &svc = dep.deploy(spec, m);
+        dep.wireAll();
+        std::unique_ptr<workload::CacheStressor> stressor;
+        if (stressed) {
+            stressor = std::make_unique<workload::CacheStressor>(
+                m, workload::StressKind::Llc, 10);
+        }
+        workload::LoadSpec load;
+        load.qps = 2000;
+        load.connections = 4;
+        workload::LoadGen gen(dep, svc, load, 9);
+        gen.start();
+        dep.runFor(sim::milliseconds(150));
+        dep.beginMeasureAll();
+        dep.runFor(sim::milliseconds(200));
+        return profile::snapshotService(svc).llcMissRate;
+    };
+    EXPECT_GT(llcMissRate(true), llcMissRate(false) + 0.05);
+}
+
+TEST(Stressor, NetHogReleasesBandwidthOnDestruction)
+{
+    app::Deployment dep(43);
+    os::Machine &m = dep.addMachine("n", hw::platformA());
+    const double base = m.nic().effectiveBytesPerNs();
+    {
+        workload::NetStressor hog(m, 8.0);
+        EXPECT_LT(m.nic().effectiveBytesPerNs(), base * 0.3);
+    }
+    EXPECT_DOUBLE_EQ(m.nic().effectiveBytesPerNs(), base);
+}
+
+} // namespace
