@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Example: what does a mid-tier crash look like from the client?
+ *
+ * A three-tier slice of the social network (frontend -> compose ->
+ * post-storage) runs under steady open-loop load while a FaultPlan
+ * crashes the middle tier and warm-restarts it 40 ms later. We sample
+ * client p99 latency and goodput in 10 ms windows and print the curve
+ * twice: once with a naive frontend that waits forever, and once with
+ * resilience policies (RPC deadlines, retries, a circuit breaker)
+ * switched on. The resilient run fails fast and recovers as soon as
+ * the tier is back; the naive one strands its workers on dead
+ * connections for the whole outage.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "app/deployment.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "hw/block_builder.h"
+#include "hw/platform.h"
+#include "workload/loadgen.h"
+
+using namespace ditto;
+
+namespace {
+
+constexpr sim::Time kWindow = sim::milliseconds(10);
+constexpr int kWindows = 20;
+constexpr sim::Time kCrashAt = sim::milliseconds(60);
+constexpr sim::Time kCrashFor = sim::milliseconds(40);
+
+hw::CodeBlock
+block(const std::string &label, std::uint64_t seed)
+{
+    hw::BlockSpec bs;
+    bs.label = label;
+    bs.instCount = 64;
+    bs.seed = seed;
+    return hw::buildBlock(bs);
+}
+
+/** frontend -> compose -> poststorage, one endpoint each. */
+std::vector<app::ServiceSpec>
+threeTier(const app::ResilienceSpec &resilience)
+{
+    app::ServiceSpec storage;
+    storage.name = "sn.poststorage";
+    storage.threads.workers = 2;
+    storage.blocks.push_back(block("store.h", 3));
+    app::EndpointSpec get;
+    get.name = "get";
+    get.handler.ops = {app::opCompute(0, 6)};
+    storage.endpoints.push_back(get);
+
+    app::ServiceSpec compose;
+    compose.name = "sn.compose";
+    compose.threads.workers = 2;
+    compose.downstreams = {"sn.poststorage"};
+    compose.blocks.push_back(block("compose.h", 4));
+    app::EndpointSpec render;
+    render.name = "render";
+    render.handler.ops = {app::opCompute(0, 4),
+                          app::opRpc(0, 0, 128, 512),
+                          app::opCompute(0, 4)};
+    compose.endpoints.push_back(render);
+    compose.resilience = resilience;
+
+    app::ServiceSpec frontend;
+    frontend.name = "sn.frontend";
+    frontend.threads.workers = 2;
+    frontend.downstreams = {"sn.compose"};
+    frontend.blocks.push_back(block("front.h", 5));
+    app::EndpointSpec page;
+    page.name = "page";
+    page.handler.ops = {app::opCompute(0, 3),
+                        app::opRpc(0, 0, 256, 1024),
+                        app::opCompute(0, 3)};
+    frontend.endpoints.push_back(page);
+    frontend.resilience = resilience;
+
+    return {storage, compose, frontend};
+}
+
+struct WindowSample
+{
+    double p99Ms;
+    double goodput;
+    bool crashed;  //!< window overlaps the outage
+};
+
+std::vector<WindowSample>
+run(const app::ResilienceSpec &resilience)
+{
+    app::Deployment dep(47);
+    os::Machine &machine = dep.addMachine("node0", hw::platformA());
+    for (const app::ServiceSpec &tier : threeTier(resilience))
+        dep.deploy(tier, machine);
+    dep.wireAll();
+
+    workload::LoadSpec load;
+    load.qps = 2500;
+    load.connections = 6;
+    load.openLoop = true;
+    load.timeout = sim::milliseconds(8);
+    workload::LoadGen gen(dep, *dep.find("sn.frontend"), load, 13);
+
+    fault::FaultPlan plan;
+    plan.serviceCrash("sn.compose", kCrashAt, kCrashFor);
+    fault::FaultInjector injector(dep);
+    injector.install(plan);
+
+    gen.start();
+    std::vector<WindowSample> samples;
+    for (int i = 0; i < kWindows; ++i) {
+        const sim::Time start = dep.events().now();
+        gen.beginMeasure();
+        dep.runFor(kWindow);
+        WindowSample s;
+        s.p99Ms =
+            sim::toMilliseconds(gen.latency().percentile(0.99));
+        s.goodput = gen.goodput();
+        s.crashed = start + kWindow > kCrashAt &&
+            start < kCrashAt + kCrashFor;
+        samples.push_back(s);
+    }
+    return samples;
+}
+
+void
+printCurve(const char *title, const std::vector<WindowSample> &s)
+{
+    std::printf("\n%s\n", title);
+    std::printf("%8s | %8s | %8s | %s\n", "t(ms)", "p99(ms)",
+                "goodput", "");
+    for (int i = 0; i < static_cast<int>(s.size()); ++i) {
+        const int bar = static_cast<int>(s[i].p99Ms * 8);
+        std::printf("%8d | %8.2f | %8.0f | %s%.*s\n", i * 10,
+                    s[i].p99Ms, s[i].goodput,
+                    s[i].crashed ? "*" : " ",
+                    bar > 48 ? 48 : bar,
+                    "################################################");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Mid-tier crash study: sn.compose dies at %d ms, "
+                "restarts at %d ms\n",
+                static_cast<int>(sim::toMilliseconds(kCrashAt)),
+                static_cast<int>(
+                    sim::toMilliseconds(kCrashAt + kCrashFor)));
+    std::printf("(windows overlapping the outage are marked *)\n");
+
+    const app::ResilienceSpec naive;  // wait forever
+
+    app::ResilienceSpec resilient;
+    resilient.rpcDeadline = sim::milliseconds(2);
+    resilient.retry.maxAttempts = 2;
+    resilient.retry.baseBackoff = sim::microseconds(200);
+    resilient.breaker.enabled = true;
+    resilient.breaker.failureThreshold = 5;
+    resilient.breaker.openDuration = sim::milliseconds(5);
+
+    printCurve("naive frontend (no deadlines, no retries):",
+               run(naive));
+    printCurve("resilient frontend (2 ms deadline, 1 retry, "
+               "circuit breaker):",
+               run(resilient));
+
+    std::printf("\nWith resilience the frontend sheds the outage as "
+                "fast errors and\nrecovers within one window of the "
+                "restart instead of stranding\nworkers on a dead "
+                "tier.\n");
+    return 0;
+}

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "app/resilience.h"
 #include "hw/code.h"
 #include "sim/time.h"
 
@@ -173,6 +174,13 @@ struct ServiceSpec
      * (fraction, 0..1). Databases warm their working set.
      */
     double filePrewarmFraction = 0.0;
+    /**
+     * RPC deadlines, retries, circuit breaking, and load shedding
+     * (see app/resilience.h). Deployment-side configuration: apply
+     * the same policies to an original and its clone to compare them
+     * under faults. Defaults disable everything.
+     */
+    ResilienceSpec resilience;
 };
 
 } // namespace ditto::app

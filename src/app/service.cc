@@ -42,6 +42,13 @@ ServiceStats::reset(sim::Time now)
     txBytes = 0;
     diskReadBytes = 0;
     diskWriteBytes = 0;
+    rpcOk = 0;
+    rpcRetries = 0;
+    rpcTimeouts = 0;
+    rpcBreakerFastFails = 0;
+    rpcStaleResponses = 0;
+    requestsShed = 0;
+    requestsDegraded = 0;
     measureStart = now;
 }
 
@@ -190,22 +197,28 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
       case OpKind::Rpc: {
         const bool async =
             service.spec().clientModel == ClientModel::Async;
+        const ResilienceSpec &res = service.spec().resilience;
         const std::size_t n = op.rpcs.size();
         if (n == 0) {
             frame.pc++;
             return Status::Done;
         }
 
-        auto send_call = [&](const RpcCallSpec &call) {
+        Worker::RpcState &rs = worker.rpcState();
+        const std::uint64_t traceId =
+            worker.currentRequest().msg.traceId;
+
+        auto send_call = [&](const RpcCallSpec &call) -> std::uint64_t {
             os::Socket *conn = worker.downConn(call.target);
             os::Message req;
             req.kind = os::MsgKind::Request;
             req.bytes = call.requestBytes;
             req.endpoint = call.endpoint;
             req.tag = service.nextTag();
-            req.traceId = worker.currentRequest().msg.traceId;
+            req.traceId = traceId;
             req.parentSpan = worker.currentRequest().serverSpan;
             req.sendTime = worker.now(ctx);
+            const std::uint64_t tag = req.tag;
             worker.probeSyscall(SysKind::SocketWrite, req.bytes);
             if (service.probe()) {
                 service.probe()->onRpcIssued(
@@ -222,16 +235,22 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
             }
             service.stats().txBytes += call.requestBytes;
             kernel.sysSocketWrite(ctx, worker, *conn, std::move(req));
+            return tag;
         };
 
-        auto finish_response = [&](const RpcCallSpec &call,
-                                   const os::Message &resp) {
+        auto finish_response = [&](const os::Message &resp) {
             service.stats().rxBytes += resp.bytes;
-            (void)call;
+            // A degraded downstream answer degrades our own response.
+            if (resp.status != os::MsgStatus::Ok)
+                worker.currentRequest().degraded = true;
         };
 
         if (!async) {
             // Sync client: send call k, await its response, repeat.
+            // With resilience enabled each call runs an attempt loop:
+            // arm a deadline, and on expiry back off and resend (the
+            // response is matched by tag, so a late first reply is
+            // discarded rather than credited to the retry).
             while (true) {
                 const std::size_t callIdx =
                     static_cast<std::size_t>(frame.phase) / 2;
@@ -241,19 +260,83 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                     return Status::Done;
                 }
                 const RpcCallSpec &call = op.rpcs[callIdx];
+                CircuitBreaker *cb = service.breaker(call.target);
                 if (frame.phase % 2 == 0) {
-                    send_call(call);
+                    if (cb && !cb->allowRequest(worker.now(ctx))) {
+                        service.noteOutcome(
+                            worker, trace::OutcomeKind::RpcBreakerOpen,
+                            call.target, call.endpoint, rs.attempt,
+                            traceId);
+                        worker.currentRequest().degraded = true;
+                        rs = Worker::RpcState{};
+                        frame.phase += 2;  // fail fast: skip the call
+                        continue;
+                    }
+                    rs.attempt++;
+                    rs.waitTag = send_call(call);
+                    if (res.rpcDeadline > 0)
+                        worker.armRpcTimer(ctx, res.rpcDeadline);
                     frame.phase++;
+                } else if (rs.inBackoff) {
+                    if (!rs.timerFired)
+                        return Status::Blocked;  // spurious wake
+                    rs.inBackoff = false;
+                    rs.timerFired = false;
+                    frame.phase--;  // backoff over: resend
                 } else {
+                    os::Socket *conn = worker.downConn(call.target);
                     os::Message resp;
-                    const os::SysResult res = kernel.sysSocketRead(
-                        ctx, worker, *worker.downConn(call.target),
-                        resp);
-                    if (res == os::SysResult::WouldBlock)
+                    if (kernel.sysSocketTryRead(ctx, worker, *conn,
+                                                resp) ==
+                        os::SysResult::Ok) {
+                        if (rs.waitTag != 0 && resp.tag != rs.waitTag) {
+                            // Late reply to an abandoned attempt.
+                            service.stats().rpcStaleResponses++;
+                            continue;
+                        }
+                        worker.probeSyscall(SysKind::SocketRead,
+                                            resp.bytes);
+                        worker.cancelRpcTimer();
+                        if (cb)
+                            cb->onSuccess();
+                        if (res.any()) {
+                            service.noteOutcome(
+                                worker,
+                                rs.attempt > 1
+                                    ? trace::OutcomeKind::RpcRetriedOk
+                                    : trace::OutcomeKind::RpcOk,
+                                call.target, call.endpoint,
+                                rs.attempt, traceId);
+                        }
+                        finish_response(resp);
+                        rs = Worker::RpcState{};
+                        frame.phase++;
+                    } else if (rs.timerFired) {
+                        // Attempt deadline expired with no response.
+                        rs.timerFired = false;
+                        conn->removeWaiter(&worker);
+                        if (cb)
+                            cb->onFailure(worker.now(ctx));
+                        if (rs.attempt < res.retry.maxAttempts) {
+                            service.stats().rpcRetries++;
+                            rs.inBackoff = true;
+                            worker.armRpcTimer(
+                                ctx, computeBackoff(res.retry,
+                                                    rs.attempt,
+                                                    service.rng()));
+                            return Status::Blocked;
+                        }
+                        service.noteOutcome(
+                            worker, trace::OutcomeKind::RpcTimeout,
+                            call.target, call.endpoint, rs.attempt,
+                            traceId);
+                        worker.currentRequest().degraded = true;
+                        rs = Worker::RpcState{};
+                        frame.phase++;  // give up on this call
+                    } else {
+                        conn->addWaiter(&worker);
                         return Status::Blocked;
-                    worker.probeSyscall(SysKind::SocketRead, resp.bytes);
-                    finish_response(call, resp);
-                    frame.phase++;
+                    }
                 }
                 if (ctx.overBudget() &&
                     static_cast<std::size_t>(frame.phase) / 2 < n) {
@@ -264,27 +347,97 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
 
         // Async client: fire the whole fanout, then collect.
         if (frame.phase == 0) {
-            for (const RpcCallSpec &call : op.rpcs)
-                send_call(call);
-            frame.aux = (n >= 64) ? ~std::uint64_t{0}
-                                  : ((std::uint64_t{1} << n) - 1);
+            rs = Worker::RpcState{};
+            rs.fanoutTags.assign(n, 0);
+            std::uint64_t pending = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const RpcCallSpec &call = op.rpcs[i];
+                CircuitBreaker *cb = service.breaker(call.target);
+                if (cb && !cb->allowRequest(worker.now(ctx))) {
+                    service.noteOutcome(
+                        worker, trace::OutcomeKind::RpcBreakerOpen,
+                        call.target, call.endpoint, 1, traceId);
+                    worker.currentRequest().degraded = true;
+                    continue;
+                }
+                rs.fanoutTags[i] = send_call(call);
+                pending |= std::uint64_t{1} << std::min<std::size_t>(
+                    i, 63);
+            }
+            frame.aux = pending;
             frame.phase = 1;
+            if (res.rpcDeadline > 0 && frame.aux != 0)
+                worker.armRpcTimer(ctx, res.rpcDeadline);
         }
-        // Collect phase: drain whatever is ready.
+        // Collect phase: drain whatever is ready. Calls to the same
+        // target share one connection, so match each reply against
+        // every pending tag; unmatched replies are stale leftovers of
+        // an earlier timed-out fanout.
         for (std::size_t i = 0; i < n; ++i) {
             if (!(frame.aux & (std::uint64_t{1} << i)))
                 continue;
             os::Socket *conn = worker.downConn(op.rpcs[i].target);
             conn->removeWaiter(&worker);
             os::Message resp;
-            if (kernel.sysSocketTryRead(ctx, worker, *conn, resp) ==
-                os::SysResult::Ok) {
+            while ((frame.aux & (std::uint64_t{1} << i)) &&
+                   kernel.sysSocketTryRead(ctx, worker, *conn, resp) ==
+                       os::SysResult::Ok) {
+                std::size_t match = i;
+                if (rs.fanoutTags.size() == n &&
+                    rs.fanoutTags[i] != 0) {
+                    match = n;
+                    for (std::size_t j = 0; j < n; ++j) {
+                        if ((frame.aux & (std::uint64_t{1} << j)) &&
+                            rs.fanoutTags[j] == resp.tag) {
+                            match = j;
+                            break;
+                        }
+                    }
+                    if (match == n) {
+                        service.stats().rpcStaleResponses++;
+                        continue;
+                    }
+                }
                 worker.probeSyscall(SysKind::SocketRead, resp.bytes);
-                finish_response(op.rpcs[i], resp);
-                frame.aux &= ~(std::uint64_t{1} << i);
+                CircuitBreaker *cb =
+                    service.breaker(op.rpcs[match].target);
+                if (cb)
+                    cb->onSuccess();
+                if (res.any()) {
+                    service.noteOutcome(
+                        worker, trace::OutcomeKind::RpcOk,
+                        op.rpcs[match].target, op.rpcs[match].endpoint,
+                        1, traceId);
+                }
+                finish_response(resp);
+                frame.aux &= ~(std::uint64_t{1} << match);
             }
         }
         if (frame.aux == 0) {
+            worker.cancelRpcTimer();
+            rs = Worker::RpcState{};
+            frame.phase = 0;
+            frame.pc++;
+            return Status::Done;
+        }
+        if (rs.timerFired) {
+            // Fanout deadline: abandon every still-pending call.
+            rs.timerFired = false;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!(frame.aux & (std::uint64_t{1} << i)))
+                    continue;
+                const RpcCallSpec &call = op.rpcs[i];
+                worker.downConn(call.target)->removeWaiter(&worker);
+                CircuitBreaker *cb = service.breaker(call.target);
+                if (cb)
+                    cb->onFailure(worker.now(ctx));
+                service.noteOutcome(
+                    worker, trace::OutcomeKind::RpcTimeout,
+                    call.target, call.endpoint, 1, traceId);
+                worker.currentRequest().degraded = true;
+            }
+            rs = Worker::RpcState{};
+            frame.aux = 0;
             frame.phase = 0;
             frame.pc++;
             return Status::Done;
@@ -459,6 +612,8 @@ ServiceInstance::wire(
         downstreams_.push_back(
             it != registry.end() ? it->second : nullptr);
     }
+    breakers_.assign(downstreams_.size(),
+                     CircuitBreaker(spec_.resilience.breaker));
     wired_ = true;
     for (Worker *w : workers_) {
         if (w->role() != ThreadRole::Background ||
@@ -478,6 +633,7 @@ ServiceInstance::openDownstreamConns(Worker &w)
             continue;
         }
         os::Socket *mine = machine_.createSocket();
+        mine->inboundGate = [this] { return !down_; };
         os::Socket *theirs = target->openConnection();
         os::Network::connect(*mine, *theirs);
         conns.push_back(mine);
@@ -489,6 +645,7 @@ os::Socket *
 ServiceInstance::openConnection()
 {
     os::Socket *sock = machine_.createSocket();
+    sock->inboundGate = [this] { return !down_; };
     if (spec_.threads.threadPerConnection) {
         Worker *w = spawnWorker(
             ThreadRole::ConnHandler,
@@ -513,6 +670,72 @@ void
 ServiceInstance::beginMeasure()
 {
     stats_.reset(machine_.events().now());
+}
+
+void
+ServiceInstance::setDown(bool down)
+{
+    if (down_ == down)
+        return;
+    down_ = down;
+    if (down) {
+        // Crash: in-flight requests vanish (their callers observe a
+        // timeout) and user-space locks die with the process.
+        for (Worker *w : workers_)
+            w->abortRequest();
+        for (LockState &lock : locks_) {
+            lock.held = false;
+            if (lock.queue)
+                lock.queue->wake(~0u);
+        }
+    } else {
+        // Warm restart: wake everyone to resume fetching requests.
+        for (Worker *w : workers_)
+            machine_.scheduler().wake(w);
+    }
+}
+
+CircuitBreaker *
+ServiceInstance::breaker(std::uint32_t target)
+{
+    if (!spec_.resilience.breaker.enabled ||
+        target >= breakers_.size()) {
+        return nullptr;
+    }
+    return &breakers_[target];
+}
+
+void
+ServiceInstance::noteOutcome(os::Thread &t, trace::OutcomeKind kind,
+                             std::uint32_t target,
+                             std::uint32_t endpoint, unsigned attempts,
+                             std::uint64_t traceId)
+{
+    switch (kind) {
+      case trace::OutcomeKind::RpcOk:
+      case trace::OutcomeKind::RpcRetriedOk:
+        stats_.rpcOk++;
+        break;
+      case trace::OutcomeKind::RpcTimeout:
+        stats_.rpcTimeouts++;
+        break;
+      case trace::OutcomeKind::RpcBreakerOpen:
+        stats_.rpcBreakerFastFails++;
+        break;
+      case trace::OutcomeKind::RequestShed:
+        stats_.requestsShed++;
+        break;
+      case trace::OutcomeKind::RequestError:
+        stats_.requestsDegraded++;
+        break;
+    }
+    if (probe_)
+        probe_->onOutcome(t, kind, target, endpoint, attempts);
+    if (tracer_) {
+        tracer_->recordOutcome(trace::OutcomeEvent{
+            traceId, spec_.name, target, endpoint, kind, attempts,
+            machine_.events().now()});
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -566,6 +789,50 @@ Worker::accountDiskWrite(std::uint64_t bytes)
     service_.stats().diskWriteBytes += bytes;
 }
 
+void
+Worker::armRpcTimer(const os::StepCtx &ctx, sim::Time delay)
+{
+    cancelRpcTimer();
+    // The slice runs ahead of simulated time: anchor the deadline at
+    // the syscall's logical position inside the slice, like Unlock.
+    rpcState_.timer = service_.machine().events().scheduleAfter(
+        ctx.kernel.sliceOffset(ctx) + delay, [this] {
+            rpcState_.timer = 0;
+            rpcState_.timerFired = true;
+            service_.machine().scheduler().wake(this);
+        });
+}
+
+void
+Worker::cancelRpcTimer()
+{
+    if (rpcState_.timer != 0) {
+        service_.machine().events().cancel(rpcState_.timer);
+        rpcState_.timer = 0;
+    }
+    rpcState_.timerFired = false;
+}
+
+void
+Worker::abortRequest()
+{
+    cancelRpcTimer();
+    rpcState_ = RpcState{};
+    runner_.abort();
+    req_.active = false;
+    req_.sock = nullptr;
+    req_.degraded = false;
+}
+
+std::size_t
+Worker::inboundQueueDepth() const
+{
+    std::size_t depth = 0;
+    for (const os::Socket *sock : conns_)
+        depth += sock->queueDepth();
+    return depth;
+}
+
 os::StepResult
 Worker::step(os::StepCtx &ctx)
 {
@@ -587,6 +854,8 @@ os::StepResult
 Worker::stepBackground(os::StepCtx &ctx)
 {
     while (!ctx.overBudget()) {
+        if (service_.down())
+            return {os::StopReason::Block};
         if (runner_.active()) {
             const ProgramRunner::Status st = runner_.run(ctx, *this);
             if (st == ProgramRunner::Status::Blocked)
@@ -685,9 +954,16 @@ void
 Worker::beginRequest(os::StepCtx &ctx, os::Socket *sock,
                      os::Message msg)
 {
+    const unsigned shedAt =
+        service_.spec().resilience.shedQueueThreshold;
+    if (shedAt > 0 && inboundQueueDepth() >= shedAt) {
+        shedRequest(ctx, sock, std::move(msg));
+        return;
+    }
     req_.sock = sock;
     req_.start = now(ctx);
     req_.active = true;
+    req_.degraded = false;
     req_.serverSpan = 0;
     if (service_.tracer() && service_.tracer()->sampled(msg.traceId))
         req_.serverSpan = service_.tracer()->newSpanId();
@@ -717,6 +993,8 @@ Worker::finishRequest(os::StepCtx &ctx)
 
     os::Message resp;
     resp.kind = os::MsgKind::Response;
+    resp.status =
+        req_.degraded ? os::MsgStatus::Error : os::MsgStatus::Ok;
     resp.bytes = respBytes;
     resp.endpoint = req_.msg.endpoint;
     resp.tag = req_.msg.tag;
@@ -740,14 +1018,44 @@ Worker::finishRequest(os::StepCtx &ctx)
             req_.msg.traceId, req_.serverSpan, req_.msg.parentSpan,
             service_.name(), req_.msg.endpoint, req_.start, end});
     }
+    if (req_.degraded) {
+        service_.noteOutcome(*this, trace::OutcomeKind::RequestError,
+                             0, req_.msg.endpoint, 0,
+                             req_.msg.traceId);
+    }
     req_.active = false;
     req_.sock = nullptr;
+    req_.degraded = false;
+}
+
+void
+Worker::shedRequest(os::StepCtx &ctx, os::Socket *sock,
+                    os::Message msg)
+{
+    // Fail fast: a tiny rejection response, no handler execution.
+    os::Message resp;
+    resp.kind = os::MsgKind::Response;
+    resp.status = os::MsgStatus::Shed;
+    resp.bytes = 64;
+    resp.endpoint = msg.endpoint;
+    resp.tag = msg.tag;
+    resp.traceId = msg.traceId;
+    resp.sendTime = msg.sendTime;
+    probeSyscall(SysKind::SocketWrite, resp.bytes);
+    ServiceStats &stats = service_.stats();
+    stats.rxBytes += msg.bytes;
+    stats.txBytes += resp.bytes;
+    service_.noteOutcome(*this, trace::OutcomeKind::RequestShed, 0,
+                         msg.endpoint, 0, msg.traceId);
+    ctx.kernel.sysSocketWrite(ctx, *this, *sock, std::move(resp));
 }
 
 os::StepResult
 Worker::stepServer(os::StepCtx &ctx)
 {
     while (!ctx.overBudget()) {
+        if (service_.down())
+            return {os::StopReason::Block};
         if (req_.active) {
             const ProgramRunner::Status st = runner_.run(ctx, *this);
             if (st == ProgramRunner::Status::Blocked)

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "app/program.h"
+#include "app/resilience.h"
 #include "hw/code.h"
 #include "hw/cpu_core.h"
 #include "os/kernel.h"
@@ -131,6 +132,24 @@ class ServiceProbe
         (void)bytes;
         (void)write;
     }
+
+    /**
+     * Resilience outcome of one downstream RPC (ok / retried ok /
+     * timeout / breaker fast-fail) or of one inbound request (shed /
+     * degraded error response). For request-level outcomes `target`
+     * is 0 and `endpoint` is the inbound endpoint.
+     */
+    virtual void
+    onOutcome(const os::Thread &t, trace::OutcomeKind kind,
+              std::uint32_t target, std::uint32_t endpoint,
+              unsigned attempts)
+    {
+        (void)t;
+        (void)kind;
+        (void)target;
+        (void)endpoint;
+        (void)attempts;
+    }
 };
 
 /** Aggregated runtime metrics of a service instance. */
@@ -143,6 +162,14 @@ struct ServiceStats
     std::uint64_t txBytes = 0;
     std::uint64_t diskReadBytes = 0;
     std::uint64_t diskWriteBytes = 0;
+    // ---- resilience outcome counters --------------------------------
+    std::uint64_t rpcOk = 0;              //!< calls answered in time
+    std::uint64_t rpcRetries = 0;         //!< retry attempts issued
+    std::uint64_t rpcTimeouts = 0;        //!< calls failed after all attempts
+    std::uint64_t rpcBreakerFastFails = 0;//!< calls not sent (breaker open)
+    std::uint64_t rpcStaleResponses = 0;  //!< late replies discarded by tag
+    std::uint64_t requestsShed = 0;       //!< inbound requests shed
+    std::uint64_t requestsDegraded = 0;   //!< responses sent with Error status
     sim::Time measureStart = 0;
 
     void reset(sim::Time now);
@@ -231,6 +258,27 @@ class ServiceInstance
     /** Reset measurement counters (start of a measured window). */
     void beginMeasure();
 
+    /**
+     * Crash / restore hook (fault injection). While down, inbound
+     * messages are dropped by the network and workers idle; crashing
+     * aborts in-flight requests (their clients see a timeout).
+     * Restart is warm: files, caches, and queued-but-undelivered
+     * state survive.
+     */
+    void setDown(bool down);
+    bool down() const { return down_; }
+
+    /**
+     * Circuit breaker guarding downstream `target`, or nullptr when
+     * the spec's breaker policy is disabled.
+     */
+    CircuitBreaker *breaker(std::uint32_t target);
+
+    /** Record an outcome into stats, probe, and tracer. */
+    void noteOutcome(os::Thread &t, trace::OutcomeKind kind,
+                     std::uint32_t target, std::uint32_t endpoint,
+                     unsigned attempts, std::uint64_t traceId);
+
     void setProbe(ServiceProbe *probe) { probe_ = probe; }
     ServiceProbe *probe() const { return probe_; }
 
@@ -273,10 +321,12 @@ class ServiceInstance
     std::vector<std::uint32_t> fileIds_;
     std::vector<LockState> locks_;
     std::vector<ServiceInstance *> downstreams_;
+    std::vector<CircuitBreaker> breakers_;
     unsigned nextWorkerForConn_ = 0;
     unsigned nextThreadSlot_ = 0;
     std::uint64_t nextTag_ = 1;
     bool wired_ = false;
+    bool down_ = false;
 
     Worker *spawnWorker(ThreadRole role, const std::string &name,
                         const Program *background, sim::Time period);
@@ -325,9 +375,40 @@ class Worker : public os::Thread
         sim::Time start = 0;
         std::uint64_t serverSpan = 0;
         bool active = false;
+        /** A downstream call failed; respond with Error status. */
+        bool degraded = false;
     };
 
     CurrentRequest &currentRequest() { return req_; }
+
+    /**
+     * Per-worker state of the in-flight Rpc op (one Rpc op runs at a
+     * time per worker, so a single slot suffices). Holds the attempt
+     * counter, the tag the worker is waiting for, and the armed
+     * deadline/backoff timer.
+     */
+    struct RpcState
+    {
+        unsigned attempt = 0;      //!< attempts made for current call
+        std::uint64_t waitTag = 0; //!< tag of the outstanding attempt
+        sim::EventId timer = 0;    //!< pending deadline/backoff event
+        bool timerFired = false;
+        bool inBackoff = false;
+        /** Expected response tags of an async fanout, by call idx. */
+        std::vector<std::uint64_t> fanoutTags;
+    };
+
+    RpcState &rpcState() { return rpcState_; }
+
+    /** Arm the deadline/backoff timer `delay` from now. */
+    void armRpcTimer(const os::StepCtx &ctx, sim::Time delay);
+    void cancelRpcTimer();
+
+    /** Abort the in-flight request (service crash). */
+    void abortRequest();
+
+    /** Messages queued on this worker's inbound connections. */
+    std::size_t inboundQueueDepth() const;
 
   private:
     ServiceInstance &service_;
@@ -340,6 +421,7 @@ class Worker : public os::Thread
     std::vector<os::Socket *> downConns_;   //!< outbound RPC conns
     os::Epoll *epoll_ = nullptr;
     CurrentRequest req_;
+    RpcState rpcState_;
     bool started_ = false;
     int bgPhase_ = 0;
     unsigned pollCursor_ = 0;
@@ -350,6 +432,8 @@ class Worker : public os::Thread
     void beginRequest(os::StepCtx &ctx, os::Socket *sock,
                       os::Message msg);
     void finishRequest(os::StepCtx &ctx);
+    void shedRequest(os::StepCtx &ctx, os::Socket *sock,
+                     os::Message msg);
 };
 
 } // namespace ditto::app

@@ -1,0 +1,234 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "app/deployment.h"
+#include "os/machine.h"
+#include "os/network.h"
+
+namespace ditto::fault {
+
+FaultInjector::FaultInjector(app::Deployment &deployment)
+    : deployment_(deployment)
+{
+}
+
+void
+FaultInjector::install(const FaultPlan &plan)
+{
+    sim::EventQueue &events = deployment_.events();
+    const sim::Time now = events.now();
+    for (const FaultSpec &spec : plan.faults) {
+        const sim::Time start = std::max(spec.start, now);
+        // Copy the spec into the events; the plan may not outlive us.
+        events.scheduleAt(start,
+                          [this, spec] { beginFault(spec); });
+        if (spec.duration > 0) {
+            events.scheduleAt(start + spec.duration,
+                              [this, spec] { endFault(spec); });
+        }
+    }
+}
+
+void
+FaultInjector::clearAll()
+{
+    for (const auto &entry : links_)
+        deployment_.network().clearLinkFault(entry.first.first,
+                                             entry.first.second);
+    links_.clear();
+    for (auto &entry : machineCrashes_) {
+        if (entry.second > 0)
+            entry.first->setDown(false);
+    }
+    machineCrashes_.clear();
+    for (auto &entry : serviceCrashes_) {
+        if (app::ServiceInstance *svc = deployment_.find(entry.first))
+            svc->setDown(false);
+    }
+    serviceCrashes_.clear();
+    for (auto &entry : diskFactors_)
+        entry.first->disk().setSlowdown(1.0);
+    diskFactors_.clear();
+}
+
+FaultInjector::LinkKey
+FaultInjector::resolveLink(const FaultSpec &spec, bool &ok) const
+{
+    ok = true;
+    const os::Machine *a = nullptr;
+    const os::Machine *b = nullptr;
+    if (!spec.a.empty()) {
+        a = deployment_.machine(spec.a);
+        ok = ok && a != nullptr;
+    }
+    if (!spec.b.empty()) {
+        b = deployment_.machine(spec.b);
+        ok = ok && b != nullptr;
+    }
+    return {a, b};
+}
+
+void
+FaultInjector::applyLink(const LinkKey &key)
+{
+    auto it = links_.find(key);
+    if (it == links_.end() || it->second.idle()) {
+        deployment_.network().clearLinkFault(key.first, key.second);
+        if (it != links_.end())
+            links_.erase(it);
+        return;
+    }
+    const LinkState &state = it->second;
+    os::LinkFault fault;
+    double pass = 1.0;
+    for (double p : state.dropProbs)
+        pass *= 1.0 - p;
+    fault.dropProb = 1.0 - pass;
+    fault.extraLatency = state.extraLatency;
+    fault.partitioned = state.partitions > 0;
+    deployment_.network().setLinkFault(key.first, key.second, fault);
+}
+
+void
+FaultInjector::applyDisk(os::Machine *machine)
+{
+    auto it = diskFactors_.find(machine);
+    double factor = 1.0;
+    if (it != diskFactors_.end()) {
+        for (double f : it->second)
+            factor *= f;
+        if (it->second.empty())
+            diskFactors_.erase(it);
+    }
+    machine->disk().setSlowdown(factor);
+}
+
+void
+FaultInjector::beginFault(const FaultSpec &spec)
+{
+    switch (spec.kind) {
+      case FaultKind::LinkDrop:
+      case FaultKind::LinkLatency:
+      case FaultKind::Partition: {
+        bool ok = false;
+        const LinkKey key = resolveLink(spec, ok);
+        if (!ok) {
+            stats_.unresolvedTargets++;
+            return;
+        }
+        LinkState &state = links_[key];
+        if (spec.kind == FaultKind::LinkDrop)
+            state.dropProbs.push_back(spec.magnitude);
+        else if (spec.kind == FaultKind::LinkLatency)
+            state.extraLatency += spec.extraLatency;
+        else
+            state.partitions++;
+        applyLink(key);
+        break;
+      }
+      case FaultKind::MachineCrash: {
+        os::Machine *machine = deployment_.machine(spec.a);
+        if (!machine) {
+            stats_.unresolvedTargets++;
+            return;
+        }
+        if (machineCrashes_[machine]++ == 0)
+            machine->setDown(true);
+        break;
+      }
+      case FaultKind::ServiceCrash: {
+        app::ServiceInstance *svc = deployment_.find(spec.a);
+        if (!svc) {
+            stats_.unresolvedTargets++;
+            return;
+        }
+        if (serviceCrashes_[spec.a]++ == 0)
+            svc->setDown(true);
+        break;
+      }
+      case FaultKind::DiskSlowdown: {
+        os::Machine *machine = deployment_.machine(spec.a);
+        if (!machine) {
+            stats_.unresolvedTargets++;
+            return;
+        }
+        diskFactors_[machine].push_back(
+            std::max(1.0, spec.magnitude));
+        applyDisk(machine);
+        break;
+      }
+    }
+    stats_.windowsStarted++;
+}
+
+void
+FaultInjector::endFault(const FaultSpec &spec)
+{
+    switch (spec.kind) {
+      case FaultKind::LinkDrop:
+      case FaultKind::LinkLatency:
+      case FaultKind::Partition: {
+        bool ok = false;
+        const LinkKey key = resolveLink(spec, ok);
+        auto it = links_.find(key);
+        if (!ok || it == links_.end())
+            return;  // target vanished or cleared via clearAll()
+        LinkState &state = it->second;
+        if (spec.kind == FaultKind::LinkDrop) {
+            auto pos = std::find(state.dropProbs.begin(),
+                                 state.dropProbs.end(),
+                                 spec.magnitude);
+            if (pos != state.dropProbs.end())
+                state.dropProbs.erase(pos);
+        } else if (spec.kind == FaultKind::LinkLatency) {
+            state.extraLatency =
+                state.extraLatency > spec.extraLatency
+                ? state.extraLatency - spec.extraLatency
+                : 0;
+        } else if (state.partitions > 0) {
+            state.partitions--;
+        }
+        applyLink(key);
+        break;
+      }
+      case FaultKind::MachineCrash: {
+        os::Machine *machine = deployment_.machine(spec.a);
+        if (!machine)
+            return;
+        auto it = machineCrashes_.find(machine);
+        if (it == machineCrashes_.end() || it->second == 0)
+            return;
+        if (--it->second == 0)
+            machine->setDown(false);
+        break;
+      }
+      case FaultKind::ServiceCrash: {
+        auto it = serviceCrashes_.find(spec.a);
+        if (it == serviceCrashes_.end() || it->second == 0)
+            return;
+        if (--it->second == 0) {
+            if (app::ServiceInstance *svc = deployment_.find(spec.a))
+                svc->setDown(false);
+        }
+        break;
+      }
+      case FaultKind::DiskSlowdown: {
+        os::Machine *machine = deployment_.machine(spec.a);
+        if (!machine)
+            return;
+        auto it = diskFactors_.find(machine);
+        if (it == diskFactors_.end())
+            return;
+        auto pos = std::find(it->second.begin(), it->second.end(),
+                             std::max(1.0, spec.magnitude));
+        if (pos != it->second.end())
+            it->second.erase(pos);
+        applyDisk(machine);
+        break;
+      }
+    }
+    stats_.windowsEnded++;
+}
+
+} // namespace ditto::fault

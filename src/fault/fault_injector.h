@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * The FaultInjector turns a FaultPlan into scheduled events on a
+ * deployment's EventQueue. Every start/end of a fault window is an
+ * ordinary simulation event, so fault timing interleaves with the
+ * workload deterministically: the same seed and plan always produce
+ * the same execution (the determinism test in tests/test_fault.cc
+ * asserts bit-identical results).
+ *
+ * Overlapping windows compose: drop probabilities combine as
+ * independent losses (1 - prod(1 - p_i)), latency spikes add,
+ * partitions and crashes nest by counting, and disk slowdowns
+ * multiply. Ending one window therefore never cancels another.
+ */
+
+#ifndef DITTO_FAULT_FAULT_INJECTOR_H_
+#define DITTO_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "sim/time.h"
+
+namespace ditto::app {
+class Deployment;
+} // namespace ditto::app
+
+namespace ditto::os {
+class Machine;
+} // namespace ditto::os
+
+namespace ditto::fault {
+
+/** Counters of what the injector actually did. */
+struct InjectorStats
+{
+    std::uint64_t windowsStarted = 0;
+    std::uint64_t windowsEnded = 0;
+    std::uint64_t unresolvedTargets = 0;  //!< names not found; skipped
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(app::Deployment &deployment);
+
+    /**
+     * Schedule every window of `plan` onto the deployment's event
+     * queue. May be called before or during the run; windows whose
+     * start time is already in the past begin immediately. The
+     * injector must outlive the run.
+     */
+    void install(const FaultPlan &plan);
+
+    /** End every active window right now (e.g. between phases). */
+    void clearAll();
+
+    const InjectorStats &stats() const { return stats_; }
+
+  private:
+    using LinkKey = std::pair<const os::Machine *, const os::Machine *>;
+
+    /** Active contributions on one link, recomposed on any change. */
+    struct LinkState
+    {
+        std::vector<double> dropProbs;
+        sim::Time extraLatency = 0;
+        unsigned partitions = 0;
+
+        bool
+        idle() const
+        {
+            return dropProbs.empty() && extraLatency == 0 &&
+                partitions == 0;
+        }
+    };
+
+    app::Deployment &deployment_;
+    InjectorStats stats_;
+    std::map<LinkKey, LinkState> links_;
+    std::map<os::Machine *, unsigned> machineCrashes_;
+    std::map<std::string, unsigned> serviceCrashes_;
+    std::map<os::Machine *, std::vector<double>> diskFactors_;
+
+    void beginFault(const FaultSpec &spec);
+    void endFault(const FaultSpec &spec);
+    void applyLink(const LinkKey &key);
+    void applyDisk(os::Machine *machine);
+    LinkKey resolveLink(const FaultSpec &spec, bool &ok) const;
+};
+
+} // namespace ditto::fault
+
+#endif // DITTO_FAULT_FAULT_INJECTOR_H_

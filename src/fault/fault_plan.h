@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Declarative fault plans.
+ *
+ * A FaultPlan is a seed-reproducible description of *what goes wrong
+ * when* in a deployment: link packet loss, latency spikes, network
+ * partitions, machine and service crashes with timed restarts, and
+ * disk slowdowns. Plans are pure data -- they name machines and
+ * services by string and carry absolute start times -- so the same
+ * plan can be installed on an original deployment and on its Ditto
+ * clone, which is exactly how fidelity under faults is validated
+ * (bench/bench_faults.cc).
+ *
+ * Probabilistic faults are supported by *expansion*: the random*()
+ * builders sample concrete fault windows from a caller-seeded rng at
+ * plan-construction time, so the resulting plan is again a fixed,
+ * replayable schedule.
+ */
+
+#ifndef DITTO_FAULT_FAULT_PLAN_H_
+#define DITTO_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ditto::fault {
+
+/** What kind of fault one plan entry injects. */
+enum class FaultKind : std::uint8_t
+{
+    LinkDrop,      //!< probabilistic packet loss on a machine link
+    LinkLatency,   //!< latency spike added to a machine link
+    Partition,     //!< hard two-way partition of a machine link
+    MachineCrash,  //!< freeze a whole machine, warm-restart later
+    ServiceCrash,  //!< crash one service instance, restart later
+    DiskSlowdown,  //!< multiply a machine's disk service times
+};
+
+/** Human-readable fault kind name. */
+const char *faultKindName(FaultKind kind);
+
+/**
+ * One fault window. `a`/`b` name machines for link faults (an empty
+ * name stands for the external client side); `a` names the machine
+ * for MachineCrash / DiskSlowdown and the service for ServiceCrash.
+ */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::LinkDrop;
+    std::string a;
+    std::string b;
+    sim::Time start = 0;
+    /** Window length; 0 means "until the end of the run". */
+    sim::Time duration = 0;
+    /** Drop probability (LinkDrop) or slowdown factor (DiskSlowdown). */
+    double magnitude = 0;
+    /** Added one-way latency (LinkLatency). */
+    sim::Time extraLatency = 0;
+};
+
+/**
+ * An ordered collection of fault windows plus fluent builders.
+ * Windows may overlap arbitrarily; the injector composes them
+ * (drop probabilities combine independently, latencies add,
+ * partitions and crashes nest by counting).
+ */
+struct FaultPlan
+{
+    std::vector<FaultSpec> faults;
+
+    bool empty() const { return faults.empty(); }
+
+    FaultPlan &linkDrop(const std::string &a, const std::string &b,
+                        sim::Time start, sim::Time duration,
+                        double dropProb);
+    FaultPlan &linkLatency(const std::string &a, const std::string &b,
+                           sim::Time start, sim::Time duration,
+                           sim::Time extra);
+    FaultPlan &partition(const std::string &a, const std::string &b,
+                         sim::Time start, sim::Time duration);
+    FaultPlan &machineCrash(const std::string &machine,
+                            sim::Time start, sim::Time downFor);
+    FaultPlan &serviceCrash(const std::string &service,
+                            sim::Time start, sim::Time downFor);
+    FaultPlan &diskSlowdown(const std::string &machine,
+                            sim::Time start, sim::Time duration,
+                            double factor);
+
+    /**
+     * Expand a Poisson process of service crashes over [0, horizon):
+     * exponential inter-arrival times with mean `meanInterval`, each
+     * crash lasting `downFor`. Sampling uses a private rng seeded
+     * with `seed`, so the expansion is deterministic and independent
+     * of every other rng in the simulation.
+     */
+    FaultPlan &randomServiceCrashes(const std::string &service,
+                                    sim::Time horizon,
+                                    sim::Time meanInterval,
+                                    sim::Time downFor,
+                                    std::uint64_t seed);
+
+    /**
+     * Expand a Poisson process of loss bursts on one link: windows of
+     * `burstLength` with drop probability `dropProb`, exponential
+     * inter-arrival with mean `meanInterval`. Deterministic in `seed`.
+     */
+    FaultPlan &randomLinkDropBursts(const std::string &a,
+                                    const std::string &b,
+                                    sim::Time horizon,
+                                    sim::Time meanInterval,
+                                    sim::Time burstLength,
+                                    double dropProb,
+                                    std::uint64_t seed);
+};
+
+} // namespace ditto::fault
+
+#endif // DITTO_FAULT_FAULT_PLAN_H_

@@ -47,7 +47,8 @@ Disk::submit(std::uint64_t bytes, bool isWrite, std::function<void()> done)
         rng_.logNormal(0.0, profile_.latencyJitter);
     const double transfer =
         static_cast<double>(bytes) / profile_.bandwidthBytesPerNs;
-    const auto service = static_cast<sim::Time>(access + transfer);
+    const auto service =
+        static_cast<sim::Time>((access + transfer) * slowdown_);
 
     queue_.push_back(Pending{service, std::move(done)});
     pump();

@@ -54,6 +54,16 @@ class Disk
 
     hw::DiskKind kind() const { return kind_; }
 
+    /**
+     * Fault hook: multiply the service time of newly submitted
+     * requests (degrading device, firmware stall). 1.0 = healthy.
+     */
+    void setSlowdown(double factor)
+    {
+        slowdown_ = factor >= 1.0 ? factor : 1.0;
+    }
+    double slowdown() const { return slowdown_; }
+
     void resetStats();
 
   private:
@@ -69,6 +79,7 @@ class Disk
     sim::Rng rng_;
     std::deque<Pending> queue_;
     unsigned inFlight_ = 0;
+    double slowdown_ = 1.0;
     std::uint64_t readBytes_ = 0;
     std::uint64_t writeBytes_ = 0;
     std::uint64_t requests_ = 0;

@@ -78,6 +78,13 @@ Machine::sharedRead(unsigned coreId, std::uint64_t addr)
     sharers_[line] |= std::uint64_t{1} << reader;
 }
 
+void
+Machine::setDown(bool down)
+{
+    down_ = down;
+    scheduler_->setFrozen(down);
+}
+
 Socket *
 Machine::createSocket()
 {

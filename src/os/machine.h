@@ -81,6 +81,15 @@ class Machine : public hw::CoherenceDomain
     /** Logical cores per SMT pair (2 when SMT is on, else 1). */
     unsigned smtWays() const { return smtWays_; }
 
+    /**
+     * Crash / restart hook (fault injection). A down machine stops
+     * scheduling threads and the network drops traffic addressed to
+     * it; restart resumes scheduling with warm state (services do not
+     * re-initialize -- a fast warm restart).
+     */
+    void setDown(bool down);
+    bool down() const { return down_; }
+
     /** Write-invalidate coherence fan-out (directory-filtered). */
     void sharedWrite(unsigned coreId, std::uint64_t addr) override;
 
@@ -141,6 +150,7 @@ class Machine : public hw::CoherenceDomain
 
     std::uint64_t nextSocketId_ = 1;
     std::uint64_t nextRegion_ = 0;
+    bool down_ = false;
 
     /** Sharers directory: line address -> hierarchy bitmask. */
     std::unordered_map<std::uint64_t, std::uint64_t> sharers_;

@@ -20,12 +20,54 @@ Network::connect(Socket &a, Socket &b)
     b.peer = &a;
 }
 
+Network::LinkKey
+Network::linkKey(const Machine *a, const Machine *b)
+{
+    return a < b ? LinkKey{a, b} : LinkKey{b, a};
+}
+
+void
+Network::setLinkFault(const Machine *a, const Machine *b,
+                      const LinkFault &fault)
+{
+    if (fault.any())
+        faults_[linkKey(a, b)] = fault;
+    else
+        faults_.erase(linkKey(a, b));
+}
+
+void
+Network::clearLinkFault(const Machine *a, const Machine *b)
+{
+    faults_.erase(linkKey(a, b));
+}
+
+void
+Network::clearLinkFaults()
+{
+    faults_.clear();
+}
+
+LinkFault
+Network::linkFault(const Machine *a, const Machine *b) const
+{
+    const auto it = faults_.find(linkKey(a, b));
+    return it != faults_.end() ? it->second : LinkFault{};
+}
+
+void
+Network::seedFaultRng(std::uint64_t seed)
+{
+    faultRng_ = sim::Rng(seed);
+}
+
 void
 Network::send(Socket &from, Message msg, sim::Time extraDelay)
 {
     Socket *to = from.peer;
     if (!to)
         return;
+    ++sent_;
 
     sim::Time delay = extraDelay;
     const bool loopback = from.machine && to->machine &&
@@ -34,6 +76,9 @@ Network::send(Socket &from, Message msg, sim::Time extraDelay)
     if (loopback) {
         delay += loopbackLatency_;
     } else {
+        LinkFault fault;
+        if (!faults_.empty())
+            fault = linkFault(from.machine, to->machine);
         // Sender-side NIC serialization (if the sender is a modeled
         // machine; external clients have infinite-capacity uplinks).
         if (from.machine) {
@@ -47,6 +92,13 @@ Network::send(Socket &from, Message msg, sim::Time extraDelay)
                 static_cast<sim::Time>(serNs + 0.5);
             delay = nic.txNextFree - events_.now();
         }
+        // Probabilistic loss: the message left the sender's NIC but
+        // dies on the wire, so no receiver-side cost is charged.
+        if (fault.dropProb > 0 &&
+            faultRng_.bernoulli(fault.dropProb)) {
+            ++dropped_;
+            return;
+        }
         // Receiver-side NIC accounting + possible rx contention.
         if (to->machine) {
             NicState &nic = to->machine->nic();
@@ -55,14 +107,29 @@ Network::send(Socket &from, Message msg, sim::Time extraDelay)
                 nic.effectiveBytesPerNs();
             delay += static_cast<sim::Time>(serNs + 0.5);
         }
-        delay += wireLatency_;
+        delay += wireLatency_ + fault.extraLatency;
     }
 
+    const Machine *fromMachine = from.machine;
     auto payload = std::make_shared<Message>(std::move(msg));
-    events_.scheduleAfter(delay, [this, to, payload] {
-        ++delivered_;
-        to->push(std::move(*payload));
-    });
+    events_.scheduleAfter(
+        delay, [this, to, payload, fromMachine, loopback] {
+            // Partition, crashed machine, or crashed service: the
+            // message is lost at delivery time (covers messages that
+            // were already in flight when the fault started).
+            if (!loopback && !faults_.empty() &&
+                linkFault(fromMachine, to->machine).partitioned) {
+                ++dropped_;
+                return;
+            }
+            if ((to->machine && to->machine->down()) ||
+                (to->inboundGate && !to->inboundGate())) {
+                ++dropped_;
+                return;
+            }
+            ++delivered_;
+            to->push(std::move(*payload));
+        });
 }
 
 } // namespace ditto::os

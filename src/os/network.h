@@ -6,20 +6,50 @@
  * any configured stressor) + wire latency. Same-machine traffic takes
  * the loopback path (no NIC, small latency). Kernel CPU costs of the
  * tx/rx paths are charged separately by the Kernel's socket syscalls.
+ *
+ * Fault hooks: per-link (machine-pair) packet drop probability, added
+ * latency, and partitioning, installed by fault::FaultInjector. With
+ * no faults installed the send path is byte-identical to the fault
+ * free build (no rng draws, no map lookups). Every message is
+ * accounted exactly once: messagesSent() == messagesDelivered() +
+ * messagesDropped() + messagesInFlight() at all times.
  */
 
 #ifndef DITTO_OS_NETWORK_H_
 #define DITTO_OS_NETWORK_H_
 
 #include <cstdint>
+#include <map>
+#include <utility>
 
 #include "os/socket.h"
 #include "sim/event_queue.h"
+#include "sim/rng.h"
 #include "sim/time.h"
 
 namespace ditto::os {
 
 class Machine;
+
+/**
+ * Active fault state of one machine pair (or of the pseudo-link
+ * between a null external client and a machine).
+ */
+struct LinkFault
+{
+    /** Probability each message on the link is dropped. */
+    double dropProb = 0;
+    /** Extra one-way latency (spike) added to each message. */
+    sim::Time extraLatency = 0;
+    /** Hard partition: nothing is delivered across the link. */
+    bool partitioned = false;
+
+    bool
+    any() const
+    {
+        return dropProb > 0 || extraLatency > 0 || partitioned;
+    }
+};
 
 class Network
 {
@@ -40,13 +70,52 @@ class Network
     sim::Time wireLatency() const { return wireLatency_; }
     sim::Time loopbackLatency() const { return loopbackLatency_; }
 
+    std::uint64_t messagesSent() const { return sent_; }
     std::uint64_t messagesDelivered() const { return delivered_; }
+    std::uint64_t messagesDropped() const { return dropped_; }
+
+    /** Messages sent but neither delivered nor dropped yet. */
+    std::uint64_t
+    messagesInFlight() const
+    {
+        return sent_ - delivered_ - dropped_;
+    }
+
+    // ---- fault hooks (installed by fault::FaultInjector) ------------
+
+    /**
+     * Install the fault state of the (unordered) link between two
+     * machines; nullptr stands for external (unmodeled) clients.
+     * Loopback traffic is never affected by link faults.
+     */
+    void setLinkFault(const Machine *a, const Machine *b,
+                      const LinkFault &fault);
+
+    /** Remove the fault state of one link. */
+    void clearLinkFault(const Machine *a, const Machine *b);
+
+    /** Remove every installed link fault. */
+    void clearLinkFaults();
+
+    /** Current fault state of a link (default-constructed if none). */
+    LinkFault linkFault(const Machine *a, const Machine *b) const;
+
+    /** Reseed the rng used for probabilistic drops. */
+    void seedFaultRng(std::uint64_t seed);
 
   private:
+    using LinkKey = std::pair<const Machine *, const Machine *>;
+
     sim::EventQueue &events_;
     sim::Time wireLatency_;
     sim::Time loopbackLatency_;
+    std::uint64_t sent_ = 0;
     std::uint64_t delivered_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::map<LinkKey, LinkFault> faults_;
+    sim::Rng faultRng_{0xfa117ull};
+
+    static LinkKey linkKey(const Machine *a, const Machine *b);
 };
 
 } // namespace ditto::os

@@ -102,8 +102,20 @@ Scheduler::updateSmtContention(unsigned coreIdx)
 }
 
 void
+Scheduler::setFrozen(bool frozen)
+{
+    if (frozen_ == frozen)
+        return;
+    frozen_ = frozen;
+    if (!frozen_ && !ready_.empty())
+        dispatch();
+}
+
+void
 Scheduler::dispatch()
 {
+    if (frozen_)
+        return;
     if (slots_.empty())
         slots_.resize(machine_.coreCount());
 

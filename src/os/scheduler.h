@@ -51,6 +51,14 @@ class Scheduler
     /** Timeslice length. */
     void setTimeslice(sim::Time slice) { timeslice_ = slice; }
 
+    /**
+     * Freeze/unfreeze dispatching (machine crash model). Running
+     * slices finish and their threads queue up as Ready; nothing new
+     * is dispatched until unfrozen.
+     */
+    void setFrozen(bool frozen);
+    bool frozen() const { return frozen_; }
+
     const SchedStats &stats() const { return stats_; }
 
     /** Number of threads not yet terminated. */
@@ -80,6 +88,7 @@ class Scheduler
     SchedStats stats_;
     std::uint64_t switchSalt_ = 0;
     bool dispatchScheduled_ = false;
+    bool frozen_ = false;
 
     void dispatch();
     void runOn(unsigned coreIdx, Thread *t);

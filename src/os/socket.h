@@ -32,6 +32,14 @@ enum class MsgKind : std::uint8_t
     Connect,
 };
 
+/** Application-level status carried by a response. */
+enum class MsgStatus : std::uint8_t
+{
+    Ok,     //!< handled normally
+    Error,  //!< handled degraded (a downstream call failed)
+    Shed,   //!< rejected fast by load shedding
+};
+
 /**
  * One application-level message (a framed request or response).
  * Framing is abstracted: one read() consumes one message.
@@ -39,6 +47,7 @@ enum class MsgKind : std::uint8_t
 struct Message
 {
     MsgKind kind = MsgKind::Request;
+    MsgStatus status = MsgStatus::Ok;
     std::uint32_t bytes = 0;
     std::uint32_t endpoint = 0;   //!< target endpoint (request type)
     std::uint64_t tag = 0;        //!< request id for response matching
@@ -87,6 +96,13 @@ class Socket
 
     /** External delivery hook for client pseudo-sockets. */
     std::function<void(const Message &)> onDeliver;
+
+    /**
+     * Delivery gate installed by the owning service: when set and
+     * returning false (service crashed), the network drops inbound
+     * messages instead of queueing them.
+     */
+    std::function<bool()> inboundGate;
 
     /** Wake callback installed by the hosting machine's scheduler. */
     std::function<void(Thread *)> wakeFn;

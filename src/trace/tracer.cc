@@ -31,10 +31,34 @@ Tracer::recordEdge(RpcEdge edge)
 }
 
 void
+Tracer::recordOutcome(OutcomeEvent event)
+{
+    ++outcomeCounts_[static_cast<std::size_t>(event.kind)];
+    if (sampled(event.traceId))
+        outcomes_.push_back(std::move(event));
+}
+
+void
 Tracer::clear()
 {
     spans_.clear();
     edges_.clear();
+    outcomes_.clear();
+    outcomeCounts_.fill(0);
+}
+
+const char *
+outcomeKindName(OutcomeKind kind)
+{
+    switch (kind) {
+      case OutcomeKind::RpcOk: return "rpc_ok";
+      case OutcomeKind::RpcRetriedOk: return "rpc_retried_ok";
+      case OutcomeKind::RpcTimeout: return "rpc_timeout";
+      case OutcomeKind::RpcBreakerOpen: return "rpc_breaker_open";
+      case OutcomeKind::RequestShed: return "request_shed";
+      case OutcomeKind::RequestError: return "request_error";
+    }
+    return "?";
 }
 
 } // namespace ditto::trace

@@ -12,6 +12,7 @@
 #ifndef DITTO_TRACE_TRACER_H_
 #define DITTO_TRACE_TRACER_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -45,6 +46,37 @@ struct RpcEdge
 };
 
 /**
+ * Request/RPC outcome classes surfaced by the resilience layer
+ * (deadlines, retries, circuit breaking, load shedding).
+ */
+enum class OutcomeKind : std::uint8_t
+{
+    RpcOk,          //!< downstream call answered on the first attempt
+    RpcRetriedOk,   //!< answered after one or more retries
+    RpcTimeout,     //!< all attempts exhausted their deadline
+    RpcBreakerOpen, //!< failed fast: circuit breaker open
+    RequestShed,    //!< inbound request rejected by load shedding
+    RequestError,   //!< response sent degraded (a downstream failed)
+};
+
+inline constexpr std::size_t kOutcomeKinds = 6;
+
+/** Human-readable outcome name. */
+const char *outcomeKindName(OutcomeKind kind);
+
+/** One resilience outcome observation. */
+struct OutcomeEvent
+{
+    std::uint64_t traceId = 0;
+    std::string service;
+    std::uint32_t target = 0;    //!< downstream index (RPC outcomes)
+    std::uint32_t endpoint = 0;
+    OutcomeKind kind = OutcomeKind::RpcOk;
+    unsigned attempts = 0;
+    sim::Time time = 0;
+};
+
+/**
  * Trace collector with head-based sampling.
  *
  * Sampling keeps tracing overhead negligible in production (the
@@ -68,8 +100,26 @@ class Tracer
     void recordSpan(Span span);
     void recordEdge(RpcEdge edge);
 
+    /**
+     * Record a resilience outcome. The aggregate per-kind counters
+     * are exact; the event list is subject to trace sampling like
+     * spans and edges.
+     */
+    void recordOutcome(OutcomeEvent event);
+
     const std::vector<Span> &spans() const { return spans_; }
     const std::vector<RpcEdge> &edges() const { return edges_; }
+    const std::vector<OutcomeEvent> &outcomes() const
+    {
+        return outcomes_;
+    }
+
+    /** Exact (unsampled) count of outcomes of one kind. */
+    std::uint64_t
+    outcomeCount(OutcomeKind kind) const
+    {
+        return outcomeCounts_[static_cast<std::size_t>(kind)];
+    }
 
     void clear();
 
@@ -80,6 +130,8 @@ class Tracer
     std::uint64_t nextSpanId_ = 1;
     std::vector<Span> spans_;
     std::vector<RpcEdge> edges_;
+    std::vector<OutcomeEvent> outcomes_;
+    std::array<std::uint64_t, kOutcomeKinds> outcomeCounts_{};
 };
 
 } // namespace ditto::trace

@@ -53,6 +53,7 @@ LoadGen::beginMeasure()
     latency_.reset();
     measureStart_ = dep_.events().now();
     measuredCompleted_ = 0;
+    measuredOk_ = 0;
 }
 
 double
@@ -62,6 +63,14 @@ LoadGen::achievedQps() const
         sim::toSeconds(dep_.events().now() - measureStart_);
     return secs > 0 ?
         static_cast<double>(measuredCompleted_) / secs : 0.0;
+}
+
+double
+LoadGen::goodput() const
+{
+    const double secs =
+        sim::toSeconds(dep_.events().now() - measureStart_);
+    return secs > 0 ? static_cast<double>(measuredOk_) / secs : 0.0;
 }
 
 void
@@ -92,7 +101,7 @@ LoadGen::scheduleNextClosed(std::size_t connIdx)
         static_cast<sim::Time>(gapNs), [this, connIdx] {
             if (!running_)
                 return;
-            if (conns_[connIdx].outstanding) {
+            if (conns_[connIdx].outstanding()) {
                 // Still waiting (saturated): send immediately after
                 // the response arrives instead (closed loop).
                 return;
@@ -121,7 +130,14 @@ LoadGen::sendOn(std::size_t connIdx)
     req.tag = nextTrace_;
     req.traceId = nextTrace_++;
     req.sendTime = dep_.events().now();
-    conn.outstanding = true;
+    const std::uint64_t tag = req.tag;
+    sim::EventId timer = 0;
+    if (spec_.timeout > 0) {
+        timer = dep_.events().scheduleAfter(
+            spec_.timeout,
+            [this, connIdx, tag] { onTimeout(connIdx, tag); });
+    }
+    conn.pending.emplace(tag, timer);
     ++sent_;
     dep_.network().send(*conn.client, std::move(req));
 }
@@ -130,11 +146,44 @@ void
 LoadGen::onResponse(std::size_t connIdx, const os::Message &resp)
 {
     Conn &conn = conns_[connIdx];
-    conn.outstanding = false;
+    auto it = conn.pending.find(resp.tag);
+    if (it == conn.pending.end()) {
+        ++lateResponses_;  // reply to a request that already timed out
+        return;
+    }
+    if (it->second != 0)
+        dep_.events().cancel(it->second);
+    conn.pending.erase(it);
     ++completed_;
     ++measuredCompleted_;
+    switch (resp.status) {
+      case os::MsgStatus::Ok:
+        ++completedOk_;
+        ++measuredOk_;
+        break;
+      case os::MsgStatus::Error:
+        ++completedError_;
+        break;
+      case os::MsgStatus::Shed:
+        ++completedShed_;
+        break;
+    }
     const sim::Time now = dep_.events().now();
     latency_.record(now > resp.sendTime ? now - resp.sendTime : 0);
+    if (!spec_.openLoop)
+        scheduleNextClosed(connIdx);
+}
+
+void
+LoadGen::onTimeout(std::size_t connIdx, std::uint64_t tag)
+{
+    Conn &conn = conns_[connIdx];
+    auto it = conn.pending.find(tag);
+    if (it == conn.pending.end())
+        return;
+    conn.pending.erase(it);
+    ++timedOut_;
+    // Closed loop: free the connection so load keeps flowing.
     if (!spec_.openLoop)
         scheduleNextClosed(connIdx);
 }

@@ -17,6 +17,7 @@
 #define DITTO_WORKLOAD_LOADGEN_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -45,6 +46,12 @@ struct LoadSpec
     unsigned connections = 8;
     bool openLoop = true;
     std::vector<EndpointLoad> endpoints = {EndpointLoad{}};
+    /**
+     * Client-side deadline per request; 0 disables. Expired requests
+     * count as timedOut() (not completed()), and their late replies
+     * are discarded as lateResponses().
+     */
+    sim::Time timeout = 0;
 };
 
 class LoadGen
@@ -70,8 +77,32 @@ class LoadGen
     std::uint64_t sent() const { return sent_; }
     std::uint64_t completed() const { return completed_; }
 
+    // ---- per-request outcome accounting -----------------------------
+    // sent() == completedOk() + completedError() + completedShed() +
+    // timedOut() + in-flight, so loss anywhere in the stack is
+    // attributable. completed() counts every received response
+    // regardless of status.
+
+    /** Responses with Ok status (successful end-to-end requests). */
+    std::uint64_t completedOk() const { return completedOk_; }
+    /** Responses with Error status (degraded by a downstream fault). */
+    std::uint64_t completedError() const { return completedError_; }
+    /** Responses with Shed status (rejected by load shedding). */
+    std::uint64_t completedShed() const { return completedShed_; }
+    /** Requests that hit the client deadline with no response. */
+    std::uint64_t timedOut() const { return timedOut_; }
+    /** Replies that arrived after their request had timed out. */
+    std::uint64_t lateResponses() const { return lateResponses_; }
+
     /** Completed requests per second over the measured window. */
     double achievedQps() const;
+
+    /**
+     * *Successful* (Ok-status, in-deadline) requests per second over
+     * the measured window -- the number that drops under faults even
+     * when achievedQps() holds up.
+     */
+    double goodput() const;
 
     /** Change the target rate on the fly. */
     void setQps(double qps) { spec_.qps = qps; }
@@ -81,7 +112,14 @@ class LoadGen
     {
         std::unique_ptr<os::Socket> client;
         os::Socket *server = nullptr;
-        bool outstanding = false;
+        /**
+         * In-flight requests: tag -> pending deadline event (0 when
+         * no client timeout is configured). Open-loop connections can
+         * have several requests in flight at once.
+         */
+        std::map<std::uint64_t, sim::EventId> pending;
+
+        bool outstanding() const { return !pending.empty(); }
     };
 
     app::Deployment &dep_;
@@ -93,16 +131,23 @@ class LoadGen
     stats::LatencyHistogram latency_;
     std::uint64_t sent_ = 0;
     std::uint64_t completed_ = 0;
+    std::uint64_t completedOk_ = 0;
+    std::uint64_t completedError_ = 0;
+    std::uint64_t completedShed_ = 0;
+    std::uint64_t timedOut_ = 0;
+    std::uint64_t lateResponses_ = 0;
     std::uint64_t nextTrace_ = 1;
     unsigned rrConn_ = 0;
     bool running_ = false;
     sim::Time measureStart_ = 0;
     std::uint64_t measuredCompleted_ = 0;
+    std::uint64_t measuredOk_ = 0;
 
     void scheduleNextOpen();
     void scheduleNextClosed(std::size_t connIdx);
     void sendOn(std::size_t connIdx);
     void onResponse(std::size_t connIdx, const os::Message &resp);
+    void onTimeout(std::size_t connIdx, std::uint64_t tag);
 };
 
 } // namespace ditto::workload

@@ -1,0 +1,549 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem and resilience policies:
+ * backoff schedules, the circuit-breaker state machine, network drop
+ * accounting, crash/restart end-to-end behaviour, load shedding, and
+ * bit-exact determinism of faulted runs.
+ *
+ * These tests carry the `sanitize` ctest label: configure with
+ * -DDITTO_SANITIZE=ON and run `ctest -L sanitize` to execute them
+ * under ASan+UBSan.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/deployment.h"
+#include "app/resilience.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "hw/block_builder.h"
+#include "hw/platform.h"
+#include "workload/loadgen.h"
+
+namespace {
+
+using namespace ditto;
+
+// ---------------------------------------------------------------------------
+// Retry backoff
+// ---------------------------------------------------------------------------
+
+TEST(Backoff, ExponentialScheduleWithCap)
+{
+    app::RetryPolicy policy;
+    policy.baseBackoff = sim::microseconds(100);
+    policy.multiplier = 2.0;
+    policy.maxBackoff = sim::microseconds(350);
+    policy.jitter = 0.0;
+    sim::Rng rng(7);
+
+    EXPECT_EQ(app::computeBackoff(policy, 1, rng),
+              sim::microseconds(100));
+    EXPECT_EQ(app::computeBackoff(policy, 2, rng),
+              sim::microseconds(200));
+    // 400us would exceed the cap.
+    EXPECT_EQ(app::computeBackoff(policy, 3, rng),
+              sim::microseconds(350));
+    EXPECT_EQ(app::computeBackoff(policy, 4, rng),
+              sim::microseconds(350));
+}
+
+TEST(Backoff, NoJitterDrawsNoRandomness)
+{
+    app::RetryPolicy policy;
+    policy.jitter = 0.0;
+    sim::Rng used(55);
+    sim::Rng untouched(55);
+    app::computeBackoff(policy, 1, used);
+    app::computeBackoff(policy, 2, used);
+    // The rng sequence must be unperturbed -- the guarantee that a
+    // resilience-disabled run is bit-identical to the seed runtime.
+    EXPECT_EQ(used(), untouched());
+}
+
+TEST(Backoff, JitterBoundedAndDeterministic)
+{
+    app::RetryPolicy policy;
+    policy.baseBackoff = sim::microseconds(100);
+    policy.multiplier = 1.0;
+    policy.jitter = 0.5;
+    sim::Rng a(11);
+    sim::Rng b(11);
+    for (unsigned attempt = 1; attempt <= 16; ++attempt) {
+        const sim::Time fromA = app::computeBackoff(policy, attempt, a);
+        const sim::Time fromB = app::computeBackoff(policy, attempt, b);
+        EXPECT_EQ(fromA, fromB);  // same seed, same schedule
+        EXPECT_GE(fromA, sim::microseconds(50));
+        EXPECT_LE(fromA, sim::microseconds(150));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker FSM
+// ---------------------------------------------------------------------------
+
+app::CircuitBreakerPolicy
+testBreakerPolicy()
+{
+    app::CircuitBreakerPolicy policy;
+    policy.enabled = true;
+    policy.failureThreshold = 3;
+    policy.openDuration = sim::milliseconds(10);
+    policy.halfOpenProbes = 1;
+    return policy;
+}
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures)
+{
+    app::CircuitBreaker cb(testBreakerPolicy());
+    sim::Time now = 0;
+    EXPECT_EQ(cb.state(), app::CircuitBreaker::State::Closed);
+    for (int i = 0; i < 2; ++i) {
+        ASSERT_TRUE(cb.allowRequest(now));
+        cb.onFailure(now);
+        EXPECT_EQ(cb.state(), app::CircuitBreaker::State::Closed);
+    }
+    ASSERT_TRUE(cb.allowRequest(now));
+    cb.onFailure(now);  // third consecutive failure trips it
+    EXPECT_EQ(cb.state(), app::CircuitBreaker::State::Open);
+    EXPECT_EQ(cb.timesOpened(), 1u);
+    EXPECT_FALSE(cb.allowRequest(now + sim::milliseconds(9)));
+}
+
+TEST(CircuitBreaker, SuccessResetsFailureStreak)
+{
+    app::CircuitBreaker cb(testBreakerPolicy());
+    cb.onFailure(0);
+    cb.onFailure(0);
+    cb.onSuccess();  // streak broken
+    cb.onFailure(0);
+    cb.onFailure(0);
+    EXPECT_EQ(cb.state(), app::CircuitBreaker::State::Closed);
+    cb.onFailure(0);
+    EXPECT_EQ(cb.state(), app::CircuitBreaker::State::Open);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeClosesOnSuccess)
+{
+    app::CircuitBreaker cb(testBreakerPolicy());
+    for (int i = 0; i < 3; ++i)
+        cb.onFailure(0);
+    ASSERT_EQ(cb.state(), app::CircuitBreaker::State::Open);
+    // Open window elapsed: one probe is admitted.
+    ASSERT_TRUE(cb.allowRequest(sim::milliseconds(10)));
+    EXPECT_EQ(cb.state(), app::CircuitBreaker::State::HalfOpen);
+    // Only one probe in flight with halfOpenProbes == 1.
+    EXPECT_FALSE(cb.allowRequest(sim::milliseconds(10)));
+    cb.onSuccess();
+    EXPECT_EQ(cb.state(), app::CircuitBreaker::State::Closed);
+    EXPECT_TRUE(cb.allowRequest(sim::milliseconds(11)));
+}
+
+TEST(CircuitBreaker, HalfOpenProbeFailureReopens)
+{
+    app::CircuitBreaker cb(testBreakerPolicy());
+    for (int i = 0; i < 3; ++i)
+        cb.onFailure(0);
+    ASSERT_TRUE(cb.allowRequest(sim::milliseconds(10)));
+    cb.onFailure(sim::milliseconds(10));
+    EXPECT_EQ(cb.state(), app::CircuitBreaker::State::Open);
+    EXPECT_EQ(cb.timesOpened(), 2u);
+    EXPECT_FALSE(cb.allowRequest(sim::milliseconds(19)));
+    EXPECT_TRUE(cb.allowRequest(sim::milliseconds(20)));
+}
+
+// ---------------------------------------------------------------------------
+// Shared two-tier world
+// ---------------------------------------------------------------------------
+
+hw::CodeBlock
+tinyBlock(const std::string &label, std::uint64_t seed)
+{
+    hw::BlockSpec bs;
+    bs.label = label;
+    bs.instCount = 64;
+    bs.seed = seed;
+    return hw::buildBlock(bs);
+}
+
+app::ServiceSpec
+backendSpec()
+{
+    app::ServiceSpec spec;
+    spec.name = "back";
+    spec.threads.workers = 2;
+    spec.blocks.push_back(tinyBlock("back.h", 3));
+    app::EndpointSpec ep;
+    ep.name = "get";
+    ep.handler.ops = {app::opCompute(0, 5)};
+    spec.endpoints.push_back(ep);
+    return spec;
+}
+
+app::ServiceSpec
+frontendSpec(const app::ResilienceSpec &resilience)
+{
+    app::ServiceSpec spec;
+    spec.name = "front";
+    spec.threads.workers = 2;
+    spec.downstreams = {"back"};
+    spec.blocks.push_back(tinyBlock("front.h", 4));
+    app::EndpointSpec ep;
+    ep.name = "page";
+    ep.handler.ops = {app::opCompute(0, 3),
+                      app::opRpc(0, 0, 128, 256),
+                      app::opCompute(0, 3)};
+    spec.endpoints.push_back(ep);
+    spec.resilience = resilience;
+    return spec;
+}
+
+/** Two services on one machine plus an external open-loop client. */
+struct TwoTier
+{
+    app::Deployment dep;
+    os::Machine &machine;
+    app::ServiceInstance &back;
+    app::ServiceInstance &front;
+    workload::LoadGen gen;
+
+    explicit TwoTier(const app::ResilienceSpec &resilience,
+                     double qps = 2000, sim::Time clientTimeout =
+                         sim::milliseconds(5))
+        : dep(17),
+          machine(dep.addMachine("n", hw::platformA())),
+          back(dep.deploy(backendSpec(), machine)),
+          front(dep.deploy(frontendSpec(resilience), machine)),
+          gen(wired(dep), front, clientLoad(qps, clientTimeout), 23)
+    {
+    }
+
+    /** wireAll() must run before LoadGen opens its connections. */
+    static app::Deployment &
+    wired(app::Deployment &dep)
+    {
+        dep.wireAll();
+        return dep;
+    }
+
+    static workload::LoadSpec
+    clientLoad(double qps, sim::Time timeout)
+    {
+        workload::LoadSpec load;
+        load.qps = qps;
+        load.connections = 4;
+        load.openLoop = true;
+        load.timeout = timeout;
+        return load;
+    }
+};
+
+app::ResilienceSpec
+frontResilience()
+{
+    app::ResilienceSpec res;
+    res.rpcDeadline = sim::microseconds(600);
+    res.retry.maxAttempts = 2;
+    res.retry.baseBackoff = sim::microseconds(100);
+    res.breaker.enabled = true;
+    res.breaker.failureThreshold = 4;
+    res.breaker.openDuration = sim::milliseconds(3);
+    return res;
+}
+
+// ---------------------------------------------------------------------------
+// Network fault accounting
+// ---------------------------------------------------------------------------
+
+TEST(NetworkFaults, EveryMessageAccountedUnderDrops)
+{
+    TwoTier w(app::ResilienceSpec{});
+    fault::FaultPlan plan;
+    // External-client link: 50% loss for most of the run.
+    plan.linkDrop("", "n", sim::milliseconds(10),
+                  sim::milliseconds(60), 0.5);
+    fault::FaultInjector injector(w.dep);
+    injector.install(plan);
+    w.gen.start();
+    w.dep.runFor(sim::milliseconds(100));
+
+    os::Network &net = w.dep.network();
+    EXPECT_GT(net.messagesDropped(), 0u);
+    EXPECT_EQ(net.messagesSent(),
+              net.messagesDelivered() + net.messagesDropped() +
+                  net.messagesInFlight());
+    EXPECT_GT(w.gen.timedOut(), 0u);
+    // sent == every outcome + still-pending.
+    EXPECT_GE(w.gen.sent(),
+              w.gen.completedOk() + w.gen.completedError() +
+                  w.gen.completedShed() + w.gen.timedOut());
+}
+
+TEST(NetworkFaults, PartitionDropsEverythingThenHeals)
+{
+    TwoTier w(app::ResilienceSpec{});
+    fault::FaultPlan plan;
+    plan.partition("", "n", sim::milliseconds(20),
+                   sim::milliseconds(30));
+    fault::FaultInjector injector(w.dep);
+    injector.install(plan);
+    w.gen.start();
+    w.dep.runFor(sim::milliseconds(20));
+    const std::uint64_t completedBefore = w.gen.completed();
+    EXPECT_GT(completedBefore, 0u);
+    w.dep.runFor(sim::milliseconds(30));
+    // Nothing came back during the partition.
+    EXPECT_GT(w.gen.timedOut(), 0u);
+    w.dep.runFor(sim::milliseconds(50));
+    // Healed: completions resumed.
+    EXPECT_GT(w.gen.completed(), completedBefore);
+    EXPECT_EQ(injector.stats().windowsStarted, 1u);
+    EXPECT_EQ(injector.stats().windowsEnded, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash / restart end to end
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, ServiceCrashCausesTimeoutsAndRecovers)
+{
+    TwoTier w(frontResilience());
+    fault::FaultPlan plan;
+    plan.serviceCrash("back", sim::milliseconds(20),
+                      sim::milliseconds(30));
+    fault::FaultInjector injector(w.dep);
+    injector.install(plan);
+    w.gen.start();
+    w.dep.runFor(sim::milliseconds(50));
+
+    // During the crash the frontend's calls hit their deadline,
+    // retried, then gave up and answered degraded.
+    const app::ServiceStats &fs = w.front.stats();
+    EXPECT_GT(fs.rpcTimeouts, 0u);
+    EXPECT_GT(fs.rpcRetries, 0u);
+    EXPECT_GT(fs.requestsDegraded, 0u);
+    EXPECT_GT(w.gen.completedError(), 0u);
+    // Outcome counters surfaced through the tracer agree exactly.
+    EXPECT_EQ(w.dep.tracer().outcomeCount(trace::OutcomeKind::RpcTimeout),
+              fs.rpcTimeouts);
+
+    const std::uint64_t okDuringCrash = w.gen.completedOk();
+    w.dep.runFor(sim::milliseconds(60));
+    // Restarted: Ok responses flow again.
+    EXPECT_GT(w.gen.completedOk(), okDuringCrash);
+    EXPECT_GT(fs.rpcOk, 0u);
+}
+
+TEST(FaultInjection, BreakerOpensDuringCrash)
+{
+    TwoTier w(frontResilience());
+    fault::FaultPlan plan;
+    plan.serviceCrash("back", sim::milliseconds(15),
+                      sim::milliseconds(40));
+    fault::FaultInjector injector(w.dep);
+    injector.install(plan);
+    w.gen.start();
+    w.dep.runFor(sim::milliseconds(70));
+
+    app::CircuitBreaker *cb = w.front.breaker(0);
+    ASSERT_NE(cb, nullptr);
+    EXPECT_GE(cb->timesOpened(), 1u);
+    // Fast-fails happened while open (no message sent downstream).
+    EXPECT_GT(w.front.stats().rpcBreakerFastFails, 0u);
+    EXPECT_EQ(w.dep.tracer().outcomeCount(
+                  trace::OutcomeKind::RpcBreakerOpen),
+              w.front.stats().rpcBreakerFastFails);
+}
+
+TEST(FaultInjection, MachineCrashFreezesAndRestarts)
+{
+    TwoTier w(app::ResilienceSpec{});
+    fault::FaultPlan plan;
+    plan.machineCrash("n", sim::milliseconds(20),
+                      sim::milliseconds(25));
+    fault::FaultInjector injector(w.dep);
+    injector.install(plan);
+    w.gen.start();
+    w.dep.runFor(sim::milliseconds(20));
+    const std::uint64_t sentBefore = w.gen.sent();
+    const std::uint64_t completedBefore = w.gen.completed();
+    EXPECT_GT(completedBefore, 0u);
+    w.dep.runFor(sim::milliseconds(12));  // mid crash window
+    EXPECT_TRUE(w.machine.down());
+    w.dep.runFor(sim::milliseconds(13));
+    // Clients kept sending into the dead machine; nothing came back.
+    EXPECT_GT(w.gen.sent(), sentBefore);
+    EXPECT_GT(w.gen.timedOut(), 0u);
+    w.dep.runFor(sim::milliseconds(55));
+    EXPECT_FALSE(w.machine.down());
+    EXPECT_GT(w.gen.completed(), completedBefore);
+}
+
+// ---------------------------------------------------------------------------
+// Load shedding
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, OverloadedServiceShedsRequests)
+{
+    app::ResilienceSpec res;
+    res.shedQueueThreshold = 2;
+    // One slow worker + a burst far above capacity.
+    app::Deployment dep(19);
+    os::Machine &machine = dep.addMachine("n", hw::platformA());
+    app::ServiceSpec spec = backendSpec();
+    spec.name = "slow";
+    spec.threads.workers = 1;
+    spec.endpoints[0].handler.ops = {app::opCompute(0, 4000)};
+    spec.resilience = res;
+    app::ServiceInstance &svc = dep.deploy(spec, machine);
+    dep.wireAll();
+
+    workload::LoadSpec load;
+    load.qps = 20000;
+    load.connections = 2;
+    load.openLoop = true;
+    workload::LoadGen gen(dep, svc, load, 29);
+    gen.start();
+    dep.runFor(sim::milliseconds(60));
+
+    EXPECT_GT(svc.stats().requestsShed, 0u);
+    EXPECT_GT(gen.completedShed(), 0u);
+    EXPECT_EQ(dep.tracer().outcomeCount(
+                  trace::OutcomeKind::RequestShed),
+              svc.stats().requestsShed);
+    // Shed responses come back fast and are not Ok.
+    EXPECT_EQ(gen.completed(),
+              gen.completedOk() + gen.completedError() +
+                  gen.completedShed());
+}
+
+// ---------------------------------------------------------------------------
+// Disk slowdown
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, DiskSlowdownStretchesServiceTime)
+{
+    auto timeOneIo = [](double slowdown) {
+        app::Deployment dep(23);
+        os::Machine &machine = dep.addMachine("n", hw::platformA());
+        machine.disk().setSlowdown(slowdown);
+        sim::Time doneAt = 0;
+        machine.disk().submit(1u << 20, false,
+                              [&] { doneAt = dep.events().now(); });
+        dep.runFor(sim::milliseconds(200));
+        return doneAt;
+    };
+    const sim::Time healthy = timeOneIo(1.0);
+    const sim::Time degraded = timeOneIo(6.0);
+    ASSERT_GT(healthy, 0u);
+    // Same seed, same draw: exactly 6x the service time.
+    EXPECT_GT(degraded, healthy * 5);
+    EXPECT_LE(degraded, healthy * 7);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism + zero-cost
+// ---------------------------------------------------------------------------
+
+struct ScenarioResult
+{
+    std::uint64_t sent = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t err = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t late = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t maxLatency = 0;
+    std::uint64_t netSent = 0;
+    std::uint64_t netDelivered = 0;
+    std::uint64_t netDropped = 0;
+    std::uint64_t rpcTimeouts = 0;
+    std::uint64_t rpcRetries = 0;
+    std::uint64_t breakerFastFails = 0;
+
+    bool operator==(const ScenarioResult &) const = default;
+};
+
+ScenarioResult
+runFaultedScenario(bool withInjector)
+{
+    TwoTier w(frontResilience());
+    fault::FaultPlan plan;
+    plan.serviceCrash("back", sim::milliseconds(20),
+                      sim::milliseconds(20));
+    plan.linkDrop("", "n", sim::milliseconds(50),
+                  sim::milliseconds(20), 0.3);
+    plan.linkLatency("", "n", sim::milliseconds(55),
+                     sim::milliseconds(10), sim::microseconds(200));
+    fault::FaultInjector injector(w.dep);
+    if (withInjector)
+        injector.install(plan);
+    w.gen.start();
+    w.dep.runFor(sim::milliseconds(120));
+
+    ScenarioResult r;
+    r.sent = w.gen.sent();
+    r.completed = w.gen.completed();
+    r.ok = w.gen.completedOk();
+    r.err = w.gen.completedError();
+    r.timedOut = w.gen.timedOut();
+    r.late = w.gen.lateResponses();
+    r.p50 = w.gen.latency().percentile(0.5);
+    r.p99 = w.gen.latency().percentile(0.99);
+    r.maxLatency = w.gen.latency().maxValue();
+    r.netSent = w.dep.network().messagesSent();
+    r.netDelivered = w.dep.network().messagesDelivered();
+    r.netDropped = w.dep.network().messagesDropped();
+    r.rpcTimeouts = w.front.stats().rpcTimeouts;
+    r.rpcRetries = w.front.stats().rpcRetries;
+    r.breakerFastFails = w.front.stats().rpcBreakerFastFails;
+    return r;
+}
+
+TEST(FaultInjection, SameSeedSamePlanIsBitIdentical)
+{
+    const ScenarioResult a = runFaultedScenario(true);
+    const ScenarioResult b = runFaultedScenario(true);
+    EXPECT_EQ(a, b);
+    // And the scenario actually exercised the fault machinery.
+    EXPECT_GT(a.netDropped, 0u);
+    EXPECT_GT(a.rpcTimeouts, 0u);
+}
+
+ScenarioResult
+runVanilla(bool withIdleInjector)
+{
+    TwoTier w(app::ResilienceSpec{}, 2000, /*clientTimeout=*/0);
+    fault::FaultInjector injector(w.dep);
+    if (withIdleInjector)
+        injector.install(fault::FaultPlan{});  // empty plan
+    w.gen.start();
+    w.dep.runFor(sim::milliseconds(80));
+
+    ScenarioResult r;
+    r.sent = w.gen.sent();
+    r.completed = w.gen.completed();
+    r.ok = w.gen.completedOk();
+    r.p50 = w.gen.latency().percentile(0.5);
+    r.p99 = w.gen.latency().percentile(0.99);
+    r.maxLatency = w.gen.latency().maxValue();
+    r.netSent = w.dep.network().messagesSent();
+    r.netDelivered = w.dep.network().messagesDelivered();
+    r.netDropped = w.dep.network().messagesDropped();
+    return r;
+}
+
+TEST(FaultInjection, EmptyPlanIsZeroCost)
+{
+    // Installing an injector with an empty plan must not perturb the
+    // simulation at all: identical message counts and latencies.
+    const ScenarioResult bare = runVanilla(false);
+    const ScenarioResult idle = runVanilla(true);
+    EXPECT_EQ(bare, idle);
+    EXPECT_EQ(bare.netDropped, 0u);
+    EXPECT_EQ(bare.completed, bare.ok);  // all Ok without faults
+}
+
+} // namespace
