@@ -14,6 +14,7 @@
  * original, showing why the mechanism is needed.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -102,8 +103,10 @@ dropChases(app::ServiceSpec &spec)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRuntime rt(argc, argv, "bench_ablation");
+    sim::RunExecutor &ex = rt.executor();
     const app::ServiceSpec original = referenceService();
     workload::LoadSpec load;
     load.qps = 3000;
@@ -123,9 +126,6 @@ main()
     const core::CloneResult clone =
         core::cloneService(dep, svc, load, hw::platformA(), opts);
 
-    const RunResult target =
-        runSingleTier(original, load, hw::platformA());
-
     struct Ablation
     {
         const char *name;
@@ -138,6 +138,25 @@ main()
         {"no pointer chasing", dropChases},
     };
 
+    // The target run and the four degraded variants are independent
+    // seeded simulations: fan them out together.
+    std::vector<std::function<RunResult()>> tasks;
+    tasks.push_back([&original, &load] {
+        return runSingleTier(original, load, hw::platformA());
+    });
+    for (const Ablation &ablation : ablations) {
+        tasks.push_back([&ablation, &clone, &load] {
+            app::ServiceSpec variant = clone.spec;
+            if (ablation.degrade)
+                ablation.degrade(variant);
+            return runSingleTier(variant, core::cloneLoadSpec(load),
+                                 hw::platformA());
+        });
+    }
+    const std::vector<RunResult> runs =
+        ex.runOrdered<RunResult>(std::move(tasks));
+    const RunResult &target = runs[0];
+
     stats::printBanner(
         std::cout,
         "Ablation: generator mechanisms vs clone accuracy "
@@ -148,12 +167,9 @@ main()
                   "-", "-", "-", "-"});
     table.addSeparator();
 
-    for (const Ablation &ablation : ablations) {
-        app::ServiceSpec variant = clone.spec;
-        if (ablation.degrade)
-            ablation.degrade(variant);
-        const RunResult run = runSingleTier(
-            variant, core::cloneLoadSpec(load), hw::platformA());
+    for (std::size_t i = 0; i < std::size(ablations); ++i) {
+        const Ablation &ablation = ablations[i];
+        const RunResult &run = runs[i + 1];
         table.addRow(
             {ablation.name, cell(run.report.ipc, 3),
              stats::formatPercent(profile::relativeError(

@@ -1,9 +1,83 @@
 #include "bench/bench_common.h"
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <ostream>
+#include <sstream>
 
 namespace ditto::bench {
+
+BenchRuntime::BenchRuntime(int argc, char **argv, std::string name)
+    : name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()),
+      executor_(std::make_unique<sim::RunExecutor>(
+          sim::RunExecutor::jobsFromArgs(argc, argv)))
+{
+}
+
+BenchRuntime::~BenchRuntime()
+{
+    finish();
+}
+
+void
+BenchRuntime::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    // stderr, so stdout stays byte-identical across worker counts.
+    std::fprintf(stderr, "[%s] wall-clock %.2fs (jobs=%u)\n",
+                 name_.c_str(), seconds, jobs());
+    recordBenchTiming(name_, seconds, jobs());
+}
+
+void
+recordBenchTiming(const std::string &name, double wallSeconds,
+                  unsigned jobs)
+{
+    const char *path = "BENCH_pipeline.json";
+
+    // Keep other benches' entries: the file is one flat object with
+    // one `"bench": {...}` line per bench.
+    std::map<std::string, std::string> entries;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t q0 = line.find('"');
+        if (q0 == std::string::npos)
+            continue;
+        const std::size_t q1 = line.find('"', q0 + 1);
+        const std::size_t b0 = line.find('{', q1);
+        const std::size_t b1 = line.rfind('}');
+        if (q1 == std::string::npos || b0 == std::string::npos ||
+            b1 == std::string::npos || b1 < b0)
+            continue;
+        entries[line.substr(q0 + 1, q1 - q0 - 1)] =
+            line.substr(b0, b1 - b0 + 1);
+    }
+    in.close();
+
+    std::ostringstream value;
+    value << "{\"wall_seconds\": " << stats::formatDouble(wallSeconds, 3)
+          << ", \"jobs\": " << jobs << "}";
+    entries[name] = value.str();
+
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\n";
+    std::size_t i = 0;
+    for (const auto &[bench, json] : entries) {
+        out << "  \"" << bench << "\": " << json;
+        out << (++i == entries.size() ? "\n" : ",\n");
+    }
+    out << "}\n";
+}
 
 std::vector<AppCase>
 singleTierApps()
@@ -73,7 +147,8 @@ runSocialNetwork(const std::vector<app::ServiceSpec> &tiers,
 }
 
 core::CloneResult
-cloneSingleTier(const AppCase &app, bool fineTune, std::uint64_t seed)
+cloneSingleTier(const AppCase &app, bool fineTune, std::uint64_t seed,
+                sim::RunExecutor *executor)
 {
     app::Deployment dep(seed);
     os::Machine &machine = dep.addMachine("node", hw::platformA());
@@ -85,13 +160,14 @@ cloneSingleTier(const AppCase &app, bool fineTune, std::uint64_t seed)
 
     core::CloneOptions opts;
     opts.fineTune = fineTune;
+    opts.executor = executor;
     opts.profiling.warmup = sim::milliseconds(150);
     opts.profiling.window = sim::milliseconds(120);
     return core::cloneService(dep, svc, load, hw::platformA(), opts);
 }
 
 core::TopologyCloneResult
-cloneSocialNetwork(std::uint64_t seed)
+cloneSocialNetwork(std::uint64_t seed, sim::RunExecutor *executor)
 {
     app::Deployment dep(seed);
     os::Machine &machine = dep.addMachine("node", hw::platformA());
@@ -109,6 +185,7 @@ cloneSocialNetwork(std::uint64_t seed)
 
     core::CloneOptions opts;
     opts.fineTune = true;  // per-tier calibration in sandboxes
+    opts.executor = executor;
     opts.maxTuneIterations = 4;
     opts.tuneTolerance = 0.08;
     opts.tuneWarmup = sim::milliseconds(100);

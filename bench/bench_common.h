@@ -14,17 +14,59 @@
 #ifndef DITTO_BENCH_BENCH_COMMON_H_
 #define DITTO_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/catalog.h"
 #include "core/ditto.h"
 #include "profile/perf_report.h"
+#include "sim/run_executor.h"
 #include "stats/histogram.h"
 #include "stats/table.h"
 
 namespace ditto::bench {
+
+/**
+ * Per-bench harness: resolves the worker count (`--jobs N` /
+ * `DITTO_JOBS`, default hardware_concurrency), owns the RunExecutor
+ * the bench fans its independent simulation runs out on, and tracks
+ * wall-clock time. finish() prints the wall-clock to stderr (stdout
+ * stays byte-identical across worker counts) and merges the timing
+ * into BENCH_pipeline.json so the perf trajectory is trackable
+ * across changes.
+ */
+class BenchRuntime
+{
+  public:
+    BenchRuntime(int argc, char **argv, std::string name);
+    ~BenchRuntime();
+
+    BenchRuntime(const BenchRuntime &) = delete;
+    BenchRuntime &operator=(const BenchRuntime &) = delete;
+
+    sim::RunExecutor &executor() { return *executor_; }
+    unsigned jobs() const { return executor_->jobs(); }
+
+    /** Report wall-clock and write BENCH_pipeline.json (idempotent). */
+    void finish();
+
+  private:
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+    std::unique_ptr<sim::RunExecutor> executor_;
+    bool finished_ = false;
+};
+
+/**
+ * Merge one bench's timing into BENCH_pipeline.json in the current
+ * directory: `{"bench": {"wall_seconds": s, "jobs": n}, ...}`,
+ * preserving other benches' entries.
+ */
+void recordBenchTiming(const std::string &name, double wallSeconds,
+                       unsigned jobs);
 
 /** One single-tier application under test. */
 struct AppCase
@@ -73,12 +115,19 @@ SnRunResult runSocialNetwork(const std::vector<app::ServiceSpec> &tiers,
                              sim::Time measure = sim::milliseconds(300),
                              std::uint64_t seed = 78);
 
-/** Profile + clone one single-tier app at its medium load. */
+/**
+ * Profile + clone one single-tier app at its medium load. With an
+ * executor, fine-tune candidates are evaluated concurrently (results
+ * independent of the worker count).
+ */
 core::CloneResult cloneSingleTier(const AppCase &app, bool fineTune,
-                                  std::uint64_t seed = 79);
+                                  std::uint64_t seed = 79,
+                                  sim::RunExecutor *executor = nullptr);
 
 /** Clone the whole Social Network (profiled at medium load). */
-core::TopologyCloneResult cloneSocialNetwork(std::uint64_t seed = 80);
+core::TopologyCloneResult
+cloneSocialNetwork(std::uint64_t seed = 80,
+                   sim::RunExecutor *executor = nullptr);
 
 /** The Social Network load spec translated for the cloned tiers. */
 workload::LoadSpec socialCloneLoad(double qps);

@@ -16,9 +16,14 @@
  * Sanity: scenario "none" installs an *empty* FaultPlan through a
  * live FaultInjector and must match a run with no injector at all,
  * bit-exactly, proving the fault subsystem costs nothing when idle.
+ *
+ * Each faulted run owns its Deployment/EventQueue/RNGs, so the
+ * zero-cost pair and the (scenario x {orig, clone}) matrix fan out
+ * on the RunExecutor and join in submission order.
  */
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -178,9 +183,12 @@ relDev(double clone, double orig)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ditto;
+
+    ditto::bench::BenchRuntime rt(argc, argv, "bench_faults");
+    sim::RunExecutor &ex = rt.executor();
 
     // ---- zero-cost check: empty plan == no injector ------------------
     const auto origTiers = apps::socialNetworkSpecs();
@@ -190,10 +198,18 @@ main()
     load.timeout = sim::milliseconds(25);
     const app::ResilienceSpec vanilla;  // everything disabled
 
-    const FaultRunResult bare = runFaulted(
-        origTiers, origRoot, load, vanilla, {}, false);
-    const FaultRunResult emptyPlan = runFaulted(
-        origTiers, origRoot, load, vanilla, {}, true);
+    auto bareFuture = ex.submit([&origTiers, &origRoot, &load,
+                                 &vanilla] {
+        return runFaulted(origTiers, origRoot, load, vanilla, {},
+                          false);
+    });
+    auto emptyFuture = ex.submit([&origTiers, &origRoot, &load,
+                                  &vanilla] {
+        return runFaulted(origTiers, origRoot, load, vanilla, {},
+                          true);
+    });
+    const FaultRunResult bare = ex.collect(std::move(bareFuture));
+    const FaultRunResult emptyPlan = ex.collect(std::move(emptyFuture));
     const bool zeroCost = bare.sent == emptyPlan.sent &&
         bare.completed == emptyPlan.completed &&
         bare.p50us == emptyPlan.p50us &&
@@ -206,7 +222,7 @@ main()
     // ---- clone the social network ------------------------------------
     std::cout << "cloning social network...\n";
     const core::TopologyCloneResult clone =
-        ditto::bench::cloneSocialNetwork(kSeed);
+        ditto::bench::cloneSocialNetwork(kSeed, &ex);
     workload::LoadSpec cloneLoad =
         ditto::bench::socialCloneLoad(snLoad.mediumQps * 0.6);
     cloneLoad.timeout = load.timeout;
@@ -226,12 +242,25 @@ main()
                               "dtimeout(pp)", "derr(pp)"});
     bool accountingOk = true;
 
+    std::vector<std::function<FaultRunResult()>> tasks;
     for (const Scenario &scenario : scenarios) {
-        const FaultRunResult orig = runFaulted(
-            origTiers, origRoot, load, res, scenario.make(""), true);
-        const FaultRunResult syn = runFaulted(
-            clone.specs, clone.rootClone, cloneLoad, res,
-            scenario.make("_clone"), true);
+        tasks.push_back([&origTiers, &origRoot, &load, &res,
+                         &scenario] {
+            return runFaulted(origTiers, origRoot, load, res,
+                              scenario.make(""), true);
+        });
+        tasks.push_back([&clone, &cloneLoad, &res, &scenario] {
+            return runFaulted(clone.specs, clone.rootClone, cloneLoad,
+                              res, scenario.make("_clone"), true);
+        });
+    }
+    const std::vector<FaultRunResult> runs =
+        ex.runOrdered<FaultRunResult>(std::move(tasks));
+
+    std::size_t runIdx = 0;
+    for (const Scenario &scenario : scenarios) {
+        const FaultRunResult &orig = runs[runIdx++];
+        const FaultRunResult &syn = runs[runIdx++];
         accountingOk = accountingOk && orig.accounted && syn.accounted;
 
         auto addRow = [&](const char *tag, const FaultRunResult &r) {

@@ -5,8 +5,13 @@
  * hyperthread (same physical core), L1d, L2 (SMT sibling), LLC
  * (shared socket), and network bandwidth (iperf3-style) -- and must
  * degrade the same way (IPC, p99, per-level miss rates).
+ *
+ * Every (stress case x {actual, synthetic}) run builds its own
+ * deployment, so the twelve runs fan out on the RunExecutor and join
+ * in submission order.
  */
 
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -67,14 +72,16 @@ runWithStress(const app::ServiceSpec &spec,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRuntime rt(argc, argv, "bench_fig10");
+    sim::RunExecutor &ex = rt.executor();
     const AppCase nginx{"NGINX", apps::nginxSpec(), apps::nginxLoad()};
     const workload::LoadSpec load =
         nginx.load.at(nginx.load.mediumQps);
 
     std::cout << "Cloning NGINX (profiled in isolation)...\n";
-    const core::CloneResult clone = cloneSingleTier(nginx, true);
+    const core::CloneResult clone = cloneSingleTier(nginx, true, 79, &ex);
     const workload::LoadSpec cloneLoad = core::cloneLoadSpec(load);
 
     const StressCase cases[] = {
@@ -90,14 +97,26 @@ main()
         std::cout,
         "Fig. 10: interference impact on NGINX (actual vs synthetic)");
 
+    std::vector<std::function<RunResult()>> tasks;
+    for (const StressCase &sc : cases) {
+        tasks.push_back([&nginx, &load, &sc] {
+            return runWithStress(nginx.spec, load, sc);
+        });
+        tasks.push_back([&clone, &cloneLoad, &sc] {
+            return runWithStress(clone.spec, cloneLoad, sc);
+        });
+    }
+    const std::vector<RunResult> runs =
+        ex.runOrdered<RunResult>(std::move(tasks));
+
     stats::TablePrinter table({"stress", "", "IPC", "p99 (ms)",
                                "L1i miss", "L1d miss", "L2 miss",
                                "LLC miss"});
+    std::size_t runIdx = 0;
     for (const StressCase &sc : cases) {
         std::cout << "  " << sc.name << "...\n";
-        const RunResult orig = runWithStress(nginx.spec, load, sc);
-        const RunResult synth =
-            runWithStress(clone.spec, cloneLoad, sc);
+        const RunResult &orig = runs[runIdx++];
+        const RunResult &synth = runs[runIdx++];
         auto add = [&](const char *tag, const profile::PerfReport &r) {
             table.addRow({tag == std::string("A") ? sc.name : "", tag,
                           cell(r.ipc, 3), cell(r.p99LatencyMs, 3),

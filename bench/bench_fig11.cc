@@ -6,8 +6,13 @@
  * the clone must draw the same feasibility frontier as the original,
  * which is what lets a provider evaluate power management without
  * the original's source.
+ *
+ * The 84 grid cells (7 core counts x 6 frequencies x 2 variants) are
+ * independent seeded simulations fanned out on the RunExecutor and
+ * joined in submission order.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -44,14 +49,17 @@ p99At(const app::ServiceSpec &spec, const workload::LoadSpec &load,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRuntime rt(argc, argv, "bench_fig11");
+    sim::RunExecutor &ex = rt.executor();
     const AppCase memcached{"Memcached", apps::memcachedSpec(),
                             apps::memcachedLoad()};
     const workload::LoadSpec load = memcached.load.at(kStudyQps);
 
     std::cout << "Cloning Memcached...\n";
-    const core::CloneResult clone = cloneSingleTier(memcached, true);
+    const core::CloneResult clone =
+        cloneSingleTier(memcached, true, 79, &ex);
     const workload::LoadSpec cloneLoad = core::cloneLoadSpec(load);
 
     const unsigned coreGrid[] = {4, 6, 8, 10, 12, 14, 16};
@@ -63,6 +71,28 @@ main()
         "(QoS = 2ms, X = violated), " +
             std::to_string(static_cast<int>(kStudyQps)) + " QPS");
 
+    std::vector<std::function<double()>> tasks;
+    for (const bool synthetic : {false, true}) {
+        for (double ghz : freqGrid) {
+            for (unsigned cores : coreGrid) {
+                if (synthetic) {
+                    tasks.push_back([&clone, &cloneLoad, cores, ghz] {
+                        return p99At(clone.spec, cloneLoad, cores,
+                                     ghz);
+                    });
+                } else {
+                    tasks.push_back([&memcached, &load, cores, ghz] {
+                        return p99At(memcached.spec, load, cores,
+                                     ghz);
+                    });
+                }
+            }
+        }
+    }
+    const std::vector<double> p99s =
+        ex.runOrdered<double>(std::move(tasks));
+
+    std::size_t cellIdx = 0;
     for (const bool synthetic : {false, true}) {
         std::vector<std::string> header{"GHz \\ cores"};
         for (unsigned c : coreGrid)
@@ -71,10 +101,8 @@ main()
         for (double ghz : freqGrid) {
             std::vector<std::string> row{stats::formatDouble(ghz, 1)};
             for (unsigned cores : coreGrid) {
-                const double p99 = synthetic
-                    ? p99At(clone.spec, cloneLoad, cores, ghz)
-                    : p99At(memcached.spec, load, cores, ghz);
-                row.push_back(cellFor(p99));
+                (void)cores;
+                row.push_back(cellFor(p99s[cellIdx++]));
             }
             table.addRow(row);
             std::cout << "  " << (synthetic ? "synthetic" : "actual")

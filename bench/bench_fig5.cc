@@ -8,8 +8,17 @@
  * Clones are generated from a single profiling run at medium load
  * (the paper profiles only medium load); low/high-load behaviour is
  * the clone reacting, not re-profiling.
+ *
+ * Execution is phased for parallelism: every clone, then every
+ * measured run, is an independent seeded simulation fanned out on
+ * the RunExecutor (`--jobs N` / DITTO_JOBS); results are joined in
+ * submission order, so the tables below are byte-identical at any
+ * worker count. The three Social Network runs per load level are
+ * computed once and reused for both reported tiers (identical by
+ * determinism to running them per tier).
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -41,11 +50,19 @@ latencyRow(stats::TablePrinter &table, const std::string &tag,
                       synth.clientLatency.percentile(0.99)), 3)});
 }
 
+struct LoadLevel
+{
+    const char *tag;
+    double qps;
+};
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRuntime rt(argc, argv, "bench_fig5");
+    sim::RunExecutor &ex = rt.executor();
     const hw::PlatformSpec platform = hw::platformA();
     ErrorAccumulator errors;
 
@@ -54,11 +71,78 @@ main()
         "Fig. 5: original vs synthetic under varying load "
         "(Platform A; profiled at medium load only)");
 
-    // ---- the four single-tier applications -----------------------------
-    for (const AppCase &app : singleTierApps()) {
+    // ---- phase 1: clone everything (independent seeded pipelines) ----
+    std::cout << "\nprofiling + cloning the four single-tier apps and "
+                 "the social network...\n";
+    const std::vector<AppCase> apps = singleTierApps();
+
+    auto snFuture =
+        ex.submit([&ex] { return cloneSocialNetwork(80, &ex); });
+    std::vector<std::function<core::CloneResult()>> cloneTasks;
+    for (const AppCase &app : apps) {
+        cloneTasks.push_back(
+            [&app, &ex] { return cloneSingleTier(app, true, 79, &ex); });
+    }
+    const std::vector<core::CloneResult> clones =
+        ex.runOrdered<core::CloneResult>(std::move(cloneTasks));
+    const core::TopologyCloneResult snClone =
+        ex.collect(std::move(snFuture));
+
+    // ---- phase 2: all measured runs -----------------------------------
+    const LoadLevel loads[3] = {{"low", 0}, {"medium", 0}, {"high", 0}};
+    std::vector<std::function<RunResult()>> runTasks;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const AppCase &app = apps[i];
+        const core::CloneResult &clone = clones[i];
+        const double qpsLevels[3] = {app.load.lowQps, app.load.mediumQps,
+                                     app.load.highQps};
+        for (double qps : qpsLevels) {
+            runTasks.push_back([&app, qps, &platform] {
+                return runSingleTier(app.spec, app.load.at(qps),
+                                     platform);
+            });
+            runTasks.push_back([&app, &clone, qps, &platform] {
+                return runSingleTier(
+                    clone.spec, core::cloneLoadSpec(app.load.at(qps)),
+                    platform);
+            });
+        }
+    }
+
+    const auto snLoad = apps::socialNetworkLoad();
+    const LoadLevel snLoads[] = {{"low", snLoad.lowQps},
+                                 {"medium", snLoad.mediumQps},
+                                 {"high", snLoad.highQps}};
+    std::vector<std::function<SnRunResult()>> snTasks;
+    for (const LoadLevel &level : snLoads) {
+        const double qps = level.qps;
+        snTasks.push_back([qps, &snLoad, &platform] {
+            return runSocialNetwork(apps::socialNetworkSpecs(),
+                                    apps::socialNetworkFrontend(),
+                                    snLoad.at(qps), platform);
+        });
+        snTasks.push_back([qps, &snClone, &platform] {
+            return runSocialNetwork(snClone.specs, snClone.rootClone,
+                                    socialCloneLoad(qps), platform);
+        });
+    }
+
+    auto snRunsFuture = ex.submit(
+        [&ex, &snTasks]() -> std::vector<SnRunResult> {
+            return ex.runOrdered<SnRunResult>(std::move(snTasks));
+        });
+    const std::vector<RunResult> runs =
+        ex.runOrdered<RunResult>(std::move(runTasks));
+    const std::vector<SnRunResult> snRuns =
+        ex.collect(std::move(snRunsFuture));
+
+    // ---- phase 3: tables, in the original order -----------------------
+    std::size_t runIdx = 0;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const AppCase &app = apps[i];
+        const core::CloneResult &clone = clones[i];
         std::cout << "\n-- " << app.name
-                  << ": profiling + cloning at medium load...\n";
-        const core::CloneResult clone = cloneSingleTier(app, true);
+                  << ": profiled + cloned at medium load\n";
         std::cout << "   fine tuning: " << clone.tuning.iterations
                   << " iterations, final IPC error "
                   << stats::formatPercent(clone.tuning.finalIpcError,
@@ -71,23 +155,12 @@ main()
             {"load", "actual avg/p95/p99 (ms)",
              "synthetic avg/p95/p99 (ms)"});
 
-        const struct
-        {
-            const char *tag;
-            double qps;
-        } loads[] = {{"low", app.load.lowQps},
-                     {"medium", app.load.mediumQps},
-                     {"high", app.load.highQps}};
-
-        for (const auto &[tag, qps] : loads) {
-            const RunResult orig = runSingleTier(
-                app.spec, app.load.at(qps), platform);
-            const RunResult synth = runSingleTier(
-                clone.spec, core::cloneLoadSpec(app.load.at(qps)),
-                platform);
-            addMetricRows(table, tag, orig.report, synth.report);
+        for (const LoadLevel &level : loads) {
+            const RunResult &orig = runs[runIdx++];
+            const RunResult &synth = runs[runIdx++];
+            addMetricRows(table, level.tag, orig.report, synth.report);
             table.addSeparator();
-            latencyRow(latTable, tag, orig, synth);
+            latencyRow(latTable, level.tag, orig, synth);
             errors.add(orig.report, synth.report);
         }
         stats::printBanner(std::cout, app.name + " (Fig. 5 panel)");
@@ -95,21 +168,8 @@ main()
         latTable.print(std::cout);
     }
 
-    // ---- TextService and SocialGraphService (Social Network tiers) ----
-    std::cout << "\n-- Social Network: profiling + cloning the "
-                 "topology at medium load...\n";
-    const core::TopologyCloneResult snClone = cloneSocialNetwork();
-    std::cout << "   cloned " << snClone.specs.size() << " tiers; root "
-              << snClone.rootClone << "\n";
-
-    const auto snLoad = apps::socialNetworkLoad();
-    const struct
-    {
-        const char *tag;
-        double qps;
-    } snLoads[] = {{"low", snLoad.lowQps},
-                   {"medium", snLoad.mediumQps},
-                   {"high", snLoad.highQps}};
+    std::cout << "\n-- Social Network: cloned " << snClone.specs.size()
+              << " tiers; root " << snClone.rootClone << "\n";
 
     for (const char *tier : {"sn.text", "sn.socialgraph"}) {
         const std::string pretty = std::string(tier) == "sn.text"
@@ -120,21 +180,16 @@ main()
             {"load", "actual avg/p95/p99 (ms)",
              "synthetic avg/p95/p99 (ms)"});
 
-        for (const auto &[tag, qps] : snLoads) {
-            const SnRunResult orig = runSocialNetwork(
-                apps::socialNetworkSpecs(),
-                apps::socialNetworkFrontend(), snLoad.at(qps),
-                platform);
-            const SnRunResult synth = runSocialNetwork(
-                snClone.specs, snClone.rootClone,
-                socialCloneLoad(qps), platform);
+        for (std::size_t l = 0; l < 3; ++l) {
+            const SnRunResult &orig = snRuns[2 * l];
+            const SnRunResult &synth = snRuns[2 * l + 1];
             const auto &o = orig.tiers.at(tier);
             const auto &s = synth.tiers.at(std::string(tier) +
                                            "_clone");
-            addMetricRows(table, tag, o, s);
+            addMetricRows(table, snLoads[l].tag, o, s);
             table.addSeparator();
             latTable.addRow(
-                {tag,
+                {snLoads[l].tag,
                  cell(o.avgLatencyMs, 3) + " / " +
                      cell(o.p95LatencyMs, 3) + " / " +
                      cell(o.p99LatencyMs, 3),

@@ -2,8 +2,13 @@
  * @file
  * Fig. 6: end-to-end Social Network latency (p50/p95/p99) vs QPS,
  * with every microservice replaced by its Ditto clone.
+ *
+ * All (QPS x {original, clone}) runs are independent seeded
+ * simulations executed on the RunExecutor and joined in submission
+ * order: the table is byte-identical at any `--jobs` value.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -12,13 +17,15 @@ using namespace ditto;
 using namespace ditto::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRuntime rt(argc, argv, "bench_fig6");
+    sim::RunExecutor &ex = rt.executor();
     const hw::PlatformSpec platform = hw::platformA();
 
     std::cout << "Cloning the Social Network topology (profiled at "
                  "medium load)...\n";
-    const core::TopologyCloneResult clone = cloneSocialNetwork();
+    const core::TopologyCloneResult clone = cloneSocialNetwork(80, &ex);
     std::cout << "Cloned " << clone.specs.size() << " tiers.\n";
 
     stats::printBanner(
@@ -31,13 +38,28 @@ main()
                                "actual p99", "synth p99"});
 
     const auto load = apps::socialNetworkLoad();
-    for (double qps : {200.0, 500.0, 1000.0, 1500.0, 2000.0, 2400.0}) {
-        const SnRunResult orig = runSocialNetwork(
-            apps::socialNetworkSpecs(), apps::socialNetworkFrontend(),
-            load.at(qps), platform);
-        const SnRunResult synth = runSocialNetwork(
-            clone.specs, clone.rootClone, socialCloneLoad(qps),
-            platform);
+    const double qpsGrid[] = {200.0, 500.0, 1000.0,
+                              1500.0, 2000.0, 2400.0};
+
+    std::vector<std::function<SnRunResult()>> tasks;
+    for (double qps : qpsGrid) {
+        tasks.push_back([qps, &load, &platform] {
+            return runSocialNetwork(apps::socialNetworkSpecs(),
+                                    apps::socialNetworkFrontend(),
+                                    load.at(qps), platform);
+        });
+        tasks.push_back([qps, &clone, &platform] {
+            return runSocialNetwork(clone.specs, clone.rootClone,
+                                    socialCloneLoad(qps), platform);
+        });
+    }
+    const std::vector<SnRunResult> runs =
+        ex.runOrdered<SnRunResult>(std::move(tasks));
+
+    for (std::size_t i = 0; i < std::size(qpsGrid); ++i) {
+        const double qps = qpsGrid[i];
+        const SnRunResult &orig = runs[2 * i];
+        const SnRunResult &synth = runs[2 * i + 1];
         auto ms = [](const stats::LatencyHistogram &h, double q) {
             return cell(sim::toMilliseconds(h.percentile(q)), 2);
         };

@@ -5,8 +5,14 @@
  * Platforms A, B and C at medium load, next to the original. The
  * clone must react to the platform change (smaller L2, older core,
  * HDD vs SSD, 1Gbe vs 10Gbe) the same way the original does.
+ *
+ * Clones, then all (app x platform x variant) runs, fan out on the
+ * RunExecutor; joined in submission order, so output is identical at
+ * any `--jobs` value. The Social Network runs per platform are
+ * computed once and reused for both reported tiers.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -15,8 +21,10 @@ using namespace ditto;
 using namespace ditto::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRuntime rt(argc, argv, "bench_fig7");
+    sim::RunExecutor &ex = rt.executor();
     const hw::PlatformSpec platforms[] = {
         hw::platformA(), hw::platformB(), hw::platformC()};
     ErrorAccumulator errors;
@@ -26,22 +34,79 @@ main()
         "Fig. 7: cross-platform validation (profiled on A only, "
         "medium load)");
 
-    for (const AppCase &app : singleTierApps()) {
-        std::cout << "\n-- " << app.name << ": cloning on A...\n";
-        const core::CloneResult clone = cloneSingleTier(app, true);
+    // ---- phase 1: clone everything on Platform A ----------------------
+    std::cout << "\ncloning the four single-tier apps and the social "
+                 "network on A...\n";
+    const std::vector<AppCase> apps = singleTierApps();
+    auto snFuture =
+        ex.submit([&ex] { return cloneSocialNetwork(80, &ex); });
+    std::vector<std::function<core::CloneResult()>> cloneTasks;
+    for (const AppCase &app : apps) {
+        cloneTasks.push_back(
+            [&app, &ex] { return cloneSingleTier(app, true, 79, &ex); });
+    }
+    const std::vector<core::CloneResult> clones =
+        ex.runOrdered<core::CloneResult>(std::move(cloneTasks));
+    const core::TopologyCloneResult snClone =
+        ex.collect(std::move(snFuture));
 
+    // ---- phase 2: every measured run ----------------------------------
+    std::vector<std::function<RunResult()>> runTasks;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const AppCase &app = apps[i];
+        const core::CloneResult &clone = clones[i];
+        for (const hw::PlatformSpec &platform : platforms) {
+            runTasks.push_back([&app, &platform] {
+                return runSingleTier(app.spec,
+                                     app.load.at(app.load.mediumQps),
+                                     platform);
+            });
+            runTasks.push_back([&app, &clone, &platform] {
+                return runSingleTier(
+                    clone.spec,
+                    core::cloneLoadSpec(app.load.at(app.load.mediumQps)),
+                    platform);
+            });
+        }
+    }
+
+    const auto snLoad = apps::socialNetworkLoad();
+    std::vector<std::function<SnRunResult()>> snTasks;
+    for (const hw::PlatformSpec &platform : platforms) {
+        snTasks.push_back([&snLoad, &platform] {
+            return runSocialNetwork(apps::socialNetworkSpecs(),
+                                    apps::socialNetworkFrontend(),
+                                    snLoad.at(snLoad.mediumQps),
+                                    platform);
+        });
+        snTasks.push_back([&snClone, &snLoad, &platform] {
+            return runSocialNetwork(snClone.specs, snClone.rootClone,
+                                    socialCloneLoad(snLoad.mediumQps),
+                                    platform);
+        });
+    }
+
+    auto snRunsFuture = ex.submit(
+        [&ex, &snTasks]() -> std::vector<SnRunResult> {
+            return ex.runOrdered<SnRunResult>(std::move(snTasks));
+        });
+    const std::vector<RunResult> runs =
+        ex.runOrdered<RunResult>(std::move(runTasks));
+    const std::vector<SnRunResult> snRuns =
+        ex.collect(std::move(snRunsFuture));
+
+    // ---- phase 3: tables ----------------------------------------------
+    std::size_t runIdx = 0;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const AppCase &app = apps[i];
         stats::TablePrinter table(
             {"platform", "metric", "actual", "synthetic", "err"});
         stats::TablePrinter latTable(
             {"platform", "actual avg/p99 (ms)", "synth avg/p99 (ms)"});
 
-        for (const auto &platform : platforms) {
-            const RunResult orig = runSingleTier(
-                app.spec, app.load.at(app.load.mediumQps), platform);
-            const RunResult synth = runSingleTier(
-                clone.spec,
-                core::cloneLoadSpec(app.load.at(app.load.mediumQps)),
-                platform);
+        for (const hw::PlatformSpec &platform : platforms) {
+            const RunResult &orig = runs[runIdx++];
+            const RunResult &synth = runs[runIdx++];
             addMetricRows(table, platform.name, orig.report,
                           synth.report);
             table.addSeparator();
@@ -58,28 +123,18 @@ main()
         latTable.print(std::cout);
     }
 
-    // Social Network tiers across platforms.
-    std::cout << "\n-- Social Network: cloning on A...\n";
-    const core::TopologyCloneResult snClone = cloneSocialNetwork();
-    const auto snLoad = apps::socialNetworkLoad();
-
     for (const char *tier : {"sn.text", "sn.socialgraph"}) {
         const std::string pretty = std::string(tier) == "sn.text"
             ? "TextService" : "SocialGraphService";
         stats::TablePrinter table(
             {"platform", "metric", "actual", "synthetic", "err"});
-        for (const auto &platform : platforms) {
-            const SnRunResult orig = runSocialNetwork(
-                apps::socialNetworkSpecs(),
-                apps::socialNetworkFrontend(),
-                snLoad.at(snLoad.mediumQps), platform);
-            const SnRunResult synth = runSocialNetwork(
-                snClone.specs, snClone.rootClone,
-                socialCloneLoad(snLoad.mediumQps), platform);
+        for (std::size_t p = 0; p < std::size(platforms); ++p) {
+            const SnRunResult &orig = snRuns[2 * p];
+            const SnRunResult &synth = snRuns[2 * p + 1];
             const auto &o = orig.tiers.at(tier);
             const auto &s =
                 synth.tiers.at(std::string(tier) + "_clone");
-            addMetricRows(table, platform.name, o, s);
+            addMetricRows(table, platforms[p].name, o, s);
             table.addSeparator();
             errors.add(o, s);
         }

@@ -3,8 +3,12 @@
  * Fig. 8: top-down CPI breakdown (retiring / frontend / bad
  * speculation / backend), actual vs synthetic, for all six services
  * at medium load on Platform A.
+ *
+ * Clones and measured runs fan out on the RunExecutor and join in
+ * submission order (byte-identical tables at any `--jobs` value).
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -28,8 +32,10 @@ addBreakdownRows(stats::TablePrinter &table, const std::string &name,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRuntime rt(argc, argv, "bench_fig8");
+    sim::RunExecutor &ex = rt.executor();
     const hw::PlatformSpec platform = hw::platformA();
 
     stats::printBanner(
@@ -37,32 +43,61 @@ main()
         "Fig. 8: top-down cycles breakdown, actual (A) vs "
         "synthetic (S), medium load");
 
-    stats::TablePrinter table({"service", "", "CPI", "retiring",
-                               "front-end", "bad spec", "back-end"});
+    std::cout << "cloning the four single-tier apps and the social "
+                 "network...\n";
+    const std::vector<AppCase> apps = singleTierApps();
+    auto snFuture =
+        ex.submit([&ex] { return cloneSocialNetwork(80, &ex); });
+    std::vector<std::function<core::CloneResult()>> cloneTasks;
+    for (const AppCase &app : apps) {
+        cloneTasks.push_back(
+            [&app, &ex] { return cloneSingleTier(app, true, 79, &ex); });
+    }
+    const std::vector<core::CloneResult> clones =
+        ex.runOrdered<core::CloneResult>(std::move(cloneTasks));
+    const core::TopologyCloneResult snClone =
+        ex.collect(std::move(snFuture));
 
-    for (const AppCase &app : singleTierApps()) {
-        std::cout << "-- " << app.name << "...\n";
-        const core::CloneResult clone = cloneSingleTier(app, true);
-        const RunResult orig = runSingleTier(
-            app.spec, app.load.at(app.load.mediumQps), platform);
-        const RunResult synth = runSingleTier(
-            clone.spec,
-            core::cloneLoadSpec(app.load.at(app.load.mediumQps)),
-            platform);
-        addBreakdownRows(table, app.name, orig.report, "A");
-        addBreakdownRows(table, "", synth.report, "S");
-        table.addSeparator();
+    const auto snLoad = apps::socialNetworkLoad();
+    std::vector<std::function<RunResult()>> runTasks;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const AppCase &app = apps[i];
+        const core::CloneResult &clone = clones[i];
+        runTasks.push_back([&app, &platform] {
+            return runSingleTier(app.spec,
+                                 app.load.at(app.load.mediumQps),
+                                 platform);
+        });
+        runTasks.push_back([&app, &clone, &platform] {
+            return runSingleTier(
+                clone.spec,
+                core::cloneLoadSpec(app.load.at(app.load.mediumQps)),
+                platform);
+        });
     }
 
-    std::cout << "-- Social Network tiers...\n";
-    const core::TopologyCloneResult snClone = cloneSocialNetwork();
-    const auto snLoad = apps::socialNetworkLoad();
-    const SnRunResult orig = runSocialNetwork(
-        apps::socialNetworkSpecs(), apps::socialNetworkFrontend(),
-        snLoad.at(snLoad.mediumQps), platform);
-    const SnRunResult synth = runSocialNetwork(
-        snClone.specs, snClone.rootClone,
-        socialCloneLoad(snLoad.mediumQps), platform);
+    auto snOrigFuture = ex.submit([&snLoad, &platform] {
+        return runSocialNetwork(apps::socialNetworkSpecs(),
+                                apps::socialNetworkFrontend(),
+                                snLoad.at(snLoad.mediumQps), platform);
+    });
+    auto snSynthFuture = ex.submit([&snClone, &snLoad, &platform] {
+        return runSocialNetwork(snClone.specs, snClone.rootClone,
+                                socialCloneLoad(snLoad.mediumQps),
+                                platform);
+    });
+    const std::vector<RunResult> runs =
+        ex.runOrdered<RunResult>(std::move(runTasks));
+    const SnRunResult orig = ex.collect(std::move(snOrigFuture));
+    const SnRunResult synth = ex.collect(std::move(snSynthFuture));
+
+    stats::TablePrinter table({"service", "", "CPI", "retiring",
+                               "front-end", "bad spec", "back-end"});
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        addBreakdownRows(table, apps[i].name, runs[2 * i].report, "A");
+        addBreakdownRows(table, "", runs[2 * i + 1].report, "S");
+        table.addSeparator();
+    }
     for (const char *tier : {"sn.text", "sn.socialgraph"}) {
         const std::string pretty = std::string(tier) == "sn.text"
             ? "TextService" : "SocialGraphService";

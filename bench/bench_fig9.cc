@@ -9,6 +9,7 @@
  * instructions, cycles, p99 latency vs the original's targets.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -17,8 +18,10 @@ using namespace ditto;
 using namespace ditto::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchRuntime rt(argc, argv, "bench_fig9");
+    sim::RunExecutor &ex = rt.executor();
     const hw::PlatformSpec platform = hw::platformA();
     const AppCase mongo{"MongoDB", apps::mongodbSpec(),
                         apps::mongodbLoad()};
@@ -41,22 +44,16 @@ main()
     core::CloneResult base =
         core::cloneService(dep, svc, load, platform, opts);
 
-    // ---- target numbers from the original -------------------------------
-    const RunResult target = runSingleTier(mongo.spec, load, platform);
+    // ---- target + per-stage runs, fanned out in parallel ---------------
+    auto targetFuture = ex.submit([&mongo, &load, &platform] {
+        return runSingleTier(mongo.spec, load, platform);
+    });
     const double reqs = 1.0;  // per-request metrics below
 
     stats::printBanner(
         std::cout,
         "Fig. 9: accuracy evolution for MongoDB as generator stages "
         "are enabled");
-
-    stats::TablePrinter table(
-        {"stage", "IPC", "insts/req", "cycles/req", "p99 (ms)"});
-    table.addRow({"target (actual)", cell(target.report.ipc, 3),
-                  cell(target.report.instructionsPerRequest / reqs, 0),
-                  cell(target.report.cyclesPerRequest, 0),
-                  cell(target.report.p99LatencyMs, 3)});
-    table.addSeparator();
 
     const std::map<std::string, std::string> nameMap = {
         {"mongodb", "mongodb_clone"}};
@@ -72,20 +69,41 @@ main()
         {'G', "G:D-mem"}, {'H', "H:Data dep."},
     };
 
-    core::GenerationConfig lastCfg;
+    // Each stage regenerates + measures its own clone in an
+    // independent seeded deployment: fan them all out, join in
+    // submission order.
+    std::vector<std::function<RunResult()>> stageTasks;
     for (const auto &[stage, label] : stages) {
-        const core::GenerationConfig cfg =
-            core::GenerationConfig::stage(stage);
-        lastCfg = cfg;
-        const app::ServiceSpec spec = core::generateClone(
-            base.profile, base.skeleton, {}, nameMap, cfg);
-        const RunResult run =
-            runSingleTier(spec, cloneLoad, platform);
-        table.addRow({label, cell(run.report.ipc, 3),
+        const char st = stage;
+        stageTasks.push_back([st, &base, &nameMap, &cloneLoad,
+                              &platform] {
+            const app::ServiceSpec spec = core::generateClone(
+                base.profile, base.skeleton, {}, nameMap,
+                core::GenerationConfig::stage(st));
+            return runSingleTier(spec, cloneLoad, platform);
+        });
+    }
+    const std::vector<RunResult> stageRuns =
+        ex.runOrdered<RunResult>(std::move(stageTasks));
+    const RunResult target = ex.collect(std::move(targetFuture));
+
+    stats::TablePrinter table(
+        {"stage", "IPC", "insts/req", "cycles/req", "p99 (ms)"});
+    table.addRow({"target (actual)", cell(target.report.ipc, 3),
+                  cell(target.report.instructionsPerRequest / reqs, 0),
+                  cell(target.report.cyclesPerRequest, 0),
+                  cell(target.report.p99LatencyMs, 3)});
+    table.addSeparator();
+
+    const core::GenerationConfig lastCfg =
+        core::GenerationConfig::stage('H');
+    for (std::size_t i = 0; i < std::size(stages); ++i) {
+        const RunResult &run = stageRuns[i];
+        table.addRow({stages[i].label, cell(run.report.ipc, 3),
                       cell(run.report.instructionsPerRequest, 0),
                       cell(run.report.cyclesPerRequest, 0),
                       cell(run.report.p99LatencyMs, 3)});
-        std::cout << "  " << label << " done\n";
+        std::cout << "  " << stages[i].label << " done\n";
     }
 
     // ---- I: fine tuning --------------------------------------------------
@@ -99,8 +117,12 @@ main()
                           sim::milliseconds(200));
         return run.report;
     };
+    core::TuneOptions tuneOpts;
+    tuneOpts.maxIterations = 10;
+    tuneOpts.tolerance = 0.05;
+    tuneOpts.executor = &ex;
     const core::TuneResult tuned = core::fineTune(
-        base.profile.reference, lastCfg, runner, 10, 0.05);
+        base.profile.reference, lastCfg, runner, tuneOpts);
     const app::ServiceSpec tunedSpec = core::generateClone(
         base.profile, base.skeleton, {}, nameMap, tuned.config);
     const RunResult tunedRun =

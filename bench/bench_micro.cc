@@ -9,12 +9,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <vector>
+
 #include "app/deployment.h"
 #include "hw/block_builder.h"
 #include "hw/cpu_core.h"
 #include "hw/platform.h"
 #include "profile/stack_distance.h"
 #include "sim/event_queue.h"
+#include "sim/run_executor.h"
 #include "workload/loadgen.h"
 
 using namespace ditto;
@@ -31,6 +35,76 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_EventQueueCancelHeavy(benchmark::State &state)
+{
+    // RPC-deadline shape: N timeouts pending far in the future while
+    // every one of them is cancelled (the request "completed").
+    // Cancellation is O(1) tombstoning, so per-item cost must stay
+    // flat as the pending population grows (used to be an O(n) scan,
+    // i.e. O(n^2) for the loop below).
+    const auto pending = static_cast<int>(state.range(0));
+    std::vector<sim::EventId> ids(
+        static_cast<std::size_t>(pending));
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::EventQueue q;
+        for (int i = 0; i < pending; ++i)
+            ids[static_cast<std::size_t>(i)] = q.scheduleAt(
+                static_cast<sim::Time>(1000000 + i), [] {});
+        state.ResumeTiming();
+        for (int i = 0; i < pending; ++i)
+            benchmark::DoNotOptimize(
+                q.cancel(ids[static_cast<std::size_t>(i)]));
+    }
+    state.SetItemsProcessed(state.iterations() * pending);
+    state.SetComplexityN(pending);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Complexity(benchmark::oN);
+
+static void
+BM_EventQueueTimeoutPattern(benchmark::State &state)
+{
+    // Mixed steady-state: each simulated request schedules completion
+    // plus a timeout, the completion fires and cancels the timeout --
+    // the dominant schedule/cancel pattern of the RPC layer.
+    for (auto _ : state) {
+        sim::EventQueue q;
+        for (int i = 0; i < 1000; ++i) {
+            const auto now = static_cast<sim::Time>(i * 3);
+            const sim::EventId timeout = q.scheduleAt(
+                now + 5000, [] {});
+            q.scheduleAt(now + 2, [&q, timeout] {
+                q.cancel(timeout);
+            });
+        }
+        benchmark::DoNotOptimize(q.runAll());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueTimeoutPattern);
+
+static void
+BM_RunExecutorDispatch(benchmark::State &state)
+{
+    // Pure submit/join overhead per (trivial) run, serial vs pooled.
+    sim::RunExecutor ex(static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        std::vector<std::function<int()>> tasks;
+        tasks.reserve(64);
+        for (int i = 0; i < 64; ++i)
+            tasks.push_back([i] { return i; });
+        benchmark::DoNotOptimize(
+            ex.runOrdered<int>(std::move(tasks)));
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+    state.SetLabel("jobs=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_RunExecutorDispatch)->Arg(1)->Arg(4);
 
 static void
 BM_CacheAccess(benchmark::State &state)

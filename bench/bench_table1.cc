@@ -7,13 +7,16 @@
 
 #include <iostream>
 
+#include "bench/bench_common.h"
 #include "hw/platform.h"
 #include "stats/table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ditto;
+
+    bench::BenchRuntime rt(argc, argv, "bench_table1");
 
     stats::printBanner(std::cout,
                        "Table 1: Server platform specifications");

@@ -72,9 +72,12 @@ cloneService(app::Deployment &dep, app::ServiceInstance &svc,
                                 opts.tuneWarmup, opts.tuneWindow,
                                 dep.seed() ^ 0x745e5eedull);
         };
+        TuneOptions tuneOpts;
+        tuneOpts.maxIterations = opts.maxTuneIterations;
+        tuneOpts.tolerance = opts.tuneTolerance;
+        tuneOpts.executor = opts.executor;
         result.tuning = fineTune(result.profile.reference, opts.gen,
-                                 runner, opts.maxTuneIterations,
-                                 opts.tuneTolerance);
+                                 runner, tuneOpts);
         result.config = result.tuning.config;
     }
 
@@ -137,9 +140,12 @@ cloneTopology(app::Deployment &dep,
                                         opts.tuneWindow,
                                         dep.seed() ^ 0x7e57e4);
                 };
+            TuneOptions tuneOpts;
+            tuneOpts.maxIterations = opts.maxTuneIterations;
+            tuneOpts.tolerance = opts.tuneTolerance;
+            tuneOpts.executor = opts.executor;
             clone.tuning = fineTune(clone.profile.reference, opts.gen,
-                                    runner, opts.maxTuneIterations,
-                                    opts.tuneTolerance);
+                                    runner, tuneOpts);
             clone.config = clone.tuning.config;
         }
         result.perService.emplace(tier, std::move(clone));

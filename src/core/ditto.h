@@ -42,6 +42,12 @@ struct CloneOptions
     /** Warm/measure windows for fine-tuning sandbox runs. */
     sim::Time tuneWarmup = sim::milliseconds(150);
     sim::Time tuneWindow = sim::milliseconds(250);
+    /**
+     * Optional executor for concurrent fine-tune candidate
+     * evaluation (see TuneOptions::executor). Results are identical
+     * at any worker count; only wall-clock time changes.
+     */
+    sim::RunExecutor *executor = nullptr;
 };
 
 /** Everything produced while cloning one service. */

@@ -11,6 +11,13 @@
  *                         paper notes these must be tuned jointly)
  *   - dmemTailScale    <- L1d/L2/LLC miss rates
  *   - chaseScale       <- residual IPC error (MLP)
+ *
+ * With a RunExecutor attached, each iteration proposes a *fixed* set
+ * of candidate step sizes for the grouped-knob update (damped /
+ * nominal / aggressive), evaluates them concurrently, and picks the
+ * winner deterministically (lowest max error; ties break toward the
+ * nominal step). The candidate set never depends on the worker
+ * count, so tuning with 8 jobs is bit-identical to 1 job.
  */
 
 #ifndef DITTO_CORE_FINE_TUNER_H_
@@ -22,10 +29,11 @@
 #include "core/body_generator.h"
 #include "profile/perf_report.h"
 #include "profile/profile_data.h"
+#include "sim/run_executor.h"
 
 namespace ditto::core {
 
-/** One tuning iteration's observed errors. */
+/** One tuning iteration's observed errors (the winning candidate). */
 struct TuneStep
 {
     profile::PerfReport report;
@@ -47,10 +55,33 @@ struct TuneResult
 using CloneRunner =
     std::function<profile::PerfReport(const GenerationConfig &)>;
 
+/** Knobs of the tuning loop itself. */
+struct TuneOptions
+{
+    unsigned maxIterations = 10;
+    double tolerance = 0.05;
+    /**
+     * When set, each iteration evaluates `fanout` candidate step
+     * sizes concurrently on the executor (the CloneRunner must be
+     * safe to invoke from several threads; runners that deploy
+     * candidates in fresh sandbox deployments are). When null, the
+     * classic one-candidate-per-iteration loop runs inline.
+     */
+    sim::RunExecutor *executor = nullptr;
+    /** Candidate step sizes per iteration (clamped to [1, 3]). */
+    unsigned fanout = 3;
+};
+
 /**
  * Iterate generator configs until the clone's counters match the
- * profiled reference within `tolerance`, or `maxIterations` passes.
+ * profiled reference within tolerance, or maxIterations passes.
+ * `iterations` counts loop iterations, not runner invocations.
  */
+TuneResult fineTune(const profile::ReferenceCounters &target,
+                    const GenerationConfig &initial,
+                    const CloneRunner &run, const TuneOptions &opts);
+
+/** Convenience overload for the serial single-candidate loop. */
 TuneResult fineTune(const profile::ReferenceCounters &target,
                     const GenerationConfig &initial,
                     const CloneRunner &run,

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * InlineCallback: a move-only `void()` callable with small-buffer
+ * storage, used for event-queue callbacks.
+ *
+ * std::function's inline buffer (16 bytes on common ABIs) is too
+ * small for the typical simulator callback, which captures `this`
+ * plus two or three words of arguments, so nearly every scheduled
+ * event used to heap-allocate. InlineCallback stores callables up to
+ * kInlineBytes in place; only outsized captures fall back to the
+ * heap. Combined with EventQueue's pooled entries this removes the
+ * per-event allocation from the simulation hot path.
+ */
+
+#ifndef DITTO_SIM_CALLBACK_H_
+#define DITTO_SIM_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ditto::sim {
+
+class InlineCallback
+{
+  public:
+    /** Captures up to this many bytes are stored without allocating. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    InlineCallback() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineCallback(F &&f)  // NOLINT: implicit, like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &InlineImpl<Fn>::ops;
+        } else {
+            heap_ = new Fn(std::forward<F>(f));
+            ops_ = &HeapImpl<Fn>::ops;
+        }
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept
+    {
+        if (other.ops_)
+            other.ops_->relocate(other, *this);
+    }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            if (other.ops_)
+                other.ops_->relocate(other, *this);
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        ops_->invoke(*this);
+    }
+
+    /** Destroy the held callable, if any. */
+    void
+    reset() noexcept
+    {
+        if (ops_)
+            ops_->destroy(*this);
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(InlineCallback &);
+        void (*relocate)(InlineCallback &src,
+                         InlineCallback &dst) noexcept;
+        void (*destroy)(InlineCallback &) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        // Relocate is noexcept, so inline storage additionally
+        // requires a nothrow move constructor.
+        return sizeof(Fn) <= kInlineBytes &&
+            alignof(Fn) <= alignof(std::max_align_t) &&
+            std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    struct InlineImpl
+    {
+        static Fn &
+        get(InlineCallback &c)
+        {
+            return *std::launder(reinterpret_cast<Fn *>(c.buf_));
+        }
+
+        static void
+        invoke(InlineCallback &c)
+        {
+            get(c)();
+        }
+
+        static void
+        relocate(InlineCallback &src, InlineCallback &dst) noexcept
+        {
+            ::new (static_cast<void *>(dst.buf_))
+                Fn(std::move(get(src)));
+            get(src).~Fn();
+            dst.ops_ = src.ops_;
+            src.ops_ = nullptr;
+        }
+
+        static void
+        destroy(InlineCallback &c) noexcept
+        {
+            get(c).~Fn();
+            c.ops_ = nullptr;
+        }
+
+        static constexpr Ops ops{&invoke, &relocate, &destroy};
+    };
+
+    template <typename Fn>
+    struct HeapImpl
+    {
+        static void
+        invoke(InlineCallback &c)
+        {
+            (*static_cast<Fn *>(c.heap_))();
+        }
+
+        static void
+        relocate(InlineCallback &src, InlineCallback &dst) noexcept
+        {
+            dst.heap_ = src.heap_;
+            dst.ops_ = src.ops_;
+            src.heap_ = nullptr;
+            src.ops_ = nullptr;
+        }
+
+        static void
+        destroy(InlineCallback &c) noexcept
+        {
+            delete static_cast<Fn *>(c.heap_);
+            c.heap_ = nullptr;
+            c.ops_ = nullptr;
+        }
+
+        static constexpr Ops ops{&invoke, &relocate, &destroy};
+    };
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    void *heap_ = nullptr;
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace ditto::sim
+
+#endif // DITTO_SIM_CALLBACK_H_

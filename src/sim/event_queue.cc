@@ -10,8 +10,24 @@ EventQueue::scheduleAt(Time when, Callback cb)
 {
     assert(cb && "scheduling a null callback");
     const Time effective = std::max(when, now_);
-    const EventId id = nextId_++;
-    heap_.push(Entry{effective, id, std::move(cb)});
+
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        assert(slots_.size() < kSlotMask && "too many pending events");
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+
+    Slot &s = slots_[slot];
+    s.seq = nextSeq_++;
+    s.pending = true;
+    s.cb = std::move(cb);
+
+    const EventId id = (s.seq << kSlotBits) | slot;
+    heap_.push(HeapItem{effective, id});
     ++liveEvents_;
     return id;
 }
@@ -25,55 +41,51 @@ EventQueue::scheduleAfter(Time delay, Callback cb)
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id == 0 || id >= nextId_)
+    const std::uint32_t slot = static_cast<std::uint32_t>(id & kSlotMask);
+    if (slot >= slots_.size())
         return false;
-    if (isCancelled(id))
-        return false;
-    // Lazy deletion: remember the id; skip it when popped. We cannot
-    // cheaply verify membership in the heap, so only count live events
-    // down when the entry is actually skipped in runOne().
-    cancelled_.push_back(id);
-    std::push_heap(cancelled_.begin(), cancelled_.end(),
-                   std::greater<>());
+    Slot &s = slots_[slot];
+    if (!s.pending || s.seq != (id >> kSlotBits))
+        return false;  // already fired, already cancelled, or bogus id
+    s.pending = false;
+    s.cb.reset();  // release captured resources immediately
+    freeSlots_.push_back(slot);
+    --liveEvents_;
+    // The heap still holds a stale item for this id; it is skipped
+    // (sequence mismatch / non-pending slot) when it reaches the top.
     return true;
 }
 
 bool
-EventQueue::isCancelled(EventId id) const
+EventQueue::isLive(EventId id) const
 {
-    return std::find(cancelled_.begin(), cancelled_.end(), id) !=
-        cancelled_.end();
-}
-
-void
-EventQueue::dropCancelled(EventId id)
-{
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-    if (it != cancelled_.end()) {
-        cancelled_.erase(it);
-        std::make_heap(cancelled_.begin(), cancelled_.end(),
-                       std::greater<>());
-    }
+    const std::uint32_t slot = static_cast<std::uint32_t>(id & kSlotMask);
+    const Slot &s = slots_[slot];
+    return s.pending && s.seq == (id >> kSlotBits);
 }
 
 bool
 EventQueue::runOne()
 {
     while (!heap_.empty()) {
-        // priority_queue::top() is const; we need to move the callback
-        // out, so copy the POD bits and pop first.
-        Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+        const HeapItem item = heap_.top();
         heap_.pop();
-        if (isCancelled(entry.id)) {
-            dropCancelled(entry.id);
-            --liveEvents_;
-            continue;
-        }
-        assert(entry.when >= now_ && "time went backwards");
-        now_ = entry.when;
+        if (!isLive(item.id))
+            continue;  // cancelled: drop the stale item
+        const std::uint32_t slot =
+            static_cast<std::uint32_t>(item.id & kSlotMask);
+        assert(item.when >= now_ && "time went backwards");
+        now_ = item.when;
+
+        // Move the callback out and free the slot *before* invoking:
+        // the callback may schedule new events, which can recycle the
+        // slot or grow the pool.
+        Callback cb = std::move(slots_[slot].cb);
+        slots_[slot].pending = false;
+        freeSlots_.push_back(slot);
         --liveEvents_;
         ++executed_;
-        entry.cb();
+        cb();
         return true;
     }
     return false;
@@ -84,11 +96,9 @@ EventQueue::runUntil(Time limit)
 {
     std::uint64_t count = 0;
     while (!heap_.empty()) {
-        // Peek through cancelled entries to find the next live event.
-        if (isCancelled(heap_.top().id)) {
-            dropCancelled(heap_.top().id);
+        // Drop stale (cancelled) items so top() is the next live event.
+        if (!isLive(heap_.top().id)) {
             heap_.pop();
-            --liveEvents_;
             continue;
         }
         if (heap_.top().when > limit)

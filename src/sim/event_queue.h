@@ -5,21 +5,33 @@
  * Events scheduled at the same timestamp fire in insertion order
  * (stable FIFO tie-break via a monotonically increasing sequence
  * number), which keeps simulations deterministic.
+ *
+ * Hot-path design: the binary heap holds only 16-byte POD items
+ * (timestamp + packed id); callbacks live in a recycled slot pool
+ * indexed by the low bits of the id. Cancellation just invalidates
+ * the slot in O(1) -- the stale heap item is recognised (sequence
+ * mismatch or non-pending slot) and skipped when it surfaces. Slot
+ * reuse is ABA-safe because the sequence number in the id's high
+ * bits is never reused.
  */
 
 #ifndef DITTO_SIM_EVENT_QUEUE_H_
 #define DITTO_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace ditto::sim {
 
-/** Opaque handle used to cancel a scheduled event. */
+/**
+ * Opaque handle used to cancel a scheduled event.
+ * Packs (sequence << kSlotBits | slot); sequence order == schedule
+ * order, so comparing ids preserves the FIFO tie-break.
+ */
 using EventId = std::uint64_t;
 
 /**
@@ -31,7 +43,7 @@ using EventId = std::uint64_t;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -47,8 +59,9 @@ class EventQueue
     EventId scheduleAfter(Time delay, Callback cb);
 
     /**
-     * Cancel a previously scheduled event.
-     * @retval true if the event was pending and is now cancelled.
+     * Cancel a previously scheduled event. O(1).
+     * @retval true if the event was pending and is now cancelled;
+     *         false for ids that already fired or were cancelled.
      */
     bool cancel(EventId id);
 
@@ -78,30 +91,45 @@ class EventQueue
     std::uint64_t executedCount() const { return executed_; }
 
   private:
-    struct Entry
+    /** Low bits of an EventId address the slot pool (<= 16M pending). */
+    static constexpr unsigned kSlotBits = 24;
+    static constexpr std::uint64_t kSlotMask =
+        (std::uint64_t{1} << kSlotBits) - 1;
+
+    struct HeapItem
     {
         Time when;
         EventId id;
-        Callback cb;
 
         bool
-        operator>(const Entry &other) const
+        operator>(const HeapItem &other) const
         {
             if (when != other.when)
                 return when > other.when;
-            return id > other.id;
+            return id > other.id;  // sequence dominates -> FIFO
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    std::vector<EventId> cancelled_;
+    /** Pooled callback storage; recycled via freeSlots_. */
+    struct Slot
+    {
+        Callback cb;
+        std::uint64_t seq = 0;
+        bool pending = false;
+    };
+
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<>>
+        heap_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
     Time now_ = 0;
-    EventId nextId_ = 1;
+    std::uint64_t nextSeq_ = 1;
     std::size_t liveEvents_ = 0;
     std::uint64_t executed_ = 0;
 
-    bool isCancelled(EventId id) const;
-    void dropCancelled(EventId id);
+    /** True when the heap item still references a live slot. */
+    bool isLive(EventId id) const;
 };
 
 } // namespace ditto::sim

@@ -1,0 +1,112 @@
+#include "sim/run_executor.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace ditto::sim {
+
+namespace {
+
+/** Parse a positive integer; 0 on anything else. */
+unsigned
+parseJobs(const char *text)
+{
+    if (!text || !*text)
+        return 0;
+    char *end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || value <= 0 || value > 4096)
+        return 0;
+    return static_cast<unsigned>(value);
+}
+
+} // namespace
+
+unsigned
+RunExecutor::defaultJobs()
+{
+    if (const unsigned env = parseJobs(std::getenv("DITTO_JOBS")))
+        return env;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+unsigned
+RunExecutor::jobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            if (const unsigned n = parseJobs(argv[i + 1]))
+                return n;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            if (const unsigned n = parseJobs(arg.c_str() + 7))
+                return n;
+        }
+    }
+    return defaultJobs();
+}
+
+RunExecutor::RunExecutor(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{
+    // The caller participates via runOrdered()'s help-running, so
+    // jobs_ total parallelism needs jobs_ - 1 dedicated workers.
+    for (unsigned i = 1; i < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+RunExecutor::~RunExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+RunExecutor::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+bool
+RunExecutor::tryRunOne()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (queue_.empty())
+            return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    task();  // packaged_task captures any exception in its future
+    return true;
+}
+
+void
+RunExecutor::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace ditto::sim

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * RunExecutor: deterministic parallel execution of independent
+ * simulation runs.
+ *
+ * Every experiment in the reproduction is a sequence of fully
+ * independent seeded simulations (app x load x platform x generation
+ * stage x fault scenario). Each submitted task constructs its own
+ * EventQueue + Deployment + seeded Rngs and returns a result struct;
+ * the executor fans tasks out across worker threads and hands the
+ * results back **in submission order**, so any table, histogram or
+ * error accumulator built from them is byte-identical to a serial
+ * run. Parallelism changes wall-clock time only, never results.
+ *
+ * Concurrency model:
+ *  - jobs() == 1: tasks run inline on the caller's thread; no worker
+ *    threads exist at all (`--jobs 1` *is* the serial program).
+ *  - jobs()  > 1: a fixed pool of jobs()-1 workers plus the caller.
+ *    A thread blocked in runOrdered() "help-runs" queued tasks, so
+ *    nested submission (e.g. fine-tune candidates inside a cloning
+ *    task) cannot deadlock.
+ *
+ * Exceptions thrown by a task are captured and rethrown from
+ * runOrdered() at that task's position.
+ */
+
+#ifndef DITTO_SIM_RUN_EXECUTOR_H_
+#define DITTO_SIM_RUN_EXECUTOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ditto::sim {
+
+class RunExecutor
+{
+  public:
+    /**
+     * @param jobs worker parallelism; 0 means defaultJobs().
+     */
+    explicit RunExecutor(unsigned jobs = 0);
+    ~RunExecutor();
+
+    RunExecutor(const RunExecutor &) = delete;
+    RunExecutor &operator=(const RunExecutor &) = delete;
+
+    /** Configured parallelism (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Parallelism when none is requested explicitly: the DITTO_JOBS
+     * environment variable if set and positive, otherwise
+     * hardware_concurrency(), floored at 1.
+     */
+    static unsigned defaultJobs();
+
+    /**
+     * Resolve `--jobs N` / `--jobs=N` from a command line, falling
+     * back to defaultJobs(). Unrelated arguments are ignored.
+     */
+    static unsigned jobsFromArgs(int argc, char **argv);
+
+    /** Queue one task; the future carries its result or exception. */
+    template <typename Fn,
+              typename R = std::invoke_result_t<std::decay_t<Fn>>>
+    std::future<R>
+    submit(Fn &&fn)
+    {
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> fut = task->get_future();
+        if (jobs_ <= 1) {
+            (*task)();  // inline: the serial path has no threads
+            return fut;
+        }
+        post([task] { (*task)(); });
+        return fut;
+    }
+
+    /**
+     * Run all tasks and return their results **in submission order**,
+     * regardless of completion order. The calling thread participates
+     * in execution. If a task threw, the exception is rethrown when
+     * its position is reached.
+     */
+    template <typename R>
+    std::vector<R>
+    runOrdered(std::vector<std::function<R()>> tasks)
+    {
+        std::vector<R> results;
+        results.reserve(tasks.size());
+        if (jobs_ <= 1) {
+            for (auto &t : tasks)
+                results.push_back(t());
+            return results;
+        }
+        std::vector<std::future<R>> futures;
+        futures.reserve(tasks.size());
+        for (auto &t : tasks)
+            futures.push_back(submit(std::move(t)));
+        for (auto &fut : futures) {
+            waitHelping(fut);
+            results.push_back(fut.get());
+        }
+        return results;
+    }
+
+    /**
+     * Wait for one future while helping execute queued tasks, then
+     * return its value (or rethrow its exception). Use instead of
+     * future::get() on threads that share this executor.
+     */
+    template <typename R>
+    R
+    collect(std::future<R> fut)
+    {
+        if (jobs_ > 1)
+            waitHelping(fut);
+        return fut.get();
+    }
+
+    /** Map `fn` over `items`; results in item order. */
+    template <typename In, typename Fn,
+              typename R = std::invoke_result_t<std::decay_t<Fn>,
+                                                const In &>>
+    std::vector<R>
+    map(const std::vector<In> &items, Fn fn)
+    {
+        std::vector<std::function<R()>> tasks;
+        tasks.reserve(items.size());
+        for (const In &item : items)
+            tasks.push_back([&item, fn] { return fn(item); });
+        return runOrdered<R>(std::move(tasks));
+    }
+
+  private:
+    void post(std::function<void()> task);
+
+    /** Execute one queued task on this thread, if any. */
+    bool tryRunOne();
+
+    /** Block on `fut`, executing queued tasks while it is not ready. */
+    template <typename R>
+    void
+    waitHelping(std::future<R> &fut)
+    {
+        using namespace std::chrono_literals;
+        while (fut.wait_for(0s) != std::future_status::ready) {
+            if (!tryRunOne())
+                fut.wait_for(200us);
+        }
+    }
+
+    void workerLoop();
+
+    unsigned jobs_ = 1;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace ditto::sim
+
+#endif // DITTO_SIM_RUN_EXECUTOR_H_

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * RunExecutor: the parallel-run determinism contract.
+ *
+ * The executor may only change *when* independent simulation runs
+ * execute, never *what* they compute: results join in submission
+ * order and each run owns its EventQueue/Deployment/RNGs, so a
+ * Fig. 5-style sweep must be bit-identical at any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sim/run_executor.h"
+
+namespace {
+
+using namespace ditto;
+using bench::RunResult;
+
+void
+expectIdenticalReports(const profile::PerfReport &a,
+                       const profile::PerfReport &b)
+{
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.cpi, b.cpi);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.branchMispredictRate, b.branchMispredictRate);
+    EXPECT_EQ(a.l1iMissRate, b.l1iMissRate);
+    EXPECT_EQ(a.l1dMissRate, b.l1dMissRate);
+    EXPECT_EQ(a.l2MissRate, b.l2MissRate);
+    EXPECT_EQ(a.llcMissRate, b.llcMissRate);
+    EXPECT_EQ(a.retiringFrac, b.retiringFrac);
+    EXPECT_EQ(a.frontendFrac, b.frontendFrac);
+    EXPECT_EQ(a.badSpecFrac, b.badSpecFrac);
+    EXPECT_EQ(a.backendFrac, b.backendFrac);
+    EXPECT_EQ(a.qps, b.qps);
+    EXPECT_EQ(a.netBandwidthBytesPerSec, b.netBandwidthBytesPerSec);
+    EXPECT_EQ(a.avgLatencyMs, b.avgLatencyMs);
+    EXPECT_EQ(a.p50LatencyMs, b.p50LatencyMs);
+    EXPECT_EQ(a.p95LatencyMs, b.p95LatencyMs);
+    EXPECT_EQ(a.p99LatencyMs, b.p99LatencyMs);
+    EXPECT_EQ(a.instructionsPerRequest, b.instructionsPerRequest);
+    EXPECT_EQ(a.cyclesPerRequest, b.cyclesPerRequest);
+}
+
+void
+expectIdenticalHistograms(const stats::LatencyHistogram &a,
+                          const stats::LatencyHistogram &b)
+{
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.mean(), b.mean());
+    for (const double q : {0.5, 0.95, 0.99, 0.999})
+        EXPECT_EQ(a.percentile(q), b.percentile(q));
+}
+
+TEST(RunExecutor, ParallelSweepBitIdenticalToSerial)
+{
+    // Fig. 5-shaped sweep: one app, three load levels, short
+    // windows. Serial reference first, then the same thunks through
+    // a 4-worker pool; every metric must match exactly.
+    const bench::AppCase nginx{"NGINX", apps::nginxSpec(),
+                               apps::nginxLoad()};
+    const hw::PlatformSpec platform = hw::platformA();
+    const double qpsLevels[] = {nginx.load.lowQps,
+                                nginx.load.mediumQps,
+                                nginx.load.highQps};
+
+    auto makeTasks = [&] {
+        std::vector<std::function<RunResult()>> tasks;
+        for (const double qps : qpsLevels) {
+            tasks.push_back([&nginx, qps, &platform] {
+                return bench::runSingleTier(
+                    nginx.spec, nginx.load.at(qps), platform,
+                    sim::milliseconds(50), sim::milliseconds(80));
+            });
+        }
+        return tasks;
+    };
+
+    std::vector<RunResult> serial;
+    for (auto &task : makeTasks())
+        serial.push_back(task());
+
+    sim::RunExecutor pool(4);
+    const std::vector<RunResult> parallel =
+        pool.runOrdered<RunResult>(makeTasks());
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        expectIdenticalReports(serial[i].report, parallel[i].report);
+        expectIdenticalHistograms(serial[i].clientLatency,
+                                  parallel[i].clientLatency);
+        EXPECT_EQ(serial[i].achievedQps, parallel[i].achievedQps);
+    }
+}
+
+TEST(RunExecutor, ResultsInSubmissionOrderUnderAdversarialDurations)
+{
+    // Task i sleeps longest for the *earliest* submissions, so a
+    // completion-order join would return them reversed.
+    sim::RunExecutor pool(4);
+    constexpr int kTasks = 16;
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < kTasks; ++i) {
+        tasks.push_back([i] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(kTasks - i));
+            return i;
+        });
+    }
+    const std::vector<int> results =
+        pool.runOrdered<int>(std::move(tasks));
+    ASSERT_EQ(results.size(), static_cast<std::size_t>(kTasks));
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(results[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RunExecutor, PropagatesExceptions)
+{
+    sim::RunExecutor pool(4);
+    std::vector<std::function<int()>> tasks;
+    tasks.push_back([] { return 1; });
+    tasks.push_back([]() -> int {
+        throw std::runtime_error("run failed");
+    });
+    tasks.push_back([] { return 3; });
+    EXPECT_THROW(pool.runOrdered<int>(std::move(tasks)),
+                 std::runtime_error);
+}
+
+TEST(RunExecutor, PropagatesExceptionsInline)
+{
+    sim::RunExecutor serial(1);
+    std::vector<std::function<int()>> tasks;
+    tasks.push_back([]() -> int {
+        throw std::runtime_error("run failed");
+    });
+    EXPECT_THROW(serial.runOrdered<int>(std::move(tasks)),
+                 std::runtime_error);
+}
+
+TEST(RunExecutor, NestedSubmissionDoesNotDeadlock)
+{
+    // Cloning pipelines nest: an outer run fans out fine-tune
+    // candidates on the same pool. Blocked waiters must help run
+    // queued tasks, so this completes even with a tiny pool.
+    sim::RunExecutor pool(2);
+    std::vector<std::function<int()>> outer;
+    for (int i = 0; i < 4; ++i) {
+        outer.push_back([&pool, i] {
+            std::vector<std::function<int()>> inner;
+            for (int j = 0; j < 4; ++j)
+                inner.push_back([i, j] { return 10 * i + j; });
+            const std::vector<int> got =
+                pool.runOrdered<int>(std::move(inner));
+            int sum = 0;
+            for (const int v : got)
+                sum += v;
+            return sum;
+        });
+    }
+    const std::vector<int> sums =
+        pool.runOrdered<int>(std::move(outer));
+    ASSERT_EQ(sums.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(sums[static_cast<std::size_t>(i)],
+                  4 * 10 * i + (0 + 1 + 2 + 3));
+}
+
+TEST(RunExecutor, JobsFromArgsParsing)
+{
+    {
+        const char *argv[] = {"bench", "--jobs", "7"};
+        EXPECT_EQ(sim::RunExecutor::jobsFromArgs(
+                      3, const_cast<char **>(argv)), 7u);
+    }
+    {
+        const char *argv[] = {"bench", "--jobs=3"};
+        EXPECT_EQ(sim::RunExecutor::jobsFromArgs(
+                      2, const_cast<char **>(argv)), 3u);
+    }
+    {
+        // Bad values fall back to the environment/default.
+        const char *argv[] = {"bench", "--jobs", "zero"};
+        EXPECT_GE(sim::RunExecutor::jobsFromArgs(
+                      3, const_cast<char **>(argv)), 1u);
+    }
+}
+
+TEST(RunExecutor, SerialExecutorRunsInline)
+{
+    // jobs=1 must execute on the calling thread (no pool, no
+    // reordering hazards) -- the thread id proves it.
+    sim::RunExecutor serial(1);
+    EXPECT_EQ(serial.jobs(), 1u);
+    const std::thread::id self = std::this_thread::get_id();
+    std::vector<std::function<std::thread::id()>> tasks;
+    for (int i = 0; i < 3; ++i)
+        tasks.push_back([] { return std::this_thread::get_id(); });
+    for (const std::thread::id id :
+         serial.runOrdered<std::thread::id>(std::move(tasks)))
+        EXPECT_EQ(id, self);
+}
+
+} // namespace

@@ -265,6 +265,65 @@ TEST(EventQueue, EventsScheduledDuringRun)
     EXPECT_EQ(q.now(), 40u);
 }
 
+TEST(EventQueue, CancelAfterFireReturnsFalse)
+{
+    EventQueue q;
+    bool ran = false;
+    const EventId id = q.scheduleAt(10, [&] { ran = true; });
+    q.runAll();
+    EXPECT_TRUE(ran);
+    EXPECT_FALSE(q.cancel(id));  // already fired; not cancellable
+}
+
+TEST(EventQueue, CancelStaleIdAfterSlotReuse)
+{
+    // Cancelling an id whose slot has been recycled must not touch
+    // the new occupant (the sequence tag disambiguates).
+    EventQueue q;
+    const EventId dead = q.scheduleAt(10, [] {});
+    EXPECT_TRUE(q.cancel(dead));  // slot returns to the free list
+    bool ran = false;
+    q.scheduleAt(20, [&] { ran = true; });  // likely reuses the slot
+    EXPECT_FALSE(q.cancel(dead));  // stale id: must be rejected
+    q.runAll();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CancelUpdatesSizeAndKeepsFifoOfSurvivors)
+{
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 6; ++i)
+        ids.push_back(
+            q.scheduleAt(100, [&order, i] { order.push_back(i); }));
+    EXPECT_EQ(q.size(), 6u);
+    EXPECT_TRUE(q.cancel(ids[1]));
+    EXPECT_TRUE(q.cancel(ids[4]));
+    EXPECT_EQ(q.size(), 4u);  // size reflects cancellation eagerly
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 5}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelHeavyChurnReusesSlots)
+{
+    // Schedule/cancel churn far beyond the live population: the slot
+    // pool must recycle instead of growing without bound, and stale
+    // heap entries must not break ordering of survivors.
+    EventQueue q;
+    int fired = 0;
+    for (int round = 0; round < 1000; ++round) {
+        const EventId timeout = q.scheduleAt(
+            static_cast<Time>(1000 + round), [] { FAIL(); });
+        q.scheduleAt(static_cast<Time>(round), [&] { ++fired; });
+        EXPECT_TRUE(q.cancel(timeout));
+    }
+    q.runAll();
+    EXPECT_EQ(fired, 1000);
+    EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, ScheduleInPastClampsToNow)
 {
     EventQueue q;
