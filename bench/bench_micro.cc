@@ -10,12 +10,16 @@
 #include <benchmark/benchmark.h>
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "app/deployment.h"
 #include "hw/block_builder.h"
 #include "hw/cpu_core.h"
 #include "hw/platform.h"
+#include "obs/jaeger.h"
+#include "obs/metrics.h"
+#include "obs/register.h"
 #include "profile/stack_distance.h"
 #include "sim/event_queue.h"
 #include "sim/run_executor.h"
@@ -211,5 +215,82 @@ BM_EndToEndRequests(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EndToEndRequests)->Unit(benchmark::kMillisecond);
+
+static void
+BM_JaegerExportImport(benchmark::State &state)
+{
+    // Cost of the observability round trip (export to Jaeger JSON,
+    // parse it back) per recorded span. Runs offline relative to the
+    // simulation, but bounds how often a long-running harness can
+    // afford to snapshot traces.
+    app::Deployment dep(9);
+    os::Machine &m = dep.addMachine("n", hw::platformA());
+    app::ServiceSpec spec;
+    spec.name = "micro";
+    spec.threads.workers = 2;
+    hw::BlockSpec bs;
+    bs.label = "micro.h";
+    bs.instCount = 128;
+    bs.seed = 2;
+    spec.blocks.push_back(hw::buildBlock(bs));
+    app::EndpointSpec ep;
+    ep.name = "op";
+    ep.handler.ops = {app::opCompute(0, 20)};
+    spec.endpoints.push_back(ep);
+    app::ServiceInstance &svc = dep.deploy(spec, m);
+    dep.wireAll();
+    workload::LoadSpec load;
+    load.qps = 5000;
+    load.connections = 4;
+    workload::LoadGen gen(dep, svc, load, 3);
+    gen.start();
+    dep.runFor(sim::milliseconds(100));
+
+    for (auto _ : state) {
+        const std::string json = obs::exportJaegerJson(dep.tracer());
+        const trace::Tracer back = obs::importJaegerJson(json);
+        benchmark::DoNotOptimize(back.spans().size());
+        state.SetItemsProcessed(
+            state.items_processed() +
+            static_cast<std::int64_t>(dep.tracer().spans().size()));
+    }
+}
+BENCHMARK(BM_JaegerExportImport)->Unit(benchmark::kMillisecond);
+
+static void
+BM_MetricsSnapshot(benchmark::State &state)
+{
+    // Prometheus-text snapshot of a fully registered deployment.
+    app::Deployment dep(9);
+    os::Machine &m = dep.addMachine("n", hw::platformA());
+    app::ServiceSpec spec;
+    spec.name = "micro";
+    spec.threads.workers = 2;
+    hw::BlockSpec bs;
+    bs.label = "micro.h";
+    bs.instCount = 128;
+    bs.seed = 2;
+    spec.blocks.push_back(hw::buildBlock(bs));
+    app::EndpointSpec ep;
+    ep.name = "op";
+    ep.handler.ops = {app::opCompute(0, 20)};
+    spec.endpoints.push_back(ep);
+    app::ServiceInstance &svc = dep.deploy(spec, m);
+    dep.wireAll();
+    workload::LoadSpec load;
+    load.qps = 5000;
+    load.connections = 4;
+    workload::LoadGen gen(dep, svc, load, 3);
+    gen.start();
+    dep.runFor(sim::milliseconds(100));
+
+    obs::MetricsRegistry registry;
+    obs::registerDeploymentMetrics(registry, dep);
+    for (auto _ : state) {
+        const std::string text = registry.prometheusText();
+        benchmark::DoNotOptimize(text.size());
+    }
+}
+BENCHMARK(BM_MetricsSnapshot);
 
 BENCHMARK_MAIN();

@@ -64,6 +64,12 @@ class Deployment
         return services_;
     }
 
+    const std::vector<std::unique_ptr<os::Machine>> &
+    machines() const
+    {
+        return machines_;
+    }
+
   private:
     std::uint64_t seed_;
     sim::EventQueue events_;

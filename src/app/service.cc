@@ -290,8 +290,14 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                                                 resp) ==
                         os::SysResult::Ok) {
                         if (rs.waitTag != 0 && resp.tag != rs.waitTag) {
-                            // Late reply to an abandoned attempt.
+                            // Late reply to an abandoned attempt. The
+                            // bytes were still delivered and read off
+                            // the socket, so they count toward rx
+                            // traffic and the syscall profile.
                             service.stats().rpcStaleResponses++;
+                            service.stats().rxBytes += resp.bytes;
+                            worker.probeSyscall(SysKind::SocketRead,
+                                                resp.bytes);
                             continue;
                         }
                         worker.probeSyscall(SysKind::SocketRead,
@@ -394,7 +400,12 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                         }
                     }
                     if (match == n) {
+                        // Stale fanout reply: account the read (see
+                        // the sync-path comment above).
                         service.stats().rpcStaleResponses++;
+                        service.stats().rxBytes += resp.bytes;
+                        worker.probeSyscall(SysKind::SocketRead,
+                                            resp.bytes);
                         continue;
                     }
                 }

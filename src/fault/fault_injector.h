@@ -43,6 +43,13 @@ struct InjectorStats
     std::uint64_t windowsStarted = 0;
     std::uint64_t windowsEnded = 0;
     std::uint64_t unresolvedTargets = 0;  //!< names not found; skipped
+
+    /** Windows started but not yet ended. */
+    std::uint64_t
+    windowsActive() const
+    {
+        return windowsStarted - windowsEnded;
+    }
 };
 
 class FaultInjector

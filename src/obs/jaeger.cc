@@ -1,0 +1,492 @@
+#include "obs/jaeger.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace ditto::obs {
+
+namespace {
+
+// ---- small formatting helpers ---------------------------------------
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::uint64_t
+parseHex(const std::string &s)
+{
+    return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+std::uint64_t
+parseDec(const std::string &s)
+{
+    return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    out += std::to_string(v);
+}
+
+void
+appendStringTag(std::string &out, const char *key,
+                const std::string &value, bool first)
+{
+    if (!first)
+        out += ",";
+    out += "{\"key\":";
+    appendJsonString(out, key);
+    out += ",\"type\":\"string\",\"value\":";
+    appendJsonString(out, value);
+    out += "}";
+}
+
+void
+appendIntTag(std::string &out, const char *key, std::uint64_t value,
+             bool first)
+{
+    if (!first)
+        out += ",";
+    out += "{\"key\":";
+    appendJsonString(out, key);
+    out += ",\"type\":\"int64\",\"value\":";
+    appendU64(out, value);
+    out += "}";
+}
+
+void
+appendReferences(std::string &out, std::uint64_t traceId,
+                 std::uint64_t parentSpanId)
+{
+    out += "\"references\":[";
+    if (parentSpanId != 0) {
+        out += "{\"refType\":\"CHILD_OF\",\"traceID\":";
+        appendJsonString(out, hex16(traceId));
+        out += ",\"spanID\":";
+        appendJsonString(out, hex16(parentSpanId));
+        out += "}";
+    }
+    out += "]";
+}
+
+/** One outcome log entry ({"timestamp":..,"fields":[..]}). */
+void
+appendOutcomeLog(std::string &out, const trace::OutcomeEvent &ev,
+                 std::size_t seq, bool first)
+{
+    if (!first)
+        out += ",";
+    out += "{\"timestamp\":";
+    appendU64(out, ev.time / 1000);
+    out += ",\"fields\":[";
+    appendStringTag(out, "event", trace::outcomeKindName(ev.kind),
+                    true);
+    appendIntTag(out, "ditto.seq", seq, false);
+    appendIntTag(out, "ditto.target", ev.target, false);
+    appendIntTag(out, "ditto.endpoint", ev.endpoint, false);
+    appendIntTag(out, "ditto.attempts", ev.attempts, false);
+    appendStringTag(out, "ditto.time_ns", std::to_string(ev.time),
+                    false);
+    out += "]}";
+}
+
+struct TraceGroup
+{
+    std::vector<std::size_t> spans;     //!< indices into tracer.spans()
+    std::vector<std::size_t> edges;
+    std::vector<std::size_t> outcomes;
+};
+
+} // namespace
+
+std::string
+exportJaegerJson(const trace::Tracer &tracer)
+{
+    const auto &spans = tracer.spans();
+    const auto &edges = tracer.edges();
+    const auto &outcomes = tracer.outcomes();
+
+    std::map<std::uint64_t, TraceGroup> groups;
+    for (std::size_t i = 0; i < spans.size(); ++i)
+        groups[spans[i].traceId].spans.push_back(i);
+    for (std::size_t i = 0; i < edges.size(); ++i)
+        groups[edges[i].traceId].edges.push_back(i);
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+        groups[outcomes[i].traceId].outcomes.push_back(i);
+
+    // Synthetic span ids (edge spans, outcome carriers) live in the
+    // top half of the id space; Tracer ids count up from 1 and never
+    // reach it in practice.
+    std::uint64_t syntheticId = 0x8000000000000000ull;
+
+    std::string out;
+    out.reserve(4096 + 256 * (spans.size() + edges.size()));
+    out += "{\"data\":[";
+    bool firstTrace = true;
+    for (const auto &[traceId, group] : groups) {
+        if (!firstTrace)
+            out += ",";
+        firstTrace = false;
+
+        // Process table: one entry per service seen in this trace,
+        // in sorted order.
+        std::set<std::string> services;
+        for (std::size_t i : group.spans)
+            services.insert(spans[i].service);
+        for (std::size_t i : group.edges)
+            services.insert(edges[i].caller);
+        for (std::size_t i : group.outcomes)
+            services.insert(outcomes[i].service);
+        std::map<std::string, std::string> pid;
+        for (const auto &svc : services)
+            pid[svc] = "p" + std::to_string(pid.size() + 1);
+
+        // Each outcome becomes a log on the first sampled server span
+        // of its service; leftovers go on a synthetic carrier span.
+        std::map<std::string, std::size_t> firstSpanOfService;
+        for (std::size_t i : group.spans)
+            firstSpanOfService.emplace(spans[i].service, i);
+        std::map<std::size_t, std::vector<std::size_t>> logsOnSpan;
+        std::map<std::string, std::vector<std::size_t>> orphanLogs;
+        for (std::size_t i : group.outcomes) {
+            const auto it =
+                firstSpanOfService.find(outcomes[i].service);
+            if (it != firstSpanOfService.end())
+                logsOnSpan[it->second].push_back(i);
+            else
+                orphanLogs[outcomes[i].service].push_back(i);
+        }
+
+        out += "{\"traceID\":";
+        appendJsonString(out, hex16(traceId));
+        out += ",\"spans\":[";
+        bool firstSpan = true;
+
+        for (std::size_t i : group.spans) {
+            const trace::Span &s = spans[i];
+            if (!firstSpan)
+                out += ",";
+            firstSpan = false;
+            out += "{\"traceID\":";
+            appendJsonString(out, hex16(s.traceId));
+            out += ",\"spanID\":";
+            appendJsonString(out, hex16(s.spanId));
+            out += ",\"operationName\":";
+            appendJsonString(out,
+                             "ep" + std::to_string(s.endpoint));
+            out += ",";
+            appendReferences(out, s.traceId, s.parentSpanId);
+            out += ",\"startTime\":";
+            appendU64(out, s.start / 1000);
+            out += ",\"duration\":";
+            appendU64(out, (s.end - s.start) / 1000);
+            out += ",\"processID\":";
+            appendJsonString(out, pid[s.service]);
+            out += ",\"tags\":[";
+            appendStringTag(out, "span.kind", "server", true);
+            appendIntTag(out, "ditto.endpoint", s.endpoint, false);
+            appendIntTag(out, "ditto.seq", i, false);
+            appendStringTag(out, "ditto.start_ns",
+                            std::to_string(s.start), false);
+            appendStringTag(out, "ditto.end_ns",
+                            std::to_string(s.end), false);
+            out += "],\"logs\":[";
+            bool firstLog = true;
+            const auto lit = logsOnSpan.find(i);
+            if (lit != logsOnSpan.end()) {
+                for (std::size_t oi : lit->second) {
+                    appendOutcomeLog(out, outcomes[oi], oi,
+                                     firstLog);
+                    firstLog = false;
+                }
+            }
+            out += "]}";
+        }
+
+        for (std::size_t i : group.edges) {
+            const trace::RpcEdge &e = edges[i];
+            if (!firstSpan)
+                out += ",";
+            firstSpan = false;
+            out += "{\"traceID\":";
+            appendJsonString(out, hex16(e.traceId));
+            out += ",\"spanID\":";
+            appendJsonString(out, hex16(syntheticId++));
+            out += ",\"operationName\":";
+            appendJsonString(out,
+                             "rpc:ep" + std::to_string(e.endpoint));
+            out += ",";
+            appendReferences(out, e.traceId, e.parentSpanId);
+            out += ",\"startTime\":0,\"duration\":0,\"processID\":";
+            appendJsonString(out, pid[e.caller]);
+            out += ",\"tags\":[";
+            appendStringTag(out, "span.kind", "client", true);
+            appendStringTag(out, "peer.service", e.callee, false);
+            appendIntTag(out, "ditto.endpoint", e.endpoint, false);
+            appendIntTag(out, "ditto.seq", i, false);
+            appendIntTag(out, "ditto.request_bytes", e.requestBytes,
+                         false);
+            appendIntTag(out, "ditto.response_bytes",
+                         e.responseBytes, false);
+            out += "],\"logs\":[]}";
+        }
+
+        for (const auto &[svc, logIdx] : orphanLogs) {
+            if (!firstSpan)
+                out += ",";
+            firstSpan = false;
+            out += "{\"traceID\":";
+            appendJsonString(out, hex16(traceId));
+            out += ",\"spanID\":";
+            appendJsonString(out, hex16(syntheticId++));
+            out += ",\"operationName\":\"outcome\",";
+            appendReferences(out, traceId, 0);
+            out += ",\"startTime\":0,\"duration\":0,\"processID\":";
+            appendJsonString(out, pid[svc]);
+            out += ",\"tags\":[";
+            appendStringTag(out, "span.kind", "internal", true);
+            out += "],\"logs\":[";
+            bool firstLog = true;
+            for (std::size_t oi : logIdx) {
+                appendOutcomeLog(out, outcomes[oi], oi, firstLog);
+                firstLog = false;
+            }
+            out += "]}";
+        }
+
+        out += "],\"processes\":{";
+        bool firstProc = true;
+        for (const auto &[svc, p] : pid) {
+            if (!firstProc)
+                out += ",";
+            firstProc = false;
+            appendJsonString(out, p);
+            out += ":{\"serviceName\":";
+            appendJsonString(out, svc);
+            out += "}";
+        }
+        out += "}}";
+    }
+    out += "],\"dittoMeta\":{\"sampleRate\":";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", tracer.sampleRate());
+    out += buf;
+    out += "}}";
+    return out;
+}
+
+void
+writeJaegerJsonFile(const trace::Tracer &tracer,
+                    const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("jaeger: cannot open " + path +
+                                 " for writing");
+    const std::string doc = exportJaegerJson(tracer);
+    os.write(doc.data(),
+             static_cast<std::streamsize>(doc.size()));
+    if (!os)
+        throw std::runtime_error("jaeger: short write to " + path);
+}
+
+namespace {
+
+const JsonValue *
+findTag(const JsonValue &span, const char *arrayKey,
+        const std::string &key)
+{
+    const JsonValue *tags = span.find(arrayKey);
+    if (!tags || !tags->isArray())
+        return nullptr;
+    for (const JsonValue &tag : tags->items) {
+        const JsonValue *k = tag.find("key");
+        if (k && k->asString() == key)
+            return tag.find("value");
+    }
+    return nullptr;
+}
+
+std::uint64_t
+tagU64(const JsonValue &span, const std::string &key)
+{
+    const JsonValue *v = findTag(span, "tags", key);
+    return v ? v->asU64() : 0;
+}
+
+/** Decimal-string tag holding a lossless u64 (e.g. ditto.start_ns). */
+std::uint64_t
+tagU64Str(const JsonValue &span, const std::string &key)
+{
+    const JsonValue *v = findTag(span, "tags", key);
+    return v ? parseDec(v->asString()) : 0;
+}
+
+std::string
+tagString(const JsonValue &span, const std::string &key)
+{
+    const JsonValue *v = findTag(span, "tags", key);
+    return v ? v->asString() : std::string{};
+}
+
+std::uint64_t
+parentFromReferences(const JsonValue &span)
+{
+    const JsonValue *refs = span.find("references");
+    if (!refs || !refs->isArray() || refs->items.empty())
+        return 0;
+    const JsonValue *sid = refs->items.front().find("spanID");
+    return sid ? parseHex(sid->asString()) : 0;
+}
+
+} // namespace
+
+trace::Tracer
+importJaegerJson(const std::string &text)
+{
+    const JsonValue root = parseJson(text);
+    double sampleRate = 1.0;
+    if (const JsonValue *meta = root.find("dittoMeta")) {
+        if (const JsonValue *r = meta->find("sampleRate"))
+            sampleRate = r->asDouble();
+    }
+    const JsonValue *data = root.find("data");
+    if (!data || !data->isArray())
+        throw std::runtime_error("jaeger: missing data array");
+
+    struct SeqSpan { std::uint64_t seq; trace::Span span; };
+    struct SeqEdge { std::uint64_t seq; trace::RpcEdge edge; };
+    struct SeqOutcome { std::uint64_t seq; trace::OutcomeEvent ev; };
+    std::vector<SeqSpan> spans;
+    std::vector<SeqEdge> edges;
+    std::vector<SeqOutcome> outcomes;
+
+    for (const JsonValue &tr : data->items) {
+        const JsonValue *procs = tr.find("processes");
+        std::map<std::string, std::string> pidToService;
+        if (procs && procs->isObject()) {
+            for (const auto &[p, v] : procs->members) {
+                const JsonValue *n = v.find("serviceName");
+                pidToService[p] = n ? n->asString() : std::string{};
+            }
+        }
+        const JsonValue *spanArr = tr.find("spans");
+        if (!spanArr || !spanArr->isArray())
+            throw std::runtime_error("jaeger: trace without spans");
+        for (const JsonValue &sp : spanArr->items) {
+            const JsonValue *tid = sp.find("traceID");
+            const JsonValue *pidv = sp.find("processID");
+            if (!tid || !pidv)
+                throw std::runtime_error(
+                    "jaeger: span missing traceID/processID");
+            const std::uint64_t traceId = parseHex(tid->asString());
+            const std::string &service =
+                pidToService[pidv->asString()];
+            const std::string kind = tagString(sp, "span.kind");
+
+            if (kind == "server") {
+                trace::Span s;
+                s.traceId = traceId;
+                const JsonValue *sid = sp.find("spanID");
+                s.spanId = sid ? parseHex(sid->asString()) : 0;
+                s.parentSpanId = parentFromReferences(sp);
+                s.service = service;
+                s.endpoint = static_cast<std::uint32_t>(
+                    tagU64(sp, "ditto.endpoint"));
+                s.start = tagU64Str(sp, "ditto.start_ns");
+                s.end = tagU64Str(sp, "ditto.end_ns");
+                spans.push_back({tagU64(sp, "ditto.seq"), s});
+            } else if (kind == "client") {
+                trace::RpcEdge e;
+                e.traceId = traceId;
+                e.parentSpanId = parentFromReferences(sp);
+                e.caller = service;
+                e.callee = tagString(sp, "peer.service");
+                e.endpoint = static_cast<std::uint32_t>(
+                    tagU64(sp, "ditto.endpoint"));
+                e.requestBytes = static_cast<std::uint32_t>(
+                    tagU64(sp, "ditto.request_bytes"));
+                e.responseBytes = static_cast<std::uint32_t>(
+                    tagU64(sp, "ditto.response_bytes"));
+                edges.push_back({tagU64(sp, "ditto.seq"), e});
+            }
+            // Outcome logs may ride on any span kind.
+            const JsonValue *logs = sp.find("logs");
+            if (!logs || !logs->isArray())
+                continue;
+            for (const JsonValue &log : logs->items) {
+                const JsonValue *name =
+                    findTag(log, "fields", "event");
+                trace::OutcomeKind kindVal;
+                if (!name ||
+                    !trace::outcomeKindFromName(name->asString(),
+                                                kindVal))
+                    continue;
+                trace::OutcomeEvent ev;
+                ev.traceId = traceId;
+                ev.service = service;
+                ev.kind = kindVal;
+                const JsonValue *v =
+                    findTag(log, "fields", "ditto.target");
+                ev.target =
+                    static_cast<std::uint32_t>(v ? v->asU64() : 0);
+                v = findTag(log, "fields", "ditto.endpoint");
+                ev.endpoint =
+                    static_cast<std::uint32_t>(v ? v->asU64() : 0);
+                v = findTag(log, "fields", "ditto.attempts");
+                ev.attempts =
+                    static_cast<unsigned>(v ? v->asU64() : 0);
+                v = findTag(log, "fields", "ditto.time_ns");
+                ev.time = v ? parseDec(v->asString()) : 0;
+                v = findTag(log, "fields", "ditto.seq");
+                outcomes.push_back({v ? v->asU64() : 0, ev});
+            }
+        }
+    }
+
+    const auto bySeq = [](const auto &a, const auto &b) {
+        return a.seq < b.seq;
+    };
+    std::sort(spans.begin(), spans.end(), bySeq);
+    std::sort(edges.begin(), edges.end(), bySeq);
+    std::sort(outcomes.begin(), outcomes.end(), bySeq);
+
+    trace::Tracer tracer(sampleRate);
+    for (auto &s : spans)
+        tracer.importSpan(std::move(s.span));
+    for (auto &e : edges)
+        tracer.importEdge(std::move(e.edge));
+    for (auto &o : outcomes)
+        tracer.importOutcome(std::move(o.ev));
+    return tracer;
+}
+
+trace::Tracer
+readJaegerJsonFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("jaeger: cannot open " + path);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return importJaegerJson(ss.str());
+}
+
+} // namespace ditto::obs

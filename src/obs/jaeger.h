@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Jaeger-compatible JSON trace export and re-ingestion.
+ *
+ * The exporter renders a Tracer's collected record -- server spans,
+ * client RPC edges, and resilience outcome events -- in the JSON
+ * layout Jaeger's HTTP API serves ({"data": [{traceID, spans,
+ * processes}]}), so the files load in standard trace tooling. The
+ * importer parses such a file back into a Tracer whose spans(),
+ * edges(), and outcomes() vectors are element-for-element identical
+ * to the exported ones, which is what lets TopologyAnalyzer recover
+ * a bit-identical DAG from the on-disk file (the Ditto ingestion
+ * path, Sec. 4.2).
+ *
+ * Encoding notes:
+ *  - RPC edges become zero-duration client-kind spans tagged with
+ *    peer.service and request/response byte sizes.
+ *  - Outcome events become span logs on the matching server span (or
+ *    on a synthetic "outcome" span when the server span was not
+ *    sampled).
+ *  - Jaeger timestamps are microseconds; the exact nanosecond values
+ *    ride along in ditto.*_ns string tags so no precision is lost.
+ *  - Every record carries a ditto.seq tag with its original vector
+ *    index; the importer sorts by it to restore exact record order.
+ *
+ * Determinism: the exported bytes are a pure function of the Tracer
+ * contents, so two runs that produce identical traces (same seed, any
+ * RunExecutor worker count -- DESIGN.md §8) export identical files.
+ *
+ * Caveat: exact per-kind outcome counters survive the round trip only
+ * at sampleRate 1.0; at lower rates the re-imported counters reflect
+ * just the sampled events that were exported.
+ */
+
+#ifndef DITTO_OBS_JAEGER_H_
+#define DITTO_OBS_JAEGER_H_
+
+#include <string>
+
+#include "trace/tracer.h"
+
+namespace ditto::obs {
+
+/** Render the tracer's record as a Jaeger-JSON document. */
+std::string exportJaegerJson(const trace::Tracer &tracer);
+
+/** Export to a file. Throws std::runtime_error on I/O failure. */
+void writeJaegerJsonFile(const trace::Tracer &tracer,
+                         const std::string &path);
+
+/**
+ * Parse a Jaeger-JSON document produced by exportJaegerJson back into
+ * a Tracer. Throws std::runtime_error on malformed input.
+ */
+trace::Tracer importJaegerJson(const std::string &text);
+
+/** Import from a file. Throws std::runtime_error on I/O failure. */
+trace::Tracer readJaegerJsonFile(const std::string &path);
+
+} // namespace ditto::obs
+
+#endif // DITTO_OBS_JAEGER_H_

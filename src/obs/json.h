@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal JSON value, recursive-descent parser, and writer.
+ *
+ * The observability layer needs to read back its own Jaeger-JSON
+ * trace exports without pulling in a third-party dependency. This is
+ * a small, strict subset of JSON sufficient for that: objects keep
+ * member order, integers that fit in uint64 parse losslessly, and the
+ * writer escapes strings per RFC 8259.
+ */
+
+#ifndef DITTO_OBS_JSON_H_
+#define DITTO_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ditto::obs {
+
+/** A parsed JSON value (tree). */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Unsigned,  //!< non-negative integer literal (lossless u64)
+        Double,    //!< negative, fractional, or exponent literal
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::uint64_t unsignedValue = 0;
+    double doubleValue = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;  //!< Array elements
+    /** Object members in document order. */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Numeric value as u64 (Unsigned exactly, Double truncated). */
+    std::uint64_t asU64() const;
+    double asDouble() const;
+    /** String content, or "" for non-strings. */
+    const std::string &asString() const { return str; }
+};
+
+/**
+ * Parse a complete JSON document. Throws std::runtime_error with a
+ * byte offset on malformed input or trailing garbage.
+ */
+JsonValue parseJson(const std::string &text);
+
+/** Append `s` to `out` as a quoted, escaped JSON string literal. */
+void appendJsonString(std::string &out, const std::string &s);
+
+} // namespace ditto::obs
+
+#endif // DITTO_OBS_JSON_H_

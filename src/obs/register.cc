@@ -1,0 +1,173 @@
+#include "obs/register.h"
+
+#include "app/deployment.h"
+#include "fault/fault_injector.h"
+#include "os/disk.h"
+#include "os/machine.h"
+
+namespace ditto::obs {
+
+namespace {
+
+/** Register one pull counter reading a ServiceStats field. */
+void
+serviceCounter(MetricsRegistry &reg, app::ServiceInstance *svc,
+               const char *name, const char *help,
+               std::uint64_t app::ServiceStats::*field)
+{
+    reg.addCounterFn(name, {{"service", svc->name()}}, help,
+                     [svc, field] { return svc->stats().*field; });
+}
+
+} // namespace
+
+void
+registerDeploymentMetrics(MetricsRegistry &reg,
+                          app::Deployment &dep)
+{
+    for (const auto &svcPtr : dep.services()) {
+        app::ServiceInstance *svc = svcPtr.get();
+        serviceCounter(reg, svc, "ditto_service_requests_total",
+                       "Requests served",
+                       &app::ServiceStats::requests);
+        serviceCounter(reg, svc, "ditto_service_rx_bytes_total",
+                       "Payload bytes received",
+                       &app::ServiceStats::rxBytes);
+        serviceCounter(reg, svc, "ditto_service_tx_bytes_total",
+                       "Payload bytes sent",
+                       &app::ServiceStats::txBytes);
+        serviceCounter(reg, svc,
+                       "ditto_service_disk_read_bytes_total",
+                       "Bytes read from disk",
+                       &app::ServiceStats::diskReadBytes);
+        serviceCounter(reg, svc,
+                       "ditto_service_disk_write_bytes_total",
+                       "Bytes written to disk",
+                       &app::ServiceStats::diskWriteBytes);
+        serviceCounter(reg, svc, "ditto_service_rpc_ok_total",
+                       "Downstream calls answered in time",
+                       &app::ServiceStats::rpcOk);
+        serviceCounter(reg, svc, "ditto_service_rpc_retries_total",
+                       "Retry attempts issued",
+                       &app::ServiceStats::rpcRetries);
+        serviceCounter(reg, svc, "ditto_service_rpc_timeouts_total",
+                       "Downstream calls failed after all attempts",
+                       &app::ServiceStats::rpcTimeouts);
+        serviceCounter(reg, svc,
+                       "ditto_service_rpc_breaker_fast_fails_total",
+                       "Calls rejected by an open circuit breaker",
+                       &app::ServiceStats::rpcBreakerFastFails);
+        serviceCounter(reg, svc,
+                       "ditto_service_rpc_stale_responses_total",
+                       "Late replies discarded by tag",
+                       &app::ServiceStats::rpcStaleResponses);
+        serviceCounter(reg, svc, "ditto_service_requests_shed_total",
+                       "Inbound requests shed",
+                       &app::ServiceStats::requestsShed);
+        serviceCounter(reg, svc,
+                       "ditto_service_requests_degraded_total",
+                       "Responses sent with Error status",
+                       &app::ServiceStats::requestsDegraded);
+        reg.addHistogram("ditto_service_request_latency_ns",
+                         {{"service", svc->name()}},
+                         "Server-side request latency (ns)",
+                         &svc->stats().latency);
+    }
+
+    os::Network *net = &dep.network();
+    reg.addCounterFn("ditto_network_messages_sent_total", {},
+                     "Messages handed to the network",
+                     [net] { return net->messagesSent(); });
+    reg.addCounterFn("ditto_network_messages_delivered_total", {},
+                     "Messages delivered to a peer socket",
+                     [net] { return net->messagesDelivered(); });
+    reg.addCounterFn("ditto_network_messages_dropped_total", {},
+                     "Messages lost to faults/crashes",
+                     [net] { return net->messagesDropped(); });
+    reg.addGaugeFn("ditto_network_messages_in_flight", {},
+                   "Messages sent but not yet delivered or dropped",
+                   [net] {
+                       return static_cast<double>(
+                           net->messagesInFlight());
+                   });
+    reg.addCounterFn("ditto_network_bytes_sent_total", {},
+                     "Payload bytes handed to the network",
+                     [net] { return net->bytesSent(); });
+    reg.addCounterFn("ditto_network_bytes_delivered_total", {},
+                     "Payload bytes delivered",
+                     [net] { return net->bytesDelivered(); });
+    reg.addCounterFn("ditto_network_bytes_dropped_total", {},
+                     "Payload bytes lost to faults/crashes",
+                     [net] { return net->bytesDropped(); });
+
+    for (const auto &mPtr : dep.machines()) {
+        os::Machine *m = mPtr.get();
+        const MetricsRegistry::Labels labels{{"machine", m->name()}};
+        reg.addCounterFn("ditto_disk_read_bytes_total", labels,
+                         "Bytes read from the machine's disk",
+                         [m] { return m->disk().readBytes(); });
+        reg.addCounterFn("ditto_disk_write_bytes_total", labels,
+                         "Bytes written to the machine's disk",
+                         [m] { return m->disk().writeBytes(); });
+        reg.addCounterFn("ditto_disk_requests_total", labels,
+                         "I/O requests submitted",
+                         [m] { return m->disk().requests(); });
+        reg.addGaugeFn("ditto_disk_queue_depth", labels,
+                       "Outstanding queued I/O requests", [m] {
+                           return static_cast<double>(
+                               m->disk().queueDepth());
+                       });
+        reg.addGaugeFn("ditto_disk_slowdown", labels,
+                       "Fault-injected service-time factor",
+                       [m] { return m->disk().slowdown(); });
+    }
+
+    trace::Tracer *tracer = &dep.tracer();
+    for (std::size_t i = 0; i < trace::kOutcomeKinds; ++i) {
+        const auto kind = static_cast<trace::OutcomeKind>(i);
+        reg.addCounterFn(
+            "ditto_trace_outcomes_total",
+            {{"kind", trace::outcomeKindName(kind)}},
+            "Exact resilience outcome count (unsampled)",
+            [tracer, kind] { return tracer->outcomeCount(kind); });
+    }
+    reg.addGaugeFn("ditto_trace_spans_sampled", {},
+                   "Server spans retained by head sampling", [tracer] {
+                       return static_cast<double>(
+                           tracer->spans().size());
+                   });
+    reg.addGaugeFn("ditto_trace_edges_sampled", {},
+                   "RPC edges retained by head sampling", [tracer] {
+                       return static_cast<double>(
+                           tracer->edges().size());
+                   });
+
+    sim::EventQueue *events = &dep.events();
+    reg.addGaugeFn("ditto_sim_now_ns", {},
+                   "Simulated clock (ns)", [events] {
+                       return static_cast<double>(events->now());
+                   });
+}
+
+void
+registerInjectorMetrics(MetricsRegistry &reg,
+                        const fault::FaultInjector &inj)
+{
+    const fault::FaultInjector *p = &inj;
+    reg.addCounterFn("ditto_fault_windows_started_total", {},
+                     "Fault windows begun",
+                     [p] { return p->stats().windowsStarted; });
+    reg.addCounterFn("ditto_fault_windows_ended_total", {},
+                     "Fault windows ended",
+                     [p] { return p->stats().windowsEnded; });
+    reg.addCounterFn("ditto_fault_unresolved_targets_total", {},
+                     "Fault specs naming unknown targets",
+                     [p] { return p->stats().unresolvedTargets; });
+    reg.addGaugeFn("ditto_fault_windows_active", {},
+                   "Fault windows currently active", [p] {
+                       return static_cast<double>(
+                           p->stats().windowsActive());
+                   });
+}
+
+} // namespace ditto::obs

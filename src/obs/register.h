@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Standard metric registrations for the simulator's subsystems.
+ *
+ * Everything here is pull-based: registration captures pointers into
+ * the deployment (ServiceStats, Network, Disk, Tracer, InjectorStats)
+ * and reads them only when a snapshot is written, so the simulation
+ * hot paths are untouched and the zero-cost-when-disabled contract
+ * (DESIGN.md §7) holds. The deployment/injector must outlive the
+ * registry's last snapshot.
+ */
+
+#ifndef DITTO_OBS_REGISTER_H_
+#define DITTO_OBS_REGISTER_H_
+
+#include "obs/metrics.h"
+
+namespace ditto::app {
+class Deployment;
+} // namespace ditto::app
+
+namespace ditto::fault {
+class FaultInjector;
+} // namespace ditto::fault
+
+namespace ditto::obs {
+
+/**
+ * Register per-service counters + latency histograms, network
+ * message/byte counters, per-machine disk counters, tracer outcome
+ * counters, and the simulation clock. Call after all deploys.
+ */
+void registerDeploymentMetrics(MetricsRegistry &registry,
+                               app::Deployment &deployment);
+
+/** Register fault-injection window counters. */
+void registerInjectorMetrics(MetricsRegistry &registry,
+                             const fault::FaultInjector &injector);
+
+} // namespace ditto::obs
+
+#endif // DITTO_OBS_REGISTER_H_

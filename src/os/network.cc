@@ -68,6 +68,7 @@ Network::send(Socket &from, Message msg, sim::Time extraDelay)
     if (!to)
         return;
     ++sent_;
+    bytesSent_ += msg.bytes;
 
     sim::Time delay = extraDelay;
     const bool loopback = from.machine && to->machine &&
@@ -97,6 +98,7 @@ Network::send(Socket &from, Message msg, sim::Time extraDelay)
         if (fault.dropProb > 0 &&
             faultRng_.bernoulli(fault.dropProb)) {
             ++dropped_;
+            bytesDropped_ += msg.bytes;
             return;
         }
         // Receiver-side NIC accounting + possible rx contention.
@@ -120,14 +122,17 @@ Network::send(Socket &from, Message msg, sim::Time extraDelay)
             if (!loopback && !faults_.empty() &&
                 linkFault(fromMachine, to->machine).partitioned) {
                 ++dropped_;
+                bytesDropped_ += payload->bytes;
                 return;
             }
             if ((to->machine && to->machine->down()) ||
                 (to->inboundGate && !to->inboundGate())) {
                 ++dropped_;
+                bytesDropped_ += payload->bytes;
                 return;
             }
             ++delivered_;
+            bytesDelivered_ += payload->bytes;
             to->push(std::move(*payload));
         });
 }

@@ -81,6 +81,17 @@ class Network
         return sent_ - delivered_ - dropped_;
     }
 
+    /** Payload bytes, with the same exact accounting as messages. */
+    std::uint64_t bytesSent() const { return bytesSent_; }
+    std::uint64_t bytesDelivered() const { return bytesDelivered_; }
+    std::uint64_t bytesDropped() const { return bytesDropped_; }
+
+    std::uint64_t
+    bytesInFlight() const
+    {
+        return bytesSent_ - bytesDelivered_ - bytesDropped_;
+    }
+
     // ---- fault hooks (installed by fault::FaultInjector) ------------
 
     /**
@@ -112,6 +123,9 @@ class Network
     std::uint64_t sent_ = 0;
     std::uint64_t delivered_ = 0;
     std::uint64_t dropped_ = 0;
+    std::uint64_t bytesSent_ = 0;
+    std::uint64_t bytesDelivered_ = 0;
+    std::uint64_t bytesDropped_ = 0;
     std::map<LinkKey, LinkFault> faults_;
     sim::Rng faultRng_{0xfa117ull};
 

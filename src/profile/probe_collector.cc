@@ -99,6 +99,16 @@ ProbeCollector::onFileAccess(const os::Thread &, std::uint64_t offset,
     fileSpan_ = std::max(fileSpan_, offset + bytes);
 }
 
+void
+ProbeCollector::onOutcome(const os::Thread &, trace::OutcomeKind kind,
+                          std::uint32_t, std::uint32_t,
+                          unsigned attempts)
+{
+    ++outcomeCounts_[static_cast<std::size_t>(kind)];
+    if (attempts > 1)
+        extraAttempts_ += attempts - 1;
+}
+
 std::vector<ThreadObservation>
 ProbeCollector::threadObservations() const
 {

@@ -11,6 +11,7 @@
 #ifndef DITTO_PROFILE_PROBE_COLLECTOR_H_
 #define DITTO_PROFILE_PROBE_COLLECTOR_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -42,6 +43,9 @@ class ProbeCollector : public app::ServiceProbe
                        sim::Time latency) override;
     void onFileAccess(const os::Thread &t, std::uint64_t offset,
                       std::uint64_t bytes, bool write) override;
+    void onOutcome(const os::Thread &t, trace::OutcomeKind kind,
+                   std::uint32_t target, std::uint32_t endpoint,
+                   unsigned attempts) override;
 
     /** Mark the beginning of the observation window. */
     void begin(sim::Time now);
@@ -59,6 +63,20 @@ class ProbeCollector : public app::ServiceProbe
     double asyncEvidence() const;
 
     std::uint64_t requests() const { return requests_; }
+
+    /**
+     * Probe-side resilience outcome tally for this service. Must
+     * agree with ServiceStats counters and the deployment tracer's
+     * exact counts (the reconciliation invariant in test_fault.cc).
+     */
+    std::uint64_t
+    outcomeCount(trace::OutcomeKind kind) const
+    {
+        return outcomeCounts_[static_cast<std::size_t>(kind)];
+    }
+
+    /** Total retry attempts beyond the first, from RPC outcomes. */
+    std::uint64_t extraAttempts() const { return extraAttempts_; }
 
   private:
     struct PerThread
@@ -78,6 +96,8 @@ class ProbeCollector : public app::ServiceProbe
     std::unordered_map<const os::Thread *, PerThread> threads_;
     sim::Time beginTime_ = 0;
     std::uint64_t requests_ = 0;
+    std::array<std::uint64_t, trace::kOutcomeKinds> outcomeCounts_{};
+    std::uint64_t extraAttempts_ = 0;
     std::uint64_t rpcIssues_ = 0;
     std::uint64_t overlappedRpcs_ = 0;
     std::uint64_t fileSpan_ = 0;

@@ -154,9 +154,20 @@ LatencyHistogram::percentile(double q) const
 {
     if (total_ == 0)
         return 0;
-    q = std::clamp(q, 0.0, 1.0);
-    const auto target = static_cast<std::uint64_t>(
-        std::ceil(q * static_cast<double>(total_)));
+    // The extremes are tracked exactly; never degrade them to a bucket
+    // midpoint (q = 1 on a value that is not a bucket boundary would
+    // otherwise come back smaller than maxValue()).
+    if (q <= 0.0)
+        return min_;
+    if (q >= 1.0)
+        return max_;
+    // Rank of the answer is ceil(q * N). Computed in floating point,
+    // q * N can land an ulp above an integer (0.99 * 100 ->
+    // 99.00000000000001) which would shift the rank up by one; nudge
+    // down before rounding up.
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total_) - 1e-9));
+    target = std::clamp<std::uint64_t>(target, 1, total_);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         seen += buckets_[i];

@@ -75,7 +75,12 @@ class LatencyHistogram
 
     /**
      * Value at quantile q in [0, 1]; e.g. q = 0.99 for p99.
-     * Returns 0 on an empty histogram.
+     *
+     * The answer is the value of rank ceil(q * count()), reported as
+     * the midpoint of its bucket and therefore within ~3% relative
+     * error of the recorded value. Exact at the extremes: q <= 0
+     * returns minValue() and q >= 1 returns maxValue(). Returns 0 on
+     * an empty histogram.
      */
     std::uint64_t percentile(double q) const;
 

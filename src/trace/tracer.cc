@@ -61,4 +61,17 @@ outcomeKindName(OutcomeKind kind)
     return "?";
 }
 
+bool
+outcomeKindFromName(const std::string &name, OutcomeKind &out)
+{
+    for (std::size_t i = 0; i < kOutcomeKinds; ++i) {
+        const auto kind = static_cast<OutcomeKind>(i);
+        if (name == outcomeKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
 } // namespace ditto::trace

@@ -64,6 +64,12 @@ inline constexpr std::size_t kOutcomeKinds = 6;
 /** Human-readable outcome name. */
 const char *outcomeKindName(OutcomeKind kind);
 
+/**
+ * Inverse of outcomeKindName. Returns false and leaves `out`
+ * untouched when `name` is not a known outcome kind.
+ */
+bool outcomeKindFromName(const std::string &name, OutcomeKind &out);
+
 /** One resilience outcome observation. */
 struct OutcomeEvent
 {
@@ -82,6 +88,12 @@ struct OutcomeEvent
  * Sampling keeps tracing overhead negligible in production (the
  * paper samples traces); the topology analyzer only needs relative
  * edge frequencies, which sampling preserves.
+ *
+ * Determinism: a Tracer is owned by exactly one Deployment and holds
+ * no global state -- span ids are drawn from a per-instance counter
+ * and the sampling decision is a pure function of (traceId,
+ * sampleRate). Concurrent runs on a RunExecutor therefore produce
+ * identical traces at any worker count (DESIGN.md §8).
  */
 class Tracer
 {
@@ -119,6 +131,22 @@ class Tracer
     outcomeCount(OutcomeKind kind) const
     {
         return outcomeCounts_[static_cast<std::size_t>(kind)];
+    }
+
+    /**
+     * Re-ingest a previously exported record verbatim, bypassing the
+     * sampling decision (the exporter already applied it). Used by
+     * obs::importJaegerJson; importOutcome also bumps the exact
+     * per-kind counter, so counters after an import reflect only the
+     * sampled events that survived export.
+     */
+    void importSpan(Span span) { spans_.push_back(std::move(span)); }
+    void importEdge(RpcEdge edge) { edges_.push_back(std::move(edge)); }
+    void
+    importOutcome(OutcomeEvent event)
+    {
+        ++outcomeCounts_[static_cast<std::size_t>(event.kind)];
+        outcomes_.push_back(std::move(event));
     }
 
     void clear();

@@ -18,6 +18,8 @@
 #include "fault/fault_plan.h"
 #include "hw/block_builder.h"
 #include "hw/platform.h"
+#include "profile/probe_collector.h"
+#include "trace/tracer.h"
 #include "workload/loadgen.h"
 
 namespace {
@@ -544,6 +546,93 @@ TEST(FaultInjection, EmptyPlanIsZeroCost)
     EXPECT_EQ(bare, idle);
     EXPECT_EQ(bare.netDropped, 0u);
     EXPECT_EQ(bare.completed, bare.ok);  // all Ok without faults
+}
+
+// ---------------------------------------------------------------------------
+// Outcome reconciliation: ServiceStats / ServiceProbe / Tracer
+// ---------------------------------------------------------------------------
+
+TEST(OutcomeAccounting, StatsProbeAndTracerReconcileUnderFaults)
+{
+    // Every resilience outcome is recorded through three independent
+    // readouts: the per-service counters (ServiceStats), the
+    // per-service probe stream (ServiceProbe::onOutcome), and the
+    // deployment-wide exact tally (Tracer::recordOutcome, which
+    // ignores sampling). The tiers sit on separate machines so the
+    // lossy link hits the RPC path itself (loopback traffic bypasses
+    // link faults), yielding plain successes, retried successes, and
+    // hard timeouts; the three books must balance exactly.
+    app::Deployment dep(17);
+    os::Machine &web = dep.addMachine("web", hw::platformA());
+    os::Machine &db = dep.addMachine("db", hw::platformA());
+    app::ServiceInstance &back = dep.deploy(backendSpec(), db);
+    app::ServiceInstance &front =
+        dep.deploy(frontendSpec(frontResilience()), web);
+    dep.wireAll();
+    workload::LoadGen gen(dep, front,
+                          TwoTier::clientLoad(2000,
+                                              sim::milliseconds(5)),
+                          23);
+
+    profile::ProbeCollector frontProbe;
+    profile::ProbeCollector backProbe;
+    front.setProbe(&frontProbe);
+    back.setProbe(&backProbe);
+
+    fault::FaultPlan plan;
+    plan.serviceCrash("back", sim::milliseconds(20),
+                      sim::milliseconds(20));
+    plan.linkDrop("web", "db", sim::milliseconds(50),
+                  sim::milliseconds(40), 0.3);
+    fault::FaultInjector injector(dep);
+    injector.install(plan);
+
+    gen.start();
+    dep.runFor(sim::milliseconds(120));
+
+    using trace::OutcomeKind;
+    const std::vector<const profile::ProbeCollector *> probes = {
+        &frontProbe, &backProbe};
+    const std::vector<app::ServiceInstance *> services = {
+        &front, &back};
+
+    // Book 1 vs book 2: stats counters vs probe tallies, per service.
+    for (std::size_t i = 0; i < services.size(); ++i) {
+        const app::ServiceStats &s = services[i]->stats();
+        const profile::ProbeCollector &p = *probes[i];
+        EXPECT_EQ(s.rpcOk, p.outcomeCount(OutcomeKind::RpcOk) +
+                               p.outcomeCount(OutcomeKind::RpcRetriedOk));
+        EXPECT_EQ(s.rpcTimeouts,
+                  p.outcomeCount(OutcomeKind::RpcTimeout));
+        EXPECT_EQ(s.rpcBreakerFastFails,
+                  p.outcomeCount(OutcomeKind::RpcBreakerOpen));
+        EXPECT_EQ(s.requestsShed,
+                  p.outcomeCount(OutcomeKind::RequestShed));
+        EXPECT_EQ(s.requestsDegraded,
+                  p.outcomeCount(OutcomeKind::RequestError));
+        // Retry attempts are counted at issue time; outcomes report
+        // them at completion, so in-flight retries at shutdown may
+        // leave the issue-side count ahead -- never behind.
+        EXPECT_GE(s.rpcRetries, p.extraAttempts());
+    }
+
+    // Book 2 vs book 3: per-kind probe sums across all services must
+    // equal the tracer's exact deployment-wide counts.
+    for (std::size_t k = 0; k < trace::kOutcomeKinds; ++k) {
+        const auto kind = static_cast<OutcomeKind>(k);
+        std::uint64_t probeSum = 0;
+        for (const profile::ProbeCollector *p : probes)
+            probeSum += p->outcomeCount(kind);
+        EXPECT_EQ(probeSum, dep.tracer().outcomeCount(kind))
+            << "kind=" << trace::outcomeKindName(kind);
+    }
+
+    // The plan actually produced a mixed outcome population: plain
+    // successes, retried successes, and hard failures.
+    EXPECT_GT(frontProbe.outcomeCount(OutcomeKind::RpcOk), 0u);
+    EXPECT_GT(frontProbe.outcomeCount(OutcomeKind::RpcRetriedOk), 0u);
+    EXPECT_GT(frontProbe.outcomeCount(OutcomeKind::RpcTimeout), 0u);
+    EXPECT_GT(frontProbe.extraAttempts(), 0u);
 }
 
 } // namespace

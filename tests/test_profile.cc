@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "app/deployment.h"
 #include "hw/block_builder.h"
 #include "hw/platform.h"
@@ -444,6 +448,84 @@ TEST(ProfileSession, EndToEndProfileIsSane)
     EXPECT_GT(prof.syscalls.perKind.size(), 1u);
     // Observers detached: exact mode off again.
     EXPECT_GT(prof.avgResponseBytes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// PerfReport percentile golden test
+// ---------------------------------------------------------------------------
+
+/** Records every request latency exactly, bypassing the histogram. */
+struct LatencyTap : app::ServiceProbe
+{
+    std::vector<sim::Time> latencies;
+
+    void
+    onRequestDone(std::uint32_t, sim::Time latency) override
+    {
+        latencies.push_back(latency);
+    }
+};
+
+TEST(PerfReport, PercentilesMatchBruteForceWithinHistogramBound)
+{
+    // snapshotService() reads p50/p95/p99 from the log-linear
+    // latency histogram (32 sub-buckets per power of two, so at most
+    // ~3.2% relative bucket error). A probe taps the exact latency
+    // stream in parallel; brute-force order statistics over that
+    // stream (rank ceil(q*n), the histogram's documented rank rule)
+    // are the golden reference the report must track.
+    app::Deployment dep(29);
+    os::Machine &m = dep.addMachine("n", hw::platformA());
+    app::ServiceSpec spec;
+    spec.name = "tap";
+    spec.threads.workers = 2;
+    hw::BlockSpec bs;
+    bs.label = "tap.h";
+    bs.instCount = 120;
+    bs.seed = 31;
+    spec.blocks.push_back(hw::buildBlock(bs));
+    app::EndpointSpec ep;
+    ep.name = "get";
+    ep.handler.ops = {app::opCompute(0, 12)};
+    spec.endpoints.push_back(ep);
+    app::ServiceInstance &svc = dep.deploy(spec, m);
+    dep.wireAll();
+
+    LatencyTap tap;
+    svc.setProbe(&tap);
+
+    workload::LoadSpec load;
+    load.qps = 4000;
+    load.connections = 8;
+    load.openLoop = true;
+    workload::LoadGen gen(dep, svc, load, 37);
+    gen.start();
+    dep.runFor(sim::milliseconds(80));
+
+    const PerfReport report = snapshotService(svc);
+    ASSERT_GE(tap.latencies.size(), 100u);
+    ASSERT_EQ(tap.latencies.size(), svc.stats().latency.count());
+
+    std::vector<sim::Time> sorted = tap.latencies;
+    std::sort(sorted.begin(), sorted.end());
+    const auto n = static_cast<double>(sorted.size());
+    auto golden = [&](double q) {
+        auto rank = static_cast<std::size_t>(
+            std::ceil(q * n - 1e-9));
+        rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+        return sim::toMilliseconds(sorted[rank - 1]);
+    };
+
+    EXPECT_LE(relativeError(report.p50LatencyMs, golden(0.50)), 0.032);
+    EXPECT_LE(relativeError(report.p95LatencyMs, golden(0.95)), 0.032);
+    EXPECT_LE(relativeError(report.p99LatencyMs, golden(0.99)), 0.032);
+
+    // The mean is tracked exactly (sum/count), not bucketed: only
+    // the report's ns truncation separates it from the golden mean.
+    double sumMs = 0;
+    for (const sim::Time v : sorted)
+        sumMs += sim::toMilliseconds(v);
+    EXPECT_LE(relativeError(report.avgLatencyMs, sumMs / n), 1e-3);
 }
 
 } // namespace

@@ -89,6 +89,73 @@ TEST(LatencyHistogram, PercentileRelativeError)
     EXPECT_NEAR(h.mean(), 50500.0, 50500.0 * 0.05);
 }
 
+TEST(LatencyHistogram, ExtremeQuantilesAreExactOutsideSubBucketRegion)
+{
+    // 4095 sits mid-bucket once values leave the exact (< 32) region;
+    // p0/p100 must still report the tracked extrema, not a midpoint.
+    LatencyHistogram h;
+    h.record(64);
+    h.record(100);
+    h.record(4095);
+    EXPECT_EQ(h.percentile(0.0), 64u);
+    EXPECT_EQ(h.percentile(1.0), 4095u);
+    // Out-of-range q clamps to the extremes.
+    EXPECT_EQ(h.percentile(-0.5), 64u);
+    EXPECT_EQ(h.percentile(1.5), 4095u);
+}
+
+TEST(LatencyHistogram, SingleSampleEveryQuantile)
+{
+    LatencyHistogram h;
+    h.record(777777);
+    for (double q : {0.0, 0.001, 0.5, 0.99, 1.0}) {
+        const auto v = h.percentile(q);
+        // One sample: every quantile is that sample, within bucket
+        // resolution; extremes are exact.
+        EXPECT_NEAR(static_cast<double>(v), 777777.0, 777777.0 * 0.03);
+    }
+    EXPECT_EQ(h.percentile(0.0), 777777u);
+    EXPECT_EQ(h.percentile(1.0), 777777u);
+}
+
+TEST(LatencyHistogram, AllMassInOneBucket)
+{
+    LatencyHistogram h;
+    h.record(5000, 1000000);
+    EXPECT_EQ(h.percentile(0.0), 5000u);
+    EXPECT_EQ(h.percentile(1.0), 5000u);
+    for (double q : {0.01, 0.5, 0.99})
+        EXPECT_NEAR(static_cast<double>(h.percentile(q)), 5000.0,
+                    5000.0 * 0.03);
+}
+
+TEST(LatencyHistogram, TopOfRangeDoesNotOverflow)
+{
+    LatencyHistogram h;
+    h.record(UINT64_MAX);
+    h.record(UINT64_MAX - 1);
+    h.record(1);
+    EXPECT_EQ(h.percentile(1.0), UINT64_MAX);
+    EXPECT_EQ(h.percentile(0.0), 1u);
+    EXPECT_GE(h.percentile(0.9), UINT64_MAX / 2);
+}
+
+TEST(LatencyHistogram, RankIsCeilOfQTimesN)
+{
+    // 64 exact values 0..63 (width-1 buckets, no rounding): the
+    // percentile is the ceil(q*n)-th order statistic. p50 of an even
+    // count must be the lower middle (rank 32 -> value 31), and the
+    // floating-point product 0.3*64=19.2 must round *up* to rank 20,
+    // not truncate to 19.
+    LatencyHistogram h;
+    for (std::uint64_t v = 0; v < 64; ++v)
+        h.record(v);
+    EXPECT_EQ(h.percentile(0.5), 31u);
+    EXPECT_EQ(h.percentile(0.3), 19u);
+    EXPECT_EQ(h.percentile(0.01), 0u);
+    EXPECT_EQ(h.percentile(0.99), 63u);
+}
+
 TEST(LatencyHistogram, WeightedRecord)
 {
     LatencyHistogram h;

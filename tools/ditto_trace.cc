@@ -1,0 +1,317 @@
+/**
+ * @file
+ * ditto-trace: run a deployment, export its traces and metrics, and
+ * prove the export round-trips.
+ *
+ * For each seed the tool runs a small four-service fanout app
+ * (front -> {mid, cache}, mid -> back, two machines), exports the
+ * deployment's traces as Jaeger JSON plus metrics snapshots
+ * (Prometheus text + JSON), then re-reads the exported *file* and
+ * feeds it to core::analyzeTopology. The recovered DAG -- nodes,
+ * edges, per-edge call counts and byte stats -- must match the
+ * in-memory path bit-for-bit; the tool exits nonzero otherwise.
+ *
+ * Runs fan out on a sim::RunExecutor. Output files and stdout are
+ * byte-identical at any --jobs count (DESIGN.md §8).
+ *
+ * Usage:
+ *   ditto_trace [--out DIR] [--seed S] [--runs K] [--qps Q]
+ *               [--duration-ms D] [--sample-rate R] [--faults]
+ *               [--jobs N]
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "app/deployment.h"
+#include "app/resilience.h"
+#include "core/topology_analyzer.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "hw/block_builder.h"
+#include "hw/platform.h"
+#include "obs/jaeger.h"
+#include "obs/metrics.h"
+#include "obs/register.h"
+#include "sim/run_executor.h"
+#include "workload/loadgen.h"
+
+namespace {
+
+using namespace ditto;
+
+struct Options
+{
+    std::string out = ".";
+    std::uint64_t seed = 1;
+    unsigned runs = 3;
+    double qps = 3000;
+    sim::Time duration = sim::milliseconds(150);
+    double sampleRate = 1.0;
+    bool faults = false;
+};
+
+hw::CodeBlock
+toolBlock(const std::string &label, std::uint64_t seed)
+{
+    hw::BlockSpec bs;
+    bs.label = label;
+    bs.instCount = 64;
+    bs.seed = seed;
+    return hw::buildBlock(bs);
+}
+
+app::ServiceSpec
+leafSpec(const std::string &name, std::uint64_t blockSeed)
+{
+    app::ServiceSpec spec;
+    spec.name = name;
+    spec.threads.workers = 2;
+    spec.blocks.push_back(toolBlock(name + ".h", blockSeed));
+    app::EndpointSpec ep;
+    ep.name = "get";
+    ep.handler.ops = {app::opCompute(0, 5)};
+    spec.endpoints.push_back(ep);
+    return spec;
+}
+
+app::ServiceSpec
+midSpec()
+{
+    app::ServiceSpec spec;
+    spec.name = "mid";
+    spec.threads.workers = 2;
+    spec.downstreams = {"back"};
+    spec.blocks.push_back(toolBlock("mid.h", 5));
+    app::EndpointSpec ep;
+    ep.name = "assemble";
+    ep.handler.ops = {app::opCompute(0, 4),
+                      app::opRpc(0, 0, 128, 256),
+                      app::opCompute(0, 2)};
+    spec.endpoints.push_back(ep);
+    return spec;
+}
+
+app::ServiceSpec
+frontSpec(bool withResilience)
+{
+    app::ServiceSpec spec;
+    spec.name = "front";
+    spec.threads.workers = 2;
+    spec.downstreams = {"mid", "cache"};
+    spec.blocks.push_back(toolBlock("front.h", 7));
+    app::EndpointSpec ep;
+    ep.name = "page";
+    ep.handler.ops = {app::opCompute(0, 3),
+                      app::opRpc(0, 0, 256, 512),
+                      app::opRpc(1, 0, 64, 1024),
+                      app::opCompute(0, 3)};
+    spec.endpoints.push_back(ep);
+    if (withResilience) {
+        spec.resilience.rpcDeadline = sim::microseconds(800);
+        spec.resilience.retry.maxAttempts = 2;
+        spec.resilience.retry.baseBackoff = sim::microseconds(100);
+        spec.resilience.retry.jitter = 0.0;
+    }
+    return spec;
+}
+
+/** One run's exported artifacts + the in-memory topology. */
+struct RunArtifacts
+{
+    std::uint64_t seed = 0;
+    std::string traceJson;
+    std::string prometheus;
+    std::string metricsJson;
+    core::Topology topo;
+    std::uint64_t spans = 0;
+    std::uint64_t edges = 0;
+    std::uint64_t completed = 0;
+};
+
+RunArtifacts
+runOnce(const Options &opt, std::uint64_t seed)
+{
+    app::Deployment dep(seed, opt.sampleRate);
+    os::Machine &web = dep.addMachine("web", hw::platformA());
+    os::Machine &db = dep.addMachine("db", hw::platformA());
+    dep.deploy(leafSpec("back", 3), db);
+    dep.deploy(leafSpec("cache", 4), db);
+    dep.deploy(midSpec(), web);
+    dep.deploy(frontSpec(opt.faults), web);
+    dep.wireAll();
+
+    fault::FaultInjector injector(dep);
+    if (opt.faults) {
+        fault::FaultPlan plan;
+        plan.linkDrop("web", "db", opt.duration / 4,
+                      opt.duration / 4, 0.3);
+        injector.install(plan);
+    }
+
+    obs::MetricsRegistry registry;
+    obs::registerDeploymentMetrics(registry, dep);
+    obs::registerInjectorMetrics(registry, injector);
+
+    workload::LoadSpec load;
+    load.qps = opt.qps;
+    load.connections = 4;
+    load.openLoop = true;
+    load.timeout = sim::milliseconds(5);
+    workload::LoadGen gen(dep, *dep.find("front"), load,
+                          seed ^ 0x10adull);
+    gen.start();
+    dep.runFor(opt.duration);
+
+    RunArtifacts art;
+    art.seed = seed;
+    art.traceJson = obs::exportJaegerJson(dep.tracer());
+    art.prometheus = registry.prometheusText();
+    art.metricsJson = registry.jsonText();
+    art.topo = core::analyzeTopology(dep.tracer());
+    art.spans = dep.tracer().spans().size();
+    art.edges = dep.tracer().edges().size();
+    art.completed = gen.completed();
+    return art;
+}
+
+bool
+sameTopology(const core::Topology &a, const core::Topology &b,
+             std::string &why)
+{
+    if (a.services != b.services) {
+        why = "service lists differ";
+        return false;
+    }
+    if (a.root != b.root) {
+        why = "roots differ";
+        return false;
+    }
+    if (a.requestCounts != b.requestCounts) {
+        why = "per-service request counts differ";
+        return false;
+    }
+    if (a.edges.size() != b.edges.size()) {
+        why = "edge counts differ";
+        return false;
+    }
+    for (std::size_t i = 0; i < a.edges.size(); ++i) {
+        const auto &ea = a.edges[i];
+        const auto &eb = b.edges[i];
+        if (ea.caller != eb.caller || ea.callee != eb.callee ||
+            ea.endpoint != eb.endpoint ||
+            ea.callsPerCallerRequest != eb.callsPerCallerRequest ||
+            ea.avgRequestBytes != eb.avgRequestBytes ||
+            ea.avgResponseBytes != eb.avgResponseBytes) {
+            why = "edge " + ea.caller + "->" + ea.callee +
+                " stats differ";
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        std::fprintf(stderr, "ditto-trace: cannot write %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    os.write(content.data(),
+             static_cast<std::streamsize>(content.size()));
+}
+
+bool
+parseArg(int argc, char **argv, int &i, const char *name,
+         std::string &value)
+{
+    const std::size_t n = std::strlen(name);
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+        value = argv[++i];
+        return true;
+    }
+    if (std::strncmp(argv[i], name, n) == 0 && argv[i][n] == '=') {
+        value = argv[i] + n + 1;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (parseArg(argc, argv, i, "--out", v))
+            opt.out = v;
+        else if (parseArg(argc, argv, i, "--seed", v))
+            opt.seed = std::strtoull(v.c_str(), nullptr, 10);
+        else if (parseArg(argc, argv, i, "--runs", v))
+            opt.runs = static_cast<unsigned>(
+                std::strtoul(v.c_str(), nullptr, 10));
+        else if (parseArg(argc, argv, i, "--qps", v))
+            opt.qps = std::strtod(v.c_str(), nullptr);
+        else if (parseArg(argc, argv, i, "--duration-ms", v))
+            opt.duration = sim::milliseconds(
+                std::strtoull(v.c_str(), nullptr, 10));
+        else if (parseArg(argc, argv, i, "--sample-rate", v))
+            opt.sampleRate = std::strtod(v.c_str(), nullptr);
+        else if (std::strcmp(argv[i], "--faults") == 0)
+            opt.faults = true;
+        // --jobs is consumed by jobsFromArgs below.
+    }
+
+    sim::RunExecutor pool(sim::RunExecutor::jobsFromArgs(argc, argv));
+    std::vector<std::function<RunArtifacts()>> tasks;
+    for (unsigned k = 0; k < opt.runs; ++k) {
+        const std::uint64_t seed = opt.seed + k;
+        tasks.push_back([&opt, seed] { return runOnce(opt, seed); });
+    }
+    const auto results = pool.runOrdered(std::move(tasks));
+
+    bool allOk = true;
+    for (const RunArtifacts &art : results) {
+        const std::string base =
+            opt.out + "/ditto_" + std::to_string(art.seed);
+        const std::string tracePath = base + "_trace.json";
+        writeFile(tracePath, art.traceJson);
+        writeFile(base + "_metrics.prom", art.prometheus);
+        writeFile(base + "_metrics.json", art.metricsJson);
+
+        // The round trip goes through the file on disk, not the
+        // in-memory spans.
+        const trace::Tracer reimported =
+            obs::readJaegerJsonFile(tracePath);
+        const core::Topology fromFile =
+            core::analyzeTopology(reimported);
+        std::string why;
+        const bool ok = sameTopology(art.topo, fromFile, why);
+        allOk = allOk && ok;
+
+        std::printf("seed %llu: %llu completed requests, "
+                    "%llu spans, %llu rpc edges\n",
+                    static_cast<unsigned long long>(art.seed),
+                    static_cast<unsigned long long>(art.completed),
+                    static_cast<unsigned long long>(art.spans),
+                    static_cast<unsigned long long>(art.edges));
+        std::printf("  topology: root=%s services=%zu edges=%zu\n",
+                    art.topo.root.c_str(), art.topo.services.size(),
+                    art.topo.edges.size());
+        std::printf("  round-trip via %s: %s%s%s\n",
+                    tracePath.c_str(),
+                    ok ? "OK (bit-identical)" : "MISMATCH",
+                    ok ? "" : " -- ", ok ? "" : why.c_str());
+    }
+    return allOk ? 0 : 1;
+}
