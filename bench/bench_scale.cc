@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Thousand-service scale benchmark for the cluster subsystem.
+ *
+ * Sweeps synthetic layered topologies (cluster/topo_gen.h) from 10 to
+ * 1000 services, drives the root with an open-loop client, and runs
+ * the autoscaler on the root's hottest downstream group. Per size it
+ * reports topology shape, delivered load, end-to-end p95, and the
+ * autoscaler's actions; wall-clock per size goes to stderr and
+ * BENCH_pipeline.json. The sweep fans out on the RunExecutor and all
+ * stdout is printed after the ordered join, so output is
+ * byte-identical at any --jobs.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "app/deployment.h"
+#include "bench/bench_common.h"
+#include "cluster/autoscaler.h"
+#include "cluster/replica_set.h"
+#include "cluster/topo_gen.h"
+#include "obs/metrics.h"
+#include "obs/register.h"
+#include "workload/loadgen.h"
+
+using namespace ditto;
+
+namespace {
+
+struct ScaleCase
+{
+    unsigned services;
+    unsigned depth;
+    unsigned machines;
+    double qps;
+    sim::Time warm;
+    sim::Time measure;
+};
+
+struct ScaleRow
+{
+    unsigned services = 0;
+    std::size_t edges = 0;
+    unsigned machines = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t completed = 0;
+    double p95Ms = 0;
+    std::uint64_t scaleUps = 0;
+    std::uint64_t scaleDowns = 0;
+    std::size_t replicas = 0;
+    double wallSeconds = 0;
+};
+
+ScaleRow
+runScaleCase(const ScaleCase &sc)
+{
+    const auto wallStart = std::chrono::steady_clock::now();
+
+    cluster::TopoSpec topo;
+    topo.services = sc.services;
+    topo.depth = sc.depth;
+    topo.seed = 42;
+    const cluster::GeneratedTopology gen =
+        cluster::generateTopology(topo);
+
+    app::Deployment dep(1234, /*traceSampleRate=*/0.05);
+    app::ServiceInstance &root =
+        cluster::deployTopology(dep, gen, sc.machines);
+
+    obs::MetricsRegistry metrics;
+    obs::registerDeploymentMetrics(metrics, dep);
+
+    // Autoscale the root's first downstream: every request hits it,
+    // making it the natural hot spot of the layered topology.
+    const std::string hot = root.spec().downstreams.front();
+    cluster::Placer placer;
+    for (const auto &m : dep.machines())
+        placer.addMachine(*m, 4);
+    cluster::ReplicaSet set(dep, hot, placer, &metrics);
+    cluster::AutoscalerSpec as;
+    as.period = sim::milliseconds(5);
+    as.cooldown = sim::milliseconds(15);
+    as.queueHigh = 1.5;
+    as.queueLow = 0.25;
+    as.maxReplicas = 4;
+    cluster::Autoscaler scaler(dep, set, metrics, as);
+    scaler.start();
+
+    workload::LoadSpec load;
+    load.qps = sc.qps;
+    load.connections = 8;
+    load.openLoop = true;
+    load.timeout = sim::milliseconds(20);
+    workload::LoadGen gen2(dep, root, load, 91);
+
+    gen2.start();
+    dep.runFor(sc.warm);
+    dep.beginMeasureAll();
+    dep.runFor(sc.measure);
+
+    ScaleRow row;
+    row.services = sc.services;
+    row.edges = gen.edges;
+    row.machines = sc.machines;
+    row.sent = gen2.sent();
+    row.completed = gen2.completed();
+    row.p95Ms = static_cast<double>(gen2.latency().percentile(0.95)) /
+        1e6;
+    row.scaleUps = scaler.stats().scaleUps;
+    row.scaleDowns = scaler.stats().scaleDowns;
+    row.replicas = set.active();
+    row.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wallStart)
+                          .count();
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchRuntime rt(argc, argv, "scale");
+
+    const std::vector<ScaleCase> cases = {
+        {10, 3, 2, 3000, sim::milliseconds(40), sim::milliseconds(80)},
+        {100, 4, 4, 1200, sim::milliseconds(40),
+         sim::milliseconds(80)},
+        {1000, 6, 8, 600, sim::milliseconds(20),
+         sim::milliseconds(40)},
+    };
+
+    std::vector<std::function<ScaleRow()>> tasks;
+    for (const ScaleCase &sc : cases)
+        tasks.push_back([sc] { return runScaleCase(sc); });
+    const std::vector<ScaleRow> rows =
+        rt.executor().runOrdered<ScaleRow>(std::move(tasks));
+
+    std::printf("# bench_scale: layered topologies under autoscaling\n");
+    std::printf("%8s %6s %8s %9s %10s %8s %5s %5s %9s\n", "services",
+                "edges", "machines", "sent", "completed", "p95_ms",
+                "up", "down", "replicas");
+    for (const ScaleRow &r : rows) {
+        std::printf("%8u %6zu %8u %9llu %10llu %8.3f %5llu %5llu %9zu\n",
+                    r.services, r.edges, r.machines,
+                    static_cast<unsigned long long>(r.sent),
+                    static_cast<unsigned long long>(r.completed),
+                    r.p95Ms,
+                    static_cast<unsigned long long>(r.scaleUps),
+                    static_cast<unsigned long long>(r.scaleDowns),
+                    r.replicas);
+        std::fprintf(stderr, "[scale %u] wall %.2fs\n", r.services,
+                     r.wallSeconds);
+    }
+
+    rt.finish();
+    return 0;
+}

@@ -1,5 +1,7 @@
 #include "app/deployment.h"
 
+#include <stdexcept>
+
 namespace ditto::app {
 
 Deployment::Deployment(std::uint64_t seed, double traceSampleRate)
@@ -22,28 +24,85 @@ Deployment::addMachine(const std::string &name,
 }
 
 ServiceInstance &
-Deployment::deploy(const ServiceSpec &spec, os::Machine &machine)
+Deployment::instantiate(const ServiceSpec &spec, os::Machine &machine,
+                        unsigned replicaIndex)
 {
     services_.push_back(std::make_unique<ServiceInstance>(
         spec, machine, network_, &tracer_,
-        seed_ ^ (services_.size() * 0x9e3779b9ull)));
+        seed_ ^ (services_.size() * 0x9e3779b9ull), replicaIndex));
     ServiceInstance &svc = *services_.back();
-    registry_[spec.name] = &svc;
+    registry_[spec.name].push_back(&svc);
     return svc;
+}
+
+ServiceInstance &
+Deployment::deploy(const ServiceSpec &spec, os::Machine &machine)
+{
+    if (registry_.count(spec.name)) {
+        throw std::runtime_error(
+            "deploy: duplicate service name '" + spec.name + "'");
+    }
+    return instantiate(spec, machine, 0);
+}
+
+ServiceInstance &
+Deployment::addReplica(const std::string &name, os::Machine &machine)
+{
+    auto it = registry_.find(name);
+    if (it == registry_.end()) {
+        throw std::runtime_error(
+            "addReplica: service '" + name + "' is not deployed");
+    }
+    const ServiceSpec &spec = it->second.front()->spec();
+    ServiceInstance &replica = instantiate(
+        spec, machine, static_cast<unsigned>(it->second.size()));
+    if (wired_) {
+        // Mid-run scale-up: wire the replica's own downstream edges,
+        // then fan it into every caller of the group.
+        replica.wire(registry_);
+        for (auto &[caller, edge] : upstreamEdges_[name])
+            caller->addDownstreamReplica(edge, replica);
+    }
+    return replica;
 }
 
 void
 Deployment::wireAll()
 {
-    for (auto &svc : services_)
+    upstreamEdges_.clear();
+    for (auto &svc : services_) {
         svc->wire(registry_);
+        const auto &downs = svc->spec().downstreams;
+        for (std::uint32_t i = 0; i < downs.size(); ++i)
+            upstreamEdges_[downs[i]].push_back({svc.get(), i});
+    }
+    wired_ = true;
 }
 
 ServiceInstance *
 Deployment::find(const std::string &name)
 {
     auto it = registry_.find(name);
-    return it != registry_.end() ? it->second : nullptr;
+    return it != registry_.end() ? it->second.front() : nullptr;
+}
+
+const std::vector<ServiceInstance *> &
+Deployment::replicas(const std::string &name) const
+{
+    static const std::vector<ServiceInstance *> kEmpty;
+    auto it = registry_.find(name);
+    return it != registry_.end() ? it->second : kEmpty;
+}
+
+void
+Deployment::setReplicaActive(const std::string &name,
+                             std::size_t replica, bool active)
+{
+    auto it = upstreamEdges_.find(name);
+    if (it == upstreamEdges_.end())
+        return;
+    for (auto &[caller, edge] : it->second)
+        caller->setDownstreamReplicaActive(edge, replica, active);
 }
 
 os::Machine *

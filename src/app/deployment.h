@@ -36,14 +36,52 @@ class Deployment
     os::Machine &addMachine(const std::string &name,
                             const hw::PlatformSpec &spec);
 
-    /** Deploy a service instance onto a machine. */
+    /**
+     * Deploy a service instance onto a machine.
+     * @throws std::runtime_error naming the service if one with the
+     *         same name is already deployed (replicate an existing
+     *         service with addReplica instead).
+     */
     ServiceInstance &deploy(const ServiceSpec &spec,
                             os::Machine &machine);
 
-    /** Resolve downstream references; call after all deploys. */
+    /**
+     * Add one replica to the service `name` (which must already be
+     * deployed). Replicas share the service name -- callers keep
+     * addressing the group by the name in their downstream list --
+     * and get replicaIndex = current group size. May be called after
+     * wireAll (autoscaler scale-up): the new replica is wired and
+     * every upstream caller fans a connection into it immediately.
+     * @throws std::runtime_error if `name` is not deployed.
+     */
+    ServiceInstance &addReplica(const std::string &name,
+                                os::Machine &machine);
+
+    /**
+     * Resolve downstream references; call after all deploys.
+     * @throws std::runtime_error naming caller and downstream on a
+     *         dangling reference.
+     */
     void wireAll();
 
+    /**
+     * Canonical handle of service `name`: its first (index-0)
+     * replica, which always exists and is never retired. Use
+     * replicas() to reach the full group.
+     */
     ServiceInstance *find(const std::string &name);
+
+    /** All replicas of `name` (empty if not deployed). */
+    const std::vector<ServiceInstance *> &
+    replicas(const std::string &name) const;
+
+    /**
+     * Retire (active=false) or reactivate one replica in every
+     * upstream caller's balancer: retired replicas finish what they
+     * have but receive no new picks. The instance itself stays up.
+     */
+    void setReplicaActive(const std::string &name, std::size_t replica,
+                          bool active);
 
     os::Machine *machine(const std::string &name);
 
@@ -78,7 +116,17 @@ class Deployment
     std::vector<std::unique_ptr<os::Machine>> machines_;
     std::map<std::string, os::Machine *> machinesByName_;
     std::vector<std::unique_ptr<ServiceInstance>> services_;
-    std::map<std::string, ServiceInstance *> registry_;
+    /** Replica groups by service name (index = replicaIndex). */
+    std::map<std::string, std::vector<ServiceInstance *>> registry_;
+    /** Reverse edges: group name -> (caller, edge idx) list. */
+    std::map<std::string,
+             std::vector<std::pair<ServiceInstance *, std::uint32_t>>>
+        upstreamEdges_;
+    bool wired_ = false;
+
+    ServiceInstance &instantiate(const ServiceSpec &spec,
+                                 os::Machine &machine,
+                                 unsigned replicaIndex);
 };
 
 } // namespace ditto::app

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "app/resilience.h"
+#include "cluster/balancer.h"
 #include "hw/code.h"
 #include "sim/time.h"
 
@@ -181,6 +182,14 @@ struct ServiceSpec
      * under faults. Defaults disable everything.
      */
     ResilienceSpec resilience;
+    /**
+     * Replica selection for the RPC edges this service originates
+     * (see cluster/balancer.h). Deployment-side configuration like
+     * `resilience`; with unreplicated downstreams every policy
+     * degenerates to the single instance and the runtime is
+     * bit-identical to the pre-cluster behaviour.
+     */
+    cluster::BalancingSpec balancing;
 };
 
 } // namespace ditto::app

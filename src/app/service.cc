@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace ditto::app {
 
@@ -208,8 +209,8 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
         const std::uint64_t traceId =
             worker.currentRequest().msg.traceId;
 
-        auto send_call = [&](const RpcCallSpec &call) -> std::uint64_t {
-            os::Socket *conn = worker.downConn(call.target);
+        auto send_call = [&](const RpcCallSpec &call,
+                             os::Socket *conn) -> std::uint64_t {
             os::Message req;
             req.kind = os::MsgKind::Request;
             req.bytes = call.requestBytes;
@@ -250,7 +251,10 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
             // With resilience enabled each call runs an attempt loop:
             // arm a deadline, and on expiry back off and resend (the
             // response is matched by tag, so a late first reply is
-            // discarded rather than credited to the retry).
+            // discarded rather than credited to the retry). Each
+            // attempt picks a replica through the edge balancer, so a
+            // retry can land on -- and route around a crash via -- a
+            // different replica than the attempt it replaces.
             while (true) {
                 const std::size_t callIdx =
                     static_cast<std::size_t>(frame.phase) / 2;
@@ -273,7 +277,12 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                         continue;
                     }
                     rs.attempt++;
-                    rs.waitTag = send_call(call);
+                    rs.replica =
+                        service.pickReplica(call.target, traceId);
+                    rs.conn =
+                        worker.downConn(call.target, rs.replica);
+                    service.balancer(call.target).onSend(rs.replica);
+                    rs.waitTag = send_call(call, rs.conn);
                     if (res.rpcDeadline > 0)
                         worker.armRpcTimer(ctx, res.rpcDeadline);
                     frame.phase++;
@@ -284,7 +293,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                     rs.timerFired = false;
                     frame.phase--;  // backoff over: resend
                 } else {
-                    os::Socket *conn = worker.downConn(call.target);
+                    os::Socket *conn = rs.conn;
                     os::Message resp;
                     if (kernel.sysSocketTryRead(ctx, worker, *conn,
                                                 resp) ==
@@ -303,6 +312,8 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                         worker.probeSyscall(SysKind::SocketRead,
                                             resp.bytes);
                         worker.cancelRpcTimer();
+                        service.balancer(call.target)
+                            .onDone(rs.replica);
                         if (cb)
                             cb->onSuccess();
                         if (res.any()) {
@@ -321,6 +332,8 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                         // Attempt deadline expired with no response.
                         rs.timerFired = false;
                         conn->removeWaiter(&worker);
+                        service.balancer(call.target)
+                            .onDone(rs.replica);
                         if (cb)
                             cb->onFailure(worker.now(ctx));
                         if (rs.attempt < res.retry.maxAttempts) {
@@ -351,10 +364,14 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
             }
         }
 
-        // Async client: fire the whole fanout, then collect.
+        // Async client: fire the whole fanout, then collect. Each
+        // call picks its replica independently, so one fanout can
+        // spread across the replicas of a single downstream group.
         if (frame.phase == 0) {
             rs = Worker::RpcState{};
             rs.fanoutTags.assign(n, 0);
+            rs.fanoutConns.assign(n, nullptr);
+            rs.fanoutReplicas.assign(n, 0);
             std::uint64_t pending = 0;
             for (std::size_t i = 0; i < n; ++i) {
                 const RpcCallSpec &call = op.rpcs[i];
@@ -366,7 +383,13 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                     worker.currentRequest().degraded = true;
                     continue;
                 }
-                rs.fanoutTags[i] = send_call(call);
+                const std::size_t replica =
+                    service.pickReplica(call.target, traceId);
+                rs.fanoutReplicas[i] = replica;
+                rs.fanoutConns[i] =
+                    worker.downConn(call.target, replica);
+                service.balancer(call.target).onSend(replica);
+                rs.fanoutTags[i] = send_call(call, rs.fanoutConns[i]);
                 pending |= std::uint64_t{1} << std::min<std::size_t>(
                     i, 63);
             }
@@ -382,7 +405,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
         for (std::size_t i = 0; i < n; ++i) {
             if (!(frame.aux & (std::uint64_t{1} << i)))
                 continue;
-            os::Socket *conn = worker.downConn(op.rpcs[i].target);
+            os::Socket *conn = rs.fanoutConns[i];
             conn->removeWaiter(&worker);
             os::Message resp;
             while ((frame.aux & (std::uint64_t{1} << i)) &&
@@ -410,6 +433,8 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                     }
                 }
                 worker.probeSyscall(SysKind::SocketRead, resp.bytes);
+                service.balancer(op.rpcs[match].target)
+                    .onDone(rs.fanoutReplicas[match]);
                 CircuitBreaker *cb =
                     service.breaker(op.rpcs[match].target);
                 if (cb)
@@ -438,7 +463,9 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                 if (!(frame.aux & (std::uint64_t{1} << i)))
                     continue;
                 const RpcCallSpec &call = op.rpcs[i];
-                worker.downConn(call.target)->removeWaiter(&worker);
+                rs.fanoutConns[i]->removeWaiter(&worker);
+                service.balancer(call.target)
+                    .onDone(rs.fanoutReplicas[i]);
                 CircuitBreaker *cb = service.breaker(call.target);
                 if (cb)
                     cb->onFailure(worker.now(ctx));
@@ -456,7 +483,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
         // Park on every still-pending connection.
         for (std::size_t i = 0; i < n; ++i) {
             if (frame.aux & (std::uint64_t{1} << i))
-                worker.downConn(op.rpcs[i].target)->addWaiter(&worker);
+                rs.fanoutConns[i]->addWaiter(&worker);
         }
         return Status::Blocked;
       }
@@ -543,9 +570,11 @@ ServiceInstance::ServiceInstance(const ServiceSpec &spec,
                                  os::Machine &machine,
                                  os::Network &network,
                                  trace::Tracer *tracer,
-                                 std::uint64_t seed)
+                                 std::uint64_t seed,
+                                 unsigned replicaIndex)
     : spec_(spec), machine_(machine), network_(network),
-      tracer_(tracer), rng_(seed ^ 0x5e41ceull)
+      tracer_(tracer), rng_(seed ^ 0x5e41ceull), seed_(seed),
+      replicaIndex_(replicaIndex)
 {
     const os::Machine::AddressRegion region = machine_.allocRegion();
     image_ = std::make_unique<hw::CodeImage>(
@@ -553,9 +582,12 @@ ServiceInstance::ServiceInstance(const ServiceSpec &spec,
     for (const hw::CodeBlock &block : spec_.blocks)
         image_->addBlock(block);
 
+    // Replicas get distinct backing files even when co-located on one
+    // machine; replica 0 keeps the original names.
+    const std::string filePrefix = instanceLabel();
     for (std::size_t i = 0; i < spec_.fileBytes.size(); ++i) {
         fileIds_.push_back(machine_.vfs().create(
-            spec_.name + ".file" + std::to_string(i),
+            filePrefix + ".file" + std::to_string(i),
             spec_.fileBytes[i]));
         if (spec_.filePrewarmFraction > 0) {
             const std::uint64_t pages =
@@ -578,14 +610,22 @@ ServiceInstance::ServiceInstance(const ServiceSpec &spec,
         for (unsigned w = 0; w < std::max(1u, spec_.threads.workers);
              ++w) {
             spawnWorker(ThreadRole::Worker,
-                        spec_.name + ".worker" + std::to_string(w),
+                        filePrefix + ".worker" + std::to_string(w),
                         nullptr, 0);
         }
     }
     for (const BackgroundSpec &bg : spec_.background) {
         spawnWorker(ThreadRole::Background,
-                    spec_.name + "." + bg.name, &bg.body, bg.period);
+                    filePrefix + "." + bg.name, &bg.body, bg.period);
     }
+}
+
+std::string
+ServiceInstance::instanceLabel() const
+{
+    if (replicaIndex_ == 0)
+        return spec_.name;
+    return spec_.name + "@" + std::to_string(replicaIndex_);
 }
 
 ServiceInstance::~ServiceInstance() = default;
@@ -615,15 +655,27 @@ ServiceInstance::spawnWorker(ThreadRole role, const std::string &name,
 
 void
 ServiceInstance::wire(
-    const std::map<std::string, ServiceInstance *> &registry)
+    const std::map<std::string,
+                   std::vector<ServiceInstance *>> &registry)
 {
-    downstreams_.clear();
+    downstreamGroups_.clear();
+    balancers_.clear();
+    balancers_.resize(spec_.downstreams.size());
+    std::uint32_t edge = 0;
     for (const std::string &name : spec_.downstreams) {
         auto it = registry.find(name);
-        downstreams_.push_back(
-            it != registry.end() ? it->second : nullptr);
+        if (it == registry.end() || it->second.empty()) {
+            throw std::runtime_error(
+                "wire: service '" + spec_.name +
+                "' references unknown downstream '" + name + "'");
+        }
+        downstreamGroups_.push_back(it->second);
+        balancers_[edge].init(
+            spec_.balancing.policyFor(name), it->second.size(),
+            seed_ ^ (0x9e3779b97f4a7c15ull * (edge + 1)));
+        edge++;
     }
-    breakers_.assign(downstreams_.size(),
+    breakers_.assign(downstreamGroups_.size(),
                      CircuitBreaker(spec_.resilience.breaker));
     wired_ = true;
     for (Worker *w : workers_) {
@@ -634,22 +686,68 @@ ServiceInstance::wire(
     }
 }
 
+os::Socket *
+ServiceInstance::connectTo(ServiceInstance &target)
+{
+    os::Socket *mine = machine_.createSocket();
+    mine->inboundGate = [this] { return !down_; };
+    os::Socket *theirs = target.openConnection();
+    os::Network::connect(*mine, *theirs);
+    return mine;
+}
+
 void
 ServiceInstance::openDownstreamConns(Worker &w)
 {
-    std::vector<os::Socket *> conns;
-    for (ServiceInstance *target : downstreams_) {
-        if (!target) {
-            conns.push_back(nullptr);
-            continue;
-        }
-        os::Socket *mine = machine_.createSocket();
-        mine->inboundGate = [this] { return !down_; };
-        os::Socket *theirs = target->openConnection();
-        os::Network::connect(*mine, *theirs);
-        conns.push_back(mine);
+    std::vector<std::vector<os::Socket *>> conns;
+    for (const std::vector<ServiceInstance *> &group :
+         downstreamGroups_) {
+        std::vector<os::Socket *> edge;
+        for (ServiceInstance *replica : group)
+            edge.push_back(connectTo(*replica));
+        conns.push_back(std::move(edge));
     }
     w.setDownConns(std::move(conns));
+}
+
+std::size_t
+ServiceInstance::pickReplica(std::uint32_t target, std::uint64_t key)
+{
+    const std::vector<ServiceInstance *> &group =
+        downstreamGroups_[target];
+    return balancers_[target].pick(key, [&](std::size_t i) {
+        ServiceInstance *r = group[i];
+        return !r->down() && !r->machine().down();
+    });
+}
+
+void
+ServiceInstance::addDownstreamReplica(std::uint32_t target,
+                                      ServiceInstance &replica)
+{
+    downstreamGroups_[target].push_back(&replica);
+    balancers_[target].addReplica();
+    // Every worker holds a conn vector per edge (wire() and
+    // spawnWorker() both run openDownstreamConns): extend each.
+    for (Worker *w : workers_)
+        w->addDownConn(target, connectTo(replica));
+}
+
+void
+ServiceInstance::setDownstreamReplicaActive(std::uint32_t target,
+                                            std::size_t replica,
+                                            bool active)
+{
+    balancers_[target].setActive(replica, active);
+}
+
+std::size_t
+ServiceInstance::inboundQueueDepth() const
+{
+    std::size_t depth = 0;
+    for (const Worker *w : workers_)
+        depth += w->inboundQueueDepth();
+    return depth;
 }
 
 os::Socket *

@@ -26,6 +26,7 @@
 
 #include "app/program.h"
 #include "app/resilience.h"
+#include "cluster/balancer.h"
 #include "hw/code.h"
 #include "hw/cpu_core.h"
 #include "os/kernel.h"
@@ -228,7 +229,7 @@ class ServiceInstance
   public:
     ServiceInstance(const ServiceSpec &spec, os::Machine &machine,
                     os::Network &network, trace::Tracer *tracer,
-                    std::uint64_t seed);
+                    std::uint64_t seed, unsigned replicaIndex = 0);
     ~ServiceInstance();
 
     ServiceInstance(const ServiceInstance &) = delete;
@@ -241,11 +242,25 @@ class ServiceInstance
     trace::Tracer *tracer() { return tracer_; }
     const hw::CodeImage &image() const { return *image_; }
 
+    /** Position of this instance within its replica group. */
+    unsigned replicaIndex() const { return replicaIndex_; }
+
     /**
-     * Resolve downstream services and open per-worker connections.
-     * Must be called once after all services are constructed.
+     * Unique instance label for metrics: the service name for replica
+     * 0 (canonical -- unreplicated deployments keep their series
+     * names), "name@k" for further replicas.
      */
-    void wire(const std::map<std::string, ServiceInstance *> &registry);
+    std::string instanceLabel() const;
+
+    /**
+     * Resolve downstream service replica groups and open per-worker
+     * connections to every replica. Must be called once after all
+     * services are constructed (Deployment::wireAll).
+     * @throws std::runtime_error naming caller and downstream when a
+     *         downstream reference does not resolve.
+     */
+    void wire(const std::map<std::string,
+                             std::vector<ServiceInstance *>> &registry);
 
     /**
      * Open a new inbound connection; returns the server-side socket
@@ -296,10 +311,50 @@ class ServiceInstance
         return fileIds_[ref];
     }
     std::uint64_t fileSize(std::uint32_t ref) const;
+
+    /** Canonical (first) replica of downstream edge `idx`. */
     ServiceInstance *downstream(std::uint32_t idx)
     {
-        return downstreams_[idx];
+        return downstreamGroups_[idx].empty()
+            ? nullptr
+            : downstreamGroups_[idx].front();
     }
+
+    /** All replicas of downstream edge `idx`. */
+    const std::vector<ServiceInstance *> &
+    downstreamGroup(std::uint32_t idx) const
+    {
+        return downstreamGroups_[idx];
+    }
+
+    /**
+     * Select the replica for one RPC attempt on edge `target` (see
+     * cluster::EdgeBalancer::pick). `key` is the request key used by
+     * consistent hashing. Crashed replicas and replicas on crashed
+     * machines are excluded while any live one remains.
+     */
+    std::size_t pickReplica(std::uint32_t target, std::uint64_t key);
+
+    /** Balancer of downstream edge `target` (attempt accounting). */
+    cluster::EdgeBalancer &balancer(std::uint32_t target)
+    {
+        return balancers_[target];
+    }
+
+    /**
+     * A replica was added to downstream group `target` mid-run
+     * (autoscaler scale-up): open one connection per worker and grow
+     * the edge balancer. Requires wire() to have run.
+     */
+    void addDownstreamReplica(std::uint32_t target,
+                              ServiceInstance &replica);
+
+    /** Retire / reactivate a downstream replica in the balancer. */
+    void setDownstreamReplicaActive(std::uint32_t target,
+                                    std::size_t replica, bool active);
+
+    /** Pending inbound requests summed over this instance's workers. */
+    std::size_t inboundQueueDepth() const;
 
     std::uint64_t nextTag() { return nextTag_++; }
 
@@ -316,11 +371,14 @@ class ServiceInstance
     ServiceStats stats_;
     ServiceProbe *probe_ = nullptr;
     sim::Rng rng_;
+    std::uint64_t seed_;
+    unsigned replicaIndex_;
 
     std::vector<Worker *> workers_;       //!< owned by the scheduler
     std::vector<std::uint32_t> fileIds_;
     std::vector<LockState> locks_;
-    std::vector<ServiceInstance *> downstreams_;
+    std::vector<std::vector<ServiceInstance *>> downstreamGroups_;
+    std::vector<cluster::EdgeBalancer> balancers_;
     std::vector<CircuitBreaker> breakers_;
     unsigned nextWorkerForConn_ = 0;
     unsigned nextThreadSlot_ = 0;
@@ -331,6 +389,7 @@ class ServiceInstance
     Worker *spawnWorker(ThreadRole role, const std::string &name,
                         const Program *background, sim::Time period);
     void openDownstreamConns(Worker &w);
+    os::Socket *connectTo(ServiceInstance &target);
 };
 
 /**
@@ -353,11 +412,19 @@ class Worker : public os::Thread
     /** Attach an inbound connection socket. */
     void addConnection(os::Socket *sock);
 
-    /** Downstream connection socket for RPC target `idx`. */
-    os::Socket *downConn(std::uint32_t idx) { return downConns_[idx]; }
-    void setDownConns(std::vector<os::Socket *> conns)
+    /** Connection socket to replica `replica` of RPC target `idx`. */
+    os::Socket *downConn(std::uint32_t idx, std::size_t replica)
+    {
+        return downConns_[idx][replica];
+    }
+    void setDownConns(std::vector<std::vector<os::Socket *>> conns)
     {
         downConns_ = std::move(conns);
+    }
+    /** Append a connection for a freshly added replica of `idx`. */
+    void addDownConn(std::uint32_t idx, os::Socket *sock)
+    {
+        downConns_[idx].push_back(sock);
     }
 
     /** Current wall time including cycles consumed this slice. */
@@ -394,8 +461,15 @@ class Worker : public os::Thread
         sim::EventId timer = 0;    //!< pending deadline/backoff event
         bool timerFired = false;
         bool inBackoff = false;
+        /** Connection the outstanding sync attempt was sent on. */
+        os::Socket *conn = nullptr;
+        /** Replica index the outstanding sync attempt targets. */
+        std::size_t replica = 0;
         /** Expected response tags of an async fanout, by call idx. */
         std::vector<std::uint64_t> fanoutTags;
+        /** Chosen connection / replica of each async fanout call. */
+        std::vector<os::Socket *> fanoutConns;
+        std::vector<std::size_t> fanoutReplicas;
     };
 
     RpcState &rpcState() { return rpcState_; }
@@ -418,7 +492,8 @@ class Worker : public os::Thread
     ProgramRunner runner_;
     std::deque<os::Socket *> readyList_;
     std::vector<os::Socket *> conns_;       //!< inbound connections
-    std::vector<os::Socket *> downConns_;   //!< outbound RPC conns
+    /** Outbound RPC conns, [target edge][replica]. */
+    std::vector<std::vector<os::Socket *>> downConns_;
     os::Epoll *epoll_ = nullptr;
     CurrentRequest req_;
     RpcState rpcState_;

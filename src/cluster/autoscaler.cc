@@ -1,0 +1,117 @@
+#include "cluster/autoscaler.h"
+
+#include "app/deployment.h"
+#include "obs/metrics.h"
+
+namespace ditto::cluster {
+
+Autoscaler::Autoscaler(app::Deployment &dep, ReplicaSet &set,
+                       obs::MetricsRegistry &metrics,
+                       AutoscalerSpec spec)
+    : dep_(dep), set_(set), metrics_(metrics), spec_(spec)
+{
+    const obs::MetricsRegistry::Labels labels{
+        {"service", set_.name()}};
+    scaleUps_ = &metrics_.counter(
+        "ditto_autoscaler_scale_ups_total", labels,
+        "Replicas added by the autoscaler");
+    scaleDowns_ = &metrics_.counter(
+        "ditto_autoscaler_scale_downs_total", labels,
+        "Replicas retired by the autoscaler");
+    ReplicaSet *watched = &set_;
+    metrics_.addGaugeFn("ditto_autoscaler_replicas", labels,
+                        "Active replicas under autoscaling",
+                        [watched] {
+                            return static_cast<double>(
+                                watched->active());
+                        });
+}
+
+void
+Autoscaler::start()
+{
+    dep_.events().scheduleAfter(spec_.period, [this] { tick(); });
+}
+
+void
+Autoscaler::tick()
+{
+    stats_.evaluations++;
+    const sim::Time now = dep_.events().now();
+    const auto &group = dep_.replicas(set_.name());
+    const std::size_t active = set_.active();
+
+    // Window p95 across the group: merge the replicas' cumulative
+    // histograms and diff against the previous evaluation's merge.
+    stats::LatencyHistogram merged;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        const stats::LatencyHistogram *h = metrics_.findHistogram(
+            "ditto_service_request_latency_ns",
+            {{"service", group[i]->instanceLabel()}});
+        if (h)
+            merged.merge(*h);
+        else
+            merged.merge(group[i]->stats().latency);
+    }
+    const stats::LatencyHistogram window = merged.since(baseline_);
+    baseline_ = merged;
+    const bool windowValid = window.count() >= spec_.minWindowSamples;
+    const std::uint64_t p95 = window.percentile(0.95);
+
+    double queueSum = 0.0;
+    for (std::size_t i = 0; i < active && i < group.size(); ++i) {
+        queueSum += metrics_.readGauge(
+            "ditto_service_inbound_queue_depth",
+            {{"service", group[i]->instanceLabel()}});
+    }
+    const double queueMean =
+        active > 0 ? queueSum / static_cast<double>(active) : 0.0;
+
+    const bool cooled =
+        !everActed_ || now - lastAction_ >= spec_.cooldown;
+    if (cooled) {
+        const bool p95High = spec_.p95HighNs > 0 && windowValid &&
+            p95 > spec_.p95HighNs;
+        const bool queueHigh =
+            spec_.queueHigh > 0 && queueMean > spec_.queueHigh;
+        const bool p95LowOk = spec_.p95LowNs == 0 ||
+            (windowValid && p95 < spec_.p95LowNs);
+        const bool queueLowOk =
+            spec_.queueLow <= 0 || queueMean < spec_.queueLow;
+
+        if ((p95High || queueHigh) && active < spec_.maxReplicas) {
+            set_.scaleTo(active + 1);
+            recordAction(true, now);
+        } else if (p95LowOk && queueLowOk &&
+                   (spec_.p95LowNs > 0 || spec_.queueLow > 0) &&
+                   active > spec_.minReplicas) {
+            set_.scaleTo(active - 1);
+            recordAction(false, now);
+        }
+    }
+
+    dep_.events().scheduleAfter(spec_.period, [this] { tick(); });
+}
+
+void
+Autoscaler::recordAction(bool up, sim::Time now)
+{
+    lastAction_ = now;
+    everActed_ = true;
+    if (up) {
+        stats_.scaleUps++;
+        scaleUps_->add();
+    } else {
+        stats_.scaleDowns++;
+        scaleDowns_->add();
+    }
+    // Scaling decisions travel the trace pipeline like request spans:
+    // the endpoint field carries the new active count.
+    trace::Tracer &tracer = dep_.tracer();
+    tracer.recordSpan(trace::Span{
+        stats_.evaluations, tracer.newSpanId(), 0,
+        "autoscaler:" + set_.name(),
+        static_cast<std::uint32_t>(set_.active()), now, now});
+}
+
+} // namespace ditto::cluster

@@ -1,0 +1,83 @@
+#include "cluster/balancer.h"
+
+#include <algorithm>
+
+namespace ditto::cluster {
+
+namespace {
+
+/** Virtual nodes per replica on the consistent-hash ring. */
+constexpr std::uint32_t kVnodesPerReplica = 32;
+
+} // namespace
+
+const char *
+balancerPolicyName(BalancerPolicy policy)
+{
+    switch (policy) {
+      case BalancerPolicy::RoundRobin: return "round_robin";
+      case BalancerPolicy::LeastOutstanding:
+        return "least_outstanding";
+      case BalancerPolicy::PowerOfTwo: return "power_of_two";
+      case BalancerPolicy::ConsistentHash: return "consistent_hash";
+    }
+    return "?";
+}
+
+std::uint64_t
+EdgeBalancer::hashPoint(std::uint64_t x)
+{
+    // splitmix64 finalizer: cheap, well-mixed, stable across builds.
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+void
+EdgeBalancer::init(BalancerPolicy policy, std::size_t replicas,
+                   std::uint64_t seed)
+{
+    policy_ = policy;
+    seed_ = seed;
+    rng_ = sim::Rng(seed ^ 0xba1a0cedull);
+    outstanding_.assign(replicas, 0);
+    active_.assign(replicas, 1);
+    rr_ = 0;
+    ring_.clear();
+    if (policy_ == BalancerPolicy::ConsistentHash) {
+        for (std::uint32_t r = 0; r < replicas; ++r)
+            insertRingPoints(r);
+    }
+}
+
+void
+EdgeBalancer::insertRingPoints(std::uint32_t replica)
+{
+    for (std::uint32_t v = 0; v < kVnodesPerReplica; ++v) {
+        const std::uint64_t point = hashPoint(
+            seed_ ^ (std::uint64_t{replica} << 32 | v));
+        const auto pos = std::lower_bound(
+            ring_.begin(), ring_.end(),
+            std::make_pair(point, std::uint32_t{0}));
+        ring_.insert(pos, {point, replica});
+    }
+}
+
+void
+EdgeBalancer::addReplica()
+{
+    const auto idx = static_cast<std::uint32_t>(outstanding_.size());
+    outstanding_.push_back(0);
+    active_.push_back(1);
+    if (policy_ == BalancerPolicy::ConsistentHash)
+        insertRingPoints(idx);
+}
+
+void
+EdgeBalancer::setActive(std::size_t replica, bool active)
+{
+    active_[replica] = active ? 1 : 0;
+}
+
+} // namespace ditto::cluster

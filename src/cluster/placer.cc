@@ -1,0 +1,61 @@
+#include "cluster/placer.h"
+
+#include <stdexcept>
+
+namespace ditto::cluster {
+
+void
+Placer::addMachine(os::Machine &machine, unsigned capacity)
+{
+    slots_.push_back(Slot{&machine, capacity > 0 ? capacity : 1, 0});
+}
+
+os::Machine &
+Placer::place()
+{
+    if (slots_.empty())
+        throw std::runtime_error("placer: no machines registered");
+    // Best fit: most free slots. With every machine full, "free" goes
+    // negative and the same comparison picks the least-overcommitted
+    // machine.
+    Slot *best = nullptr;
+    for (Slot &s : slots_) {
+        if (!best) {
+            best = &s;
+            continue;
+        }
+        const int freeBest = static_cast<int>(best->capacity) -
+            static_cast<int>(best->used);
+        const int freeHere = static_cast<int>(s.capacity) -
+            static_cast<int>(s.used);
+        if (freeHere > freeBest)
+            best = &s;
+    }
+    if (best->used >= best->capacity)
+        overcommitted_++;
+    best->used++;
+    return *best->machine;
+}
+
+void
+Placer::release(os::Machine &machine)
+{
+    for (Slot &s : slots_) {
+        if (s.machine == &machine && s.used > 0) {
+            s.used--;
+            return;
+        }
+    }
+}
+
+unsigned
+Placer::used(const os::Machine &machine) const
+{
+    for (const Slot &s : slots_) {
+        if (s.machine == &machine)
+            return s.used;
+    }
+    return 0;
+}
+
+} // namespace ditto::cluster

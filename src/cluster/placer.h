@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Capacity-aware replica placement.
+ *
+ * The Placer spreads replicas across a deployment's machines by
+ * best-fit bin-packing: each machine advertises a slot capacity and
+ * every placement goes to the machine with the most free slots
+ * (earliest-registered wins ties, so placement is a pure function of
+ * the call sequence -- deterministic at any RunExecutor worker
+ * count). When every machine is full the placer overcommits the
+ * least-loaded machine rather than failing: the simulation degrades
+ * the way a real oversubscribed cluster does, by queueing, and the
+ * overcommit count is visible for tests and metrics.
+ */
+
+#ifndef DITTO_CLUSTER_PLACER_H_
+#define DITTO_CLUSTER_PLACER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ditto::os {
+class Machine;
+} // namespace ditto::os
+
+namespace ditto::cluster {
+
+class Placer
+{
+  public:
+    Placer() = default;
+
+    /** Register a machine with `capacity` replica slots (>= 1). */
+    void addMachine(os::Machine &machine, unsigned capacity);
+
+    /**
+     * Pick the machine for the next replica (see file comment) and
+     * charge one slot to it.
+     * @throws std::runtime_error when no machine is registered.
+     */
+    os::Machine &place();
+
+    /** Release one slot on `machine` (replica torn down). */
+    void release(os::Machine &machine);
+
+    /** Slots currently charged to `machine` (0 if unknown). */
+    unsigned used(const os::Machine &machine) const;
+
+    /** Placements made while every machine was at capacity. */
+    unsigned overcommitted() const { return overcommitted_; }
+
+    std::size_t machineCount() const { return slots_.size(); }
+
+  private:
+    struct Slot
+    {
+        os::Machine *machine = nullptr;
+        unsigned capacity = 1;
+        unsigned used = 0;
+    };
+
+    std::vector<Slot> slots_;
+    unsigned overcommitted_ = 0;
+};
+
+} // namespace ditto::cluster
+
+#endif // DITTO_CLUSTER_PLACER_H_

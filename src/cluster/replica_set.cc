@@ -1,0 +1,53 @@
+#include "cluster/replica_set.h"
+
+#include <stdexcept>
+
+#include "app/deployment.h"
+#include "obs/register.h"
+
+namespace ditto::cluster {
+
+ReplicaSet::ReplicaSet(app::Deployment &dep, std::string name,
+                       Placer &placer, obs::MetricsRegistry *metrics)
+    : dep_(dep), name_(std::move(name)), placer_(placer),
+      metrics_(metrics)
+{
+    const auto &group = dep_.replicas(name_);
+    if (group.empty()) {
+        throw std::runtime_error(
+            "replica set: service '" + name_ + "' is not deployed");
+    }
+    active_ = group.size();
+}
+
+std::size_t
+ReplicaSet::total() const
+{
+    return dep_.replicas(name_).size();
+}
+
+std::size_t
+ReplicaSet::scaleTo(std::size_t target)
+{
+    if (target < 1)
+        target = 1;
+    while (active_ < target) {
+        if (active_ < total()) {
+            // A retired instance is still warm: route to it again.
+            dep_.setReplicaActive(name_, active_, true);
+        } else {
+            app::ServiceInstance &replica =
+                dep_.addReplica(name_, placer_.place());
+            if (metrics_)
+                obs::registerServiceMetrics(*metrics_, replica);
+        }
+        active_++;
+    }
+    while (active_ > target) {
+        active_--;
+        dep_.setReplicaActive(name_, active_, false);
+    }
+    return active_;
+}
+
+} // namespace ditto::cluster

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * ReplicaSet: the N running instances of one service.
+ *
+ * All replicas share the service name, so callers keep addressing the
+ * group through their unchanged downstream lists; the per-edge
+ * balancer (cluster/balancer.h) spreads their attempts over the
+ * group. Scaling keeps a prefix invariant: replicas [0, active) are
+ * serving and [active, total) are retired. Scale-down retires the
+ * highest active replica (never replica 0, the canonical handle) by
+ * deactivating it in every caller's balancer -- the instance stays up
+ * and drains what it already has. Scale-up reactivates the lowest
+ * retired replica before creating a new one, so repeated oscillation
+ * reuses warm instances instead of piling up cold ones.
+ */
+
+#ifndef DITTO_CLUSTER_REPLICA_SET_H_
+#define DITTO_CLUSTER_REPLICA_SET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/placer.h"
+
+namespace ditto::app {
+class Deployment;
+class ServiceInstance;
+} // namespace ditto::app
+
+namespace ditto::obs {
+class MetricsRegistry;
+} // namespace ditto::obs
+
+namespace ditto::cluster {
+
+class ReplicaSet
+{
+  public:
+    /**
+     * Manage the replicas of `name` (already deployed and wired in
+     * `dep`). New replicas are placed through `placer`; when
+     * `metrics` is non-null their per-service series are registered
+     * the moment they are created.
+     */
+    ReplicaSet(app::Deployment &dep, std::string name, Placer &placer,
+               obs::MetricsRegistry *metrics = nullptr);
+
+    const std::string &name() const { return name_; }
+
+    /** Instances in existence (active + retired). */
+    std::size_t total() const;
+
+    /** Instances currently receiving traffic. */
+    std::size_t active() const { return active_; }
+
+    /**
+     * Scale to `target` active replicas (clamped to >= 1). Retired
+     * instances are reactivated before new ones are deployed; excess
+     * ones are retired highest-index first. Returns the new active
+     * count.
+     */
+    std::size_t scaleTo(std::size_t target);
+
+  private:
+    app::Deployment &dep_;
+    std::string name_;
+    Placer &placer_;
+    obs::MetricsRegistry *metrics_;
+    std::size_t active_;
+};
+
+} // namespace ditto::cluster
+
+#endif // DITTO_CLUSTER_REPLICA_SET_H_

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Seeded synthetic topology generator (Palette-style).
+ *
+ * Emits the ServiceSpecs of a layered microservice application of
+ * configurable scale: one root service fanning into `depth - 1`
+ * further levels, every service reachable from the root, all RPC
+ * edges pointing from shallower to deeper levels (so the graph is
+ * acyclic by construction). Fan-out, client model (sync/async), and
+ * leaf file I/O are sampled from a generator-owned seeded Rng, making
+ * the emitted topology a pure function of the TopoSpec -- the
+ * thousand-service scale benchmark (bench_scale) relies on that to
+ * stay byte-identical at any --jobs.
+ *
+ * deployTopology() places the generated services across a machine
+ * pool with the capacity-aware Placer and wires the deployment,
+ * returning the root instance for a LoadGen to aim at.
+ */
+
+#ifndef DITTO_CLUSTER_TOPO_GEN_H_
+#define DITTO_CLUSTER_TOPO_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "app/program.h"
+
+namespace ditto::app {
+class Deployment;
+class ServiceInstance;
+} // namespace ditto::app
+
+namespace ditto::cluster {
+
+struct TopoSpec
+{
+    /** Service count, including the root. */
+    unsigned services = 100;
+    /** Levels in the layered graph (>= 1). */
+    unsigned depth = 4;
+    /**
+     * Target cap on tree children per service. Bounds every
+     * service's fan-in-driven downstream list (without it the root
+     * parents every level-1 service and its per-request call count
+     * grows with the topology). Soft: when the capped tree cannot
+     * hold `services` nodes within `depth` levels, parents overflow
+     * the cap rather than deepen the tree.
+     */
+    unsigned maxChildren = 4;
+    /** Extra downstream edges sampled per non-leaf service (0..N). */
+    unsigned extraFanout = 2;
+    /**
+     * Probability a request actually calls each extra edge (the first
+     * downstream is always called). Keeps the per-request call tree
+     * bounded as the topology grows: mean branching stays near
+     * 1 + extraFanout/2 * extraCallProbability per level instead of
+     * the full edge count.
+     */
+    double extraCallProbability = 0.35;
+    /** Async fanouts are capped at this many calls per request. */
+    unsigned maxAsyncFanout = 3;
+    /**
+     * Per-edge RPC deadline applied to every service (0 disables).
+     * Without it a saturated downstream stalls its callers without
+     * bound and the latency of the whole tree diverges.
+     */
+    sim::Time rpcDeadline = sim::milliseconds(10);
+    /** Fraction of multi-downstream services using the async client. */
+    double asyncFraction = 0.3;
+    /** Fraction of leaf services doing a file read per request. */
+    double leafFileFraction = 0.5;
+    /** Worker threads per service. */
+    unsigned workersPerService = 2;
+    /** Instructions per handler compute block. */
+    unsigned handlerInsts = 64;
+    std::uint64_t seed = 1;
+};
+
+struct GeneratedTopology
+{
+    /** specs[0] is the root. */
+    std::vector<app::ServiceSpec> specs;
+    /** Level of each service (0 = root). */
+    std::vector<unsigned> level;
+    /** Total caller->callee edges emitted. */
+    std::size_t edges = 0;
+};
+
+/** Generate the layered topology described by `spec`. */
+GeneratedTopology generateTopology(const TopoSpec &spec);
+
+/**
+ * Create `machineCount` machines (hw::platformA, named "m<i>"),
+ * deploy every generated service through a capacity-aware Placer
+ * (slots sized so the pool fits the topology exactly), and wireAll.
+ * Returns the root instance.
+ */
+app::ServiceInstance &deployTopology(app::Deployment &dep,
+                                     const GeneratedTopology &topo,
+                                     unsigned machineCount);
+
+} // namespace ditto::cluster
+
+#endif // DITTO_CLUSTER_TOPO_GEN_H_

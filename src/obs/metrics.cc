@@ -156,6 +156,40 @@ MetricsRegistry::addHistogram(const std::string &name, Labels labels,
     s.hist = hist;
 }
 
+std::uint64_t
+MetricsRegistry::readCounter(const std::string &name,
+                             const Labels &labels, bool *found) const
+{
+    const auto it = series_.find(Key{name, renderLabels(labels)});
+    const bool ok =
+        it != series_.end() && it->second.kind == Kind::Counter;
+    if (found)
+        *found = ok;
+    return ok ? it->second.counterValue() : 0;
+}
+
+double
+MetricsRegistry::readGauge(const std::string &name,
+                           const Labels &labels, bool *found) const
+{
+    const auto it = series_.find(Key{name, renderLabels(labels)});
+    const bool ok =
+        it != series_.end() && it->second.kind == Kind::Gauge;
+    if (found)
+        *found = ok;
+    return ok ? it->second.gaugeValue() : 0.0;
+}
+
+const stats::LatencyHistogram *
+MetricsRegistry::findHistogram(const std::string &name,
+                               const Labels &labels) const
+{
+    const auto it = series_.find(Key{name, renderLabels(labels)});
+    if (it == series_.end() || it->second.kind != Kind::Summary)
+        return nullptr;
+    return it->second.histogram();
+}
+
 void
 MetricsRegistry::writePrometheus(std::ostream &os) const
 {

@@ -135,6 +135,19 @@ class MetricsRegistry
     /** Number of registered series. */
     std::size_t size() const { return series_.size(); }
 
+    // ---- read-back (autoscaler control inputs) ----------------------
+    // Sample a registered series by (name, labels). Missing series
+    // read as 0 / nullptr; `found` (when non-null) reports existence.
+
+    std::uint64_t readCounter(const std::string &name,
+                              const Labels &labels = {},
+                              bool *found = nullptr) const;
+    double readGauge(const std::string &name, const Labels &labels = {},
+                     bool *found = nullptr) const;
+    const stats::LatencyHistogram *
+    findHistogram(const std::string &name,
+                  const Labels &labels = {}) const;
+
     /**
      * Prometheus text exposition format (HELP/TYPE per metric name;
      * histograms render as summaries with p50/p95/p99 quantiles).

@@ -15,64 +15,71 @@ serviceCounter(MetricsRegistry &reg, app::ServiceInstance *svc,
                const char *name, const char *help,
                std::uint64_t app::ServiceStats::*field)
 {
-    reg.addCounterFn(name, {{"service", svc->name()}}, help,
+    reg.addCounterFn(name, {{"service", svc->instanceLabel()}}, help,
                      [svc, field] { return svc->stats().*field; });
 }
 
 } // namespace
 
 void
+registerServiceMetrics(MetricsRegistry &reg,
+                       app::ServiceInstance &service)
+{
+    app::ServiceInstance *svc = &service;
+    serviceCounter(reg, svc, "ditto_service_requests_total",
+                   "Requests served", &app::ServiceStats::requests);
+    serviceCounter(reg, svc, "ditto_service_rx_bytes_total",
+                   "Payload bytes received",
+                   &app::ServiceStats::rxBytes);
+    serviceCounter(reg, svc, "ditto_service_tx_bytes_total",
+                   "Payload bytes sent", &app::ServiceStats::txBytes);
+    serviceCounter(reg, svc, "ditto_service_disk_read_bytes_total",
+                   "Bytes read from disk",
+                   &app::ServiceStats::diskReadBytes);
+    serviceCounter(reg, svc, "ditto_service_disk_write_bytes_total",
+                   "Bytes written to disk",
+                   &app::ServiceStats::diskWriteBytes);
+    serviceCounter(reg, svc, "ditto_service_rpc_ok_total",
+                   "Downstream calls answered in time",
+                   &app::ServiceStats::rpcOk);
+    serviceCounter(reg, svc, "ditto_service_rpc_retries_total",
+                   "Retry attempts issued",
+                   &app::ServiceStats::rpcRetries);
+    serviceCounter(reg, svc, "ditto_service_rpc_timeouts_total",
+                   "Downstream calls failed after all attempts",
+                   &app::ServiceStats::rpcTimeouts);
+    serviceCounter(reg, svc,
+                   "ditto_service_rpc_breaker_fast_fails_total",
+                   "Calls rejected by an open circuit breaker",
+                   &app::ServiceStats::rpcBreakerFastFails);
+    serviceCounter(reg, svc,
+                   "ditto_service_rpc_stale_responses_total",
+                   "Late replies discarded by tag",
+                   &app::ServiceStats::rpcStaleResponses);
+    serviceCounter(reg, svc, "ditto_service_requests_shed_total",
+                   "Inbound requests shed",
+                   &app::ServiceStats::requestsShed);
+    serviceCounter(reg, svc, "ditto_service_requests_degraded_total",
+                   "Responses sent with Error status",
+                   &app::ServiceStats::requestsDegraded);
+    reg.addHistogram("ditto_service_request_latency_ns",
+                     {{"service", svc->instanceLabel()}},
+                     "Server-side request latency (ns)",
+                     &svc->stats().latency);
+    reg.addGaugeFn("ditto_service_inbound_queue_depth",
+                   {{"service", svc->instanceLabel()}},
+                   "Requests queued on inbound connections", [svc] {
+                       return static_cast<double>(
+                           svc->inboundQueueDepth());
+                   });
+}
+
+void
 registerDeploymentMetrics(MetricsRegistry &reg,
                           app::Deployment &dep)
 {
-    for (const auto &svcPtr : dep.services()) {
-        app::ServiceInstance *svc = svcPtr.get();
-        serviceCounter(reg, svc, "ditto_service_requests_total",
-                       "Requests served",
-                       &app::ServiceStats::requests);
-        serviceCounter(reg, svc, "ditto_service_rx_bytes_total",
-                       "Payload bytes received",
-                       &app::ServiceStats::rxBytes);
-        serviceCounter(reg, svc, "ditto_service_tx_bytes_total",
-                       "Payload bytes sent",
-                       &app::ServiceStats::txBytes);
-        serviceCounter(reg, svc,
-                       "ditto_service_disk_read_bytes_total",
-                       "Bytes read from disk",
-                       &app::ServiceStats::diskReadBytes);
-        serviceCounter(reg, svc,
-                       "ditto_service_disk_write_bytes_total",
-                       "Bytes written to disk",
-                       &app::ServiceStats::diskWriteBytes);
-        serviceCounter(reg, svc, "ditto_service_rpc_ok_total",
-                       "Downstream calls answered in time",
-                       &app::ServiceStats::rpcOk);
-        serviceCounter(reg, svc, "ditto_service_rpc_retries_total",
-                       "Retry attempts issued",
-                       &app::ServiceStats::rpcRetries);
-        serviceCounter(reg, svc, "ditto_service_rpc_timeouts_total",
-                       "Downstream calls failed after all attempts",
-                       &app::ServiceStats::rpcTimeouts);
-        serviceCounter(reg, svc,
-                       "ditto_service_rpc_breaker_fast_fails_total",
-                       "Calls rejected by an open circuit breaker",
-                       &app::ServiceStats::rpcBreakerFastFails);
-        serviceCounter(reg, svc,
-                       "ditto_service_rpc_stale_responses_total",
-                       "Late replies discarded by tag",
-                       &app::ServiceStats::rpcStaleResponses);
-        serviceCounter(reg, svc, "ditto_service_requests_shed_total",
-                       "Inbound requests shed",
-                       &app::ServiceStats::requestsShed);
-        serviceCounter(reg, svc,
-                       "ditto_service_requests_degraded_total",
-                       "Responses sent with Error status",
-                       &app::ServiceStats::requestsDegraded);
-        reg.addHistogram("ditto_service_request_latency_ns",
-                         {{"service", svc->name()}},
-                         "Server-side request latency (ns)",
-                         &svc->stats().latency);
-    }
+    for (const auto &svcPtr : dep.services())
+        registerServiceMetrics(reg, *svcPtr);
 
     os::Network *net = &dep.network();
     reg.addCounterFn("ditto_network_messages_sent_total", {},

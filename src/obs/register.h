@@ -17,6 +17,7 @@
 
 namespace ditto::app {
 class Deployment;
+class ServiceInstance;
 } // namespace ditto::app
 
 namespace ditto::fault {
@@ -32,6 +33,16 @@ namespace ditto::obs {
  */
 void registerDeploymentMetrics(MetricsRegistry &registry,
                                app::Deployment &deployment);
+
+/**
+ * Register one service instance's counters, latency histogram, and
+ * inbound-queue-depth gauge, labelled by its instanceLabel() (the
+ * service name for replica 0, "name@k" beyond -- replicas get
+ * distinct series). registerDeploymentMetrics calls this for every
+ * instance; the autoscaler calls it for replicas added mid-run.
+ */
+void registerServiceMetrics(MetricsRegistry &registry,
+                            app::ServiceInstance &service);
 
 /** Register fault-injection window counters. */
 void registerInjectorMetrics(MetricsRegistry &registry,

@@ -149,6 +149,31 @@ LatencyHistogram::mean() const
     return total_ ? sum_ / static_cast<double>(total_) : 0.0;
 }
 
+LatencyHistogram
+LatencyHistogram::since(const LatencyHistogram &baseline) const
+{
+    LatencyHistogram window;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const std::uint64_t before = baseline.buckets_[i];
+        const std::uint64_t now = buckets_[i];
+        if (now <= before)
+            continue;  // tolerate a reset between the snapshots
+        const std::uint64_t delta = now - before;
+        window.buckets_[i] = delta;
+        window.total_ += delta;
+        window.sum_ += static_cast<double>(bucketMidpoint(i)) *
+            static_cast<double>(delta);
+        const std::uint64_t mid = bucketMidpoint(i);
+        if (window.total_ == delta) {
+            window.min_ = window.max_ = mid;
+        } else {
+            window.min_ = std::min(window.min_, mid);
+            window.max_ = std::max(window.max_, mid);
+        }
+    }
+    return window;
+}
+
 std::uint64_t
 LatencyHistogram::percentile(double q) const
 {

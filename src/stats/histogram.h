@@ -84,6 +84,16 @@ class LatencyHistogram
      */
     std::uint64_t percentile(double q) const;
 
+    /**
+     * Bucket-wise difference against an earlier snapshot of the same
+     * histogram: the distribution of values recorded after `baseline`
+     * was copied. Windowed percentiles for cumulative histograms
+     * (autoscaler control input). The window's extrema are only known
+     * to bucket resolution, so its percentile() answers are bucket
+     * midpoints even at q = 0 / q = 1.
+     */
+    LatencyHistogram since(const LatencyHistogram &baseline) const;
+
   private:
     std::vector<std::uint64_t> buckets_;
     std::uint64_t total_ = 0;

@@ -11,13 +11,19 @@
  * edges, per-edge call counts and byte stats -- must match the
  * in-memory path bit-for-bit; the tool exits nonzero otherwise.
  *
+ * With --cluster the backend is replicated and an autoscaler watches
+ * it; the tool additionally asserts that the autoscaler's scaling
+ * spans (service "autoscaler:<group>") survive the file round trip
+ * span-for-span and that the scale-up/down counters appear in both
+ * metric snapshots.
+ *
  * Runs fan out on a sim::RunExecutor. Output files and stdout are
  * byte-identical at any --jobs count (DESIGN.md §8).
  *
  * Usage:
  *   ditto_trace [--out DIR] [--seed S] [--runs K] [--qps Q]
  *               [--duration-ms D] [--sample-rate R] [--faults]
- *               [--jobs N]
+ *               [--cluster] [--jobs N]
  */
 
 #include <cstdint>
@@ -28,8 +34,13 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "app/deployment.h"
 #include "app/resilience.h"
+#include "cluster/autoscaler.h"
+#include "cluster/placer.h"
+#include "cluster/replica_set.h"
 #include "core/topology_analyzer.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
@@ -54,6 +65,7 @@ struct Options
     sim::Time duration = sim::milliseconds(150);
     double sampleRate = 1.0;
     bool faults = false;
+    bool cluster = false;
 };
 
 hw::CodeBlock
@@ -132,7 +144,21 @@ struct RunArtifacts
     std::uint64_t spans = 0;
     std::uint64_t edges = 0;
     std::uint64_t completed = 0;
+    std::uint64_t autoscalerSpans = 0;
+    std::uint64_t scaleUps = 0;
+    std::uint64_t scaleDowns = 0;
 };
+
+std::uint64_t
+countAutoscalerSpans(const trace::Tracer &tracer)
+{
+    std::uint64_t n = 0;
+    for (const trace::Span &span : tracer.spans()) {
+        if (span.service.rfind("autoscaler:", 0) == 0)
+            n++;
+    }
+    return n;
+}
 
 RunArtifacts
 runOnce(const Options &opt, std::uint64_t seed)
@@ -141,10 +167,35 @@ runOnce(const Options &opt, std::uint64_t seed)
     os::Machine &web = dep.addMachine("web", hw::platformA());
     os::Machine &db = dep.addMachine("db", hw::platformA());
     dep.deploy(leafSpec("back", 3), db);
+    if (opt.cluster)
+        dep.addReplica("back", web);
     dep.deploy(leafSpec("cache", 4), db);
     dep.deploy(midSpec(), web);
     dep.deploy(frontSpec(opt.faults), web);
     dep.wireAll();
+
+    // --cluster: an autoscaler watches the replicated backend. The
+    // low watermark sits far above the load this tiny app generates,
+    // so the loop deterministically drains the group back to one
+    // replica -- guaranteeing at least one scaling span per run.
+    cluster::Placer placer;
+    std::unique_ptr<cluster::ReplicaSet> set;
+    std::unique_ptr<cluster::Autoscaler> scaler;
+    obs::MetricsRegistry registry;
+    if (opt.cluster) {
+        placer.addMachine(web, 4);
+        placer.addMachine(db, 4);
+        set = std::make_unique<cluster::ReplicaSet>(dep, "back",
+                                                    placer, &registry);
+        cluster::AutoscalerSpec as;
+        as.period = opt.duration / 10;
+        as.cooldown = opt.duration / 5;
+        as.queueHigh = 1000.0;
+        as.queueLow = 100.0;
+        scaler = std::make_unique<cluster::Autoscaler>(dep, *set,
+                                                       registry, as);
+        scaler->start();
+    }
 
     fault::FaultInjector injector(dep);
     if (opt.faults) {
@@ -154,7 +205,6 @@ runOnce(const Options &opt, std::uint64_t seed)
         injector.install(plan);
     }
 
-    obs::MetricsRegistry registry;
     obs::registerDeploymentMetrics(registry, dep);
     obs::registerInjectorMetrics(registry, injector);
 
@@ -177,6 +227,15 @@ runOnce(const Options &opt, std::uint64_t seed)
     art.spans = dep.tracer().spans().size();
     art.edges = dep.tracer().edges().size();
     art.completed = gen.completed();
+    if (opt.cluster) {
+        art.autoscalerSpans = countAutoscalerSpans(dep.tracer());
+        art.scaleUps = registry.readCounter(
+            "ditto_autoscaler_scale_ups_total",
+            {{"service", "back"}});
+        art.scaleDowns = registry.readCounter(
+            "ditto_autoscaler_scale_downs_total",
+            {{"service", "back"}});
+    }
     return art;
 }
 
@@ -269,6 +328,8 @@ main(int argc, char **argv)
             opt.sampleRate = std::strtod(v.c_str(), nullptr);
         else if (std::strcmp(argv[i], "--faults") == 0)
             opt.faults = true;
+        else if (std::strcmp(argv[i], "--cluster") == 0)
+            opt.cluster = true;
         // --jobs is consumed by jobsFromArgs below.
     }
 
@@ -296,7 +357,34 @@ main(int argc, char **argv)
         const core::Topology fromFile =
             core::analyzeTopology(reimported);
         std::string why;
-        const bool ok = sameTopology(art.topo, fromFile, why);
+        bool ok = sameTopology(art.topo, fromFile, why);
+
+        if (opt.cluster && ok) {
+            // Scaling decisions must ride the same export path as
+            // request spans: the file hands back every autoscaler
+            // span, and the action counters reached both snapshots.
+            const std::uint64_t fromFileSpans =
+                countAutoscalerSpans(reimported);
+            if (art.autoscalerSpans == 0 ||
+                fromFileSpans != art.autoscalerSpans) {
+                ok = false;
+                why = "autoscaler spans lost in round trip (" +
+                    std::to_string(art.autoscalerSpans) + " -> " +
+                    std::to_string(fromFileSpans) + ")";
+            } else if (art.autoscalerSpans !=
+                       art.scaleUps + art.scaleDowns) {
+                ok = false;
+                why = "autoscaler spans disagree with scale counters";
+            } else if (art.prometheus.find(
+                           "ditto_autoscaler_scale_ups_total") ==
+                           std::string::npos ||
+                       art.metricsJson.find(
+                           "ditto_autoscaler_scale_downs_total") ==
+                           std::string::npos) {
+                ok = false;
+                why = "scale counters missing from metric snapshots";
+            }
+        }
         allOk = allOk && ok;
 
         std::printf("seed %llu: %llu completed requests, "
@@ -308,6 +396,13 @@ main(int argc, char **argv)
         std::printf("  topology: root=%s services=%zu edges=%zu\n",
                     art.topo.root.c_str(), art.topo.services.size(),
                     art.topo.edges.size());
+        if (opt.cluster) {
+            std::printf(
+                "  autoscaler: %llu spans (%llu up, %llu down)\n",
+                static_cast<unsigned long long>(art.autoscalerSpans),
+                static_cast<unsigned long long>(art.scaleUps),
+                static_cast<unsigned long long>(art.scaleDowns));
+        }
         std::printf("  round-trip via %s: %s%s%s\n",
                     tracePath.c_str(),
                     ok ? "OK (bit-identical)" : "MISMATCH",

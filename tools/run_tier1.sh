@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Configure, build, and run the tier-1 test suite (ROADMAP.md).
+#
+# Usage:
+#   tools/run_tier1.sh [LABEL...]
+#
+# With no arguments the full ctest suite runs. Each LABEL restricts
+# the run to that ctest label (repeatable); the labels in use:
+#   cluster   replica groups, balancing, autoscaling, topo_gen
+#   parallel  RunExecutor determinism (the -DDITTO_TSAN=ON subset)
+#   sanitize  fault injection + resilience (-DDITTO_SANITIZE=ON subset)
+#   obs       trace export/import + metrics registry
+#
+# Environment:
+#   BUILD_DIR  build directory (default: build)
+#   CMAKE_ARGS extra configure flags, e.g. "-DDITTO_TSAN=ON"
+
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${BUILD_DIR:-"$repo/build"}
+
+# shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split
+cmake -B "$build" -S "$repo" ${CMAKE_ARGS:-}
+cmake --build "$build" -j
+
+labels=""
+for l in "$@"; do
+    labels="$labels${labels:+|}$l"
+done
+
+# A bare `ctest -j` would swallow a following option as its value;
+# always pass the level explicitly.
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cd "$build"
+if [ -n "$labels" ]; then
+    ctest --output-on-failure -j "$jobs" -L "$labels"
+else
+    ctest --output-on-failure -j "$jobs"
+fi
