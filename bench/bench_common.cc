@@ -42,6 +42,15 @@ void
 recordBenchTiming(const std::string &name, double wallSeconds,
                   unsigned jobs)
 {
+    std::ostringstream value;
+    value << "{\"wall_seconds\": " << stats::formatDouble(wallSeconds, 3)
+          << ", \"jobs\": " << jobs << "}";
+    recordBenchEntry(name, value.str());
+}
+
+void
+recordBenchEntry(const std::string &name, const std::string &json)
+{
     const char *path = "BENCH_pipeline.json";
 
     // Keep other benches' entries: the file is one flat object with
@@ -64,10 +73,7 @@ recordBenchTiming(const std::string &name, double wallSeconds,
     }
     in.close();
 
-    std::ostringstream value;
-    value << "{\"wall_seconds\": " << stats::formatDouble(wallSeconds, 3)
-          << ", \"jobs\": " << jobs << "}";
-    entries[name] = value.str();
+    entries[name] = json;
 
     std::ofstream out(path, std::ios::trunc);
     out << "{\n";

@@ -68,6 +68,15 @@ class BenchRuntime
 void recordBenchTiming(const std::string &name, double wallSeconds,
                        unsigned jobs);
 
+/**
+ * Merge one named entry (a one-line JSON object) into
+ * BENCH_pipeline.json, preserving every other entry. Benches use it
+ * to publish result summaries -- e.g. per-outcome request mixes --
+ * next to their timings.
+ */
+void recordBenchEntry(const std::string &name,
+                      const std::string &json);
+
 /** One single-tier application under test. */
 struct AppCase
 {

@@ -55,6 +55,13 @@ struct FaultRunResult
     std::uint64_t completed = 0;
     std::uint64_t netDropped = 0;
     bool accounted = false;  //!< sent == delivered+dropped+in-flight
+
+    // Per-outcome request mix over the measured window.
+    std::uint64_t okCount = 0;        //!< client Ok completions
+    std::uint64_t timeoutCount = 0;   //!< client-side timeouts
+    std::uint64_t shedCount = 0;      //!< shed responses
+    std::uint64_t cancelledCount = 0; //!< requests cancelled in-tree
+    std::uint64_t hedgeWonCount = 0;  //!< calls won by a hedge
 };
 
 app::ResilienceSpec
@@ -68,6 +75,14 @@ benchResilience()
     res.breaker.enabled = true;
     res.breaker.failureThreshold = 10;
     res.breaker.openDuration = sim::milliseconds(10);
+    // Full request lifecycle: end-to-end deadlines, cooperative
+    // cancellation, and hedging against the replicated post-storage
+    // tier (see runFaulted).
+    res.propagateDeadline = true;
+    res.hopMargin = sim::microseconds(200);
+    res.cancellation = true;
+    res.hedge.enabled = true;
+    res.hedge.delay = sim::microseconds(500);
     return res;
 }
 
@@ -79,7 +94,8 @@ FaultRunResult
 runFaulted(const std::vector<app::ServiceSpec> &tiers,
            const std::string &rootName, const workload::LoadSpec &load,
            const app::ResilienceSpec &resilience,
-           const fault::FaultPlan &plan, bool useInjector)
+           const fault::FaultPlan &plan, bool useInjector,
+           const std::string &replicate = "")
 {
     app::Deployment dep(kSeed);
     os::Machine &machine = dep.addMachine("node", hw::platformA());
@@ -88,8 +104,17 @@ runFaulted(const std::vector<app::ServiceSpec> &tiers,
         dep.deploy(tier, machine);
     }
     dep.wireAll();
+    // A second replica of one tier gives the hedge policy somewhere
+    // to send its backup attempt (hedging needs >= 2 replicas).
+    if (!replicate.empty())
+        dep.addReplica(replicate, machine);
     app::ServiceInstance *root = dep.find(rootName);
-    workload::LoadGen gen(dep, *root, load, kSeed ^ 0x10ad);
+    workload::LoadSpec clientLoad = load;
+    if (resilience.propagateDeadline) {
+        clientLoad.propagateDeadline = true;
+        clientLoad.cancelOnTimeout = resilience.cancellation;
+    }
+    workload::LoadGen gen(dep, *root, clientLoad, kSeed ^ 0x10ad);
 
     fault::FaultInjector injector(dep);
     if (useInjector)
@@ -120,6 +145,13 @@ runFaulted(const std::vector<app::ServiceSpec> &tiers,
         dep.network().messagesDelivered() +
         dep.network().messagesDropped() +
         dep.network().messagesInFlight();
+    r.okCount = gen.completedOk();
+    r.timeoutCount = gen.timedOut();
+    r.shedCount = gen.completedShed();
+    for (const auto &svc : dep.services()) {
+        r.cancelledCount += svc->stats().requestsCancelled;
+        r.hedgeWonCount += svc->stats().rpcHedgeWins;
+    }
     return r;
 }
 
@@ -247,11 +279,13 @@ main(int argc, char **argv)
         tasks.push_back([&origTiers, &origRoot, &load, &res,
                          &scenario] {
             return runFaulted(origTiers, origRoot, load, res,
-                              scenario.make(""), true);
+                              scenario.make(""), true,
+                              "sn.poststorage");
         });
         tasks.push_back([&clone, &cloneLoad, &res, &scenario] {
             return runFaulted(clone.specs, clone.rootClone, cloneLoad,
-                              res, scenario.make("_clone"), true);
+                              res, scenario.make("_clone"), true,
+                              "sn.poststorage_clone");
         });
     }
     const std::vector<FaultRunResult> runs =
@@ -301,6 +335,25 @@ main(int argc, char **argv)
     std::cout << "message accounting (sent == delivered + dropped + "
               << "in-flight): " << (accountingOk ? "OK" : "VIOLATED")
               << "\n";
+
+    // Per-outcome request mix across every faulted run, published
+    // into BENCH_pipeline.json next to the bench timings.
+    FaultRunResult mix;
+    for (const FaultRunResult &r : runs) {
+        mix.okCount += r.okCount;
+        mix.timeoutCount += r.timeoutCount;
+        mix.shedCount += r.shedCount;
+        mix.cancelledCount += r.cancelledCount;
+        mix.hedgeWonCount += r.hedgeWonCount;
+    }
+    const std::string mixJson = "{\"ok\": " +
+        std::to_string(mix.okCount) +
+        ", \"timeout\": " + std::to_string(mix.timeoutCount) +
+        ", \"shed\": " + std::to_string(mix.shedCount) +
+        ", \"cancelled\": " + std::to_string(mix.cancelledCount) +
+        ", \"hedge_won\": " + std::to_string(mix.hedgeWonCount) + "}";
+    ditto::bench::recordBenchEntry("bench_faults_outcomes", mixJson);
+    std::cout << "outcome mix (all faulted runs): " << mixJson << "\n";
 
     return zeroCost && accountingOk ? EXIT_SUCCESS : EXIT_FAILURE;
 }

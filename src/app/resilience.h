@@ -113,6 +113,21 @@ class CircuitBreaker
 const char *breakerStateName(CircuitBreaker::State state);
 
 /**
+ * Hedged-request policy for downstream RPC edges (BigTable/Dynamo
+ * style tail-latency hedging): when the first attempt has not
+ * answered within `delay`, launch a second attempt on a *different*
+ * replica; first response wins, the loser is cancelled. Hedges only
+ * fire on the first attempt of a call and only when the edge has more
+ * than one usable replica.
+ */
+struct HedgePolicy
+{
+    bool enabled = false;
+    /** Latency threshold after which the hedge attempt launches. */
+    sim::Time delay = sim::milliseconds(1);
+};
+
+/**
  * Resilience configuration of one service, applied to every
  * downstream RPC it issues and to its inbound request queue. The
  * default-constructed spec disables every mechanism, leaving the
@@ -132,12 +147,31 @@ struct ResilienceSpec
      * inbound queue depth reaches this threshold; 0 disables.
      */
     unsigned shedQueueThreshold = 0;
+    /**
+     * End-to-end deadline propagation: honor the absolute deadline
+     * carried by inbound requests (drop work that is already dead on
+     * arrival) and forward the remaining budget, minus `hopMargin`,
+     * with every outbound RPC. A hop whose budget is exhausted fails
+     * fast without transmitting.
+     */
+    bool propagateDeadline = false;
+    /** Budget slack reserved per hop for the reply leg. */
+    sim::Time hopMargin = 0;
+    /**
+     * Cooperative cancellation: chase abandoned downstream attempts
+     * (timeouts, give-ups, hedge losers) with a MsgKind::Cancel so
+     * the subtree stops working. Receiving a cancel is always
+     * honored; this knob controls whether this service *sends* them.
+     */
+    bool cancellation = false;
+    HedgePolicy hedge;
 
     bool
     any() const
     {
         return rpcDeadline > 0 || retry.maxAttempts > 1 ||
-            breaker.enabled || shedQueueThreshold > 0;
+            breaker.enabled || shedQueueThreshold > 0 ||
+            propagateDeadline || cancellation || hedge.enabled;
     }
 };
 

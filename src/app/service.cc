@@ -50,6 +50,11 @@ ServiceStats::reset(sim::Time now)
     rpcStaleResponses = 0;
     requestsShed = 0;
     requestsDegraded = 0;
+    rpcCallsStarted = 0;
+    rpcCancelled = 0;
+    rpcHedges = 0;
+    rpcHedgeWins = 0;
+    requestsCancelled = 0;
     measureStart = now;
 }
 
@@ -85,6 +90,17 @@ ProgramRunner::start(const Program *prog)
 {
     stack_.clear();
     stack_.push_back(Frame{prog, 0, 0, 0, nullptr});
+}
+
+const Op *
+ProgramRunner::currentOp() const
+{
+    if (stack_.empty())
+        return nullptr;
+    const Frame &f = stack_.back();
+    if (f.pc >= f.prog->ops.size())
+        return nullptr;
+    return &f.prog->ops[f.pc];
 }
 
 ProgramRunner::Status
@@ -209,8 +225,8 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
         const std::uint64_t traceId =
             worker.currentRequest().msg.traceId;
 
-        auto send_call = [&](const RpcCallSpec &call,
-                             os::Socket *conn) -> std::uint64_t {
+        auto send_call = [&](const RpcCallSpec &call, os::Socket *conn,
+                             sim::Time deadline) -> std::uint64_t {
             os::Message req;
             req.kind = os::MsgKind::Request;
             req.bytes = call.requestBytes;
@@ -219,6 +235,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
             req.traceId = traceId;
             req.parentSpan = worker.currentRequest().serverSpan;
             req.sendTime = worker.now(ctx);
+            req.deadline = deadline;
             const std::uint64_t tag = req.tag;
             worker.probeSyscall(SysKind::SocketWrite, req.bytes);
             if (service.probe()) {
@@ -232,11 +249,27 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                 service.tracer()->recordEdge(trace::RpcEdge{
                     req.traceId, req.parentSpan, service.name(),
                     target ? target->name() : "?", call.endpoint,
-                    call.requestBytes, call.responseBytes});
+                    call.requestBytes, call.responseBytes,
+                    deadline > req.sendTime
+                        ? static_cast<std::uint64_t>(deadline -
+                                                     req.sendTime)
+                        : 0});
             }
             service.stats().txBytes += call.requestBytes;
             kernel.sysSocketWrite(ctx, worker, *conn, std::move(req));
             return tag;
+        };
+
+        // End-to-end budget: the absolute deadline the inbound request
+        // carries, minus the hop margin reserved for the reply leg.
+        // 0 means "no budget" (propagation off or no deadline).
+        auto hop_budget = [&]() -> sim::Time {
+            if (!res.propagateDeadline)
+                return 0;
+            const sim::Time d = worker.currentRequest().msg.deadline;
+            if (d == 0)
+                return 0;
+            return d > res.hopMargin ? d - res.hopMargin : 1;
         };
 
         auto finish_response = [&](const os::Message &resp) {
@@ -266,6 +299,33 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                 const RpcCallSpec &call = op.rpcs[callIdx];
                 CircuitBreaker *cb = service.breaker(call.target);
                 if (frame.phase % 2 == 0) {
+                    if (rs.attempt == 0) {
+                        if (res.any())
+                            service.stats().rpcCallsStarted++;
+                        rs.callOpen = true;
+                        rs.callTarget = call.target;
+                        rs.callEndpoint = call.endpoint;
+                    }
+                    const sim::Time budget = hop_budget();
+                    if (budget != 0 && budget <= worker.now(ctx)) {
+                        // Budget already exhausted: fail fast without
+                        // putting anything on the wire. A first
+                        // attempt settles as cancelled; a retry whose
+                        // budget ran out settles as the timeout it is.
+                        service.noteOutcome(
+                            worker,
+                            rs.attempt == 0
+                                ? trace::OutcomeKind::RpcCancelled
+                                : trace::OutcomeKind::RpcTimeout,
+                            call.target, call.endpoint, rs.attempt,
+                            traceId, "budget_exhausted");
+                        worker.currentRequest().degraded = true;
+                        worker.cancelRpcTimer();
+                        worker.cancelHedgeTimer();
+                        rs = Worker::RpcState{};
+                        frame.phase += 2;  // skip the call
+                        continue;
+                    }
                     if (cb && !cb->allowRequest(worker.now(ctx))) {
                         service.noteOutcome(
                             worker, trace::OutcomeKind::RpcBreakerOpen,
@@ -282,9 +342,36 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                     rs.conn =
                         worker.downConn(call.target, rs.replica);
                     service.balancer(call.target).onSend(rs.replica);
-                    rs.waitTag = send_call(call, rs.conn);
-                    if (res.rpcDeadline > 0)
-                        worker.armRpcTimer(ctx, res.rpcDeadline);
+                    rs.attemptOpen = true;
+                    rs.sendDeadline = 0;
+                    if (res.propagateDeadline) {
+                        if (res.rpcDeadline > 0) {
+                            rs.sendDeadline =
+                                worker.now(ctx) + res.rpcDeadline;
+                        }
+                        if (budget != 0 &&
+                            (rs.sendDeadline == 0 ||
+                             budget < rs.sendDeadline)) {
+                            rs.sendDeadline = budget;
+                        }
+                    }
+                    rs.waitTag =
+                        send_call(call, rs.conn, rs.sendDeadline);
+                    sim::Time delay = res.rpcDeadline;
+                    if (budget != 0) {
+                        const sim::Time at = worker.now(ctx);
+                        const sim::Time rem =
+                            budget > at ? budget - at : 1;
+                        if (delay == 0 || rem < delay)
+                            delay = rem;
+                    }
+                    if (delay > 0)
+                        worker.armRpcTimer(ctx, delay);
+                    if (res.hedge.enabled && rs.attempt == 1 &&
+                        service.downstreamGroup(call.target).size() >
+                            1) {
+                        worker.armHedgeTimer(ctx, res.hedge.delay);
+                    }
                     frame.phase++;
                 } else if (rs.inBackoff) {
                     if (!rs.timerFired)
@@ -295,10 +382,22 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                 } else {
                     os::Socket *conn = rs.conn;
                     os::Message resp;
+                    os::Socket *from = nullptr;
                     if (kernel.sysSocketTryRead(ctx, worker, *conn,
                                                 resp) ==
                         os::SysResult::Ok) {
-                        if (rs.waitTag != 0 && resp.tag != rs.waitTag) {
+                        from = conn;
+                    } else if (rs.hedgeConn &&
+                               kernel.sysSocketTryRead(
+                                   ctx, worker, *rs.hedgeConn,
+                                   resp) == os::SysResult::Ok) {
+                        from = rs.hedgeConn;
+                    }
+                    if (from) {
+                        const bool hedgeHit = rs.hedgeTag != 0 &&
+                            resp.tag == rs.hedgeTag;
+                        if (rs.waitTag != 0 &&
+                            resp.tag != rs.waitTag && !hedgeHit) {
                             // Late reply to an abandoned attempt. The
                             // bytes were still delivered and read off
                             // the socket, so they count toward rx
@@ -312,14 +411,36 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                         worker.probeSyscall(SysKind::SocketRead,
                                             resp.bytes);
                         worker.cancelRpcTimer();
+                        worker.cancelHedgeTimer();
                         service.balancer(call.target)
                             .onDone(rs.replica);
+                        if (rs.hedgeConn) {
+                            // First response wins; the loser attempt
+                            // is released and (optionally) chased
+                            // with a cancel. Its late reply, if any,
+                            // dies in the stale path above.
+                            service.balancer(call.target)
+                                .onDone(rs.hedgeReplica);
+                            os::Socket *loser =
+                                hedgeHit ? rs.conn : rs.hedgeConn;
+                            const std::uint64_t loserTag =
+                                hedgeHit ? rs.waitTag : rs.hedgeTag;
+                            loser->removeWaiter(&worker);
+                            from->removeWaiter(&worker);
+                            if (res.cancellation) {
+                                worker.sendCancelMsg(ctx, loser,
+                                                     loserTag,
+                                                     traceId);
+                            }
+                        }
                         if (cb)
                             cb->onSuccess();
                         if (res.any()) {
                             service.noteOutcome(
                                 worker,
-                                rs.attempt > 1
+                                hedgeHit
+                                    ? trace::OutcomeKind::RpcHedgeWon
+                                    : rs.attempt > 1
                                     ? trace::OutcomeKind::RpcRetriedOk
                                     : trace::OutcomeKind::RpcOk,
                                 call.target, call.endpoint,
@@ -331,11 +452,31 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                     } else if (rs.timerFired) {
                         // Attempt deadline expired with no response.
                         rs.timerFired = false;
+                        worker.cancelHedgeTimer();
                         conn->removeWaiter(&worker);
                         service.balancer(call.target)
                             .onDone(rs.replica);
+                        if (res.cancellation && rs.waitTag != 0) {
+                            worker.sendCancelMsg(ctx, conn, rs.waitTag,
+                                                 traceId);
+                        }
+                        if (rs.hedgeConn) {
+                            rs.hedgeConn->removeWaiter(&worker);
+                            service.balancer(call.target)
+                                .onDone(rs.hedgeReplica);
+                            if (res.cancellation && rs.hedgeTag != 0) {
+                                worker.sendCancelMsg(ctx, rs.hedgeConn,
+                                                     rs.hedgeTag,
+                                                     traceId);
+                            }
+                        }
+                        // One failure per call, hedged or not: hedges
+                        // must never double-count against the breaker.
                         if (cb)
                             cb->onFailure(worker.now(ctx));
+                        rs.attemptOpen = false;
+                        rs.hedgeConn = nullptr;
+                        rs.hedgeTag = 0;
                         if (rs.attempt < res.retry.maxAttempts) {
                             service.stats().rpcRetries++;
                             rs.inBackoff = true;
@@ -352,8 +493,31 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                         worker.currentRequest().degraded = true;
                         rs = Worker::RpcState{};
                         frame.phase++;  // give up on this call
+                    } else if (rs.hedgeFired && !rs.hedgeLaunched) {
+                        // Hedge threshold passed: launch the second
+                        // attempt on a different replica. When no
+                        // other replica is usable, skip the hedge
+                        // (hedgeLaunched stays set so it won't refire
+                        // for this call).
+                        rs.hedgeFired = false;
+                        rs.hedgeLaunched = true;
+                        const std::size_t other =
+                            service.pickReplicaExcluding(
+                                call.target, traceId, rs.replica);
+                        if (other != rs.replica) {
+                            rs.hedgeReplica = other;
+                            rs.hedgeConn =
+                                worker.downConn(call.target, other);
+                            service.balancer(call.target)
+                                .onSend(other);
+                            rs.hedgeTag = send_call(
+                                call, rs.hedgeConn, rs.sendDeadline);
+                            service.stats().rpcHedges++;
+                        }
                     } else {
                         conn->addWaiter(&worker);
+                        if (rs.hedgeConn)
+                            rs.hedgeConn->addWaiter(&worker);
                         return Status::Blocked;
                     }
                 }
@@ -372,9 +536,28 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
             rs.fanoutTags.assign(n, 0);
             rs.fanoutConns.assign(n, nullptr);
             rs.fanoutReplicas.assign(n, 0);
+            rs.fanoutTargets.assign(n, 0);
+            rs.fanoutEndpoints.assign(n, 0);
+            const sim::Time budget = hop_budget();
+            const bool budgetDead =
+                budget != 0 && budget <= worker.now(ctx);
             std::uint64_t pending = 0;
             for (std::size_t i = 0; i < n; ++i) {
                 const RpcCallSpec &call = op.rpcs[i];
+                rs.fanoutTargets[i] = call.target;
+                rs.fanoutEndpoints[i] = call.endpoint;
+                if (res.any())
+                    service.stats().rpcCallsStarted++;
+                if (budgetDead) {
+                    // Budget exhausted before the fanout: fail every
+                    // call fast, nothing on the wire.
+                    service.noteOutcome(
+                        worker, trace::OutcomeKind::RpcCancelled,
+                        call.target, call.endpoint, 0, traceId,
+                        "budget_exhausted");
+                    worker.currentRequest().degraded = true;
+                    continue;
+                }
                 CircuitBreaker *cb = service.breaker(call.target);
                 if (cb && !cb->allowRequest(worker.now(ctx))) {
                     service.noteOutcome(
@@ -389,14 +572,33 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                 rs.fanoutConns[i] =
                     worker.downConn(call.target, replica);
                 service.balancer(call.target).onSend(replica);
-                rs.fanoutTags[i] = send_call(call, rs.fanoutConns[i]);
+                sim::Time sendDeadline = 0;
+                if (res.propagateDeadline) {
+                    if (res.rpcDeadline > 0) {
+                        sendDeadline =
+                            worker.now(ctx) + res.rpcDeadline;
+                    }
+                    if (budget != 0 &&
+                        (sendDeadline == 0 || budget < sendDeadline))
+                        sendDeadline = budget;
+                }
+                rs.fanoutTags[i] =
+                    send_call(call, rs.fanoutConns[i], sendDeadline);
                 pending |= std::uint64_t{1} << std::min<std::size_t>(
                     i, 63);
             }
             frame.aux = pending;
+            rs.fanoutPending = pending;
             frame.phase = 1;
-            if (res.rpcDeadline > 0 && frame.aux != 0)
-                worker.armRpcTimer(ctx, res.rpcDeadline);
+            sim::Time delay = res.rpcDeadline;
+            if (budget != 0 && !budgetDead) {
+                const sim::Time at = worker.now(ctx);
+                const sim::Time rem = budget > at ? budget - at : 1;
+                if (delay == 0 || rem < delay)
+                    delay = rem;
+            }
+            if (delay > 0 && frame.aux != 0)
+                worker.armRpcTimer(ctx, delay);
         }
         // Collect phase: drain whatever is ready. Calls to the same
         // target share one connection, so match each reply against
@@ -447,6 +649,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                 }
                 finish_response(resp);
                 frame.aux &= ~(std::uint64_t{1} << match);
+                rs.fanoutPending = frame.aux;
             }
         }
         if (frame.aux == 0) {
@@ -466,6 +669,10 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                 rs.fanoutConns[i]->removeWaiter(&worker);
                 service.balancer(call.target)
                     .onDone(rs.fanoutReplicas[i]);
+                if (res.cancellation && rs.fanoutTags[i] != 0) {
+                    worker.sendCancelMsg(ctx, rs.fanoutConns[i],
+                                         rs.fanoutTags[i], traceId);
+                }
                 CircuitBreaker *cb = service.breaker(call.target);
                 if (cb)
                     cb->onFailure(worker.now(ctx));
@@ -492,6 +699,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
         ServiceInstance::LockState &lock = service.lock(op.lockRef);
         if (!lock.held) {
             lock.held = true;
+            worker.noteLockAcquired(op.lockRef);
             ctx.cyclesUsed += kUserLockCycles;
             frame.pc++;
             return Status::Done;
@@ -503,6 +711,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
 
       case OpKind::Unlock: {
         ServiceInstance::LockState &lock = service.lock(op.lockRef);
+        worker.noteLockReleased(op.lockRef);
         ctx.cyclesUsed += kUserLockCycles;
         if (lock.queue->hasWaiters()) {
             worker.probeSyscall(SysKind::FutexWake, 0);
@@ -721,6 +930,21 @@ ServiceInstance::pickReplica(std::uint32_t target, std::uint64_t key)
     });
 }
 
+std::size_t
+ServiceInstance::pickReplicaExcluding(std::uint32_t target,
+                                      std::uint64_t key,
+                                      std::size_t exclude)
+{
+    const std::vector<ServiceInstance *> &group =
+        downstreamGroups_[target];
+    return balancers_[target].pick(key, [&](std::size_t i) {
+        if (i == exclude)
+            return false;
+        ServiceInstance *r = group[i];
+        return !r->down() && !r->machine().down();
+    });
+}
+
 void
 ServiceInstance::addDownstreamReplica(std::uint32_t target,
                                       ServiceInstance &replica)
@@ -750,29 +974,63 @@ ServiceInstance::inboundQueueDepth() const
     return depth;
 }
 
+std::size_t
+ServiceInstance::activeRequests() const
+{
+    std::size_t active = 0;
+    for (const Worker *w : workers_) {
+        if (w->requestActive())
+            ++active;
+    }
+    return active;
+}
+
 os::Socket *
 ServiceInstance::openConnection()
 {
     os::Socket *sock = machine_.createSocket();
     sock->inboundGate = [this] { return !down_; };
+    Worker *w = nullptr;
     if (spec_.threads.threadPerConnection) {
-        Worker *w = spawnWorker(
+        w = spawnWorker(
             ThreadRole::ConnHandler,
             spec_.name + ".conn" + std::to_string(nextWorkerForConn_++),
             nullptr, 0);
-        w->addConnection(sock);
-        return sock;
+    } else {
+        // Round-robin over the long-lived pool (skip background
+        // threads).
+        std::vector<Worker *> pool;
+        for (Worker *worker : workers_) {
+            if (worker->role() == ThreadRole::Worker)
+                pool.push_back(worker);
+        }
+        assert(!pool.empty() && "service has no request workers");
+        w = pool[nextWorkerForConn_++ % pool.size()];
     }
-    // Round-robin over the long-lived pool (skip background threads).
-    std::vector<Worker *> pool;
-    for (Worker *w : workers_) {
-        if (w->role() == ThreadRole::Worker)
-            pool.push_back(w);
-    }
-    assert(!pool.empty() && "service has no request workers");
-    Worker *w = pool[nextWorkerForConn_++ % pool.size()];
     w->addConnection(sock);
+    sock->onCancel = [this, w, sock](const os::Message &msg) {
+        handleCancel(*w, *sock, msg);
+    };
     return sock;
+}
+
+void
+ServiceInstance::handleCancel(Worker &w, os::Socket &sock,
+                              const os::Message &msg)
+{
+    if (down_)
+        return;
+    os::Message victim;
+    if (sock.removeQueued(msg.tag, victim)) {
+        // Still queued: release the inbound slot without running the
+        // handler. The request bytes were received, so they count.
+        stats_.rxBytes += victim.bytes;
+        noteOutcome(w, trace::OutcomeKind::RequestCancelled, 0,
+                    victim.endpoint, 0, victim.traceId,
+                    "cancelled_in_queue");
+        return;
+    }
+    w.requestCancel(sock, msg.tag);
 }
 
 void
@@ -818,7 +1076,7 @@ void
 ServiceInstance::noteOutcome(os::Thread &t, trace::OutcomeKind kind,
                              std::uint32_t target,
                              std::uint32_t endpoint, unsigned attempts,
-                             std::uint64_t traceId)
+                             std::uint64_t traceId, const char *cause)
 {
     switch (kind) {
       case trace::OutcomeKind::RpcOk:
@@ -837,13 +1095,24 @@ ServiceInstance::noteOutcome(os::Thread &t, trace::OutcomeKind kind,
       case trace::OutcomeKind::RequestError:
         stats_.requestsDegraded++;
         break;
+      case trace::OutcomeKind::RpcCancelled:
+        stats_.rpcCancelled++;
+        break;
+      case trace::OutcomeKind::RpcHedgeWon:
+        // A hedge win is an ok'd call that also tallies as a win.
+        stats_.rpcOk++;
+        stats_.rpcHedgeWins++;
+        break;
+      case trace::OutcomeKind::RequestCancelled:
+        stats_.requestsCancelled++;
+        break;
     }
     if (probe_)
         probe_->onOutcome(t, kind, target, endpoint, attempts);
     if (tracer_) {
         tracer_->recordOutcome(trace::OutcomeEvent{
             traceId, spec_.name, target, endpoint, kind, attempts,
-            machine_.events().now()});
+            machine_.events().now(), cause ? cause : ""});
     }
 }
 
@@ -923,11 +1192,196 @@ Worker::cancelRpcTimer()
 }
 
 void
+Worker::armHedgeTimer(const os::StepCtx &ctx, sim::Time delay)
+{
+    cancelHedgeTimer();
+    rpcState_.hedgeTimer = service_.machine().events().scheduleAfter(
+        ctx.kernel.sliceOffset(ctx) + delay, [this] {
+            rpcState_.hedgeTimer = 0;
+            rpcState_.hedgeFired = true;
+            service_.machine().scheduler().wake(this);
+        });
+}
+
+void
+Worker::cancelHedgeTimer()
+{
+    if (rpcState_.hedgeTimer != 0) {
+        service_.machine().events().cancel(rpcState_.hedgeTimer);
+        rpcState_.hedgeTimer = 0;
+    }
+    rpcState_.hedgeFired = false;
+}
+
+void
+Worker::sendCancelMsg(os::StepCtx &ctx, os::Socket *conn,
+                      std::uint64_t tag, std::uint64_t traceId)
+{
+    os::Message cancel;
+    cancel.kind = os::MsgKind::Cancel;
+    cancel.bytes = os::kCancelMsgBytes;
+    cancel.tag = tag;
+    cancel.traceId = traceId;
+    cancel.sendTime = now(ctx);
+    probeSyscall(SysKind::SocketWrite, cancel.bytes);
+    service_.stats().txBytes += cancel.bytes;
+    ctx.kernel.sysSocketWrite(ctx, *this, *conn, std::move(cancel));
+}
+
+void
+Worker::noteLockReleased(std::uint32_t ref)
+{
+    for (auto it = heldLocks_.rbegin(); it != heldLocks_.rend();
+         ++it) {
+        if (*it == ref) {
+            heldLocks_.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
+void
+Worker::releaseHeldLocks()
+{
+    for (const std::uint32_t ref : heldLocks_) {
+        ServiceInstance::LockState &lock = service_.lock(ref);
+        lock.held = false;
+        if (lock.queue)
+            lock.queue->wake(1);
+    }
+    heldLocks_.clear();
+}
+
+void
+Worker::detachFromBlockers()
+{
+    if (rpcState_.conn)
+        rpcState_.conn->removeWaiter(this);
+    if (rpcState_.hedgeConn)
+        rpcState_.hedgeConn->removeWaiter(this);
+    for (os::Socket *sock : rpcState_.fanoutConns) {
+        if (sock)
+            sock->removeWaiter(this);
+    }
+    const Op *op = runner_.currentOp();
+    if (op && op->kind == OpKind::Lock) {
+        ServiceInstance::LockState &lock = service_.lock(op->lockRef);
+        if (lock.queue)
+            lock.queue->removeWaiter(this);
+    }
+}
+
+void
+Worker::settleOpenCalls(os::StepCtx *ctx, const char *cause)
+{
+    RpcState &rs = rpcState_;
+    const ResilienceSpec &res = service_.spec().resilience;
+    const std::uint64_t traceId = req_.msg.traceId;
+    const bool chase = ctx != nullptr && res.cancellation;
+    if (rs.callOpen) {
+        if (rs.attemptOpen && rs.conn) {
+            rs.conn->removeWaiter(this);
+            service_.balancer(rs.callTarget).onDone(rs.replica);
+            if (chase && rs.waitTag != 0)
+                sendCancelMsg(*ctx, rs.conn, rs.waitTag, traceId);
+            if (rs.hedgeConn) {
+                rs.hedgeConn->removeWaiter(this);
+                service_.balancer(rs.callTarget)
+                    .onDone(rs.hedgeReplica);
+                if (chase && rs.hedgeTag != 0) {
+                    sendCancelMsg(*ctx, rs.hedgeConn, rs.hedgeTag,
+                                  traceId);
+                }
+            }
+        }
+        if (res.any()) {
+            service_.noteOutcome(*this,
+                                 trace::OutcomeKind::RpcCancelled,
+                                 rs.callTarget, rs.callEndpoint,
+                                 rs.attempt, traceId, cause);
+        }
+        rs.callOpen = false;
+        rs.attemptOpen = false;
+    }
+    std::uint64_t pending = rs.fanoutPending;
+    for (std::size_t i = 0;
+         pending != 0 && i < rs.fanoutConns.size(); ++i) {
+        if (!(pending & (std::uint64_t{1} << i)))
+            continue;
+        if (rs.fanoutConns[i]) {
+            rs.fanoutConns[i]->removeWaiter(this);
+            service_.balancer(rs.fanoutTargets[i])
+                .onDone(rs.fanoutReplicas[i]);
+            if (chase && rs.fanoutTags[i] != 0) {
+                sendCancelMsg(*ctx, rs.fanoutConns[i],
+                              rs.fanoutTags[i], traceId);
+            }
+        }
+        if (res.any()) {
+            service_.noteOutcome(*this,
+                                 trace::OutcomeKind::RpcCancelled,
+                                 rs.fanoutTargets[i],
+                                 rs.fanoutEndpoints[i], 1, traceId,
+                                 cause);
+        }
+    }
+    rs.fanoutPending = 0;
+}
+
+void
 Worker::abortRequest()
 {
+    if (req_.active) {
+        // The request dies with the process: settle its open
+        // downstream calls so outcome conservation holds, and account
+        // the consumed request bytes.
+        settleOpenCalls(nullptr, "crash");
+        service_.stats().rxBytes += req_.msg.bytes;
+        if (service_.spec().resilience.any()) {
+            service_.noteOutcome(
+                *this, trace::OutcomeKind::RequestCancelled, 0,
+                req_.msg.endpoint, 0, req_.msg.traceId, "crash");
+        }
+    }
     cancelRpcTimer();
+    cancelHedgeTimer();
+    releaseHeldLocks();
+    cancelPending_ = false;
     rpcState_ = RpcState{};
     runner_.abort();
+    req_.active = false;
+    req_.sock = nullptr;
+    req_.degraded = false;
+}
+
+void
+Worker::requestCancel(os::Socket &sock, std::uint64_t tag)
+{
+    if (!req_.active || cancelPending_ || req_.sock != &sock ||
+        req_.msg.tag != tag) {
+        return;  // already finished, or a duplicate cancel
+    }
+    cancelPending_ = true;
+    detachFromBlockers();
+    service_.machine().scheduler().wake(this);
+}
+
+void
+Worker::finishCancelledRequest(os::StepCtx &ctx)
+{
+    cancelPending_ = false;
+    settleOpenCalls(&ctx, "upstream_cancel");
+    cancelRpcTimer();
+    cancelHedgeTimer();
+    releaseHeldLocks();
+    rpcState_ = RpcState{};
+    runner_.abort();
+    // No response: the caller has already given up. The request
+    // bytes were consumed, so they count toward rx traffic.
+    service_.stats().rxBytes += req_.msg.bytes;
+    service_.noteOutcome(*this, trace::OutcomeKind::RequestCancelled,
+                         0, req_.msg.endpoint, 0, req_.msg.traceId,
+                         "upstream_cancel");
     req_.active = false;
     req_.sock = nullptr;
     req_.degraded = false;
@@ -1063,8 +1517,19 @@ void
 Worker::beginRequest(os::StepCtx &ctx, os::Socket *sock,
                      os::Message msg)
 {
-    const unsigned shedAt =
-        service_.spec().resilience.shedQueueThreshold;
+    const ResilienceSpec &res = service_.spec().resilience;
+    if (res.propagateDeadline && msg.deadline != 0 &&
+        now(ctx) > msg.deadline) {
+        // Dead on arrival: the caller's budget is spent, so a reply
+        // could never be used. Drop without executing or responding.
+        service_.stats().rxBytes += msg.bytes;
+        service_.noteOutcome(*this,
+                             trace::OutcomeKind::RequestCancelled, 0,
+                             msg.endpoint, 0, msg.traceId,
+                             "expired_on_arrival");
+        return;
+    }
+    const unsigned shedAt = res.shedQueueThreshold;
     if (shedAt > 0 && inboundQueueDepth() >= shedAt) {
         shedRequest(ctx, sock, std::move(msg));
         return;
@@ -1166,6 +1631,10 @@ Worker::stepServer(os::StepCtx &ctx)
         if (service_.down())
             return {os::StopReason::Block};
         if (req_.active) {
+            if (cancelPending_) {
+                finishCancelledRequest(ctx);
+                continue;
+            }
             const ProgramRunner::Status st = runner_.run(ctx, *this);
             if (st == ProgramRunner::Status::Blocked)
                 return {os::StopReason::Block};

@@ -171,6 +171,12 @@ struct ServiceStats
     std::uint64_t rpcStaleResponses = 0;  //!< late replies discarded by tag
     std::uint64_t requestsShed = 0;       //!< inbound requests shed
     std::uint64_t requestsDegraded = 0;   //!< responses sent with Error status
+    // ---- request lifecycle (deadlines / cancellation / hedging) -----
+    std::uint64_t rpcCallsStarted = 0;    //!< logical downstream calls entered
+    std::uint64_t rpcCancelled = 0;       //!< calls abandoned before settling
+    std::uint64_t rpcHedges = 0;          //!< hedge attempts launched
+    std::uint64_t rpcHedgeWins = 0;       //!< calls won by the hedge attempt
+    std::uint64_t requestsCancelled = 0;  //!< inbound requests cancelled
     sim::Time measureStart = 0;
 
     void reset(sim::Time now);
@@ -202,6 +208,13 @@ class ProgramRunner
     void start(const Program *prog);
     bool active() const { return !stack_.empty(); }
     void abort() { stack_.clear(); }
+
+    /**
+     * The op the innermost frame is parked on, or nullptr when idle.
+     * Used by cooperative cancellation to detach a blocked worker
+     * from whatever wait list (lock queue, socket) holds it.
+     */
+    const Op *currentOp() const;
 
     Status run(os::StepCtx &ctx, Worker &worker);
 
@@ -289,10 +302,15 @@ class ServiceInstance
      */
     CircuitBreaker *breaker(std::uint32_t target);
 
-    /** Record an outcome into stats, probe, and tracer. */
+    /**
+     * Record an outcome into stats, probe, and tracer. `cause` (may
+     * be empty) says why work was abandoned for the cancellation
+     * outcome kinds and rides along on the traced event.
+     */
     void noteOutcome(os::Thread &t, trace::OutcomeKind kind,
                      std::uint32_t target, std::uint32_t endpoint,
-                     unsigned attempts, std::uint64_t traceId);
+                     unsigned attempts, std::uint64_t traceId,
+                     const char *cause = "");
 
     void setProbe(ServiceProbe *probe) { probe_ = probe; }
     ServiceProbe *probe() const { return probe_; }
@@ -335,6 +353,16 @@ class ServiceInstance
      */
     std::size_t pickReplica(std::uint32_t target, std::uint64_t key);
 
+    /**
+     * Like pickReplica but excluding replica `exclude` (hedged
+     * requests must land on a *different* replica). Falls back to
+     * `exclude` when it is the only usable choice; the caller skips
+     * the hedge in that case.
+     */
+    std::size_t pickReplicaExcluding(std::uint32_t target,
+                                     std::uint64_t key,
+                                     std::size_t exclude);
+
     /** Balancer of downstream edge `target` (attempt accounting). */
     cluster::EdgeBalancer &balancer(std::uint32_t target)
     {
@@ -355,6 +383,9 @@ class ServiceInstance
 
     /** Pending inbound requests summed over this instance's workers. */
     std::size_t inboundQueueDepth() const;
+
+    /** Requests currently executing on this instance's workers. */
+    std::size_t activeRequests() const;
 
     std::uint64_t nextTag() { return nextTag_++; }
 
@@ -390,6 +421,9 @@ class ServiceInstance
                         const Program *background, sim::Time period);
     void openDownstreamConns(Worker &w);
     os::Socket *connectTo(ServiceInstance &target);
+    /** Inbound MsgKind::Cancel delivery (Socket::onCancel hook). */
+    void handleCancel(Worker &w, os::Socket &sock,
+                      const os::Message &msg);
 };
 
 /**
@@ -465,11 +499,29 @@ class Worker : public os::Thread
         os::Socket *conn = nullptr;
         /** Replica index the outstanding sync attempt targets. */
         std::size_t replica = 0;
+        // ---- lifecycle bookkeeping (conservation + cancellation) ----
+        bool callOpen = false;       //!< logical sync call unsettled
+        bool attemptOpen = false;    //!< attempt onSend'd, not onDone'd
+        std::uint32_t callTarget = 0;
+        std::uint32_t callEndpoint = 0;
+        /** Absolute deadline forwarded to the callee; 0 none. */
+        sim::Time sendDeadline = 0;
+        // ---- hedging -------------------------------------------------
+        sim::EventId hedgeTimer = 0;
+        bool hedgeFired = false;
+        bool hedgeLaunched = false;  //!< sticky per call: one hedge max
+        std::uint64_t hedgeTag = 0;
+        os::Socket *hedgeConn = nullptr;
+        std::size_t hedgeReplica = 0;
         /** Expected response tags of an async fanout, by call idx. */
         std::vector<std::uint64_t> fanoutTags;
         /** Chosen connection / replica of each async fanout call. */
         std::vector<os::Socket *> fanoutConns;
         std::vector<std::size_t> fanoutReplicas;
+        /** Mirror of frame.aux pending bitmask (for cancellation). */
+        std::uint64_t fanoutPending = 0;
+        std::vector<std::uint32_t> fanoutTargets;
+        std::vector<std::uint32_t> fanoutEndpoints;
     };
 
     RpcState &rpcState() { return rpcState_; }
@@ -478,11 +530,38 @@ class Worker : public os::Thread
     void armRpcTimer(const os::StepCtx &ctx, sim::Time delay);
     void cancelRpcTimer();
 
+    /** Arm / cancel the hedge-launch timer. */
+    void armHedgeTimer(const os::StepCtx &ctx, sim::Time delay);
+    void cancelHedgeTimer();
+
     /** Abort the in-flight request (service crash). */
     void abortRequest();
 
+    /**
+     * Cooperative cancellation of the request identified by (sock,
+     * tag) if it is the one this worker is executing. Marks the
+     * request cancel-pending, detaches the worker from whatever wait
+     * list blocks it, and wakes it; the worker settles on its next
+     * slice (chasing in-flight downstream attempts with cancels).
+     */
+    void requestCancel(os::Socket &sock, std::uint64_t tag);
+
+    /** Send a MsgKind::Cancel chasing `tag` down `conn`. */
+    void sendCancelMsg(os::StepCtx &ctx, os::Socket *conn,
+                       std::uint64_t tag, std::uint64_t traceId);
+
     /** Messages queued on this worker's inbound connections. */
     std::size_t inboundQueueDepth() const;
+
+    /** Whether a request is executing on this worker right now. */
+    bool requestActive() const { return req_.active; }
+
+    /** Lock-hold tracking so aborted requests can't strand a lock. */
+    void noteLockAcquired(std::uint32_t ref)
+    {
+        heldLocks_.push_back(ref);
+    }
+    void noteLockReleased(std::uint32_t ref);
 
   private:
     ServiceInstance &service_;
@@ -497,7 +576,9 @@ class Worker : public os::Thread
     os::Epoll *epoll_ = nullptr;
     CurrentRequest req_;
     RpcState rpcState_;
+    std::vector<std::uint32_t> heldLocks_;
     bool started_ = false;
+    bool cancelPending_ = false;
     int bgPhase_ = 0;
     unsigned pollCursor_ = 0;
 
@@ -509,6 +590,17 @@ class Worker : public os::Thread
     void finishRequest(os::StepCtx &ctx);
     void shedRequest(os::StepCtx &ctx, os::Socket *sock,
                      os::Message msg);
+    void finishCancelledRequest(os::StepCtx &ctx);
+    /**
+     * Settle every unsettled downstream call of the current request
+     * as RpcCancelled: release balancer slots and waiter entries and,
+     * when `ctx` is non-null and the spec opts into cancellation,
+     * chase the in-flight attempts with MsgKind::Cancel. `ctx` is
+     * null on the crash path (a crashed process sends nothing).
+     */
+    void settleOpenCalls(os::StepCtx *ctx, const char *cause);
+    void detachFromBlockers();
+    void releaseHeldLocks();
 };
 
 } // namespace ditto::app

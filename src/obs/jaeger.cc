@@ -104,6 +104,8 @@ appendOutcomeLog(std::string &out, const trace::OutcomeEvent &ev,
     appendIntTag(out, "ditto.attempts", ev.attempts, false);
     appendStringTag(out, "ditto.time_ns", std::to_string(ev.time),
                     false);
+    if (!ev.cause.empty())
+        appendStringTag(out, "ditto.cause", ev.cause, false);
     out += "]}";
 }
 
@@ -245,6 +247,9 @@ exportJaegerJson(const trace::Tracer &tracer)
                          false);
             appendIntTag(out, "ditto.response_bytes",
                          e.responseBytes, false);
+            if (e.deadlineNs != 0)
+                appendStringTag(out, "ditto.deadline_ns",
+                                std::to_string(e.deadlineNs), false);
             out += "],\"logs\":[]}";
         }
 
@@ -425,6 +430,7 @@ importJaegerJson(const std::string &text)
                     tagU64(sp, "ditto.request_bytes"));
                 e.responseBytes = static_cast<std::uint32_t>(
                     tagU64(sp, "ditto.response_bytes"));
+                e.deadlineNs = tagU64Str(sp, "ditto.deadline_ns");
                 edges.push_back({tagU64(sp, "ditto.seq"), e});
             }
             // Outcome logs may ride on any span kind.
@@ -455,6 +461,8 @@ importJaegerJson(const std::string &text)
                     static_cast<unsigned>(v ? v->asU64() : 0);
                 v = findTag(log, "fields", "ditto.time_ns");
                 ev.time = v ? parseDec(v->asString()) : 0;
+                v = findTag(log, "fields", "ditto.cause");
+                ev.cause = v ? v->asString() : std::string{};
                 v = findTag(log, "fields", "ditto.seq");
                 outcomes.push_back({v ? v->asU64() : 0, ev});
             }

@@ -62,6 +62,22 @@ registerServiceMetrics(MetricsRegistry &reg,
     serviceCounter(reg, svc, "ditto_service_requests_degraded_total",
                    "Responses sent with Error status",
                    &app::ServiceStats::requestsDegraded);
+    serviceCounter(reg, svc, "ditto_service_rpc_calls_started_total",
+                   "Downstream calls issued (conservation basis)",
+                   &app::ServiceStats::rpcCallsStarted);
+    serviceCounter(reg, svc, "ditto_service_rpc_cancelled_total",
+                   "Downstream calls abandoned by cancellation",
+                   &app::ServiceStats::rpcCancelled);
+    serviceCounter(reg, svc, "ditto_service_rpc_hedges_total",
+                   "Hedge attempts launched",
+                   &app::ServiceStats::rpcHedges);
+    serviceCounter(reg, svc, "ditto_service_rpc_hedge_wins_total",
+                   "Calls won by the hedge attempt",
+                   &app::ServiceStats::rpcHedgeWins);
+    serviceCounter(reg, svc,
+                   "ditto_service_requests_cancelled_total",
+                   "Inbound requests cancelled before completion",
+                   &app::ServiceStats::requestsCancelled);
     reg.addHistogram("ditto_service_request_latency_ns",
                      {{"service", svc->instanceLabel()}},
                      "Server-side request latency (ns)",

@@ -10,6 +10,13 @@ void
 Socket::push(Message msg)
 {
     rxBytes += msg.bytes;
+    if (msg.kind == MsgKind::Cancel) {
+        // Cancels are control-plane: handled out of band, never
+        // queued, and dropped when no handler is installed.
+        if (onCancel)
+            onCancel(msg);
+        return;
+    }
     if (onDeliver) {
         // Client pseudo-socket: consume immediately, no queueing.
         onDeliver(msg);
@@ -33,6 +40,19 @@ Socket::pop()
     Message msg = std::move(rx_.front());
     rx_.pop_front();
     return msg;
+}
+
+bool
+Socket::removeQueued(std::uint64_t tag, Message &out)
+{
+    for (auto it = rx_.begin(); it != rx_.end(); ++it) {
+        if (it->kind == MsgKind::Request && it->tag == tag) {
+            out = std::move(*it);
+            rx_.erase(it);
+            return true;
+        }
+    }
+    return false;
 }
 
 void

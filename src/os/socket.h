@@ -30,7 +30,11 @@ enum class MsgKind : std::uint8_t
     Request,
     Response,
     Connect,
+    Cancel, //!< best-effort "stop working on tag" chase message
 };
+
+/** Wire size of a cancellation chase message. */
+inline constexpr std::uint32_t kCancelMsgBytes = 32;
 
 /** Application-level status carried by a response. */
 enum class MsgStatus : std::uint8_t
@@ -54,6 +58,12 @@ struct Message
     std::uint64_t traceId = 0;
     std::uint64_t parentSpan = 0;
     sim::Time sendTime = 0;
+    /**
+     * Absolute deadline propagated with a request; 0 when the caller
+     * attached none. Only honored by services whose ResilienceSpec
+     * opts into deadline propagation.
+     */
+    sim::Time deadline = 0;
     /** Client-side completion hook (used by load generators). */
     std::function<void(const Message &)> onResponse;
 };
@@ -86,6 +96,13 @@ class Socket
     /** Pop the next message; requires readable(). */
     Message pop();
 
+    /**
+     * Remove a queued request with the given tag (cooperative
+     * cancellation before the request was dequeued). @retval true a
+     * matching request was found, removed, and moved into `out`.
+     */
+    bool removeQueued(std::uint64_t tag, Message &out);
+
     /** Register a thread blocked in read()/recv() on this socket. */
     void addWaiter(Thread *t);
     void removeWaiter(Thread *t);
@@ -96,6 +113,13 @@ class Socket
 
     /** External delivery hook for client pseudo-sockets. */
     std::function<void(const Message &)> onDeliver;
+
+    /**
+     * Cancellation hook installed by the owning service. A delivered
+     * MsgKind::Cancel never enters the receive queue: it invokes this
+     * hook (when set) and is otherwise dropped.
+     */
+    std::function<void(const Message &)> onCancel;
 
     /**
      * Delivery gate installed by the owning service: when set and

@@ -57,6 +57,9 @@ outcomeKindName(OutcomeKind kind)
       case OutcomeKind::RpcBreakerOpen: return "rpc_breaker_open";
       case OutcomeKind::RequestShed: return "request_shed";
       case OutcomeKind::RequestError: return "request_error";
+      case OutcomeKind::RpcCancelled: return "rpc_cancelled";
+      case OutcomeKind::RpcHedgeWon: return "rpc_hedge_won";
+      case OutcomeKind::RequestCancelled: return "request_cancelled";
     }
     return "?";
 }

@@ -43,6 +43,11 @@ struct RpcEdge
     std::uint32_t endpoint = 0;
     std::uint32_t requestBytes = 0;
     std::uint32_t responseBytes = 0;
+    /**
+     * Effective remaining deadline budget (ns) the caller attached to
+     * this attempt; 0 when no deadline was propagated.
+     */
+    std::uint64_t deadlineNs = 0;
 };
 
 /**
@@ -57,9 +62,14 @@ enum class OutcomeKind : std::uint8_t
     RpcBreakerOpen, //!< failed fast: circuit breaker open
     RequestShed,    //!< inbound request rejected by load shedding
     RequestError,   //!< response sent degraded (a downstream failed)
+    RpcCancelled,   //!< call abandoned: budget exhausted, cancelled,
+                    //!< or aborted by a crash before it settled
+    RpcHedgeWon,    //!< answered by the hedge attempt (counts as ok)
+    RequestCancelled, //!< inbound request cancelled by its caller or
+                      //!< dead on arrival (deadline already passed)
 };
 
-inline constexpr std::size_t kOutcomeKinds = 6;
+inline constexpr std::size_t kOutcomeKinds = 9;
 
 /** Human-readable outcome name. */
 const char *outcomeKindName(OutcomeKind kind);
@@ -80,6 +90,8 @@ struct OutcomeEvent
     OutcomeKind kind = OutcomeKind::RpcOk;
     unsigned attempts = 0;
     sim::Time time = 0;
+    /** Why the work was abandoned (cancellation outcomes only). */
+    std::string cause;
 };
 
 /**

@@ -130,6 +130,8 @@ LoadGen::sendOn(std::size_t connIdx)
     req.tag = nextTrace_;
     req.traceId = nextTrace_++;
     req.sendTime = dep_.events().now();
+    if (spec_.propagateDeadline && spec_.timeout > 0)
+        req.deadline = req.sendTime + spec_.timeout;
     const std::uint64_t tag = req.tag;
     sim::EventId timer = 0;
     if (spec_.timeout > 0) {
@@ -183,6 +185,16 @@ LoadGen::onTimeout(std::size_t connIdx, std::uint64_t tag)
         return;
     conn.pending.erase(it);
     ++timedOut_;
+    if (spec_.cancelOnTimeout) {
+        os::Message cancel;
+        cancel.kind = os::MsgKind::Cancel;
+        cancel.bytes = os::kCancelMsgBytes;
+        cancel.tag = tag;
+        cancel.traceId = tag;
+        cancel.sendTime = dep_.events().now();
+        ++cancelsSent_;
+        dep_.network().send(*conn.client, std::move(cancel));
+    }
     // Closed loop: free the connection so load keeps flowing.
     if (!spec_.openLoop)
         scheduleNextClosed(connIdx);

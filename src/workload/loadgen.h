@@ -52,6 +52,17 @@ struct LoadSpec
      * are discarded as lateResponses().
      */
     sim::Time timeout = 0;
+    /**
+     * Stamp each request with an absolute deadline (sendTime +
+     * timeout) so deadline-propagating services can forward the
+     * remaining budget downstream. Requires timeout > 0.
+     */
+    bool propagateDeadline = false;
+    /**
+     * On client timeout, chase the abandoned request with a
+     * MsgKind::Cancel so the server subtree stops working on it.
+     */
+    bool cancelOnTimeout = false;
 };
 
 class LoadGen
@@ -93,6 +104,8 @@ class LoadGen
     std::uint64_t timedOut() const { return timedOut_; }
     /** Replies that arrived after their request had timed out. */
     std::uint64_t lateResponses() const { return lateResponses_; }
+    /** Cancellation chase messages sent after client timeouts. */
+    std::uint64_t cancelsSent() const { return cancelsSent_; }
 
     /** Completed requests per second over the measured window. */
     double achievedQps() const;
@@ -136,6 +149,7 @@ class LoadGen
     std::uint64_t completedShed_ = 0;
     std::uint64_t timedOut_ = 0;
     std::uint64_t lateResponses_ = 0;
+    std::uint64_t cancelsSent_ = 0;
     std::uint64_t nextTrace_ = 1;
     unsigned rrConn_ = 0;
     bool running_ = false;

@@ -635,4 +635,284 @@ TEST(OutcomeAccounting, StatsProbeAndTracerReconcileUnderFaults)
     EXPECT_GT(frontProbe.extraAttempts(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Request lifecycle: deadlines, cancellation, hedging
+// ---------------------------------------------------------------------------
+
+/** Every started downstream call settles in exactly one bucket. */
+void
+expectRpcConservation(const app::ServiceStats &s)
+{
+    EXPECT_EQ(s.rpcCallsStarted, s.rpcOk + s.rpcTimeouts +
+                                     s.rpcBreakerFastFails +
+                                     s.rpcCancelled);
+}
+
+TEST(RequestLifecycle, ExpiredRequestsDropOnArrival)
+{
+    // The client-to-frontend link is slower than the end-to-end
+    // deadline, so every request arrives already dead. The frontend
+    // must drop it without running the handler or calling downstream.
+    app::ResilienceSpec res;
+    res.propagateDeadline = true;
+    TwoTier w(res);
+    fault::FaultPlan plan;
+    plan.linkLatency("", "n", 0, sim::milliseconds(60),
+                     sim::milliseconds(2));
+    fault::FaultInjector injector(w.dep);
+    injector.install(plan);
+
+    workload::LoadSpec load = TwoTier::clientLoad(2000, sim::milliseconds(1));
+    load.propagateDeadline = true;
+    workload::LoadGen gen(w.dep, w.front, load, 31);
+    gen.start();
+    w.dep.runFor(sim::milliseconds(40));
+    gen.stop();
+    w.dep.runFor(sim::milliseconds(20));
+
+    EXPECT_GT(gen.sent(), 0u);
+    EXPECT_EQ(gen.completedOk(), 0u);
+    EXPECT_GT(gen.timedOut(), 0u);
+    EXPECT_GT(w.front.stats().requestsCancelled, 0u);
+    // No work reached the backend: the drop happens before the
+    // handler issues its RPC.
+    EXPECT_EQ(w.back.stats().rxBytes, 0u);
+    EXPECT_EQ(w.front.stats().rpcCallsStarted, 0u);
+    EXPECT_EQ(w.dep.tracer().outcomeCount(
+                  trace::OutcomeKind::RequestCancelled),
+              w.front.stats().requestsCancelled);
+}
+
+TEST(RequestLifecycle, ExhaustedBudgetFailsFastWithoutTransmitting)
+{
+    // hopMargin exceeds the whole client deadline, so the forwarded
+    // budget is always exhausted by the time the handler reaches its
+    // RPC: the call fails fast and nothing is ever sent downstream.
+    app::ResilienceSpec res;
+    res.propagateDeadline = true;
+    res.hopMargin = sim::microseconds(300);
+    TwoTier w(res);
+    workload::LoadSpec load =
+        TwoTier::clientLoad(2000, sim::microseconds(250));
+    load.propagateDeadline = true;
+    workload::LoadGen gen(w.dep, w.front, load, 31);
+    gen.start();
+    w.dep.runFor(sim::milliseconds(30));
+    gen.stop();
+    w.dep.runFor(sim::milliseconds(10));
+
+    const app::ServiceStats &fs = w.front.stats();
+    EXPECT_GT(fs.rpcCancelled, 0u);
+    EXPECT_EQ(fs.rpcOk, 0u);
+    EXPECT_EQ(w.back.stats().rxBytes, 0u);
+    // The frontend still answers (degraded), so the client sees
+    // errors, not timeouts.
+    EXPECT_GT(gen.completedError(), 0u);
+    EXPECT_EQ(w.dep.tracer().outcomeCount(
+                  trace::OutcomeKind::RpcCancelled),
+              fs.rpcCancelled);
+    expectRpcConservation(fs);
+}
+
+TEST(RequestLifecycle, ClientTimeoutCancelChasesSubtree)
+{
+    // A slow single-worker backend saturates; requests queue up at
+    // both tiers until the client's timeout fires. cancelOnTimeout
+    // sends a cancel that must chase the whole subtree: the frontend
+    // abandons its open call and forwards the cancel, and the backend
+    // releases the queued (or in-flight) work.
+    app::Deployment dep(17);
+    os::Machine &machine = dep.addMachine("n", hw::platformA());
+    app::ServiceSpec slow = backendSpec();
+    slow.threads.workers = 1;
+    slow.endpoints[0].handler.ops = {app::opCompute(0, 30000)};
+    app::ServiceInstance &back = dep.deploy(slow, machine);
+    app::ResilienceSpec res;
+    res.cancellation = true;
+    app::ServiceInstance &front =
+        dep.deploy(frontendSpec(res), machine);
+    dep.wireAll();
+
+    workload::LoadSpec load =
+        TwoTier::clientLoad(8000, sim::milliseconds(2));
+    load.cancelOnTimeout = true;
+    workload::LoadGen gen(dep, front, load, 23);
+    gen.start();
+    dep.runFor(sim::milliseconds(30));
+    gen.stop();
+    dep.runFor(sim::milliseconds(60));
+
+    EXPECT_GT(gen.cancelsSent(), 0u);
+    EXPECT_GT(front.stats().requestsCancelled, 0u);
+    EXPECT_GT(front.stats().rpcCancelled, 0u);
+    EXPECT_GT(back.stats().requestsCancelled, 0u);
+    expectRpcConservation(front.stats());
+    // Cancelled work really was released: the drain left nothing in
+    // flight anywhere.
+    EXPECT_EQ(dep.network().messagesInFlight(), 0u);
+    EXPECT_EQ(dep.tracer().outcomeCount(
+                  trace::OutcomeKind::RequestCancelled),
+              front.stats().requestsCancelled +
+                  back.stats().requestsCancelled);
+}
+
+TEST(RequestLifecycle, HedgeWinsAgainstSlowReplica)
+{
+    // Two replicas of the backend; the cross-machine one sits behind
+    // a 3ms link. Round-robin sends half the calls there; after the
+    // hedge delay the frontend launches a second attempt on the fast
+    // replica, which wins. The slow loser is abandoned without ever
+    // feeding the breaker.
+    app::Deployment dep(17);
+    os::Machine &web = dep.addMachine("web", hw::platformA());
+    os::Machine &db = dep.addMachine("db", hw::platformA());
+    app::ServiceInstance &back = dep.deploy(backendSpec(), web);
+    app::ResilienceSpec res;
+    res.rpcDeadline = sim::milliseconds(20);
+    res.hedge.enabled = true;
+    res.hedge.delay = sim::microseconds(300);
+    res.breaker.enabled = true;
+    res.breaker.failureThreshold = 4;
+    app::ServiceInstance &front =
+        dep.deploy(frontendSpec(res), web);
+    dep.wireAll();
+    dep.addReplica("back", db);
+
+    fault::FaultPlan plan;
+    plan.linkLatency("web", "db", 0, sim::milliseconds(90),
+                     sim::milliseconds(3));
+    fault::FaultInjector injector(dep);
+    injector.install(plan);
+
+    workload::LoadGen gen(dep, front,
+                          TwoTier::clientLoad(2000,
+                                              sim::milliseconds(50)),
+                          23);
+    gen.start();
+    dep.runFor(sim::milliseconds(30));
+    gen.stop();
+    dep.runFor(sim::milliseconds(30));
+
+    const app::ServiceStats &fs = front.stats();
+    EXPECT_GT(fs.rpcHedges, 0u);
+    EXPECT_GT(fs.rpcHedgeWins, 0u);
+    EXPECT_LE(fs.rpcHedgeWins, fs.rpcHedges);
+    EXPECT_EQ(fs.rpcTimeouts, 0u);
+    EXPECT_EQ(dep.tracer().outcomeCount(
+                  trace::OutcomeKind::RpcHedgeWon),
+              fs.rpcHedgeWins);
+    expectRpcConservation(fs);
+    // Hedged losers never feed the breaker: one verdict per call,
+    // and every call here ultimately succeeded.
+    app::CircuitBreaker *cb = front.breaker(0);
+    ASSERT_NE(cb, nullptr);
+    EXPECT_EQ(cb->timesOpened(), 0u);
+    EXPECT_GT(back.stats().rxBytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry timers vs machine crash/restart windows
+// ---------------------------------------------------------------------------
+
+TEST(RetryUnderCrash, TimersFireInsideCrashAndRestartWindow)
+{
+    // Overlapping crashes: the backend's machine freezes first, so
+    // the frontend piles up rpc-deadline and backoff timers; then the
+    // frontend process itself crashes while those timers are pending.
+    // Timers firing for a crashed (or since restarted) worker must
+    // neither resurrect work nor leak a call: the books still balance
+    // after everything returns.
+    app::ResilienceSpec res;
+    res.rpcDeadline = sim::microseconds(600);
+    res.retry.maxAttempts = 2;
+    res.retry.baseBackoff = sim::microseconds(100);
+    app::Deployment dep(17);
+    os::Machine &web = dep.addMachine("web", hw::platformA());
+    os::Machine &db = dep.addMachine("db", hw::platformA());
+    dep.deploy(backendSpec(), db);
+    app::ServiceInstance &front =
+        dep.deploy(frontendSpec(res), web);
+    dep.wireAll();
+
+    fault::FaultPlan plan;
+    plan.machineCrash("db", sim::milliseconds(15),
+                      sim::milliseconds(10));
+    plan.serviceCrash("front", sim::milliseconds(18),
+                      sim::milliseconds(8));
+    fault::FaultInjector injector(dep);
+    injector.install(plan);
+
+    workload::LoadGen gen(dep, front,
+                          TwoTier::clientLoad(2000,
+                                              sim::milliseconds(5)),
+                          23);
+    gen.start();
+    dep.runFor(sim::milliseconds(30));
+    const std::uint64_t okDuringChaos = gen.completedOk();
+    dep.runFor(sim::milliseconds(30));
+    gen.stop();
+    dep.runFor(sim::milliseconds(40));
+
+    const app::ServiceStats &fs = front.stats();
+    // Deadline timers fired while the backend was down...
+    EXPECT_GT(fs.rpcTimeouts, 0u);
+    EXPECT_GT(fs.rpcRetries, 0u);
+    // ...and the frontend's own crash settled its open calls.
+    EXPECT_GT(fs.rpcCancelled, 0u);
+    expectRpcConservation(fs);
+    EXPECT_EQ(dep.tracer().outcomeCount(
+                  trace::OutcomeKind::RpcTimeout),
+              fs.rpcTimeouts);
+    // Both machines restarted and traffic recovered.
+    EXPECT_FALSE(web.down());
+    EXPECT_FALSE(db.down());
+    EXPECT_GT(gen.completedOk(), okDuringChaos);
+    EXPECT_EQ(dep.network().messagesInFlight(), 0u);
+}
+
+TEST(RetryUnderCrash, BudgetExhaustionReportsFinalOutcome)
+{
+    // The backend is down for most of the run, so calls burn their
+    // full retry budget. Exactly one extra attempt is issued per
+    // retried call (maxAttempts = 2), every exhausted call reports a
+    // single RpcTimeout, and each such request answers degraded.
+    app::ResilienceSpec res;
+    res.rpcDeadline = sim::microseconds(600);
+    res.retry.maxAttempts = 2;
+    res.retry.baseBackoff = sim::microseconds(100);
+    TwoTier w(res);
+    profile::ProbeCollector probe;
+    w.front.setProbe(&probe);
+
+    fault::FaultPlan plan;
+    plan.serviceCrash("back", sim::milliseconds(5),
+                      sim::milliseconds(35));
+    fault::FaultInjector injector(w.dep);
+    injector.install(plan);
+    w.gen.start();
+    w.dep.runFor(sim::milliseconds(45));
+    w.gen.stop();
+    w.dep.runFor(sim::milliseconds(30));
+
+    using trace::OutcomeKind;
+    const app::ServiceStats &fs = w.front.stats();
+    EXPECT_GT(fs.rpcTimeouts, 0u);
+    // Budget accounting: every RpcTimeout and every RpcRetriedOk
+    // consumed exactly one extra attempt; plain RpcOk consumed none.
+    EXPECT_EQ(fs.rpcRetries,
+              fs.rpcTimeouts +
+                  probe.outcomeCount(OutcomeKind::RpcRetriedOk));
+    EXPECT_EQ(fs.rpcRetries, probe.extraAttempts());
+    expectRpcConservation(fs);
+    // Final outcome: exhausted calls answer degraded, and every
+    // degraded response reached the client (a few may land after the
+    // client's own timeout and count as late instead of error).
+    EXPECT_GT(fs.requestsDegraded, 0u);
+    EXPECT_EQ(fs.requestsDegraded,
+              probe.outcomeCount(OutcomeKind::RequestError));
+    EXPECT_GE(fs.requestsDegraded, w.gen.completedError());
+    EXPECT_LE(fs.requestsDegraded,
+              w.gen.completedError() + w.gen.lateResponses());
+}
+
 } // namespace

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * ditto-chaos: chaos-fuzz the request lifecycle and shrink failures.
+ *
+ * Runs a campaign of seeded random fault plans (crashes, partitions,
+ * loss bursts, latency spikes, disk slowdowns) against a seeded
+ * topo_gen topology with deadlines, cancellation, hedging, retries,
+ * breakers, and shedding all armed, checking the global invariants in
+ * chaos/chaos.h after every run. The first violating plan is shrunk
+ * ddmin-style to a minimal reproducer and printed as ready-to-paste
+ * FaultPlan builder code.
+ *
+ * Plans fan out on a sim::RunExecutor; reports come back in plan
+ * order, so stdout is byte-identical at any --jobs count (§8).
+ * Exit status is nonzero iff any plan violated an invariant.
+ *
+ * Usage:
+ *   ditto-chaos [--plans N] [--seed S] [--services N] [--machines N]
+ *               [--qps Q] [--run-ms D] [--drain-ms D]
+ *               [--max-shrink-probes N] [--plant-ledger-bug]
+ *               [--jobs N]
+ *
+ * --plant-ledger-bug arms the test-fixture accounting bug (the
+ * message-ledger checker forgets dropped messages), demonstrating
+ * that the fuzzer catches and minimally reproduces a real bug.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chaos/chaos.h"
+#include "sim/run_executor.h"
+
+namespace {
+
+using namespace ditto;
+
+bool
+parseArg(int argc, char **argv, int &i, const char *name,
+         std::string &value)
+{
+    const std::size_t n = std::strlen(name);
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+        value = argv[++i];
+        return true;
+    }
+    if (std::strncmp(argv[i], name, n) == 0 && argv[i][n] == '=') {
+        value = argv[i] + n + 1;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    chaos::ChaosConfig cfg;
+    unsigned plans = 50;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (parseArg(argc, argv, i, "--plans", v))
+            plans = static_cast<unsigned>(
+                std::strtoul(v.c_str(), nullptr, 10));
+        else if (parseArg(argc, argv, i, "--seed", v))
+            cfg.seed = std::strtoull(v.c_str(), nullptr, 10);
+        else if (parseArg(argc, argv, i, "--services", v))
+            cfg.services = static_cast<unsigned>(
+                std::strtoul(v.c_str(), nullptr, 10));
+        else if (parseArg(argc, argv, i, "--machines", v))
+            cfg.machines = static_cast<unsigned>(
+                std::strtoul(v.c_str(), nullptr, 10));
+        else if (parseArg(argc, argv, i, "--qps", v))
+            cfg.qps = std::strtod(v.c_str(), nullptr);
+        else if (parseArg(argc, argv, i, "--run-ms", v))
+            cfg.runFor = sim::milliseconds(
+                std::strtoull(v.c_str(), nullptr, 10));
+        else if (parseArg(argc, argv, i, "--drain-ms", v))
+            cfg.drain = sim::milliseconds(
+                std::strtoull(v.c_str(), nullptr, 10));
+        else if (parseArg(argc, argv, i, "--max-shrink-probes", v))
+            cfg.maxShrinkProbes = static_cast<unsigned>(
+                std::strtoul(v.c_str(), nullptr, 10));
+        else if (std::strcmp(argv[i], "--plant-ledger-bug") == 0)
+            cfg.plantLedgerBug = true;
+        // --jobs is consumed by jobsFromArgs below.
+    }
+
+    sim::RunExecutor pool(sim::RunExecutor::jobsFromArgs(argc, argv));
+    const chaos::ChaosReport report =
+        chaos::runChaos(cfg, plans, &pool);
+
+    chaos::OutcomeMix total;
+    const chaos::PlanReport *firstBad = nullptr;
+    for (std::size_t i = 0; i < report.plans.size(); ++i) {
+        const chaos::PlanReport &p = report.plans[i];
+        total += p.result.mix;
+        const chaos::OutcomeMix &m = p.result.mix;
+        std::printf("plan %zu seed %llu faults %zu: ", i,
+                    static_cast<unsigned long long>(p.planSeed),
+                    p.plan.faults.size());
+        if (p.result.ok()) {
+            std::printf(
+                "ok (sent=%llu ok=%llu timeout=%llu cancelled=%llu "
+                "hedge-won=%llu)\n",
+                static_cast<unsigned long long>(m.clientSent),
+                static_cast<unsigned long long>(m.clientOk),
+                static_cast<unsigned long long>(m.clientTimedOut),
+                static_cast<unsigned long long>(m.requestsCancelled),
+                static_cast<unsigned long long>(m.rpcHedgeWins));
+        } else {
+            std::printf("VIOLATION\n");
+            for (const std::string &why : p.result.violations)
+                std::printf("  - %s\n", why.c_str());
+            if (firstBad == nullptr)
+                firstBad = &p;
+        }
+    }
+
+    std::printf(
+        "chaos: %zu plans, %u violating; outcome mix: sent=%llu "
+        "ok=%llu error=%llu shed=%llu timeout=%llu "
+        "req-cancelled=%llu rpc-cancelled=%llu hedges=%llu "
+        "hedge-wins=%llu cancels-sent=%llu\n",
+        report.plans.size(), report.violating(),
+        static_cast<unsigned long long>(total.clientSent),
+        static_cast<unsigned long long>(total.clientOk),
+        static_cast<unsigned long long>(total.clientError),
+        static_cast<unsigned long long>(total.clientShed),
+        static_cast<unsigned long long>(total.clientTimedOut),
+        static_cast<unsigned long long>(total.requestsCancelled),
+        static_cast<unsigned long long>(total.rpcCancelled),
+        static_cast<unsigned long long>(total.rpcHedges),
+        static_cast<unsigned long long>(total.rpcHedgeWins),
+        static_cast<unsigned long long>(total.cancelsSent));
+
+    if (firstBad != nullptr) {
+        std::printf("shrinking first violating plan (%zu faults)...\n",
+                    firstBad->plan.faults.size());
+        const chaos::ShrinkResult shrunk =
+            chaos::shrinkPlan(cfg, firstBad->plan);
+        std::printf("minimal reproducer (%zu faults, %u probes):\n",
+                    shrunk.plan.faults.size(), shrunk.probes);
+        std::printf("%s",
+                    chaos::formatFaultPlan(shrunk.plan).c_str());
+        for (const std::string &why : shrunk.violations)
+            std::printf("  still violates: %s\n", why.c_str());
+        return 1;
+    }
+    return 0;
+}

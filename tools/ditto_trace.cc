@@ -129,6 +129,11 @@ frontSpec(bool withResilience)
         spec.resilience.retry.maxAttempts = 2;
         spec.resilience.retry.baseBackoff = sim::microseconds(100);
         spec.resilience.retry.jitter = 0.0;
+        // Arm the request lifecycle too, so faulted exports carry
+        // deadline and cancellation-cause tags to round-trip.
+        spec.resilience.propagateDeadline = true;
+        spec.resilience.hopMargin = sim::microseconds(100);
+        spec.resilience.cancellation = true;
     }
     return spec;
 }
@@ -213,6 +218,10 @@ runOnce(const Options &opt, std::uint64_t seed)
     load.connections = 4;
     load.openLoop = true;
     load.timeout = sim::milliseconds(5);
+    if (opt.faults) {
+        load.propagateDeadline = true;
+        load.cancelOnTimeout = true;
+    }
     workload::LoadGen gen(dep, *dep.find("front"), load,
                           seed ^ 0x10adull);
     gen.start();
@@ -358,6 +367,24 @@ main(int argc, char **argv)
             core::analyzeTopology(reimported);
         std::string why;
         bool ok = sameTopology(art.topo, fromFile, why);
+
+        if (ok) {
+            // Export must be byte-symmetric: re-exporting the
+            // reimported tracer reproduces the file exactly, so
+            // every tag -- including the request-lifecycle deadline
+            // and cancellation-cause tags -- survives the trip.
+            if (obs::exportJaegerJson(reimported) != art.traceJson) {
+                ok = false;
+                why = "re-export differs from original export";
+            } else if (opt.faults &&
+                       (art.traceJson.find("ditto.deadline_ns") ==
+                            std::string::npos ||
+                        art.traceJson.find("ditto.cause") ==
+                            std::string::npos)) {
+                ok = false;
+                why = "lifecycle tags missing from faulted export";
+            }
+        }
 
         if (opt.cluster && ok) {
             // Scaling decisions must ride the same export path as

@@ -4,12 +4,21 @@
 # Usage:
 #   tools/run_tier1.sh [LABEL...]
 #
-# With no arguments the full ctest suite runs. Each LABEL restricts
-# the run to that ctest label (repeatable); the labels in use:
-#   cluster   replica groups, balancing, autoscaling, topo_gen
-#   parallel  RunExecutor determinism (the -DDITTO_TSAN=ON subset)
+# With no arguments the suite runs in labeled passes -- each ctest
+# label explicitly (so an accidentally empty label fails the run
+# instead of silently passing), then everything unlabeled -- and the
+# script exits nonzero if any pass fails. Each LABEL argument instead
+# restricts the run to that label (repeatable). Labels in use:
 #   sanitize  fault injection + resilience (-DDITTO_SANITIZE=ON subset)
 #   obs       trace export/import + metrics registry
+#   cluster   replica groups, balancing, autoscaling, topo_gen
+#   chaos     chaos fuzzer: invariants, determinism, plan shrinking
+#   parallel  RunExecutor determinism (the -DDITTO_TSAN=ON subset;
+#             overlaps the labels above, so the default passes skip it)
+#
+# Runtime stays bounded for single-core CI: every labeled test is
+# seeded and short (the chaos campaigns use small configs), so the
+# full default run finishes in a few minutes without parallelism.
 #
 # Environment:
 #   BUILD_DIR  build directory (default: build)
@@ -24,18 +33,35 @@ build=${BUILD_DIR:-"$repo/build"}
 cmake -B "$build" -S "$repo" ${CMAKE_ARGS:-}
 cmake --build "$build" -j
 
-labels=""
-for l in "$@"; do
-    labels="$labels${labels:+|}$l"
-done
-
 # A bare `ctest -j` would swallow a following option as its value;
 # always pass the level explicitly.
 jobs=$(nproc 2>/dev/null || echo 2)
 
 cd "$build"
-if [ -n "$labels" ]; then
-    ctest --output-on-failure -j "$jobs" -L "$labels"
-else
-    ctest --output-on-failure -j "$jobs"
+
+if [ "$#" -gt 0 ]; then
+    labels=""
+    for l in "$@"; do
+        labels="$labels${labels:+|}$l"
+    done
+    exec ctest --output-on-failure -j "$jobs" --no-tests=error \
+        -L "$labels"
 fi
+
+# Labeled passes first: --no-tests=error turns a vanished label into
+# a failure rather than a vacuous pass. `parallel` is not its own
+# pass because every parallel test already carries one of these
+# labels; it exists for the TSan build to select.
+status=0
+for label in sanitize obs cluster chaos; do
+    echo "== tier-1 label: $label =="
+    ctest --output-on-failure -j "$jobs" --no-tests=error \
+        -L "$label" || status=$?
+done
+
+# Everything not covered by a labeled pass (the core suite).
+echo "== tier-1 remainder =="
+ctest --output-on-failure -j "$jobs" --no-tests=error \
+    -LE "sanitize|obs|cluster|chaos|parallel" || status=$?
+
+exit "$status"
