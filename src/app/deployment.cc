@@ -1,5 +1,6 @@
 #include "app/deployment.h"
 
+#include <map>
 #include <stdexcept>
 
 namespace ditto::app {
@@ -21,6 +22,115 @@ Deployment::addMachine(const std::string &name,
     m.kernel().setNetwork(&network_);
     machinesByName_[name] = &m;
     return m;
+}
+
+std::uint32_t
+Deployment::defineRegion(const std::string &region)
+{
+    std::uint32_t id = 0;
+    if (regionId(region, id))
+        return id;
+    regionNames_.push_back(region);
+    return static_cast<std::uint32_t>(regionNames_.size() - 1);
+}
+
+bool
+Deployment::regionId(const std::string &region,
+                     std::uint32_t &out) const
+{
+    for (std::size_t i = 0; i < regionNames_.size(); ++i) {
+        if (regionNames_[i] == region) {
+            out = static_cast<std::uint32_t>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::string &
+Deployment::regionName(std::uint32_t id) const
+{
+    static const std::string kUnknown = "?";
+    return id < regionNames_.size() ? regionNames_[id] : kUnknown;
+}
+
+std::vector<os::Machine *>
+Deployment::machinesInRegion(std::uint32_t id) const
+{
+    std::vector<os::Machine *> out;
+    for (const auto &m : machines_) {
+        if (m->regionId() == id)
+            out.push_back(m.get());
+    }
+    return out;
+}
+
+os::Machine &
+Deployment::addMachine(const std::string &name,
+                       const hw::PlatformSpec &spec,
+                       const std::string &region)
+{
+    std::uint32_t id = 0;
+    if (!regionId(region, id)) {
+        throw std::runtime_error(
+            "addMachine: machine '" + name +
+            "' references unknown region '" + region + "'");
+    }
+    os::Machine &m = addMachine(name, spec);
+    m.setRegion(id);
+    return m;
+}
+
+os::Machine &
+Deployment::leastLoadedIn(std::uint32_t regionId,
+                          const std::string &context,
+                          const std::string &service,
+                          const std::string &region)
+{
+    std::map<const os::Machine *, unsigned> hosted;
+    for (const auto &svc : services_)
+        hosted[&svc->machine()]++;
+    os::Machine *best = nullptr;
+    for (const auto &m : machines_) {
+        if (m->regionId() != regionId)
+            continue;
+        if (!best || hosted[m.get()] < hosted[best])
+            best = m.get();
+    }
+    if (!best) {
+        throw std::runtime_error(
+            context + ": service '" + service +
+            "' references region '" + region + "' with no machines");
+    }
+    return *best;
+}
+
+ServiceInstance &
+Deployment::deployInRegion(const ServiceSpec &spec,
+                           const std::string &region)
+{
+    std::uint32_t id = 0;
+    if (!regionId(region, id)) {
+        throw std::runtime_error(
+            "deploy: service '" + spec.name +
+            "' references unknown region '" + region + "'");
+    }
+    return deploy(spec,
+                  leastLoadedIn(id, "deploy", spec.name, region));
+}
+
+ServiceInstance &
+Deployment::addReplicaInRegion(const std::string &name,
+                               const std::string &region)
+{
+    std::uint32_t id = 0;
+    if (!regionId(region, id)) {
+        throw std::runtime_error(
+            "addReplica: replica of service '" + name +
+            "' references unknown region '" + region + "'");
+    }
+    return addReplica(name,
+                      leastLoadedIn(id, "addReplica", name, region));
 }
 
 ServiceInstance &
@@ -60,10 +170,34 @@ Deployment::addReplica(const std::string &name, os::Machine &machine)
         // Mid-run scale-up: wire the replica's own downstream edges,
         // then fan it into every caller of the group.
         replica.wire(registry_);
+        applyRegionPins(replica);
         for (auto &[caller, edge] : upstreamEdges_[name])
             caller->addDownstreamReplica(edge, replica);
     }
     return replica;
+}
+
+void
+Deployment::applyRegionPins(ServiceInstance &svc)
+{
+    const auto &pins = svc.spec().balancing.pinRegion;
+    if (pins.empty())
+        return;
+    const auto &downs = svc.spec().downstreams;
+    for (std::uint32_t i = 0; i < downs.size(); ++i) {
+        const std::string *pin =
+            svc.spec().balancing.regionPinFor(downs[i]);
+        if (!pin)
+            continue;
+        std::uint32_t id = 0;
+        if (!regionId(*pin, id)) {
+            throw std::runtime_error(
+                "wire: service '" + svc.spec().name +
+                "' pins downstream '" + downs[i] +
+                "' to unknown region '" + *pin + "'");
+        }
+        svc.setEdgeRegionPin(i, id);
+    }
 }
 
 void
@@ -72,6 +206,7 @@ Deployment::wireAll()
     upstreamEdges_.clear();
     for (auto &svc : services_) {
         svc->wire(registry_);
+        applyRegionPins(*svc);
         const auto &downs = svc->spec().downstreams;
         for (std::uint32_t i = 0; i < downs.size(); ++i)
             upstreamEdges_[downs[i]].push_back({svc.get(), i});

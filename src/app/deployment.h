@@ -36,6 +36,39 @@ class Deployment
     os::Machine &addMachine(const std::string &name,
                             const hw::PlatformSpec &spec);
 
+    // ---- regions ----------------------------------------------------
+    // Region 0 is the implicit default every machine starts in; a
+    // deployment that never defines regions is bit-identical to the
+    // region-free runtime (DESIGN.md §8). Defined regions get ids
+    // 1..N in definition order.
+
+    /** Define (or look up) a named region; returns its id. */
+    std::uint32_t defineRegion(const std::string &region);
+
+    /**
+     * Resolve a region name; returns false when `region` was never
+     * defined (the empty name resolves to the default region 0).
+     */
+    bool regionId(const std::string &region, std::uint32_t &out) const;
+
+    /** Name of a region id ("" for the default region). */
+    const std::string &regionName(std::uint32_t id) const;
+
+    /** Defined regions, including the implicit default. */
+    std::size_t regionCount() const { return regionNames_.size(); }
+
+    /** Machines of one region, in creation order. */
+    std::vector<os::Machine *> machinesInRegion(std::uint32_t id) const;
+
+    /**
+     * Add a server node inside a region.
+     * @throws std::runtime_error naming the machine and region when
+     *         `region` was never defined.
+     */
+    os::Machine &addMachine(const std::string &name,
+                            const hw::PlatformSpec &spec,
+                            const std::string &region);
+
     /**
      * Deploy a service instance onto a machine.
      * @throws std::runtime_error naming the service if one with the
@@ -58,9 +91,29 @@ class Deployment
                                 os::Machine &machine);
 
     /**
+     * Deploy onto the least-loaded machine of a region (fewest
+     * services hosted; earliest-added machine wins ties, so placement
+     * is deterministic).
+     * @throws std::runtime_error naming the service and region when
+     *         `region` was never defined or has no machines.
+     */
+    ServiceInstance &deployInRegion(const ServiceSpec &spec,
+                                    const std::string &region);
+
+    /**
+     * Add one replica of `name` onto the least-loaded machine of a
+     * region (same rules as deployInRegion).
+     * @throws std::runtime_error naming the service and region when
+     *         `region` was never defined or has no machines.
+     */
+    ServiceInstance &addReplicaInRegion(const std::string &name,
+                                        const std::string &region);
+
+    /**
      * Resolve downstream references; call after all deploys.
      * @throws std::runtime_error naming caller and downstream on a
-     *         dangling reference.
+     *         dangling reference, or caller and region when a
+     *         BalancingSpec::pinRegion entry names an unknown region.
      */
     void wireAll();
 
@@ -115,6 +168,8 @@ class Deployment
     trace::Tracer tracer_;
     std::vector<std::unique_ptr<os::Machine>> machines_;
     std::map<std::string, os::Machine *> machinesByName_;
+    /** regionNames_[id] = name; [0] is the implicit default "". */
+    std::vector<std::string> regionNames_{std::string{}};
     std::vector<std::unique_ptr<ServiceInstance>> services_;
     /** Replica groups by service name (index = replicaIndex). */
     std::map<std::string, std::vector<ServiceInstance *>> registry_;
@@ -127,6 +182,13 @@ class Deployment
     ServiceInstance &instantiate(const ServiceSpec &spec,
                                  os::Machine &machine,
                                  unsigned replicaIndex);
+
+    os::Machine &leastLoadedIn(std::uint32_t regionId,
+                               const std::string &context,
+                               const std::string &service,
+                               const std::string &region);
+
+    void applyRegionPins(ServiceInstance &svc);
 };
 
 } // namespace ditto::app

@@ -870,6 +870,7 @@ ServiceInstance::wire(
     downstreamGroups_.clear();
     balancers_.clear();
     balancers_.resize(spec_.downstreams.size());
+    edgeRegionPins_.assign(spec_.downstreams.size(), kNoRegionPin);
     std::uint32_t edge = 0;
     for (const std::string &name : spec_.downstreams) {
         auto it = registry.find(name);
@@ -924,9 +925,16 @@ ServiceInstance::pickReplica(std::uint32_t target, std::uint64_t key)
 {
     const std::vector<ServiceInstance *> &group =
         downstreamGroups_[target];
-    return balancers_[target].pick(key, [&](std::size_t i) {
+    const std::uint32_t pin = edgeRegionPins_[target];
+    auto alive = [&](std::size_t i) {
         ServiceInstance *r = group[i];
+        if (pin != kNoRegionPin && r->machine().regionId() != pin)
+            return false;
         return !r->down() && !r->machine().down();
+    };
+    const std::uint32_t myRegion = machine_.regionId();
+    return balancers_[target].pick(key, alive, [&](std::size_t i) {
+        return group[i]->machine().regionId() == myRegion;
     });
 }
 
@@ -937,11 +945,42 @@ ServiceInstance::pickReplicaExcluding(std::uint32_t target,
 {
     const std::vector<ServiceInstance *> &group =
         downstreamGroups_[target];
-    return balancers_[target].pick(key, [&](std::size_t i) {
-        if (i == exclude)
-            return false;
+    const std::uint32_t pin = edgeRegionPins_[target];
+    auto alive = [&](std::size_t i) {
         ServiceInstance *r = group[i];
+        if (pin != kNoRegionPin && r->machine().regionId() != pin)
+            return false;
         return !r->down() && !r->machine().down();
+    };
+    cluster::EdgeBalancer &bal = balancers_[target];
+    if (bal.policy() == cluster::BalancerPolicy::PreferLocal) {
+        // Hedge locality: while any local replica is alive, the hedge
+        // must stay in this machine's region -- if the only live
+        // local replica is the primary, return `exclude` so the
+        // caller skips the hedge instead of crossing the WAN.
+        const std::uint32_t myRegion = machine_.regionId();
+        auto local = [&](std::size_t i) {
+            return group[i]->machine().regionId() == myRegion;
+        };
+        bool anyLocal = false;
+        bool otherLocal = false;
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            if (!bal.active(i) || !alive(i) || !local(i))
+                continue;
+            anyLocal = true;
+            if (i != exclude)
+                otherLocal = true;
+        }
+        if (otherLocal)
+            return bal.pick(key, [&](std::size_t i) {
+                return i != exclude && alive(i) && local(i);
+            });
+        if (anyLocal)
+            return exclude;
+        // No local replica alive: cross-region hedge is allowed.
+    }
+    return bal.pick(key, [&](std::size_t i) {
+        return i != exclude && alive(i);
     });
 }
 

@@ -349,7 +349,10 @@ class ServiceInstance
      * Select the replica for one RPC attempt on edge `target` (see
      * cluster::EdgeBalancer::pick). `key` is the request key used by
      * consistent hashing. Crashed replicas and replicas on crashed
-     * machines are excluded while any live one remains.
+     * machines are excluded while any live one remains; a region pin
+     * on the edge additionally excludes replicas outside the pinned
+     * region, and the PreferLocal policy keeps picks in this
+     * machine's own region while one of its replicas is usable.
      */
     std::size_t pickReplica(std::uint32_t target, std::uint64_t key);
 
@@ -357,11 +360,28 @@ class ServiceInstance
      * Like pickReplica but excluding replica `exclude` (hedged
      * requests must land on a *different* replica). Falls back to
      * `exclude` when it is the only usable choice; the caller skips
-     * the hedge in that case.
+     * the hedge in that case. Under PreferLocal a hedge crosses
+     * regions only when no local replica is alive at all: while the
+     * sole live local replica is the primary, the fallback-to-
+     * `exclude` path applies and the hedge is skipped.
      */
     std::size_t pickReplicaExcluding(std::uint32_t target,
                                      std::uint64_t key,
                                      std::size_t exclude);
+
+    /** Sentinel: edge has no region pin. */
+    static constexpr std::uint32_t kNoRegionPin = 0xffffffffu;
+
+    /**
+     * Pin downstream edge `target` to one region: picks only consider
+     * replicas whose machine lives there (Deployment::wireAll
+     * installs these from BalancingSpec::pinRegion).
+     */
+    void
+    setEdgeRegionPin(std::uint32_t target, std::uint32_t regionId)
+    {
+        edgeRegionPins_[target] = regionId;
+    }
 
     /** Balancer of downstream edge `target` (attempt accounting). */
     cluster::EdgeBalancer &balancer(std::uint32_t target)
@@ -410,6 +430,8 @@ class ServiceInstance
     std::vector<LockState> locks_;
     std::vector<std::vector<ServiceInstance *>> downstreamGroups_;
     std::vector<cluster::EdgeBalancer> balancers_;
+    /** Per-edge region pin (kNoRegionPin when unpinned). */
+    std::vector<std::uint32_t> edgeRegionPins_;
     std::vector<CircuitBreaker> breakers_;
     unsigned nextWorkerForConn_ = 0;
     unsigned nextThreadSlot_ = 0;

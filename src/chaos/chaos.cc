@@ -1,12 +1,18 @@
 #include "chaos/chaos.h"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <memory>
 
 #include "app/deployment.h"
+#include "cluster/failover.h"
+#include "cluster/placer.h"
+#include "cluster/region.h"
 #include "cluster/topo_gen.h"
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
+#include "os/network.h"
 #include "profile/probe_collector.h"
 #include "sim/rng.h"
 #include "workload/loadgen.h"
@@ -29,6 +35,12 @@ serviceName(unsigned idx)
     return buf;
 }
 
+std::string
+regionName(unsigned i)
+{
+    return "r" + std::to_string(i);
+}
+
 /** printf into a std::string (violation / reproducer lines). */
 std::string
 format(const char *fmt, ...)
@@ -45,13 +57,22 @@ format(const char *fmt, ...)
  * The fuzzed deployment: a seeded layered topology with every
  * request-lifecycle mechanism armed, two replicated level-1 services
  * (so hedging has somewhere to go), and a probe on every instance.
+ *
+ * With cfg.regions > 0 every machine lives in a region ("r0"..) over
+ * a seeded WAN mesh, the root balances prefer-local into the
+ * replicated groups, replicas spread across regions, and a
+ * RegionFailoverMonitor per replicated group retires dark regions --
+ * so region fault windows actually exercise re-routing.
  */
 struct ChaosWorld
 {
     app::Deployment dep;
     cluster::GeneratedTopology topo;
     app::ServiceInstance *root = nullptr;
+    obs::MetricsRegistry metrics;
     std::vector<std::unique_ptr<profile::ProbeCollector>> probes;
+    std::vector<std::unique_ptr<cluster::RegionFailoverMonitor>>
+        monitors;
 
     explicit ChaosWorld(const ChaosConfig &cfg) : dep(cfg.seed)
     {
@@ -66,6 +87,12 @@ struct ChaosWorld
         // root is the sole caller of the replicated level-1 services,
         // so make sure it is a sync client.
         topo.specs[0].clientModel = app::ClientModel::Sync;
+        if (cfg.regions > 0) {
+            // Hedge-locality under test: the root only crosses
+            // regions when no local replica is usable.
+            topo.specs[0].balancing.defaultPolicy =
+                cluster::BalancerPolicy::PreferLocal;
+        }
         for (std::size_t i = 0; i < topo.specs.size(); ++i) {
             app::ResilienceSpec &res = topo.specs[i].resilience;
             res.retry.maxAttempts = 2;
@@ -85,20 +112,67 @@ struct ChaosWorld
                 res.hedge.delay = sim::microseconds(300);
             }
         }
-        root = &cluster::deployTopology(dep, topo, cfg.machines);
+        if (cfg.regions == 0) {
+            root = &cluster::deployTopology(dep, topo, cfg.machines);
+        } else {
+            // Region world: same machine pool size, but spread over
+            // cfg.regions regions meshed by short seeded WAN links
+            // (no ambient bursts -- WAN drops come from fault
+            // windows, so ledger violations shrink to their cause).
+            const unsigned perRegion =
+                std::max(1u, (cfg.machines + cfg.regions - 1) /
+                             cfg.regions);
+            std::vector<cluster::RegionSpec> regions;
+            for (unsigned r = 0; r < cfg.regions; ++r)
+                regions.push_back({regionName(r), perRegion});
+            cluster::WanProfile wan;
+            wan.baseLatency = sim::microseconds(80);
+            wan.latencySpread = sim::microseconds(40);
+            wan.seed = cfg.seed;
+            cluster::buildRegions(dep, regions, wan);
+
+            cluster::Placer placer;
+            const std::size_t pool = dep.machines().size();
+            const auto slots = static_cast<unsigned>(
+                (topo.specs.size() + pool - 1) / pool);
+            for (const auto &m : dep.machines())
+                placer.addMachine(*m, slots);
+            for (const app::ServiceSpec &s : topo.specs)
+                dep.deploy(s, placer.place());
+            dep.wireAll();
+            root = dep.find(topo.specs.front().name);
+        }
 
         // Replicate the first two level-1 services so hedges and the
-        // balancer's replica exclusion actually engage.
+        // balancer's replica exclusion actually engage. In the region
+        // world each replica lands in a different region than the
+        // monitor's view, with a failover monitor watching the group.
         unsigned replicated = 0;
         for (std::size_t i = 0;
              i < topo.specs.size() && replicated < 2; ++i) {
             if (topo.level[i] != 1)
                 continue;
-            dep.addReplica(
-                topo.specs[i].name,
-                *dep.machines()[replicated % dep.machines().size()]);
+            if (cfg.regions > 0) {
+                dep.addReplicaInRegion(
+                    topo.specs[i].name,
+                    regionName((replicated + 1) % cfg.regions));
+                cluster::RegionFailoverSpec fs;
+                fs.period = sim::milliseconds(1);
+                fs.failureThreshold = 2;
+                fs.viewRegion = root->machine().regionId();
+                monitors.push_back(
+                    std::make_unique<cluster::RegionFailoverMonitor>(
+                        dep, topo.specs[i].name, metrics, fs));
+            } else {
+                dep.addReplica(
+                    topo.specs[i].name,
+                    *dep.machines()[replicated %
+                                    dep.machines().size()]);
+            }
             ++replicated;
         }
+        for (const auto &m : monitors)
+            m->start();
 
         for (const auto &svc : dep.services()) {
             probes.push_back(
@@ -268,6 +342,76 @@ checkInvariants(const ChaosConfig &cfg, ChaosWorld &w,
                 (unsigned long long)probes,
                 (unsigned long long)traced));
     }
+
+    // (9) Per-WAN-link ledgers: every directed region link accounts
+    // each message and byte it carried exactly once, and none is
+    // still in flight after the drain. The planted region fixture bug
+    // "forgets" the per-link dropped term, the WAN-scoped twin of the
+    // global planted ledger bug.
+    for (const auto &entry : net.wanLinks()) {
+        const os::WanLinkStats &ls = entry.second.stats;
+        const std::string link =
+            w.dep.regionName(entry.first.first) + "->" +
+            w.dep.regionName(entry.first.second);
+        const std::uint64_t wanDrops =
+            cfg.plantWanLedgerBug ? 0 : ls.msgsDropped;
+        if (ls.msgsSent !=
+            ls.msgsDelivered + wanDrops + ls.msgsInFlight()) {
+            out.push_back(format(
+                "wan-msg-ledger[%s]: sent %llu != delivered %llu + "
+                "dropped %llu + in-flight %llu",
+                link.c_str(), (unsigned long long)ls.msgsSent,
+                (unsigned long long)ls.msgsDelivered,
+                (unsigned long long)wanDrops,
+                (unsigned long long)ls.msgsInFlight()));
+        }
+        const std::uint64_t wanByteDrops =
+            cfg.plantWanLedgerBug ? 0 : ls.bytesDropped;
+        if (ls.msgsInFlight() == 0 &&
+            ls.bytesSent != ls.bytesDelivered + wanByteDrops) {
+            out.push_back(format(
+                "wan-byte-ledger[%s]: sent %llu != delivered %llu + "
+                "dropped %llu",
+                link.c_str(), (unsigned long long)ls.bytesSent,
+                (unsigned long long)ls.bytesDelivered,
+                (unsigned long long)wanByteDrops));
+        }
+        if (ls.msgsInFlight() != 0)
+            out.push_back(format(
+                "orphan-wan[%s]: %llu messages still in flight "
+                "after drain",
+                link.c_str(),
+                (unsigned long long)ls.msgsInFlight()));
+    }
+
+    // (10) Outcome conservation aggregated per region: failover
+    // re-routing must not settle any call twice, nor lose one, in
+    // either the failed or the surviving regions.
+    if (w.dep.regionCount() > 1) {
+        for (std::uint32_t r = 0;
+             r < static_cast<std::uint32_t>(w.dep.regionCount());
+             ++r) {
+            std::uint64_t started = 0;
+            std::uint64_t settledCalls = 0;
+            bool hosts = false;
+            for (const auto &svc : w.dep.services()) {
+                if (svc->machine().regionId() != r)
+                    continue;
+                hosts = true;
+                const app::ServiceStats &s = svc->stats();
+                started += s.rpcCallsStarted;
+                settledCalls += s.rpcOk + s.rpcTimeouts +
+                    s.rpcBreakerFastFails + s.rpcCancelled;
+            }
+            if (hosts && started != settledCalls)
+                out.push_back(format(
+                    "region-conservation[%s]: started %llu != "
+                    "settled %llu",
+                    w.dep.regionName(r).c_str(),
+                    (unsigned long long)started,
+                    (unsigned long long)settledCalls));
+        }
+    }
 }
 
 } // namespace
@@ -303,9 +447,12 @@ generateRandomPlan(const ChaosConfig &cfg, std::uint64_t planSeed)
                                       : 0;
     const unsigned count = cfg.minFaults +
         static_cast<unsigned>(rng.uniformInt(span + 1));
+    // Region kinds only join the sampling space in region worlds, so
+    // a regions == 0 campaign draws exactly the pre-region sequence.
+    const std::uint64_t kinds = cfg.regions > 0 ? 9 : 6;
     for (unsigned f = 0; f < count; ++f) {
         const auto kind = static_cast<fault::FaultKind>(
-            rng.uniformInt(std::uint64_t{6}));
+            rng.uniformInt(kinds));
         const auto start = static_cast<sim::Time>(
             rng.uniformInt(static_cast<std::uint64_t>(cfg.runFor)));
         const sim::Time duration = sim::microseconds(200) +
@@ -350,6 +497,33 @@ generateRandomPlan(const ChaosConfig &cfg, std::uint64_t planSeed)
             plan.diskSlowdown(a, start, duration,
                               rng.uniform(2.0, 16.0));
             break;
+          case fault::FaultKind::RegionPartition:
+          case fault::FaultKind::RegionOutage:
+          case fault::FaultKind::WanDegrade: {
+            const std::string ra = regionName(static_cast<unsigned>(
+                rng.uniformInt(std::uint64_t{cfg.regions})));
+            // Region peer: another region, or empty = isolate `ra`
+            // from every other region.
+            std::string rb;
+            if (cfg.regions > 1 && !rng.bernoulli(0.25)) {
+                do {
+                    rb = regionName(static_cast<unsigned>(
+                        rng.uniformInt(std::uint64_t{cfg.regions})));
+                } while (rb == ra);
+            }
+            if (kind == fault::FaultKind::RegionPartition)
+                plan.regionPartition(ra, rb, start, duration);
+            else if (kind == fault::FaultKind::RegionOutage)
+                plan.regionOutage(ra, start, duration);
+            else
+                plan.wanDegrade(
+                    ra, rb, start, duration, rng.uniform(0.1, 0.7),
+                    sim::microseconds(50) +
+                        static_cast<sim::Time>(rng.uniformInt(
+                            static_cast<std::uint64_t>(
+                                sim::microseconds(500)))));
+            break;
+          }
         }
     }
     return plan;
@@ -537,6 +711,28 @@ formatFaultPlan(const fault::FaultPlan &plan)
                 "plan.diskSlowdown(\"%s\", %llu, %llu, %.17g);\n",
                 f.a.c_str(), (unsigned long long)f.start,
                 (unsigned long long)f.duration, f.magnitude);
+            break;
+          case fault::FaultKind::RegionPartition:
+            out += format(
+                "plan.regionPartition(\"%s\", \"%s\", %llu, "
+                "%llu);\n",
+                f.a.c_str(), f.b.c_str(),
+                (unsigned long long)f.start,
+                (unsigned long long)f.duration);
+            break;
+          case fault::FaultKind::RegionOutage:
+            out += format("plan.regionOutage(\"%s\", %llu, %llu);\n",
+                          f.a.c_str(), (unsigned long long)f.start,
+                          (unsigned long long)f.duration);
+            break;
+          case fault::FaultKind::WanDegrade:
+            out += format(
+                "plan.wanDegrade(\"%s\", \"%s\", %llu, %llu, %.17g, "
+                "%llu);\n",
+                f.a.c_str(), f.b.c_str(),
+                (unsigned long long)f.start,
+                (unsigned long long)f.duration, f.magnitude,
+                (unsigned long long)f.extraLatency);
             break;
         }
     }

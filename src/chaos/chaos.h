@@ -25,6 +25,19 @@
  * message-ledger checker "forget" the dropped term, so any plan that
  * drops at least one message is flagged -- proving the fuzzer catches
  * (and minimally reproduces) a real accounting bug.
+ *
+ * With `regions > 0` the fuzzed world is multi-region: machines live
+ * in regions "r0".."r<n-1>" over a seeded WAN mesh, the root balances
+ * prefer-local, replicas of the replicated services spread across
+ * regions with a RegionFailoverMonitor armed per group, and the
+ * sampled fault kinds grow to include RegionPartition, RegionOutage,
+ * and WanDegrade. Two invariant groups join the checks: per-WAN-link
+ * message/byte ledgers and per-region RPC outcome conservation (no
+ * call settled twice -- or lost -- across a failover reroute).
+ * `plantWanLedgerBug` is the region-scoped fixture twin of
+ * `plantLedgerBug`: the per-link ledger checker forgets its dropped
+ * term, so any plan that drops a message on a WAN link is flagged and
+ * shrunk to the region fault window that caused it.
  */
 
 #ifndef DITTO_CHAOS_CHAOS_H_
@@ -49,6 +62,13 @@ struct ChaosConfig
     unsigned services = 10;
     unsigned depth = 3;
     unsigned machines = 3;
+    /**
+     * Regions the machines spread over (0 = single-region world,
+     * region mechanisms fully off). When > 0, region-scoped fault
+     * kinds join the sampling space and the region invariant groups
+     * are checked.
+     */
+    unsigned regions = 0;
     double qps = 5000;
     unsigned connections = 8;
     /** Client deadline; cancellation chases fire on its expiry. */
@@ -63,6 +83,8 @@ struct ChaosConfig
     // ---- fixtures / limits ------------------------------------------
     /** Test fixture: break the message-ledger checker (see @file). */
     bool plantLedgerBug = false;
+    /** Test fixture: break the per-WAN-link ledger checker. */
+    bool plantWanLedgerBug = false;
     /** Cap on runPlan() probes one shrink may spend. */
     unsigned maxShrinkProbes = 120;
 };

@@ -20,6 +20,7 @@ balancerPolicyName(BalancerPolicy policy)
         return "least_outstanding";
       case BalancerPolicy::PowerOfTwo: return "power_of_two";
       case BalancerPolicy::ConsistentHash: return "consistent_hash";
+      case BalancerPolicy::PreferLocal: return "prefer_local";
     }
     return "?";
 }

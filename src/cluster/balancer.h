@@ -44,6 +44,9 @@ enum class BalancerPolicy : std::uint8_t
     LeastOutstanding, //!< fewest requests in flight from this caller
     PowerOfTwo,       //!< two random candidates, pick less loaded
     ConsistentHash,   //!< hash the request key onto a replica ring
+    PreferLocal,      //!< round-robin in the caller's region, spill
+                      //!< over to remote replicas only when no local
+                      //!< replica is usable
 };
 
 /** Human-readable policy name. */
@@ -60,12 +63,27 @@ struct BalancingSpec
     BalancerPolicy defaultPolicy = BalancerPolicy::RoundRobin;
     /** Per-edge overrides, keyed by downstream service name. */
     std::map<std::string, BalancerPolicy> perDownstream;
+    /**
+     * Per-edge region pins, keyed by downstream service name: the
+     * edge only targets replicas in the named region (regardless of
+     * policy). Region names are validated against the deployment's
+     * region registry at wireAll() time.
+     */
+    std::map<std::string, std::string> pinRegion;
 
     BalancerPolicy
     policyFor(const std::string &downstream) const
     {
         auto it = perDownstream.find(downstream);
         return it != perDownstream.end() ? it->second : defaultPolicy;
+    }
+
+    /** Region pin of one edge; nullptr when unpinned. */
+    const std::string *
+    regionPinFor(const std::string &downstream) const
+    {
+        auto it = pinRegion.find(downstream);
+        return it != pinRegion.end() ? &it->second : nullptr;
     }
 };
 
@@ -129,6 +147,22 @@ class EdgeBalancer
     std::size_t
     pick(std::uint64_t key, AliveFn &&alive)
     {
+        // No locality information: PreferLocal degenerates to plain
+        // round-robin over usable replicas.
+        return pick(key, alive, [](std::size_t) { return false; });
+    }
+
+    /**
+     * Locality-aware variant: `local(i)` says whether replica i lives
+     * in the caller's own region. Only PreferLocal consults it --
+     * round-robin over usable local replicas, spilling over to the
+     * full usable set when no local replica can serve. Draws no
+     * randomness, so region-free runs stay bit-identical.
+     */
+    template <typename AliveFn, typename LocalFn>
+    std::size_t
+    pick(std::uint64_t key, AliveFn &&alive, LocalFn &&local)
+    {
         const std::size_t n = outstanding_.size();
         if (n <= 1)
             return 0;
@@ -144,6 +178,16 @@ class EdgeBalancer
             return pickPowerOfTwo(usable);
           case BalancerPolicy::ConsistentHash:
             return pickConsistentHash(key, usable);
+          case BalancerPolicy::PreferLocal: {
+            bool anyLocal = false;
+            for (std::size_t i = 0; i < n && !anyLocal; ++i)
+                anyLocal = usable(i) && local(i);
+            if (anyLocal)
+                return pickRoundRobin([&](std::size_t i) {
+                    return usable(i) && local(i);
+                });
+            return pickRoundRobin(usable);
+          }
         }
         return 0;
     }

@@ -1,0 +1,150 @@
+#include "cluster/failover.h"
+
+#include <algorithm>
+
+#include "app/deployment.h"
+#include "obs/metrics.h"
+
+namespace ditto::cluster {
+
+RegionFailoverMonitor::RegionFailoverMonitor(
+    app::Deployment &dep, std::string group,
+    obs::MetricsRegistry &metrics, RegionFailoverSpec spec)
+    : dep_(dep), group_(std::move(group)), metrics_(metrics),
+      spec_(spec)
+{
+    // One state entry (and counter pair) per region hosting a replica
+    // of the group, in region-id order so registration is a pure
+    // function of the deployment.
+    std::vector<std::uint32_t> regions;
+    for (app::ServiceInstance *r : dep_.replicas(group_)) {
+        const std::uint32_t id = r->machine().regionId();
+        if (std::find(regions.begin(), regions.end(), id) ==
+            regions.end())
+            regions.push_back(id);
+    }
+    std::sort(regions.begin(), regions.end());
+    for (std::uint32_t id : regions) {
+        RegionState rs;
+        rs.region = id;
+        const obs::MetricsRegistry::Labels labels{
+            {"service", group_}, {"region", dep_.regionName(id)}};
+        rs.failovers = &metrics_.counter(
+            "ditto_region_failover_total", labels,
+            "Regions failed over (replicas retired after the region "
+            "went dark)");
+        rs.recoveries = &metrics_.counter(
+            "ditto_region_failover_recoveries_total", labels,
+            "Failed-over regions reactivated after recovery");
+        regions_.push_back(rs);
+    }
+    const obs::MetricsRegistry::Labels labels{{"service", group_}};
+    RegionFailoverMonitor *self = this;
+    metrics_.addGaugeFn(
+        "ditto_region_failover_rto_ns", labels,
+        "Detection-to-reroute interval of the last failover",
+        [self] { return static_cast<double>(self->stats_.lastRtoNs); });
+    metrics_.addGaugeFn(
+        "ditto_region_failover_dark_regions", labels,
+        "Regions currently failed over",
+        [self] { return static_cast<double>(self->darkRegions()); });
+}
+
+void
+RegionFailoverMonitor::start()
+{
+    dep_.events().scheduleAfter(spec_.period, [this] { tick(); });
+}
+
+std::size_t
+RegionFailoverMonitor::darkRegions() const
+{
+    std::size_t n = 0;
+    for (const RegionState &rs : regions_)
+        n += rs.failedOver ? 1 : 0;
+    return n;
+}
+
+bool
+RegionFailoverMonitor::replicaDark(app::ServiceInstance *replica) const
+{
+    if (replica->down() || replica->machine().down())
+        return true;
+    const std::uint32_t region = replica->machine().regionId();
+    return region != spec_.viewRegion &&
+        dep_.network().regionPartitioned(spec_.viewRegion, region);
+}
+
+void
+RegionFailoverMonitor::tick()
+{
+    stats_.evaluations++;
+    const sim::Time now = dep_.events().now();
+    const auto &group = dep_.replicas(group_);
+    for (RegionState &rs : regions_) {
+        bool hosts = false;
+        bool allDark = true;
+        for (app::ServiceInstance *r : group) {
+            if (r->machine().regionId() != rs.region)
+                continue;
+            hosts = true;
+            if (!replicaDark(r)) {
+                allDark = false;
+                break;
+            }
+        }
+        if (!hosts)
+            continue;
+        if (allDark) {
+            if (rs.darkTicks == 0)
+                rs.darkSince = now;
+            rs.darkTicks++;
+            if (!rs.failedOver &&
+                rs.darkTicks >= spec_.failureThreshold)
+                failOver(rs, now);
+        } else {
+            if (rs.failedOver)
+                recover(rs, now);
+            rs.darkTicks = 0;
+        }
+    }
+    dep_.events().scheduleAfter(spec_.period, [this] { tick(); });
+}
+
+void
+RegionFailoverMonitor::failOver(RegionState &rs, sim::Time now)
+{
+    const auto &group = dep_.replicas(group_);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        if (group[i]->machine().regionId() == rs.region)
+            dep_.setReplicaActive(group_, i, false);
+    }
+    rs.failedOver = true;
+    stats_.failovers++;
+    stats_.lastRtoNs = now - rs.darkSince;
+    rs.failovers->add();
+    // The failover decision travels the trace pipeline like request
+    // and autoscaler spans: endpoint carries the region id and the
+    // span interval is the detection-to-reroute RTO.
+    trace::Tracer &tracer = dep_.tracer();
+    tracer.recordSpan(trace::Span{stats_.evaluations,
+                                  tracer.newSpanId(), 0,
+                                  "failover:" + group_, rs.region,
+                                  rs.darkSince, now});
+}
+
+void
+RegionFailoverMonitor::recover(RegionState &rs, sim::Time now)
+{
+    (void)now;
+    const auto &group = dep_.replicas(group_);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        if (group[i]->machine().regionId() == rs.region)
+            dep_.setReplicaActive(group_, i, true);
+    }
+    rs.failedOver = false;
+    stats_.recoveries++;
+    rs.recoveries->add();
+}
+
+} // namespace ditto::cluster

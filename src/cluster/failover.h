@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Region failover control loop for one replica group.
+ *
+ * A periodic loop on the deployment's event queue watches where every
+ * replica of one service group lives and declares a region *dark*
+ * when all of its replicas are unreachable from the monitor's own
+ * region: instance crashed, machine down, or the region pair
+ * hard-partitioned by a fault window. After `failureThreshold`
+ * consecutive dark evaluations the monitor fails the region over --
+ * it retires the region's replicas in every upstream balancer
+ * (Deployment::setReplicaActive), so traffic re-routes to the
+ * surviving regions -- and records the detection-to-reroute interval
+ * (RTO):
+ *
+ *   - ditto_region_failover_total{service,region} and
+ *     ditto_region_failover_recoveries_total{service,region} owned
+ *     counters, plus last-RTO and dark-region gauges;
+ *   - a Span with service "failover:<group>" whose endpoint field
+ *     carries the region id and whose [start, end) interval *is* the
+ *     RTO -- failover decisions ride the same Jaeger export/import
+ *     path as request and autoscaler spans.
+ *
+ * When the region becomes reachable again the monitor reactivates its
+ * replicas and counts a recovery.
+ *
+ * Determinism: the loop runs inside the simulation's event queue and
+ * reads only deployment-owned state, so failover timing and the
+ * measured RTO are a pure function of the deployment seed and the
+ * fault plan (DESIGN.md §8).
+ */
+
+#ifndef DITTO_CLUSTER_FAILOVER_H_
+#define DITTO_CLUSTER_FAILOVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ditto::app {
+class Deployment;
+class ServiceInstance;
+} // namespace ditto::app
+
+namespace ditto::obs {
+class Counter;
+class MetricsRegistry;
+} // namespace ditto::obs
+
+namespace ditto::cluster {
+
+struct RegionFailoverSpec
+{
+    /** Evaluation period of the control loop. */
+    sim::Time period = sim::milliseconds(5);
+    /** Consecutive dark evaluations before failing a region over. */
+    unsigned failureThreshold = 2;
+    /**
+     * Region the monitor observes from: a partition between this
+     * region and a replica's region makes that replica look dark,
+     * exactly like a health-checking control plane homed there.
+     */
+    std::uint32_t viewRegion = 0;
+};
+
+class RegionFailoverMonitor
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t evaluations = 0;
+        std::uint64_t failovers = 0;
+        std::uint64_t recoveries = 0;
+        /** Detection-to-reroute interval of the last failover. */
+        sim::Time lastRtoNs = 0;
+    };
+
+    /**
+     * Watch replica group `group` through `metrics`. Registers its
+     * counters and gauges on construction (one counter pair per
+     * region hosting a replica at that point); call start() after
+     * wireAll to begin evaluating.
+     */
+    RegionFailoverMonitor(app::Deployment &dep, std::string group,
+                          obs::MetricsRegistry &metrics,
+                          RegionFailoverSpec spec);
+
+    /** Schedule the first evaluation one period from now. */
+    void start();
+
+    const Stats &stats() const { return stats_; }
+    const RegionFailoverSpec &spec() const { return spec_; }
+
+    /** Regions currently failed over. */
+    std::size_t darkRegions() const;
+
+  private:
+    struct RegionState
+    {
+        std::uint32_t region = 0;
+        unsigned darkTicks = 0;
+        sim::Time darkSince = 0;
+        bool failedOver = false;
+        obs::Counter *failovers = nullptr;
+        obs::Counter *recoveries = nullptr;
+    };
+
+    app::Deployment &dep_;
+    std::string group_;
+    obs::MetricsRegistry &metrics_;
+    RegionFailoverSpec spec_;
+    Stats stats_;
+    std::vector<RegionState> regions_;
+
+    bool replicaDark(app::ServiceInstance *replica) const;
+    void tick();
+    void failOver(RegionState &rs, sim::Time now);
+    void recover(RegionState &rs, sim::Time now);
+};
+
+} // namespace ditto::cluster
+
+#endif // DITTO_CLUSTER_FAILOVER_H_

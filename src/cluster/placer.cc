@@ -1,6 +1,10 @@
 #include "cluster/placer.h"
 
+#include <map>
 #include <stdexcept>
+#include <string>
+
+#include "os/machine.h"
 
 namespace ditto::cluster {
 
@@ -10,16 +14,17 @@ Placer::addMachine(os::Machine &machine, unsigned capacity)
     slots_.push_back(Slot{&machine, capacity > 0 ? capacity : 1, 0});
 }
 
-os::Machine &
-Placer::place()
+template <typename PredFn>
+Placer::Slot *
+Placer::bestSlot(PredFn &&eligible)
 {
-    if (slots_.empty())
-        throw std::runtime_error("placer: no machines registered");
     // Best fit: most free slots. With every machine full, "free" goes
     // negative and the same comparison picks the least-overcommitted
     // machine.
     Slot *best = nullptr;
     for (Slot &s : slots_) {
+        if (!eligible(s))
+            continue;
         if (!best) {
             best = &s;
             continue;
@@ -31,10 +36,60 @@ Placer::place()
         if (freeHere > freeBest)
             best = &s;
     }
-    if (best->used >= best->capacity)
+    return best;
+}
+
+os::Machine &
+Placer::commit(Slot &slot)
+{
+    if (slot.used >= slot.capacity)
         overcommitted_++;
-    best->used++;
-    return *best->machine;
+    slot.used++;
+    return *slot.machine;
+}
+
+os::Machine &
+Placer::place()
+{
+    if (slots_.empty())
+        throw std::runtime_error("placer: no machines registered");
+    return commit(*bestSlot([](const Slot &) { return true; }));
+}
+
+os::Machine &
+Placer::placeInRegion(std::uint32_t regionId)
+{
+    Slot *best = bestSlot([&](const Slot &s) {
+        return s.machine->regionId() == regionId;
+    });
+    if (!best)
+        throw std::runtime_error(
+            "placer: no machines registered in region " +
+            std::to_string(regionId));
+    return commit(*best);
+}
+
+os::Machine &
+Placer::placeSpread()
+{
+    if (slots_.empty())
+        throw std::runtime_error("placer: no machines registered");
+    // Pick the region with the most total free slots (lowest region
+    // id wins ties; std::map iteration gives that for free), then
+    // best-fit within it.
+    std::map<std::uint32_t, int> freeByRegion;
+    for (const Slot &s : slots_)
+        freeByRegion[s.machine->regionId()] +=
+            static_cast<int>(s.capacity) - static_cast<int>(s.used);
+    std::uint32_t bestRegion = freeByRegion.begin()->first;
+    int bestFree = freeByRegion.begin()->second;
+    for (const auto &[region, free] : freeByRegion) {
+        if (free > bestFree) {
+            bestRegion = region;
+            bestFree = free;
+        }
+    }
+    return placeInRegion(bestRegion);
 }
 
 void

@@ -40,6 +40,20 @@ class Placer
      */
     os::Machine &place();
 
+    /**
+     * Best-fit placement restricted to machines of one region.
+     * @throws std::runtime_error when the region has no machines.
+     */
+    os::Machine &placeInRegion(std::uint32_t regionId);
+
+    /**
+     * Region-aware spread: place in the region with the most free
+     * slots (lowest region id wins ties), best-fit within it.
+     * Successive placements therefore rotate across regions, which is
+     * how replicated services survive a whole-region outage.
+     */
+    os::Machine &placeSpread();
+
     /** Release one slot on `machine` (replica torn down). */
     void release(os::Machine &machine);
 
@@ -61,6 +75,11 @@ class Placer
 
     std::vector<Slot> slots_;
     unsigned overcommitted_ = 0;
+
+    template <typename PredFn>
+    Slot *bestSlot(PredFn &&eligible);
+
+    os::Machine &commit(Slot &slot);
 };
 
 } // namespace ditto::cluster

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Multi-region world building: RegionSpec + seeded WAN meshes.
+ *
+ * buildRegions() turns a list of RegionSpecs into defined regions
+ * with their machines and installs a full mesh of directed WAN links
+ * between every region pair. Per-direction latencies are drawn
+ * deterministically from the profile seed, so routes are asymmetric
+ * (a->b != b->a, like real WAN paths) yet a pure function of the
+ * specs -- benches and chaos campaigns that build regions this way
+ * stay byte-identical at any --jobs (DESIGN.md §8).
+ */
+
+#ifndef DITTO_CLUSTER_REGION_H_
+#define DITTO_CLUSTER_REGION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ditto::app {
+class Deployment;
+} // namespace ditto::app
+
+namespace ditto::cluster {
+
+/** One region of a multi-region deployment. */
+struct RegionSpec
+{
+    std::string name;
+    /** Machines created in the region (hw::platformA). */
+    unsigned machines = 1;
+};
+
+/** Shape of the WAN mesh installed between every region pair. */
+struct WanProfile
+{
+    /** Minimum one-way latency of every directed link. */
+    sim::Time baseLatency = sim::milliseconds(30);
+    /**
+     * Upper bound on the seeded per-direction latency spread added to
+     * baseLatency; 0 makes every link symmetric at baseLatency.
+     */
+    sim::Time latencySpread = sim::milliseconds(10);
+    /** Bandwidth cap per directed link; 0 = uncapped. */
+    double bytesPerNs = 1.25;
+    /** Correlated loss bursts (see os::WanLinkSpec); 0 disables. */
+    sim::Time burstMeanInterval = 0;
+    sim::Time burstLength = 0;
+    double burstDropProb = 0;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Define every region, create its machines (named "m<i>" continuing
+ * the deployment's machine count), and install the directed WAN mesh.
+ * Returns the region ids in spec order.
+ */
+std::vector<std::uint32_t>
+buildRegions(app::Deployment &dep,
+             const std::vector<RegionSpec> &regions,
+             const WanProfile &wan);
+
+} // namespace ditto::cluster
+
+#endif // DITTO_CLUSTER_REGION_H_

@@ -37,6 +37,10 @@ FaultInjector::clearAll()
         deployment_.network().clearLinkFault(entry.first.first,
                                              entry.first.second);
     links_.clear();
+    for (const auto &entry : regionLinks_)
+        deployment_.network().clearRegionFault(entry.first.first,
+                                               entry.first.second);
+    regionLinks_.clear();
     for (auto &entry : machineCrashes_) {
         if (entry.second > 0)
             entry.first->setDown(false);
@@ -88,6 +92,58 @@ FaultInjector::applyLink(const LinkKey &key)
     fault.extraLatency = state.extraLatency;
     fault.partitioned = state.partitions > 0;
     deployment_.network().setLinkFault(key.first, key.second, fault);
+}
+
+std::vector<FaultInjector::RegionKey>
+FaultInjector::resolveRegionPairs(const FaultSpec &spec,
+                                  bool &ok) const
+{
+    ok = false;
+    std::vector<RegionKey> pairs;
+    std::uint32_t a = 0;
+    if (!deployment_.regionId(spec.a, a))
+        return pairs;
+    if (!spec.b.empty()) {
+        std::uint32_t b = 0;
+        if (!deployment_.regionId(spec.b, b) || a == b)
+            return pairs;
+        ok = true;
+        pairs.push_back(a < b ? RegionKey{a, b} : RegionKey{b, a});
+        return pairs;
+    }
+    // Isolation: region a against every other defined region. The
+    // registry only grows, so begin and end expand identically.
+    for (std::uint32_t b = 0;
+         b < static_cast<std::uint32_t>(deployment_.regionCount());
+         ++b) {
+        if (b != a)
+            pairs.push_back(a < b ? RegionKey{a, b}
+                                  : RegionKey{b, a});
+    }
+    ok = !pairs.empty();
+    return pairs;
+}
+
+void
+FaultInjector::applyRegionLink(const RegionKey &key)
+{
+    auto it = regionLinks_.find(key);
+    if (it == regionLinks_.end() || it->second.idle()) {
+        deployment_.network().clearRegionFault(key.first, key.second);
+        if (it != regionLinks_.end())
+            regionLinks_.erase(it);
+        return;
+    }
+    const LinkState &state = it->second;
+    os::LinkFault fault;
+    double pass = 1.0;
+    for (double p : state.dropProbs)
+        pass *= 1.0 - p;
+    fault.dropProb = 1.0 - pass;
+    fault.extraLatency = state.extraLatency;
+    fault.partitioned = state.partitions > 0;
+    deployment_.network().setRegionFault(key.first, key.second,
+                                         fault);
 }
 
 void
@@ -158,6 +214,46 @@ FaultInjector::beginFault(const FaultSpec &spec)
         applyDisk(machine);
         break;
       }
+      case FaultKind::RegionPartition:
+      case FaultKind::WanDegrade: {
+        bool ok = false;
+        const std::vector<RegionKey> pairs =
+            resolveRegionPairs(spec, ok);
+        if (!ok) {
+            stats_.unresolvedTargets++;
+            return;
+        }
+        for (const RegionKey &key : pairs) {
+            LinkState &state = regionLinks_[key];
+            if (spec.kind == FaultKind::RegionPartition) {
+                state.partitions++;
+            } else {
+                if (spec.magnitude > 0)
+                    state.dropProbs.push_back(spec.magnitude);
+                state.extraLatency += spec.extraLatency;
+            }
+            applyRegionLink(key);
+        }
+        break;
+      }
+      case FaultKind::RegionOutage: {
+        std::uint32_t region = 0;
+        if (!deployment_.regionId(spec.a, region)) {
+            stats_.unresolvedTargets++;
+            return;
+        }
+        const std::vector<os::Machine *> machines =
+            deployment_.machinesInRegion(region);
+        if (machines.empty()) {
+            stats_.unresolvedTargets++;
+            return;
+        }
+        for (os::Machine *machine : machines) {
+            if (machineCrashes_[machine]++ == 0)
+                machine->setDown(true);
+        }
+        break;
+      }
     }
     stats_.windowsStarted++;
 }
@@ -225,6 +321,60 @@ FaultInjector::endFault(const FaultSpec &spec)
         if (pos != it->second.end())
             it->second.erase(pos);
         applyDisk(machine);
+        break;
+      }
+      case FaultKind::RegionPartition:
+      case FaultKind::WanDegrade: {
+        bool ok = false;
+        const std::vector<RegionKey> pairs =
+            resolveRegionPairs(spec, ok);
+        if (!ok)
+            return;
+        bool touched = false;
+        for (const RegionKey &key : pairs) {
+            auto it = regionLinks_.find(key);
+            if (it == regionLinks_.end())
+                continue;  // cleared via clearAll()
+            touched = true;
+            LinkState &state = it->second;
+            if (spec.kind == FaultKind::RegionPartition) {
+                if (state.partitions > 0)
+                    state.partitions--;
+            } else {
+                if (spec.magnitude > 0) {
+                    auto pos = std::find(state.dropProbs.begin(),
+                                         state.dropProbs.end(),
+                                         spec.magnitude);
+                    if (pos != state.dropProbs.end())
+                        state.dropProbs.erase(pos);
+                }
+                state.extraLatency =
+                    state.extraLatency > spec.extraLatency
+                    ? state.extraLatency - spec.extraLatency
+                    : 0;
+            }
+            applyRegionLink(key);
+        }
+        if (!touched)
+            return;
+        break;
+      }
+      case FaultKind::RegionOutage: {
+        std::uint32_t region = 0;
+        if (!deployment_.regionId(spec.a, region))
+            return;
+        bool touched = false;
+        for (os::Machine *machine :
+             deployment_.machinesInRegion(region)) {
+            auto it = machineCrashes_.find(machine);
+            if (it == machineCrashes_.end() || it->second == 0)
+                continue;
+            touched = true;
+            if (--it->second == 0)
+                machine->setDown(false);
+        }
+        if (!touched)
+            return;
         break;
       }
     }

@@ -72,6 +72,8 @@ class FaultInjector
 
   private:
     using LinkKey = std::pair<const os::Machine *, const os::Machine *>;
+    /** Unordered region-id pair (WAN-scoped fault windows). */
+    using RegionKey = std::pair<std::uint32_t, std::uint32_t>;
 
     /** Active contributions on one link, recomposed on any change. */
     struct LinkState
@@ -91,6 +93,7 @@ class FaultInjector
     app::Deployment &deployment_;
     InjectorStats stats_;
     std::map<LinkKey, LinkState> links_;
+    std::map<RegionKey, LinkState> regionLinks_;
     std::map<os::Machine *, unsigned> machineCrashes_;
     std::map<std::string, unsigned> serviceCrashes_;
     std::map<os::Machine *, std::vector<double>> diskFactors_;
@@ -98,8 +101,15 @@ class FaultInjector
     void beginFault(const FaultSpec &spec);
     void endFault(const FaultSpec &spec);
     void applyLink(const LinkKey &key);
+    void applyRegionLink(const RegionKey &key);
     void applyDisk(os::Machine *machine);
     LinkKey resolveLink(const FaultSpec &spec, bool &ok) const;
+    /**
+     * Region pairs a region-scoped link fault touches: {a, b}, or --
+     * with b empty -- a paired with every other defined region.
+     */
+    std::vector<RegionKey> resolveRegionPairs(const FaultSpec &spec,
+                                              bool &ok) const;
 };
 
 } // namespace ditto::fault

@@ -14,6 +14,9 @@ faultKindName(FaultKind kind)
       case FaultKind::MachineCrash: return "machine_crash";
       case FaultKind::ServiceCrash: return "service_crash";
       case FaultKind::DiskSlowdown: return "disk_slowdown";
+      case FaultKind::RegionPartition: return "region_partition";
+      case FaultKind::RegionOutage: return "region_outage";
+      case FaultKind::WanDegrade: return "wan_degrade";
     }
     return "?";
 }
@@ -100,6 +103,50 @@ FaultPlan::diskSlowdown(const std::string &machine, sim::Time start,
     spec.start = start;
     spec.duration = duration;
     spec.magnitude = factor;
+    faults.push_back(std::move(spec));
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::regionPartition(const std::string &a, const std::string &b,
+                           sim::Time start, sim::Time duration)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::RegionPartition;
+    spec.a = a;
+    spec.b = b;
+    spec.start = start;
+    spec.duration = duration;
+    faults.push_back(std::move(spec));
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::regionOutage(const std::string &region, sim::Time start,
+                        sim::Time downFor)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::RegionOutage;
+    spec.a = region;
+    spec.start = start;
+    spec.duration = downFor;
+    faults.push_back(std::move(spec));
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::wanDegrade(const std::string &a, const std::string &b,
+                      sim::Time start, sim::Time duration,
+                      double dropProb, sim::Time extra)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::WanDegrade;
+    spec.a = a;
+    spec.b = b;
+    spec.start = start;
+    spec.duration = duration;
+    spec.magnitude = dropProb;
+    spec.extraLatency = extra;
     faults.push_back(std::move(spec));
     return *this;
 }

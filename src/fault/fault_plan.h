@@ -37,6 +37,11 @@ enum class FaultKind : std::uint8_t
     MachineCrash,  //!< freeze a whole machine, warm-restart later
     ServiceCrash,  //!< crash one service instance, restart later
     DiskSlowdown,  //!< multiply a machine's disk service times
+    // ---- region-scoped kinds (a/b name regions, not machines) ----
+    RegionPartition, //!< two-way partition of a region pair; an empty
+                     //!< b isolates region a from every other region
+    RegionOutage,    //!< crash every machine of a region, restart later
+    WanDegrade,      //!< drop prob + latency on a region pair's WAN
 };
 
 /** Human-readable fault kind name. */
@@ -46,6 +51,8 @@ const char *faultKindName(FaultKind kind);
  * One fault window. `a`/`b` name machines for link faults (an empty
  * name stands for the external client side); `a` names the machine
  * for MachineCrash / DiskSlowdown and the service for ServiceCrash.
+ * For the region-scoped kinds `a`/`b` name regions
+ * (app::Deployment::defineRegion).
  */
 struct FaultSpec
 {
@@ -88,6 +95,26 @@ struct FaultPlan
     FaultPlan &diskSlowdown(const std::string &machine,
                             sim::Time start, sim::Time duration,
                             double factor);
+
+    /**
+     * Hard two-way partition of the WAN between regions `a` and `b`;
+     * an empty `b` isolates region `a` from every other region.
+     */
+    FaultPlan &regionPartition(const std::string &a,
+                               const std::string &b, sim::Time start,
+                               sim::Time duration);
+
+    /** Crash every machine of `region`, warm-restart after downFor. */
+    FaultPlan &regionOutage(const std::string &region, sim::Time start,
+                            sim::Time downFor);
+
+    /**
+     * Degrade the WAN between regions `a` and `b`: per-message drop
+     * probability plus added one-way latency (either may be 0).
+     */
+    FaultPlan &wanDegrade(const std::string &a, const std::string &b,
+                          sim::Time start, sim::Time duration,
+                          double dropProb, sim::Time extra);
 
     /**
      * Expand a Poisson process of service crashes over [0, horizon):

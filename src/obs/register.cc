@@ -123,6 +123,33 @@ registerDeploymentMetrics(MetricsRegistry &reg,
                      "Payload bytes lost to faults/crashes",
                      [net] { return net->bytesDropped(); });
 
+    // WAN links: one counter set per directed region pair. The map is
+    // empty (and nothing is registered) in single-region deployments.
+    for (const auto &entry : net->wanLinks()) {
+        const MetricsRegistry::Labels labels{
+            {"from", dep.regionName(entry.first.first)},
+            {"to", dep.regionName(entry.first.second)}};
+        const os::WanLinkStats *ls = &entry.second.stats;
+        reg.addCounterFn("ditto_wan_messages_sent_total", labels,
+                         "Messages entering the WAN link",
+                         [ls] { return ls->msgsSent; });
+        reg.addCounterFn("ditto_wan_messages_delivered_total", labels,
+                         "Messages delivered across the WAN link",
+                         [ls] { return ls->msgsDelivered; });
+        reg.addCounterFn("ditto_wan_messages_dropped_total", labels,
+                         "Messages lost on the WAN link",
+                         [ls] { return ls->msgsDropped; });
+        reg.addCounterFn("ditto_wan_bytes_sent_total", labels,
+                         "Payload bytes entering the WAN link",
+                         [ls] { return ls->bytesSent; });
+        reg.addCounterFn("ditto_wan_bytes_delivered_total", labels,
+                         "Payload bytes delivered across the WAN link",
+                         [ls] { return ls->bytesDelivered; });
+        reg.addCounterFn("ditto_wan_bytes_dropped_total", labels,
+                         "Payload bytes lost on the WAN link",
+                         [ls] { return ls->bytesDropped; });
+    }
+
     for (const auto &mPtr : dep.machines()) {
         os::Machine *m = mPtr.get();
         const MetricsRegistry::Labels labels{{"machine", m->name()}};

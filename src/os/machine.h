@@ -82,6 +82,15 @@ class Machine : public hw::CoherenceDomain
     unsigned smtWays() const { return smtWays_; }
 
     /**
+     * Region (datacenter / cloud region) this machine lives in.
+     * Region 0 is the implicit default; deployments that never define
+     * regions leave every machine there and the WAN model stays
+     * entirely out of the send path (DESIGN.md §8).
+     */
+    std::uint32_t regionId() const { return regionId_; }
+    void setRegion(std::uint32_t regionId) { regionId_ = regionId; }
+
+    /**
      * Crash / restart hook (fault injection). A down machine stops
      * scheduling threads and the network drops traffic addressed to
      * it; restart resumes scheduling with warm state (services do not
@@ -150,6 +159,7 @@ class Machine : public hw::CoherenceDomain
 
     std::uint64_t nextSocketId_ = 1;
     std::uint64_t nextRegion_ = 0;
+    std::uint32_t regionId_ = 0;
     bool down_ = false;
 
     /** Sharers directory: line address -> hierarchy bitmask. */

@@ -13,6 +13,16 @@
  * free build (no rng draws, no map lookups). Every message is
  * accounted exactly once: messagesSent() == messagesDelivered() +
  * messagesDropped() + messagesInFlight() at all times.
+ *
+ * WAN model: machines carry a region id (os::Machine::regionId());
+ * traffic between machines in *different* regions crosses a directed
+ * WAN link (setWanLink) with its own one-way latency (asymmetric:
+ * each direction is a separate link), bandwidth cap, and seeded
+ * correlated loss bursts. Each installed link keeps the same exact
+ * message/byte ledger as the global counters. Region-scoped faults
+ * (setRegionFault) compose with machine-pair faults. Unconfigured
+ * runs never enter the WAN path: every machine sits in region 0, so
+ * the cross-region test is a single integer compare.
  */
 
 #ifndef DITTO_OS_NETWORK_H_
@@ -51,9 +61,69 @@ struct LinkFault
     }
 };
 
+/**
+ * Static shape of one *directed* WAN link between two regions.
+ * Asymmetric routes are modeled by installing different specs for the
+ * two directions.
+ */
+struct WanLinkSpec
+{
+    /** One-way propagation latency; replaces the LAN wire latency. */
+    sim::Time latency = 0;
+    /** Bandwidth cap shared by all traffic on the link; 0 = uncapped. */
+    double bytesPerNs = 0;
+    /**
+     * Correlated loss bursts (Gilbert-style good/bad periods): bursts
+     * of `burstLength` recur with exponential gaps of mean
+     * `burstMeanInterval`; during a burst each message is dropped
+     * with `burstDropProb`. 0 interval or length disables bursts.
+     */
+    sim::Time burstMeanInterval = 0;
+    sim::Time burstLength = 0;
+    double burstDropProb = 0;
+    /** Seed of the link's private burst-schedule rng. */
+    std::uint64_t burstSeed = 0x77a9ull;
+};
+
+/** Exact per-directed-WAN-link ledger (mirrors the global one). */
+struct WanLinkStats
+{
+    std::uint64_t msgsSent = 0;
+    std::uint64_t msgsDelivered = 0;
+    std::uint64_t msgsDropped = 0;
+    std::uint64_t bytesSent = 0;
+    std::uint64_t bytesDelivered = 0;
+    std::uint64_t bytesDropped = 0;
+
+    std::uint64_t
+    msgsInFlight() const
+    {
+        return msgsSent - msgsDelivered - msgsDropped;
+    }
+
+    std::uint64_t
+    bytesInFlight() const
+    {
+        return bytesSent - bytesDelivered - bytesDropped;
+    }
+};
+
 class Network
 {
   public:
+    /** Directed (fromRegion, toRegion) pair identifying a WAN link. */
+    using RegionKey = std::pair<std::uint32_t, std::uint32_t>;
+
+    /** Installed spec + live state of one directed WAN link. */
+    struct WanLinkState
+    {
+        WanLinkSpec spec;
+        WanLinkStats stats;
+        sim::Time txNextFree = 0;   //!< bandwidth-cap serialization
+        sim::Time burstStart = 0;   //!< current/next burst window start
+        sim::Rng rng{0x77a9ull};    //!< burst schedule + burst drops
+    };
+
     explicit Network(sim::EventQueue &events,
                      sim::Time wireLatency = sim::microseconds(25),
                      sim::Time loopbackLatency = sim::microseconds(5));
@@ -114,6 +184,53 @@ class Network
     /** Reseed the rng used for probabilistic drops. */
     void seedFaultRng(std::uint64_t seed);
 
+    // ---- WAN links and region-scoped faults -------------------------
+
+    /**
+     * Install (or replace) the directed WAN link fromRegion ->
+     * toRegion. Cross-region messages on an installed link use its
+     * latency instead of the LAN wire latency and are accounted in
+     * the link's private ledger.
+     */
+    void setWanLink(std::uint32_t fromRegion, std::uint32_t toRegion,
+                    const WanLinkSpec &spec);
+
+    /** Installed links, keyed by directed region pair. */
+    const std::map<RegionKey, WanLinkState> &
+    wanLinks() const
+    {
+        return wanLinks_;
+    }
+
+    /** Ledger of one directed link; nullptr if not installed. */
+    const WanLinkStats *wanLinkStats(std::uint32_t fromRegion,
+                                     std::uint32_t toRegion) const;
+
+    /**
+     * Install the fault state of the (unordered) region pair; applies
+     * to every cross-region message between the two regions and
+     * composes with machine-pair faults. Installed by
+     * fault::FaultInjector for RegionPartition / WanDegrade windows.
+     */
+    void setRegionFault(std::uint32_t a, std::uint32_t b,
+                        const LinkFault &fault);
+
+    /** Remove the fault state of one region pair. */
+    void clearRegionFault(std::uint32_t a, std::uint32_t b);
+
+    /** Remove every installed region fault. */
+    void clearRegionFaults();
+
+    /** Current fault state of a region pair (default if none). */
+    LinkFault regionFault(std::uint32_t a, std::uint32_t b) const;
+
+    /** Whether the two regions are currently hard-partitioned. */
+    bool
+    regionPartitioned(std::uint32_t a, std::uint32_t b) const
+    {
+        return !regionFaults_.empty() && regionFault(a, b).partitioned;
+    }
+
   private:
     using LinkKey = std::pair<const Machine *, const Machine *>;
 
@@ -127,9 +244,12 @@ class Network
     std::uint64_t bytesDelivered_ = 0;
     std::uint64_t bytesDropped_ = 0;
     std::map<LinkKey, LinkFault> faults_;
+    std::map<RegionKey, WanLinkState> wanLinks_;
+    std::map<RegionKey, LinkFault> regionFaults_;
     sim::Rng faultRng_{0xfa117ull};
 
     static LinkKey linkKey(const Machine *a, const Machine *b);
+    static RegionKey regionKey(std::uint32_t a, std::uint32_t b);
 };
 
 } // namespace ditto::os

@@ -194,6 +194,137 @@ TEST(ChaosShrink, ShrinksToMinimalReproducerDeterministically)
     EXPECT_FALSE(chaos::runPlan(cfg, first.plan).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Multi-region campaigns
+// ---------------------------------------------------------------------------
+
+/** smallConfig spread over three regions joined by a WAN mesh. */
+chaos::ChaosConfig
+regionConfig()
+{
+    chaos::ChaosConfig cfg = smallConfig();
+    cfg.regions = 3;
+    return cfg;
+}
+
+bool
+isRegionKind(fault::FaultKind kind)
+{
+    return kind == fault::FaultKind::RegionPartition ||
+        kind == fault::FaultKind::RegionOutage ||
+        kind == fault::FaultKind::WanDegrade;
+}
+
+TEST(ChaosRegion, RegionCampaignHoldsEveryInvariant)
+{
+    const chaos::ChaosConfig cfg = regionConfig();
+    const chaos::ChaosReport report = chaos::runChaos(cfg, 6);
+    ASSERT_EQ(report.plans.size(), 6u);
+    unsigned regionFaults = 0;
+    for (const chaos::PlanReport &p : report.plans) {
+        EXPECT_TRUE(p.result.ok())
+            << "plan seed " << p.planSeed << " violated: "
+            << (p.result.violations.empty()
+                    ? ""
+                    : p.result.violations.front());
+        EXPECT_GT(p.result.mix.clientSent, 0u);
+        for (const fault::FaultSpec &f : p.plan.faults)
+            regionFaults += isRegionKind(f.kind) ? 1 : 0;
+    }
+    EXPECT_EQ(report.violating(), 0u);
+    // The widened kind space must actually sample region faults --
+    // otherwise the WAN ledger and region-conservation invariants
+    // above are vacuously true.
+    EXPECT_GT(regionFaults, 0u);
+}
+
+TEST(ChaosRegion, RegionsOffSamplesThePreRegionKindSpace)
+{
+    // regions == 0 must draw the exact pre-region plan sequence: the
+    // region kinds never appear and the campaign stays bit-identical
+    // to a build without the region layer.
+    const chaos::ChaosConfig cfg = smallConfig();
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+        const fault::FaultPlan plan =
+            chaos::generateRandomPlan(cfg, seed);
+        for (const fault::FaultSpec &f : plan.faults)
+            EXPECT_FALSE(isRegionKind(f.kind))
+                << faultKindName(f.kind) << " sampled at regions=0";
+    }
+}
+
+TEST(ChaosDeterminism, RegionCampaignIdenticalAcrossJobCounts)
+{
+    const chaos::ChaosConfig cfg = regionConfig();
+    sim::RunExecutor serial(1);
+    sim::RunExecutor pool(3);
+    const chaos::ChaosReport a = chaos::runChaos(cfg, 4, &serial);
+    const chaos::ChaosReport b = chaos::runChaos(cfg, 4, &pool);
+    ASSERT_EQ(a.plans.size(), b.plans.size());
+    for (std::size_t i = 0; i < a.plans.size(); ++i) {
+        EXPECT_EQ(a.plans[i].planSeed, b.plans[i].planSeed);
+        EXPECT_EQ(chaos::formatFaultPlan(a.plans[i].plan),
+                  chaos::formatFaultPlan(b.plans[i].plan));
+        EXPECT_EQ(a.plans[i].result.violations,
+                  b.plans[i].result.violations);
+        EXPECT_TRUE(sameMix(a.plans[i].result.mix,
+                            b.plans[i].result.mix));
+    }
+}
+
+/**
+ * Three faults, one culprit: only the WAN degradation drops messages
+ * on a WAN link, so only it can trip the planted per-link ledger bug.
+ */
+fault::FaultPlan
+plantedWanBugPlan()
+{
+    fault::FaultPlan plan;
+    plan.diskSlowdown("m0", sim::milliseconds(1), sim::milliseconds(2),
+                      4.0);
+    plan.wanDegrade("r0", "r1", sim::milliseconds(1),
+                    sim::milliseconds(6), 0.9,
+                    sim::microseconds(100));
+    plan.linkLatency("m0", "m2", sim::milliseconds(1),
+                     sim::milliseconds(2), sim::microseconds(200));
+    return plan;
+}
+
+TEST(ChaosRegionShrink, PlantedWanLedgerBugIsCaughtAndShrunk)
+{
+    chaos::ChaosConfig cfg = regionConfig();
+    cfg.plantWanLedgerBug = true;
+    const fault::FaultPlan plan = plantedWanBugPlan();
+
+    const chaos::PlanRunResult r = chaos::runPlan(cfg, plan);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.violations.front().find("wan-msg-ledger"),
+              std::string::npos)
+        << r.violations.front();
+
+    // Honest checker, same plan: the runtime's per-link accounting is
+    // exact -- the violation is the fixture bug.
+    chaos::ChaosConfig honest = cfg;
+    honest.plantWanLedgerBug = false;
+    EXPECT_TRUE(chaos::runPlan(honest, plan).ok());
+
+    // ddmin peels the benign disk and latency faults away.
+    const chaos::ShrinkResult shrunk = chaos::shrinkPlan(cfg, plan);
+    ASSERT_EQ(shrunk.plan.faults.size(), 1u);
+    EXPECT_EQ(shrunk.plan.faults.front().kind,
+              fault::FaultKind::WanDegrade);
+    EXPECT_FALSE(shrunk.violations.empty());
+    EXPECT_FALSE(chaos::runPlan(cfg, shrunk.plan).ok());
+
+    // Deterministic reproducer, formatted as builder code.
+    const chaos::ShrinkResult again = chaos::shrinkPlan(cfg, plan);
+    EXPECT_EQ(chaos::formatFaultPlan(shrunk.plan),
+              chaos::formatFaultPlan(again.plan));
+    EXPECT_NE(chaos::formatFaultPlan(shrunk.plan).find(
+                  "plan.wanDegrade(\"r0\", \"r1\", "),
+              std::string::npos);
+}
+
 TEST(ChaosShrink, ReproducerFormatsAsBuilderCode)
 {
     fault::FaultPlan plan;

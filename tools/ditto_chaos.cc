@@ -16,13 +16,20 @@
  *
  * Usage:
  *   ditto-chaos [--plans N] [--seed S] [--services N] [--machines N]
- *               [--qps Q] [--run-ms D] [--drain-ms D]
+ *               [--regions N] [--qps Q] [--run-ms D] [--drain-ms D]
  *               [--max-shrink-probes N] [--plant-ledger-bug]
- *               [--jobs N]
+ *               [--plant-wan-ledger-bug] [--jobs N]
  *
  * --plant-ledger-bug arms the test-fixture accounting bug (the
  * message-ledger checker forgets dropped messages), demonstrating
  * that the fuzzer catches and minimally reproduces a real bug.
+ *
+ * --regions N spreads the machines over N regions joined by a seeded
+ * WAN mesh, arms per-group region failover, and adds region faults
+ * (partitions, outages, WAN degradation) to the sampled kinds plus
+ * the per-WAN-link ledger and per-region conservation invariants.
+ * --plant-wan-ledger-bug is the region-scoped fixture twin of
+ * --plant-ledger-bug (the per-link ledger forgets dropped messages).
  */
 
 #include <cstdint>
@@ -74,6 +81,9 @@ main(int argc, char **argv)
         else if (parseArg(argc, argv, i, "--machines", v))
             cfg.machines = static_cast<unsigned>(
                 std::strtoul(v.c_str(), nullptr, 10));
+        else if (parseArg(argc, argv, i, "--regions", v))
+            cfg.regions = static_cast<unsigned>(
+                std::strtoul(v.c_str(), nullptr, 10));
         else if (parseArg(argc, argv, i, "--qps", v))
             cfg.qps = std::strtod(v.c_str(), nullptr);
         else if (parseArg(argc, argv, i, "--run-ms", v))
@@ -87,6 +97,8 @@ main(int argc, char **argv)
                 std::strtoul(v.c_str(), nullptr, 10));
         else if (std::strcmp(argv[i], "--plant-ledger-bug") == 0)
             cfg.plantLedgerBug = true;
+        else if (std::strcmp(argv[i], "--plant-wan-ledger-bug") == 0)
+            cfg.plantWanLedgerBug = true;
         // --jobs is consumed by jobsFromArgs below.
     }
 

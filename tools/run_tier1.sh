@@ -13,6 +13,7 @@
 #   obs       trace export/import + metrics registry
 #   cluster   replica groups, balancing, autoscaling, topo_gen
 #   chaos     chaos fuzzer: invariants, determinism, plan shrinking
+#   region    multi-region: WAN links, prefer-local, failover RTO
 #   parallel  RunExecutor determinism (the -DDITTO_TSAN=ON subset;
 #             overlaps the labels above, so the default passes skip it)
 #
@@ -53,7 +54,7 @@ fi
 # pass because every parallel test already carries one of these
 # labels; it exists for the TSan build to select.
 status=0
-for label in sanitize obs cluster chaos; do
+for label in sanitize obs cluster chaos region; do
     echo "== tier-1 label: $label =="
     ctest --output-on-failure -j "$jobs" --no-tests=error \
         -L "$label" || status=$?
@@ -62,6 +63,6 @@ done
 # Everything not covered by a labeled pass (the core suite).
 echo "== tier-1 remainder =="
 ctest --output-on-failure -j "$jobs" --no-tests=error \
-    -LE "sanitize|obs|cluster|chaos|parallel" || status=$?
+    -LE "sanitize|obs|cluster|chaos|region|parallel" || status=$?
 
 exit "$status"
