@@ -42,8 +42,13 @@ void
 recordBenchTiming(const std::string &name, double wallSeconds,
                   unsigned jobs)
 {
+    // Sub-0.1s runs (bench_table1 replays recorded tables in
+    // microseconds) would truncate to "0.000" at fixed 3-decimal
+    // precision; widen until the measurement keeps real digits.
+    const int precision = wallSeconds >= 0.1 ? 3 : 6;
     std::ostringstream value;
-    value << "{\"wall_seconds\": " << stats::formatDouble(wallSeconds, 3)
+    value << "{\"wall_seconds\": "
+          << stats::formatDouble(wallSeconds, precision)
           << ", \"jobs\": " << jobs << "}";
     recordBenchEntry(name, value.str());
 }

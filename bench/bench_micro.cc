@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "app/deployment.h"
+#include "core/slab_arena.h"
 #include "hw/block_builder.h"
 #include "hw/cpu_core.h"
 #include "hw/platform.h"
@@ -28,20 +29,25 @@
 using namespace ditto;
 
 static void
-BM_EventQueueScheduleRun(benchmark::State &state)
+BM_EventQueueScheduleRun(benchmark::State &state,
+                         sim::EventQueue::Backend backend)
 {
     for (auto _ : state) {
-        sim::EventQueue q;
+        sim::EventQueue q(backend);
         for (int i = 0; i < 1000; ++i)
             q.scheduleAt(static_cast<sim::Time>(i * 7 % 997), [] {});
         benchmark::DoNotOptimize(q.runAll());
     }
     state.SetItemsProcessed(state.iterations() * 1000);
 }
-BENCHMARK(BM_EventQueueScheduleRun);
+BENCHMARK_CAPTURE(BM_EventQueueScheduleRun, wheel,
+                  sim::EventQueue::Backend::Wheel);
+BENCHMARK_CAPTURE(BM_EventQueueScheduleRun, heap,
+                  sim::EventQueue::Backend::Heap);
 
 static void
-BM_EventQueueCancelHeavy(benchmark::State &state)
+BM_EventQueueCancelHeavy(benchmark::State &state,
+                         sim::EventQueue::Backend backend)
 {
     // RPC-deadline shape: N timeouts pending far in the future while
     // every one of them is cancelled (the request "completed").
@@ -53,7 +59,7 @@ BM_EventQueueCancelHeavy(benchmark::State &state)
         static_cast<std::size_t>(pending));
     for (auto _ : state) {
         state.PauseTiming();
-        sim::EventQueue q;
+        sim::EventQueue q(backend);
         for (int i = 0; i < pending; ++i)
             ids[static_cast<std::size_t>(i)] = q.scheduleAt(
                 static_cast<sim::Time>(1000000 + i), [] {});
@@ -65,19 +71,26 @@ BM_EventQueueCancelHeavy(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * pending);
     state.SetComplexityN(pending);
 }
-BENCHMARK(BM_EventQueueCancelHeavy)
+BENCHMARK_CAPTURE(BM_EventQueueCancelHeavy, wheel,
+                  sim::EventQueue::Backend::Wheel)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Complexity(benchmark::oN);
+BENCHMARK_CAPTURE(BM_EventQueueCancelHeavy, heap,
+                  sim::EventQueue::Backend::Heap)
     ->RangeMultiplier(4)
     ->Range(256, 16384)
     ->Complexity(benchmark::oN);
 
 static void
-BM_EventQueueTimeoutPattern(benchmark::State &state)
+BM_EventQueueTimeoutPattern(benchmark::State &state,
+                            sim::EventQueue::Backend backend)
 {
     // Mixed steady-state: each simulated request schedules completion
     // plus a timeout, the completion fires and cancels the timeout --
     // the dominant schedule/cancel pattern of the RPC layer.
     for (auto _ : state) {
-        sim::EventQueue q;
+        sim::EventQueue q(backend);
         for (int i = 0; i < 1000; ++i) {
             const auto now = static_cast<sim::Time>(i * 3);
             const sim::EventId timeout = q.scheduleAt(
@@ -90,7 +103,65 @@ BM_EventQueueTimeoutPattern(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * 1000);
 }
-BENCHMARK(BM_EventQueueTimeoutPattern);
+BENCHMARK_CAPTURE(BM_EventQueueTimeoutPattern, wheel,
+                  sim::EventQueue::Backend::Wheel);
+BENCHMARK_CAPTURE(BM_EventQueueTimeoutPattern, heap,
+                  sim::EventQueue::Backend::Heap);
+
+namespace {
+
+/** Stand-in for os::Message-sized per-RPC hot allocations. */
+struct FlightSized
+{
+    unsigned char payload[96];
+    std::uint64_t id;
+};
+
+} // namespace
+
+static void
+BM_InFlightAllocNew(benchmark::State &state)
+{
+    // In-flight message churn via the general-purpose allocator: a
+    // ring of live nodes (like messages on the wire), each iteration
+    // retires the oldest and allocates a replacement.
+    constexpr std::size_t kRing = 256;
+    std::vector<FlightSized *> ring(kRing, nullptr);
+    std::size_t head = 0;
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        delete ring[head];
+        ring[head] = new FlightSized{{}, id++};
+        benchmark::DoNotOptimize(ring[head]);
+        head = (head + 1) % kRing;
+    }
+    for (FlightSized *f : ring)
+        delete f;
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InFlightAllocNew);
+
+static void
+BM_InFlightAllocSlab(benchmark::State &state)
+{
+    // Same churn through core::SlabArena -- the network layer's
+    // in-flight pool: freed nodes are recycled from the free list, so
+    // steady state touches no allocator locks and stays cache-hot.
+    constexpr std::size_t kRing = 256;
+    core::SlabArena<FlightSized> arena;
+    std::vector<FlightSized *> ring(kRing, nullptr);
+    std::size_t head = 0;
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        if (ring[head])
+            arena.destroy(ring[head]);
+        ring[head] = arena.create(FlightSized{{}, id++});
+        benchmark::DoNotOptimize(ring[head]);
+        head = (head + 1) % kRing;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InFlightAllocSlab);
 
 static void
 BM_RunExecutorDispatch(benchmark::State &state)

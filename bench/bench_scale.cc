@@ -1,15 +1,18 @@
 /**
  * @file
- * Thousand-service scale benchmark for the cluster subsystem.
+ * Ten-thousand-service scale benchmark for the cluster subsystem.
  *
  * Sweeps synthetic layered topologies (cluster/topo_gen.h) from 10 to
- * 1000 services, drives the root with an open-loop client, and runs
+ * 10,000 services, drives the root with an open-loop client, and runs
  * the autoscaler on the root's hottest downstream group. Per size it
- * reports topology shape, delivered load, end-to-end p95, and the
- * autoscaler's actions; wall-clock per size goes to stderr and
- * BENCH_pipeline.json. The sweep fans out on the RunExecutor and all
- * stdout is printed after the ordered join, so output is
- * byte-identical at any --jobs.
+ * reports topology shape, delivered load, executed simulation events,
+ * end-to-end p95, and the autoscaler's actions; wall-clock and
+ * per-event ns go to stderr and BENCH_pipeline.json (the
+ * "scale_per_event_ns" entry). The sweep fans out on the RunExecutor
+ * and all stdout is printed after the ordered join, so output is
+ * byte-identical at any --jobs (and, because both timer backends
+ * execute events in the same order, byte-identical under
+ * DITTO_EVENT_QUEUE=heap).
  */
 
 #include <cstdio>
@@ -51,7 +54,11 @@ struct ScaleRow
     std::uint64_t scaleUps = 0;
     std::uint64_t scaleDowns = 0;
     std::size_t replicas = 0;
+    /** Simulation events executed (deterministic, printed). */
+    std::uint64_t events = 0;
     double wallSeconds = 0;
+    /** Wall-clock of the event-execution phase only (warm+measure). */
+    double simSeconds = 0;
 };
 
 ScaleRow
@@ -96,10 +103,15 @@ runScaleCase(const ScaleCase &sc)
     load.timeout = sim::milliseconds(20);
     workload::LoadGen gen2(dep, root, load, 91);
 
+    const auto simStart = std::chrono::steady_clock::now();
     gen2.start();
     dep.runFor(sc.warm);
     dep.beginMeasureAll();
     dep.runFor(sc.measure);
+    const double simSeconds = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  simStart)
+                                  .count();
 
     ScaleRow row;
     row.services = sc.services;
@@ -112,6 +124,8 @@ runScaleCase(const ScaleCase &sc)
     row.scaleUps = scaler.stats().scaleUps;
     row.scaleDowns = scaler.stats().scaleDowns;
     row.replicas = set.active();
+    row.events = dep.events().executedCount();
+    row.simSeconds = simSeconds;
     row.wallSeconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - wallStart)
                           .count();
@@ -131,6 +145,8 @@ main(int argc, char **argv)
          sim::milliseconds(80)},
         {1000, 6, 8, 600, sim::milliseconds(20),
          sim::milliseconds(40)},
+        {10000, 8, 16, 300, sim::milliseconds(10),
+         sim::milliseconds(20)},
     };
 
     std::vector<std::function<ScaleRow()>> tasks;
@@ -140,21 +156,41 @@ main(int argc, char **argv)
         rt.executor().runOrdered<ScaleRow>(std::move(tasks));
 
     std::printf("# bench_scale: layered topologies under autoscaling\n");
-    std::printf("%8s %6s %8s %9s %10s %8s %5s %5s %9s\n", "services",
-                "edges", "machines", "sent", "completed", "p95_ms",
-                "up", "down", "replicas");
+    std::printf("%8s %6s %8s %9s %10s %11s %8s %5s %5s %9s\n",
+                "services", "edges", "machines", "sent", "completed",
+                "events", "p95_ms", "up", "down", "replicas");
+    std::string perEvent = "{";
     for (const ScaleRow &r : rows) {
-        std::printf("%8u %6zu %8u %9llu %10llu %8.3f %5llu %5llu %9zu\n",
-                    r.services, r.edges, r.machines,
-                    static_cast<unsigned long long>(r.sent),
-                    static_cast<unsigned long long>(r.completed),
-                    r.p95Ms,
-                    static_cast<unsigned long long>(r.scaleUps),
-                    static_cast<unsigned long long>(r.scaleDowns),
-                    r.replicas);
-        std::fprintf(stderr, "[scale %u] wall %.2fs\n", r.services,
-                     r.wallSeconds);
+        std::printf(
+            "%8u %6zu %8u %9llu %10llu %11llu %8.3f %5llu %5llu %9zu\n",
+            r.services, r.edges, r.machines,
+            static_cast<unsigned long long>(r.sent),
+            static_cast<unsigned long long>(r.completed),
+            static_cast<unsigned long long>(r.events), r.p95Ms,
+            static_cast<unsigned long long>(r.scaleUps),
+            static_cast<unsigned long long>(r.scaleDowns),
+            r.replicas);
+        // Wall-derived numbers go to stderr/JSON only: stdout must
+        // stay byte-identical across machines and worker counts.
+        // Per-event cost uses the execution phase alone, so it is not
+        // swamped by topology construction at the 10k size.
+        const double perEventNs = r.events
+            ? r.simSeconds * 1e9 / static_cast<double>(r.events)
+            : 0;
+        std::fprintf(stderr,
+                     "[scale %u] wall %.2fs (sim %.2fs), "
+                     "%.1f ns/event (%llu events)\n",
+                     r.services, r.wallSeconds, r.simSeconds,
+                     perEventNs,
+                     static_cast<unsigned long long>(r.events));
+        char cell[64];
+        std::snprintf(cell, sizeof cell, "%s\"%u\": %.1f",
+                      perEvent.size() > 1 ? ", " : "", r.services,
+                      perEventNs);
+        perEvent += cell;
     }
+    perEvent += "}";
+    bench::recordBenchEntry("scale_per_event_ns", perEvent);
 
     rt.finish();
     return 0;

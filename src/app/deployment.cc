@@ -141,14 +141,20 @@ Deployment::instantiate(const ServiceSpec &spec, os::Machine &machine,
         spec, machine, network_, &tracer_,
         seed_ ^ (services_.size() * 0x9e3779b9ull), replicaIndex));
     ServiceInstance &svc = *services_.back();
-    registry_[spec.name].push_back(&svc);
+    const std::uint32_t id = serviceIds_.intern(spec.name);
+    if (id >= groups_.size()) {
+        groups_.resize(id + 1);
+        upstreamEdges_.resize(id + 1);
+    }
+    groups_[id].push_back(&svc);
+    svc.setServiceId(id);
     return svc;
 }
 
 ServiceInstance &
 Deployment::deploy(const ServiceSpec &spec, os::Machine &machine)
 {
-    if (registry_.count(spec.name)) {
+    if (serviceIds_.lookup(spec.name) != kNoServiceId) {
         throw std::runtime_error(
             "deploy: duplicate service name '" + spec.name + "'");
     }
@@ -158,20 +164,20 @@ Deployment::deploy(const ServiceSpec &spec, os::Machine &machine)
 ServiceInstance &
 Deployment::addReplica(const std::string &name, os::Machine &machine)
 {
-    auto it = registry_.find(name);
-    if (it == registry_.end()) {
+    const std::uint32_t id = serviceIds_.lookup(name);
+    if (id == kNoServiceId) {
         throw std::runtime_error(
             "addReplica: service '" + name + "' is not deployed");
     }
-    const ServiceSpec &spec = it->second.front()->spec();
+    const ServiceSpec &spec = groups_[id].front()->spec();
     ServiceInstance &replica = instantiate(
-        spec, machine, static_cast<unsigned>(it->second.size()));
+        spec, machine, static_cast<unsigned>(groups_[id].size()));
     if (wired_) {
         // Mid-run scale-up: wire the replica's own downstream edges,
         // then fan it into every caller of the group.
-        replica.wire(registry_);
+        replica.wire(*this);
         applyRegionPins(replica);
-        for (auto &[caller, edge] : upstreamEdges_[name])
+        for (auto &[caller, edge] : upstreamEdges_[id])
             caller->addDownstreamReplica(edge, replica);
     }
     return replica;
@@ -203,13 +209,17 @@ Deployment::applyRegionPins(ServiceInstance &svc)
 void
 Deployment::wireAll()
 {
-    upstreamEdges_.clear();
+    for (auto &edges : upstreamEdges_)
+        edges.clear();
     for (auto &svc : services_) {
-        svc->wire(registry_);
+        svc->wire(*this);
         applyRegionPins(*svc);
         const auto &downs = svc->spec().downstreams;
-        for (std::uint32_t i = 0; i < downs.size(); ++i)
-            upstreamEdges_[downs[i]].push_back({svc.get(), i});
+        for (std::uint32_t i = 0; i < downs.size(); ++i) {
+            // wire() resolved every downstream, so the id exists.
+            const std::uint32_t down = serviceIds_.lookup(downs[i]);
+            upstreamEdges_[down].push_back({svc.get(), i});
+        }
     }
     wired_ = true;
 }
@@ -217,26 +227,34 @@ Deployment::wireAll()
 ServiceInstance *
 Deployment::find(const std::string &name)
 {
-    auto it = registry_.find(name);
-    return it != registry_.end() ? it->second.front() : nullptr;
+    const std::uint32_t id = serviceIds_.lookup(name);
+    return id != kNoServiceId ? groups_[id].front() : nullptr;
 }
 
 const std::vector<ServiceInstance *> &
 Deployment::replicas(const std::string &name) const
 {
     static const std::vector<ServiceInstance *> kEmpty;
-    auto it = registry_.find(name);
-    return it != registry_.end() ? it->second : kEmpty;
+    const std::uint32_t id = serviceIds_.lookup(name);
+    return id != kNoServiceId ? groups_[id] : kEmpty;
 }
 
 void
 Deployment::setReplicaActive(const std::string &name,
                              std::size_t replica, bool active)
 {
-    auto it = upstreamEdges_.find(name);
-    if (it == upstreamEdges_.end())
+    const std::uint32_t id = serviceIds_.lookup(name);
+    if (id != kNoServiceId)
+        setReplicaActive(id, replica, active);
+}
+
+void
+Deployment::setReplicaActive(std::uint32_t id, std::size_t replica,
+                             bool active)
+{
+    if (id >= upstreamEdges_.size())
         return;
-    for (auto &[caller, edge] : it->second)
+    for (auto &[caller, edge] : upstreamEdges_[id])
         caller->setDownstreamReplicaActive(edge, replica, active);
 }
 

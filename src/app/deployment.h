@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "app/service.h"
+#include "core/string_interner.h"
 #include "hw/platform.h"
 #include "os/machine.h"
 #include "os/network.h"
@@ -22,7 +23,7 @@
 
 namespace ditto::app {
 
-class Deployment
+class Deployment : public ServiceResolver
 {
   public:
     explicit Deployment(std::uint64_t seed = 1,
@@ -128,6 +129,38 @@ class Deployment
     const std::vector<ServiceInstance *> &
     replicas(const std::string &name) const;
 
+    // ---- interned service ids ---------------------------------------
+    // Service names are interned to dense uint32 ids at deploy time;
+    // control loops that poll every tick (autoscalers, replica sets)
+    // resolve the id once and use the id-keyed overloads, keeping
+    // string hashing off the steady-state path.
+
+    /** Value serviceId() returns for names never deployed. */
+    static constexpr std::uint32_t kNoServiceId =
+        core::StringInterner::kInvalidId;
+
+    /** Dense id of service `name`; kNoServiceId if not deployed. */
+    std::uint32_t
+    serviceId(const std::string &name) const
+    {
+        return serviceIds_.lookup(name);
+    }
+
+    /** Name behind a dense service id. */
+    const std::string &
+    serviceName(std::uint32_t id) const
+    {
+        return serviceIds_.name(id);
+    }
+
+    /** All replicas of a dense service id (empty for kNoServiceId). */
+    const std::vector<ServiceInstance *> &
+    replicas(std::uint32_t id) const
+    {
+        static const std::vector<ServiceInstance *> kEmpty;
+        return id < groups_.size() ? groups_[id] : kEmpty;
+    }
+
     /**
      * Retire (active=false) or reactivate one replica in every
      * upstream caller's balancer: retired replicas finish what they
@@ -135,6 +168,17 @@ class Deployment
      */
     void setReplicaActive(const std::string &name, std::size_t replica,
                           bool active);
+
+    /** Id-keyed overload of setReplicaActive. */
+    void setReplicaActive(std::uint32_t id, std::size_t replica,
+                          bool active);
+
+    /** ServiceResolver implementation (used by wireAll). */
+    const std::vector<ServiceInstance *> &
+    resolveService(const std::string &name) const override
+    {
+        return replicas(name);
+    }
 
     os::Machine *machine(const std::string &name);
 
@@ -171,11 +215,13 @@ class Deployment
     /** regionNames_[id] = name; [0] is the implicit default "". */
     std::vector<std::string> regionNames_{std::string{}};
     std::vector<std::unique_ptr<ServiceInstance>> services_;
-    /** Replica groups by service name (index = replicaIndex). */
-    std::map<std::string, std::vector<ServiceInstance *>> registry_;
-    /** Reverse edges: group name -> (caller, edge idx) list. */
-    std::map<std::string,
-             std::vector<std::pair<ServiceInstance *, std::uint32_t>>>
+    /** Service name -> dense id (assigned at deploy time). */
+    core::StringInterner serviceIds_;
+    /** groups_[id] = replica group (index = replicaIndex). */
+    std::vector<std::vector<ServiceInstance *>> groups_;
+    /** upstreamEdges_[id] = (caller, edge idx) list of the group. */
+    std::vector<
+        std::vector<std::pair<ServiceInstance *, std::uint32_t>>>
         upstreamEdges_;
     bool wired_ = false;
 

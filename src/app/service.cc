@@ -322,7 +322,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                         worker.currentRequest().degraded = true;
                         worker.cancelRpcTimer();
                         worker.cancelHedgeTimer();
-                        rs = Worker::RpcState{};
+                        rs.reset();
                         frame.phase += 2;  // skip the call
                         continue;
                     }
@@ -332,7 +332,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                             call.target, call.endpoint, rs.attempt,
                             traceId);
                         worker.currentRequest().degraded = true;
-                        rs = Worker::RpcState{};
+                        rs.reset();
                         frame.phase += 2;  // fail fast: skip the call
                         continue;
                     }
@@ -447,7 +447,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                                 rs.attempt, traceId);
                         }
                         finish_response(resp);
-                        rs = Worker::RpcState{};
+                        rs.reset();
                         frame.phase++;
                     } else if (rs.timerFired) {
                         // Attempt deadline expired with no response.
@@ -491,7 +491,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                             call.target, call.endpoint, rs.attempt,
                             traceId);
                         worker.currentRequest().degraded = true;
-                        rs = Worker::RpcState{};
+                        rs.reset();
                         frame.phase++;  // give up on this call
                     } else if (rs.hedgeFired && !rs.hedgeLaunched) {
                         // Hedge threshold passed: launch the second
@@ -532,7 +532,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
         // call picks its replica independently, so one fanout can
         // spread across the replicas of a single downstream group.
         if (frame.phase == 0) {
-            rs = Worker::RpcState{};
+            rs.reset();
             rs.fanoutTags.assign(n, 0);
             rs.fanoutConns.assign(n, nullptr);
             rs.fanoutReplicas.assign(n, 0);
@@ -654,7 +654,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
         }
         if (frame.aux == 0) {
             worker.cancelRpcTimer();
-            rs = Worker::RpcState{};
+            rs.reset();
             frame.phase = 0;
             frame.pc++;
             return Status::Done;
@@ -681,7 +681,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                     call.target, call.endpoint, 1, traceId);
                 worker.currentRequest().degraded = true;
             }
-            rs = Worker::RpcState{};
+            rs.reset();
             frame.aux = 0;
             frame.phase = 0;
             frame.pc++;
@@ -863,9 +863,7 @@ ServiceInstance::spawnWorker(ThreadRole role, const std::string &name,
 }
 
 void
-ServiceInstance::wire(
-    const std::map<std::string,
-                   std::vector<ServiceInstance *>> &registry)
+ServiceInstance::wire(const ServiceResolver &resolver)
 {
     downstreamGroups_.clear();
     balancers_.clear();
@@ -873,15 +871,16 @@ ServiceInstance::wire(
     edgeRegionPins_.assign(spec_.downstreams.size(), kNoRegionPin);
     std::uint32_t edge = 0;
     for (const std::string &name : spec_.downstreams) {
-        auto it = registry.find(name);
-        if (it == registry.end() || it->second.empty()) {
+        const std::vector<ServiceInstance *> &group =
+            resolver.resolveService(name);
+        if (group.empty()) {
             throw std::runtime_error(
                 "wire: service '" + spec_.name +
                 "' references unknown downstream '" + name + "'");
         }
-        downstreamGroups_.push_back(it->second);
+        downstreamGroups_.push_back(group);
         balancers_[edge].init(
-            spec_.balancing.policyFor(name), it->second.size(),
+            spec_.balancing.policyFor(name), group.size(),
             seed_ ^ (0x9e3779b97f4a7c15ull * (edge + 1)));
         edge++;
     }
@@ -1386,7 +1385,7 @@ Worker::abortRequest()
     cancelHedgeTimer();
     releaseHeldLocks();
     cancelPending_ = false;
-    rpcState_ = RpcState{};
+    rpcState_.reset();
     runner_.abort();
     req_.active = false;
     req_.sock = nullptr;
@@ -1413,7 +1412,7 @@ Worker::finishCancelledRequest(os::StepCtx &ctx)
     cancelRpcTimer();
     cancelHedgeTimer();
     releaseHeldLocks();
-    rpcState_ = RpcState{};
+    rpcState_.reset();
     runner_.abort();
     // No response: the caller has already given up. The request
     // bytes were consumed, so they count toward rx traffic.

@@ -41,6 +41,22 @@ namespace ditto::app {
 class ServiceInstance;
 class Worker;
 
+/**
+ * Name -> replica-group resolution used while wiring downstream
+ * edges. Implemented by Deployment; keeps ServiceInstance decoupled
+ * from the registry's concrete container (interned dense vectors,
+ * see deployment.h).
+ */
+class ServiceResolver
+{
+  public:
+    virtual ~ServiceResolver() = default;
+
+    /** Replica group of `name`; empty when not deployed. */
+    virtual const std::vector<ServiceInstance *> &
+    resolveService(const std::string &name) const = 0;
+};
+
 /** App-level syscall identity for profiling probes. */
 enum class SysKind : std::uint8_t
 {
@@ -272,8 +288,16 @@ class ServiceInstance
      * @throws std::runtime_error naming caller and downstream when a
      *         downstream reference does not resolve.
      */
-    void wire(const std::map<std::string,
-                             std::vector<ServiceInstance *>> &registry);
+    void wire(const ServiceResolver &resolver);
+
+    /**
+     * Dense id of this service's replica group within its Deployment
+     * (assigned at deploy time); kNoServiceId for instances
+     * constructed outside a Deployment.
+     */
+    static constexpr std::uint32_t kNoServiceId = 0xffffffffu;
+    std::uint32_t serviceId() const { return serviceId_; }
+    void setServiceId(std::uint32_t id) { serviceId_ = id; }
 
     /**
      * Open a new inbound connection; returns the server-side socket
@@ -424,6 +448,7 @@ class ServiceInstance
     sim::Rng rng_;
     std::uint64_t seed_;
     unsigned replicaIndex_;
+    std::uint32_t serviceId_ = kNoServiceId;
 
     std::vector<Worker *> workers_;       //!< owned by the scheduler
     std::vector<std::uint32_t> fileIds_;
@@ -544,6 +569,41 @@ class Worker : public os::Thread
         std::uint64_t fanoutPending = 0;
         std::vector<std::uint32_t> fanoutTargets;
         std::vector<std::uint32_t> fanoutEndpoints;
+
+        /**
+         * Return to the default-constructed state while keeping the
+         * fanout vectors' capacity. One RpcState is recycled per RPC
+         * per worker, so reassigning a fresh `RpcState{}` here would
+         * free and reallocate five vectors on every call.
+         */
+        void
+        reset()
+        {
+            attempt = 0;
+            waitTag = 0;
+            timer = 0;
+            timerFired = false;
+            inBackoff = false;
+            conn = nullptr;
+            replica = 0;
+            callOpen = false;
+            attemptOpen = false;
+            callTarget = 0;
+            callEndpoint = 0;
+            sendDeadline = 0;
+            hedgeTimer = 0;
+            hedgeFired = false;
+            hedgeLaunched = false;
+            hedgeTag = 0;
+            hedgeConn = nullptr;
+            hedgeReplica = 0;
+            fanoutTags.clear();
+            fanoutConns.clear();
+            fanoutReplicas.clear();
+            fanoutPending = 0;
+            fanoutTargets.clear();
+            fanoutEndpoints.clear();
+        }
     };
 
     RpcState &rpcState() { return rpcState_; }

@@ -38,7 +38,7 @@ Autoscaler::tick()
 {
     stats_.evaluations++;
     const sim::Time now = dep_.events().now();
-    const auto &group = dep_.replicas(set_.name());
+    const auto &group = dep_.replicas(set_.serviceId());
     const std::size_t active = set_.active();
 
     // Window p95 across the group: merge the replicas' cumulative

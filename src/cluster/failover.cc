@@ -10,14 +10,14 @@ namespace ditto::cluster {
 RegionFailoverMonitor::RegionFailoverMonitor(
     app::Deployment &dep, std::string group,
     obs::MetricsRegistry &metrics, RegionFailoverSpec spec)
-    : dep_(dep), group_(std::move(group)), metrics_(metrics),
-      spec_(spec)
+    : dep_(dep), group_(std::move(group)),
+      groupId_(dep.serviceId(group_)), metrics_(metrics), spec_(spec)
 {
     // One state entry (and counter pair) per region hosting a replica
     // of the group, in region-id order so registration is a pure
     // function of the deployment.
     std::vector<std::uint32_t> regions;
-    for (app::ServiceInstance *r : dep_.replicas(group_)) {
+    for (app::ServiceInstance *r : dep_.replicas(groupId_)) {
         const std::uint32_t id = r->machine().regionId();
         if (std::find(regions.begin(), regions.end(), id) ==
             regions.end())
@@ -80,7 +80,7 @@ RegionFailoverMonitor::tick()
 {
     stats_.evaluations++;
     const sim::Time now = dep_.events().now();
-    const auto &group = dep_.replicas(group_);
+    const auto &group = dep_.replicas(groupId_);
     for (RegionState &rs : regions_) {
         bool hosts = false;
         bool allDark = true;
@@ -114,10 +114,10 @@ RegionFailoverMonitor::tick()
 void
 RegionFailoverMonitor::failOver(RegionState &rs, sim::Time now)
 {
-    const auto &group = dep_.replicas(group_);
+    const auto &group = dep_.replicas(groupId_);
     for (std::size_t i = 0; i < group.size(); ++i) {
         if (group[i]->machine().regionId() == rs.region)
-            dep_.setReplicaActive(group_, i, false);
+            dep_.setReplicaActive(groupId_, i, false);
     }
     rs.failedOver = true;
     stats_.failovers++;
@@ -137,10 +137,10 @@ void
 RegionFailoverMonitor::recover(RegionState &rs, sim::Time now)
 {
     (void)now;
-    const auto &group = dep_.replicas(group_);
+    const auto &group = dep_.replicas(groupId_);
     for (std::size_t i = 0; i < group.size(); ++i) {
         if (group[i]->machine().regionId() == rs.region)
-            dep_.setReplicaActive(group_, i, true);
+            dep_.setReplicaActive(groupId_, i, true);
     }
     rs.failedOver = false;
     stats_.recoveries++;

@@ -109,6 +109,8 @@ class RegionFailoverMonitor
 
     app::Deployment &dep_;
     std::string group_;
+    /** Interned id of the group: ticks skip the name lookup. */
+    std::uint32_t groupId_;
     obs::MetricsRegistry &metrics_;
     RegionFailoverSpec spec_;
     Stats stats_;

@@ -9,21 +9,21 @@ namespace ditto::cluster {
 
 ReplicaSet::ReplicaSet(app::Deployment &dep, std::string name,
                        Placer &placer, obs::MetricsRegistry *metrics)
-    : dep_(dep), name_(std::move(name)), placer_(placer),
+    : dep_(dep), name_(std::move(name)),
+      serviceId_(dep.serviceId(name_)), placer_(placer),
       metrics_(metrics)
 {
-    const auto &group = dep_.replicas(name_);
-    if (group.empty()) {
+    if (serviceId_ == app::Deployment::kNoServiceId) {
         throw std::runtime_error(
             "replica set: service '" + name_ + "' is not deployed");
     }
-    active_ = group.size();
+    active_ = dep_.replicas(serviceId_).size();
 }
 
 std::size_t
 ReplicaSet::total() const
 {
-    return dep_.replicas(name_).size();
+    return dep_.replicas(serviceId_).size();
 }
 
 std::size_t
@@ -34,7 +34,7 @@ ReplicaSet::scaleTo(std::size_t target)
     while (active_ < target) {
         if (active_ < total()) {
             // A retired instance is still warm: route to it again.
-            dep_.setReplicaActive(name_, active_, true);
+            dep_.setReplicaActive(serviceId_, active_, true);
         } else {
             app::ServiceInstance &replica =
                 dep_.addReplica(name_, placer_.place());
@@ -45,7 +45,7 @@ ReplicaSet::scaleTo(std::size_t target)
     }
     while (active_ > target) {
         active_--;
-        dep_.setReplicaActive(name_, active_, false);
+        dep_.setReplicaActive(serviceId_, active_, false);
     }
     return active_;
 }

@@ -47,6 +47,9 @@ class ReplicaSet
 
     const std::string &name() const { return name_; }
 
+    /** Dense service id of the managed group (cached at creation). */
+    std::uint32_t serviceId() const { return serviceId_; }
+
     /** Instances in existence (active + retired). */
     std::size_t total() const;
 
@@ -64,6 +67,8 @@ class ReplicaSet
   private:
     app::Deployment &dep_;
     std::string name_;
+    /** Interned id: steady-state polls skip the name lookup. */
+    std::uint32_t serviceId_;
     Placer &placer_;
     obs::MetricsRegistry *metrics_;
     std::size_t active_;

@@ -113,8 +113,11 @@ buildZs(const CallTree &tree)
             const auto &n =
                 tree.nodes()[static_cast<std::size_t>(f.node)];
             if (f.childPos < n.children.size()) {
-                frames.push_back({n.children[f.childPos], 0});
+                // Advance before push_back: growth reallocates the
+                // frame vector and would leave `f` dangling.
+                const int child = n.children[f.childPos];
                 ++f.childPos;
+                frames.push_back({child, 0});
             } else {
                 int lml;
                 if (n.children.empty()) {

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * String interning: dense uint32 ids for hot-path name lookups.
+ *
+ * StringInterner maps each distinct name to a dense id (0, 1, 2, ...)
+ * via an open-addressing FNV-1a hash table, keeping the strings
+ * themselves in one vector for the configuration and reporting edges.
+ * Dispatch-path consumers key flat vectors by the id instead of
+ * probing a std::map<std::string, ...> with per-node string compares.
+ *
+ * Interned strings are never removed; ids stay valid for the
+ * interner's lifetime.
+ */
+
+#ifndef DITTO_CORE_STRING_INTERNER_H_
+#define DITTO_CORE_STRING_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ditto::core {
+
+class StringInterner
+{
+  public:
+    /** Returned by lookup() for names never interned. */
+    static constexpr std::uint32_t kInvalidId = 0xffffffffu;
+
+    /** Id of `name`, interning it first if new. */
+    std::uint32_t
+    intern(std::string_view name)
+    {
+        if (names_.size() + 1 > (table_.size() * 7) / 10)
+            grow();
+        std::size_t slot = probe(name);
+        if (table_[slot] == kInvalidId) {
+            table_[slot] =
+                static_cast<std::uint32_t>(names_.size());
+            names_.emplace_back(name);
+        }
+        return table_[slot];
+    }
+
+    /** Id of `name`, or kInvalidId when it was never interned. */
+    std::uint32_t
+    lookup(std::string_view name) const
+    {
+        if (table_.empty())
+            return kInvalidId;
+        return table_[probe(name)];
+    }
+
+    /** The string behind an id returned by intern()/lookup(). */
+    const std::string &name(std::uint32_t id) const
+    {
+        return names_[id];
+    }
+
+    /** Number of distinct interned strings (== smallest free id). */
+    std::size_t size() const { return names_.size(); }
+
+  private:
+    static std::uint64_t
+    fnv1a(std::string_view s)
+    {
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 0x100000001b3ull;
+        }
+        return h;
+    }
+
+    /** Slot holding `name`'s id, or the empty slot it would go in. */
+    std::size_t
+    probe(std::string_view name) const
+    {
+        const std::size_t mask = table_.size() - 1;
+        std::size_t slot = fnv1a(name) & mask;
+        while (table_[slot] != kInvalidId &&
+               names_[table_[slot]] != name) {
+            slot = (slot + 1) & mask;
+        }
+        return slot;
+    }
+
+    void
+    grow()
+    {
+        const std::size_t capacity =
+            table_.empty() ? 64 : table_.size() * 2;
+        table_.assign(capacity, kInvalidId);
+        for (std::size_t id = 0; id < names_.size(); ++id)
+            table_[probe(names_[id])] =
+                static_cast<std::uint32_t>(id);
+    }
+
+    std::vector<std::string> names_;
+    /** Open-addressing table of ids; power-of-two capacity. */
+    std::vector<std::uint32_t> table_;
+};
+
+} // namespace ditto::core
+
+#endif // DITTO_CORE_STRING_INTERNER_H_

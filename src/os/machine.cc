@@ -58,7 +58,7 @@ Machine::sharedWrite(unsigned coreId, std::uint64_t addr)
     // keeps the fan-out proportional to the actual sharer count.
     const unsigned writer = coreId / smtWays_;
     const std::uint64_t line = addr / hw::kLineBytes;
-    std::uint64_t &mask = sharers_[line];
+    std::uint64_t &mask = sharers_.ref(line);
     std::uint64_t others = mask & ~(std::uint64_t{1} << writer);
     while (others) {
         const unsigned h = static_cast<unsigned>(
@@ -75,7 +75,7 @@ Machine::sharedRead(unsigned coreId, std::uint64_t addr)
 {
     const unsigned reader = coreId / smtWays_;
     const std::uint64_t line = addr / hw::kLineBytes;
-    sharers_[line] |= std::uint64_t{1} << reader;
+    sharers_.ref(line) |= std::uint64_t{1} << reader;
 }
 
 void

@@ -14,9 +14,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_map64.h"
 #include "hw/cache.h"
 #include "hw/cpu_core.h"
 #include "hw/platform.h"
@@ -162,8 +162,13 @@ class Machine : public hw::CoherenceDomain
     std::uint32_t regionId_ = 0;
     bool down_ = false;
 
-    /** Sharers directory: line address -> hierarchy bitmask. */
-    std::unordered_map<std::uint64_t, std::uint64_t> sharers_;
+    /**
+     * Sharers directory: line address -> hierarchy bitmask. Consulted
+     * on every shared access, so it is a flat open-addressed table
+     * (core::FlatMap64) rather than std::unordered_map -- the node
+     * map was the hottest single function of the figure benches.
+     */
+    core::FlatMap64 sharers_;
 };
 
 } // namespace ditto::os

@@ -240,38 +240,49 @@ Network::send(Socket &from, Message msg, sim::Time extraDelay)
             delay += wireLatency_ + fault.extraLatency;
     }
 
-    const Machine *fromMachine = from.machine;
-    auto payload = std::make_shared<Message>(std::move(msg));
-    events_.scheduleAfter(
-        delay,
-        [this, to, payload, fromMachine, loopback, wan, fromRegion,
-         toRegion, wanLink] {
-            // Partition, crashed machine, or crashed service: the
-            // message is lost at delivery time (covers messages that
-            // were already in flight when the fault started).
-            const bool partitioned =
-                (!loopback && !faults_.empty() &&
-                 linkFault(fromMachine, to->machine).partitioned) ||
-                (wan && regionPartitioned(fromRegion, toRegion));
-            if (partitioned ||
-                (to->machine && to->machine->down()) ||
-                (to->inboundGate && !to->inboundGate())) {
-                ++dropped_;
-                bytesDropped_ += payload->bytes;
-                if (wanLink) {
-                    ++wanLink->stats.msgsDropped;
-                    wanLink->stats.bytesDropped += payload->bytes;
-                }
-                return;
-            }
-            ++delivered_;
-            bytesDelivered_ += payload->bytes;
-            if (wanLink) {
-                ++wanLink->stats.msgsDelivered;
-                wanLink->stats.bytesDelivered += payload->bytes;
-            }
-            to->push(std::move(*payload));
-        });
+    InFlight *flight = inFlight_.create(
+        InFlight{std::move(msg), to, from.machine, wanLink, fromRegion,
+                 toRegion, loopback, wan});
+    events_.scheduleAfter(delay,
+                          [this, flight] { deliver(flight); });
+}
+
+void
+Network::deliver(InFlight *flight)
+{
+    Socket *to = flight->to;
+    const std::uint32_t bytes = flight->msg.bytes;
+    // Partition, crashed machine, or crashed service: the message is
+    // lost at delivery time (covers messages that were already in
+    // flight when the fault started).
+    const bool partitioned =
+        (!flight->loopback && !faults_.empty() &&
+         linkFault(flight->fromMachine, to->machine).partitioned) ||
+        (flight->wan &&
+         regionPartitioned(flight->fromRegion, flight->toRegion));
+    if (partitioned || (to->machine && to->machine->down()) ||
+        (to->inboundGate && !to->inboundGate())) {
+        ++dropped_;
+        bytesDropped_ += bytes;
+        if (flight->wanLink) {
+            ++flight->wanLink->stats.msgsDropped;
+            flight->wanLink->stats.bytesDropped += bytes;
+        }
+        inFlight_.destroy(flight);
+        return;
+    }
+    ++delivered_;
+    bytesDelivered_ += bytes;
+    if (flight->wanLink) {
+        ++flight->wanLink->stats.msgsDelivered;
+        flight->wanLink->stats.bytesDelivered += bytes;
+    }
+    // push() may re-enter send() on the same queue (loopback replies),
+    // which can recycle this node -- so retire it after moving the
+    // message out but before handing control to the receiver.
+    Message delivered = std::move(flight->msg);
+    inFlight_.destroy(flight);
+    to->push(std::move(delivered));
 }
 
 } // namespace ditto::os

@@ -32,6 +32,7 @@
 #include <map>
 #include <utility>
 
+#include "core/slab_arena.h"
 #include "os/socket.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
@@ -234,6 +235,28 @@ class Network
   private:
     using LinkKey = std::pair<const Machine *, const Machine *>;
 
+    /**
+     * One message between send() and delivery. Slab-allocated so the
+     * per-message cost is a pooled node instead of a shared_ptr
+     * control block plus a heap-spilled callback capture; the delivery
+     * event captures only {this, flight} and stays inline in the
+     * event queue's callback slot.
+     */
+    struct InFlight
+    {
+        Message msg;
+        Socket *to;
+        const Machine *fromMachine;
+        WanLinkState *wanLink;
+        std::uint32_t fromRegion;
+        std::uint32_t toRegion;
+        bool loopback;
+        bool wan;
+    };
+
+    /** Deliver (or drop) a message and retire its slab node. */
+    void deliver(InFlight *flight);
+
     sim::EventQueue &events_;
     sim::Time wireLatency_;
     sim::Time loopbackLatency_;
@@ -247,6 +270,7 @@ class Network
     std::map<RegionKey, WanLinkState> wanLinks_;
     std::map<RegionKey, LinkFault> regionFaults_;
     sim::Rng faultRng_{0xfa117ull};
+    core::SlabArena<InFlight> inFlight_;
 
     static LinkKey linkKey(const Machine *a, const Machine *b);
     static RegionKey regionKey(std::uint32_t a, std::uint32_t b);

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare a freshly written BENCH_pipeline.json against a committed
+baseline and flag per-event / wall-clock regressions.
+
+The benchmarks append their timings to BENCH_pipeline.json in the
+working directory (bench/bench_common.cc).  This script diffs that
+file against the baseline committed at the repo root and reports any
+entry that got slower by more than the tolerance.  Wall-clock numbers
+are noisy on shared machines, so the default tolerance is generous and
+the tier-1 driver treats a nonzero exit as advisory, not fatal.
+
+Usage:
+  tools/check_bench_regression.py [--fresh PATH] [--baseline PATH]
+                                  [--tolerance FRACTION]
+
+Exit codes: 0 = no regressions (or nothing comparable), 1 = at least
+one entry regressed beyond tolerance, 2 = usage / parse error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError as exc:
+        print(f"check_bench_regression: {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(data, dict):
+        print(f"check_bench_regression: {path}: expected an object",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return data
+
+
+def comparable_metrics(entry):
+    """Yield (metric, value) pairs worth diffing from one bench entry.
+
+    Two shapes exist today: {"wall_seconds": ..., "jobs": ...} from
+    recordBenchTiming, and flat {"10": ns, "100": ns, ...} maps like
+    scale_per_event_ns.  Anything numeric except "jobs" qualifies.
+    """
+    for key, value in entry.items():
+        if key == "jobs":
+            continue
+        if isinstance(value, (int, float)):
+            yield key, float(value)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff fresh benchmark timings against the "
+                    "committed baseline.")
+    parser.add_argument("--fresh", default="BENCH_pipeline.json",
+                        help="freshly generated timings "
+                             "(default: ./BENCH_pipeline.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="committed baseline (default: "
+                             "BENCH_pipeline.json at the repo root)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional slowdown before an "
+                             "entry counts as a regression "
+                             "(default: 0.25)")
+    args = parser.parse_args()
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        baseline_path = os.path.join(root, "BENCH_pipeline.json")
+
+    fresh = load(args.fresh)
+    if fresh is None:
+        print(f"check_bench_regression: no fresh timings at "
+              f"{args.fresh}; nothing to check")
+        return 0
+    baseline = load(baseline_path)
+    if baseline is None:
+        print(f"check_bench_regression: no baseline at {baseline_path};"
+              f" nothing to check")
+        return 0
+    if os.path.exists(args.fresh) and os.path.exists(baseline_path) \
+            and os.path.samefile(args.fresh, baseline_path):
+        print("check_bench_regression: fresh and baseline are the same "
+              "file; nothing to check")
+        return 0
+
+    regressions = []
+    compared = 0
+    for bench, entry in sorted(fresh.items()):
+        base_entry = baseline.get(bench)
+        if not isinstance(entry, dict) or not isinstance(base_entry, dict):
+            continue
+        # Different worker counts change wall-clock legitimately.
+        if entry.get("jobs") != base_entry.get("jobs"):
+            continue
+        base_metrics = dict(comparable_metrics(base_entry))
+        for metric, value in comparable_metrics(entry):
+            base = base_metrics.get(metric)
+            if base is None or base <= 0:
+                continue
+            compared += 1
+            ratio = value / base
+            if ratio > 1.0 + args.tolerance:
+                regressions.append((bench, metric, base, value, ratio))
+
+    if not compared:
+        print("check_bench_regression: no comparable entries "
+              "(different benches or worker counts)")
+        return 0
+
+    for bench, metric, base, value, ratio in regressions:
+        print(f"REGRESSION {bench}.{metric}: {base:g} -> {value:g} "
+              f"({(ratio - 1) * 100:+.1f}%, tolerance "
+              f"{args.tolerance * 100:.0f}%)")
+    if regressions:
+        print(f"check_bench_regression: {len(regressions)} of "
+              f"{compared} metrics regressed beyond "
+              f"{args.tolerance * 100:.0f}%")
+        return 1
+    print(f"check_bench_regression: OK ({compared} metrics within "
+          f"{args.tolerance * 100:.0f}% of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

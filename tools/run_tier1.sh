@@ -65,4 +65,16 @@ echo "== tier-1 remainder =="
 ctest --output-on-failure -j "$jobs" --no-tests=error \
     -LE "sanitize|obs|cluster|chaos|region|parallel" || status=$?
 
+# Advisory benchmark-regression check: if this build directory has a
+# fresh BENCH_pipeline.json (benches write it to their cwd), diff it
+# against the committed baseline. Wall-clock on shared CI machines is
+# noisy, so a regression warns but never fails tier-1.
+if command -v python3 >/dev/null 2>&1 && \
+    [ -f "$build/BENCH_pipeline.json" ]; then
+    echo "== bench regression check (advisory) =="
+    python3 "$repo/tools/check_bench_regression.py" \
+        --fresh "$build/BENCH_pipeline.json" \
+        --baseline "$repo/BENCH_pipeline.json" || true
+fi
+
 exit "$status"
