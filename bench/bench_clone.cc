@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Trace-cloning fidelity capstone: close the paper's loop on the
+ * built-in foreign trace fixture (Sec. 4.2 applied to a system we do
+ * not control).
+ *
+ * Runs the full closure pipeline -- ingest a foreign Jaeger document,
+ * synthesize a clone, run it, re-export its traces, re-analyze --
+ * across several seeds on the RunExecutor, prints each per-edge
+ * original-vs-clone comparison, and publishes the worst-case fidelity
+ * numbers to BENCH_pipeline.json as the "clone_fidelity" entry
+ * (graph_ok plus max rate/byte error percentages), next to the
+ * "bench_clone" wall-clock timing. Stdout is byte-identical at any
+ * --jobs (DESIGN.md §8).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "clone/foreign_fixture.h"
+#include "clone/trace_clone.h"
+
+using namespace ditto;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchRuntime rt(argc, argv, "bench_clone");
+
+    const std::string fixture = clone::exampleForeignTraceJson();
+    const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+
+    std::vector<std::function<clone::ClosureResult()>> tasks;
+    for (const std::uint64_t seed : seeds) {
+        tasks.push_back([&fixture, seed] {
+            clone::ClosureOptions opts;
+            opts.seed = seed;
+            opts.qps = 2000;
+            opts.measure = sim::milliseconds(300);
+            return clone::runClosure(fixture, opts);
+        });
+    }
+    const auto results =
+        rt.executor().runOrdered<clone::ClosureResult>(
+            std::move(tasks));
+
+    std::printf("# bench_clone: foreign-trace closure fidelity\n");
+    bool graphOk = true;
+    bool pass = true;
+    double maxRateErrPct = 0;
+    double maxReqBytesErrPct = 0;
+    double maxRespBytesErrPct = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const clone::ClosureResult &res = results[i];
+        std::printf("--- seed %llu ---\n",
+                    static_cast<unsigned long long>(seeds[i]));
+        const std::string report = res.report();
+        std::fwrite(report.data(), 1, report.size(), stdout);
+        graphOk = graphOk && res.fidelity.isomorphic;
+        pass = pass && res.fidelity.pass;
+        maxRateErrPct =
+            std::max(maxRateErrPct, res.fidelity.maxRateErrPct);
+        maxReqBytesErrPct = std::max(
+            maxReqBytesErrPct, res.fidelity.maxRequestBytesErrPct);
+        maxRespBytesErrPct = std::max(
+            maxRespBytesErrPct, res.fidelity.maxResponseBytesErrPct);
+    }
+    std::printf("closure: %s over %zu seeds, max rate err %.2f%%, "
+                "req bytes %.2f%%, resp bytes %.2f%%\n",
+                pass ? "PASS" : "FAIL", seeds.size(), maxRateErrPct,
+                maxReqBytesErrPct, maxRespBytesErrPct);
+
+    char entry[256];
+    std::snprintf(entry, sizeof entry,
+                  "{\"graph_ok\": %d, \"pass\": %d, "
+                  "\"max_rate_err_pct\": %.3f, "
+                  "\"max_req_bytes_err_pct\": %.3f, "
+                  "\"max_resp_bytes_err_pct\": %.3f}",
+                  graphOk ? 1 : 0, pass ? 1 : 0, maxRateErrPct,
+                  maxReqBytesErrPct, maxRespBytesErrPct);
+    bench::recordBenchEntry("clone_fidelity", entry);
+
+    rt.finish();
+    return pass ? 0 : 1;
+}

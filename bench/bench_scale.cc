@@ -41,6 +41,12 @@ struct ScaleCase
     double qps;
     sim::Time warm;
     sim::Time measure;
+    /**
+     * Generate with production characteristics: multiple entry
+     * queries, shared stateful backends, heavy-tailed fan-out, and
+     * diamond dependencies (topo_gen's shape knobs).
+     */
+    bool prod = false;
 };
 
 struct ScaleRow
@@ -70,6 +76,12 @@ runScaleCase(const ScaleCase &sc)
     topo.services = sc.services;
     topo.depth = sc.depth;
     topo.seed = 42;
+    if (sc.prod) {
+        topo.endpointsPerService = 2;
+        topo.sharedBackends = 3;
+        topo.fanoutTailAlpha = 1.2;
+        topo.diamondProbability = 0.35;
+    }
     const cluster::GeneratedTopology gen =
         cluster::generateTopology(topo);
 
@@ -101,6 +113,11 @@ runScaleCase(const ScaleCase &sc)
     load.connections = 8;
     load.openLoop = true;
     load.timeout = sim::milliseconds(20);
+    if (sc.prod) {
+        // Hit both entry queries of the production-shaped root.
+        load.endpoints = {workload::EndpointLoad{0, 0.7, 64, 64},
+                          workload::EndpointLoad{1, 0.3, 64, 64}};
+    }
     workload::LoadGen gen2(dep, root, load, 91);
 
     const auto simStart = std::chrono::steady_clock::now();
@@ -145,6 +162,10 @@ main(int argc, char **argv)
          sim::milliseconds(80)},
         {1000, 6, 8, 600, sim::milliseconds(20),
          sim::milliseconds(40)},
+        // Production shapes: shared backends, heavy-tailed fan-out,
+        // diamonds, and a second entry query per service.
+        {500, 5, 4, 800, sim::milliseconds(20), sim::milliseconds(40),
+         /*prod=*/true},
         {10000, 8, 16, 300, sim::milliseconds(10),
          sim::milliseconds(20)},
     };

@@ -82,6 +82,12 @@ struct ChaosWorld
         ts.rpcDeadline = sim::milliseconds(2);
         ts.workersPerService = 2;
         ts.seed = cfg.seed;
+        if (cfg.prodShapes) {
+            ts.endpointsPerService = 2;
+            ts.sharedBackends = 2;
+            ts.fanoutTailAlpha = 1.2;
+            ts.diamondProbability = 0.35;
+        }
         topo = cluster::generateTopology(ts);
         // Hedging engages on sync calls into replicated groups; the
         // root is the sole caller of the replicated level-1 services,

@@ -77,6 +77,14 @@ struct ChaosConfig
     sim::Time runFor = sim::milliseconds(25);
     /** Quiet tail for in-flight work to settle before checking. */
     sim::Time drain = sim::milliseconds(25);
+    /**
+     * Generate the world with production characteristics (multiple
+     * entry queries per service, shared stateful backends,
+     * heavy-tailed fan-out, diamond dependencies) instead of the
+     * plain layered tree. Widens the shape space the invariant
+     * checkers run against.
+     */
+    bool prodShapes = false;
     // ---- fault sampling ---------------------------------------------
     unsigned minFaults = 1;
     unsigned maxFaults = 5;

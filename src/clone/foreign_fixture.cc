@@ -1,0 +1,211 @@
+#include "clone/foreign_fixture.h"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace ditto::clone {
+
+namespace {
+
+std::string
+hexId(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+decimal(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/**
+ * One span in Jaeger UI export shape. `startFrac`/`dur` carry the
+ * literal decimal text so the fixture exercises float-microsecond
+ * parsing exactly as real exporters emit it. reqLen/respLen < 0
+ * omits the tag.
+ */
+void
+emitSpan(std::string &out, const std::string &tid, std::uint64_t sid,
+         const char *op, std::uint64_t parent, std::uint64_t startUs,
+         const char *startFrac, const char *dur, const char *pid,
+         const char *kind, const char *peer, long reqLen, long respLen)
+{
+    out += "{\"traceID\":\"";
+    out += tid;
+    out += "\",\"spanID\":\"";
+    out += hexId(sid);
+    out += "\",\"operationName\":\"";
+    out += op;
+    out += "\",\"references\":[";
+    if (parent != 0) {
+        out += "{\"refType\":\"CHILD_OF\",\"traceID\":\"";
+        out += tid;
+        out += "\",\"spanID\":\"";
+        out += hexId(parent);
+        out += "\"}";
+    }
+    out += "],\"startTime\":";
+    out += decimal(startUs);
+    if (startFrac != nullptr)
+        out += startFrac;
+    out += ",\"duration\":";
+    out += dur;
+    out += ",\"tags\":[{\"key\":\"span.kind\",\"type\":\"string\","
+           "\"value\":\"";
+    out += kind;
+    out += "\"}";
+    if (peer != nullptr) {
+        out += ",{\"key\":\"peer.service\",\"type\":\"string\","
+               "\"value\":\"";
+        out += peer;
+        out += "\"}";
+    }
+    if (reqLen >= 0) {
+        out += ",{\"key\":\"http.request_content_length\","
+               "\"type\":\"int64\",\"value\":";
+        out += decimal(static_cast<std::uint64_t>(reqLen));
+        out += "}";
+    }
+    if (respLen >= 0) {
+        out += ",{\"key\":\"http.response_content_length\","
+               "\"type\":\"int64\",\"value\":";
+        out += decimal(static_cast<std::uint64_t>(respLen));
+        out += "}";
+    }
+    out += "],\"processID\":\"";
+    out += pid;
+    out += "\"}";
+}
+
+} // namespace
+
+std::string
+exampleForeignTraceJson(unsigned traces)
+{
+    if (traces == 0)
+        traces = 1;
+    std::string out = "{\"data\":[";
+    unsigned home = 0;  // index among "GET /home" traces
+    for (unsigned t = 0; t < traces; ++t) {
+        // 60% "GET /home", 40% "GET /user", interleaved so every
+        // prefix that is a multiple of 20 keeps the documented rates.
+        const bool isHome = t % 5 < 3;
+        const std::uint64_t low = 0x0abc000 + t;
+        // Every 10th trace id is 128-bit; the importer keeps the low
+        // 64 bits, which stay unique.
+        std::string tid = t % 10 == 0
+            ? "deadbeef00000001" + hexId(low)
+            : hexId(low);
+        const std::uint64_t b = (std::uint64_t{t} + 1) * 16;
+        const std::uint64_t baseUs =
+            1700000000000000ull + std::uint64_t{t} * 2000000ull;
+        if (t != 0)
+            out += ",";
+        out += "{\"traceID\":\"" + tid + "\",\"spans\":[";
+        if (isHome) {
+            const bool callStorage = home % 2 == 0;   // rate 0.5
+            const bool callProfile = home % 4 == 0;   // rate 0.25
+            // Request bytes of gateway->feed cycle with a zero-sum
+            // offset so the average stays exactly 256.
+            static const long kReqOff[4] = {-16, -8, 8, 16};
+            const long feedReq = 256 + kReqOff[home % 4];
+            emitSpan(out, tid, b + 1, "GET /home", 0, baseUs, nullptr,
+                     callProfile ? "2100.25" : "1800.25", "p1",
+                     "server", nullptr, -1, -1);
+            out += ",";
+            emitSpan(out, tid, b + 2, "feed.FetchFeed", b + 1,
+                     baseUs + 100, nullptr, "1100", "p1", "client",
+                     "feed", feedReq, 2048);
+            out += ",";
+            emitSpan(out, tid, b + 3, "FetchFeed", b + 2, baseUs + 150,
+                     nullptr, "1000.5", "p2", "server", nullptr, -1,
+                     -1);
+            out += ",";
+            emitSpan(out, tid, b + 4, "cache.Get", b + 3, baseUs + 200,
+                     nullptr, "200", "p2", "client", "cache", 64,
+                     1024);
+            out += ",";
+            emitSpan(out, tid, b + 5, "Get", b + 4, baseUs + 220,
+                     ".25", "120.75", "p3", "server", nullptr, -1, -1);
+            if (callStorage) {
+                // Overlaps the cache call: feed fans out
+                // concurrently, which async detection must notice.
+                // No peer.service tag on the client span, so callee
+                // resolution must come from the child server span.
+                out += ",";
+                emitSpan(out, tid, b + 6, "storage.Read", b + 3,
+                         baseUs + 250, nullptr, "400", "p2", "client",
+                         nullptr, 96, 4096);
+                out += ",";
+                emitSpan(out, tid, b + 7, "Read", b + 6, baseUs + 280,
+                         nullptr, "300.5", "p4", "server", nullptr,
+                         -1, -1);
+            }
+            if (callProfile) {
+                // Strictly after the feed subtree: the gateway itself
+                // calls sequentially.
+                out += ",";
+                emitSpan(out, tid, b + 8, "profile.LoadProfile",
+                         b + 1, baseUs + 1300, nullptr, "700", "p1",
+                         "client", "profile", 160, 512);
+                out += ",";
+                emitSpan(out, tid, b + 9, "LoadProfile", b + 8,
+                         baseUs + 1330, nullptr, "600.25", "p5",
+                         "server", nullptr, -1, -1);
+                out += ",";
+                emitSpan(out, tid, b + 10, "storage.Read", b + 9,
+                         baseUs + 1360, nullptr, "350", "p5",
+                         "client", "storage", 96, 4096);
+                out += ",";
+                emitSpan(out, tid, b + 11, "Read", b + 10,
+                         baseUs + 1380, nullptr, "300", "p4", "server",
+                         nullptr, -1, -1);
+            }
+            out += "],\"processes\":{"
+                   "\"p1\":{\"serviceName\":\"gateway\"},"
+                   "\"p2\":{\"serviceName\":\"feed\"},"
+                   "\"p3\":{\"serviceName\":\"cache\"}";
+            if (callStorage)
+                out += ",\"p4\":{\"serviceName\":\"storage\"}";
+            if (callProfile)
+                out += ",\"p5\":{\"serviceName\":\"profile\"}";
+            out += "}}";
+            ++home;
+        } else {
+            // "GET /user": different processID numbering from the
+            // home traces, so per-trace pid remapping is exercised.
+            emitSpan(out, tid, b + 1, "GET /user", 0, baseUs, nullptr,
+                     "800.5", "p1", "server", nullptr, -1, -1);
+            out += ",";
+            emitSpan(out, tid, b + 2, "profile.LoadProfile", b + 1,
+                     baseUs + 50, nullptr, "650", "p1", "client",
+                     "profile", 160, 512);
+            out += ",";
+            emitSpan(out, tid, b + 3, "LoadProfile", b + 2,
+                     baseUs + 80, nullptr, "600.25", "p2", "server",
+                     nullptr, -1, -1);
+            out += ",";
+            emitSpan(out, tid, b + 4, "storage.Read", b + 3,
+                     baseUs + 120, nullptr, "350", "p2", "client",
+                     "storage", 96, 4096);
+            out += ",";
+            emitSpan(out, tid, b + 5, "Read", b + 4, baseUs + 140,
+                     nullptr, "300", "p3", "server", nullptr, -1, -1);
+            out += "],\"processes\":{"
+                   "\"p1\":{\"serviceName\":\"gateway\"},"
+                   "\"p2\":{\"serviceName\":\"profile\"},"
+                   "\"p3\":{\"serviceName\":\"storage\"}}}";
+        }
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace ditto::clone

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Built-in foreign Jaeger trace fixture.
+ *
+ * A programmatically assembled document in the shape real Jaeger
+ * UI/API exports take -- NOT produced by obs::exportJaegerJson, so it
+ * exercises the tolerant import path end to end: no dittoMeta marker,
+ * float microsecond timestamps, client spans interposed between
+ * caller and callee server spans, http.*_content_length byte tags,
+ * per-trace processID remapping, and occasional 128-bit trace ids.
+ *
+ * The encoded application is a small production-shaped graph:
+ *
+ *   gateway --> feed --> cache            two entry queries
+ *      \          \----> storage          ("GET /home" 60%,
+ *       \--> profile --> storage           "GET /user" 40%),
+ *                                         diamond onto a shared
+ *                                         storage backend
+ *
+ * Per-edge call rates (per caller request): gateway->feed 0.6,
+ * gateway->profile 0.55, feed->cache 1.0, feed->storage 0.5,
+ * profile->storage 1.0. feed issues its two downstream calls
+ * concurrently (overlapping child spans -> async detection).
+ */
+
+#ifndef DITTO_CLONE_FOREIGN_FIXTURE_H_
+#define DITTO_CLONE_FOREIGN_FIXTURE_H_
+
+#include <string>
+
+namespace ditto::clone {
+
+/**
+ * Render the fixture with `traces` traces (default 100; scaled
+ * variants keep the documented rates whenever `traces` is a multiple
+ * of 20). Deterministic: same argument, same bytes.
+ */
+std::string exampleForeignTraceJson(unsigned traces = 100);
+
+} // namespace ditto::clone
+
+#endif // DITTO_CLONE_FOREIGN_FIXTURE_H_

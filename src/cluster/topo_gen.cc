@@ -1,6 +1,7 @@
 #include "cluster/topo_gen.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "app/deployment.h"
@@ -19,6 +20,27 @@ serviceName(unsigned idx)
     char buf[16];
     std::snprintf(buf, sizeof buf, "s%04u", idx);
     return buf;
+}
+
+std::string
+backendName(unsigned idx)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "db%u", idx);
+    return buf;
+}
+
+/**
+ * Pareto-tailed fan-out count: floor(u^(-1/alpha) - 1), so most draws
+ * are 0-2 while occasional services become large aggregators. Capped
+ * by the caller against the available deeper population.
+ */
+unsigned
+heavyTailCount(sim::Rng &rng, double alpha)
+{
+    const double u = std::max(rng.uniform(), 1e-12);
+    const double x = std::pow(u, -1.0 / alpha) - 1.0;
+    return x >= 64.0 ? 64u : static_cast<unsigned>(x);
 }
 
 } // namespace
@@ -71,6 +93,28 @@ generateTopology(const TopoSpec &spec)
         addEdge(parent, i);
     }
 
+    // Diamond dependencies: a second parent one level up, so two
+    // paths from a common ancestor reconverge on the same callee.
+    // Gated on the knob so default topologies draw nothing here.
+    if (spec.diamondProbability > 0.0) {
+        for (unsigned i = 1; i < n; ++i) {
+            if (topo.level[i] < 2)
+                continue;
+            if (rng.uniform() >= spec.diamondProbability)
+                continue;
+            cands.clear();
+            for (unsigned j = 0; j < n; ++j) {
+                if (topo.level[j] + 1 == topo.level[i])
+                    cands.push_back(j);
+            }
+            if (cands.empty())
+                continue;
+            addEdge(cands[static_cast<std::size_t>(
+                        rng.uniformInt(cands.size()))],
+                    i);
+        }
+    }
+
     // Extra fan-out edges, also strictly deeper.
     for (unsigned i = 0; i < n; ++i) {
         std::vector<unsigned> deeper;
@@ -80,11 +124,29 @@ generateTopology(const TopoSpec &spec)
         }
         if (deeper.empty())
             continue;
-        const auto extra = static_cast<unsigned>(
-            rng.uniformInt(std::uint64_t{spec.extraFanout} + 1));
+        const auto extra = spec.fanoutTailAlpha > 0.0
+            ? heavyTailCount(rng, spec.fanoutTailAlpha)
+            : static_cast<unsigned>(
+                  rng.uniformInt(std::uint64_t{spec.extraFanout} + 1));
         for (unsigned e = 0; e < extra; ++e) {
             addEdge(i, deeper[static_cast<std::size_t>(
                            rng.uniformInt(deeper.size()))]);
+        }
+    }
+
+    // Shared stateful backends: every leaf calls one sampled backend
+    // per request, converging the call paths the way production
+    // databases and caches do. Also knob-gated draws.
+    const unsigned nBackends =
+        n > 1 ? spec.sharedBackends : 0;
+    std::vector<int> backendOf(n, -1);
+    if (nBackends > 0) {
+        for (unsigned i = 0; i < n; ++i) {
+            if (!downstreamOf[i].empty())
+                continue;
+            backendOf[i] = static_cast<int>(
+                rng.uniformInt(std::uint64_t{nBackends}));
+            topo.edges++;
         }
     }
 
@@ -151,8 +213,57 @@ generateTopology(const TopoSpec &spec)
                     {p, 1.0 - p}, {arm, app::Program{}}));
             }
         }
+        if (backendOf[i] >= 0) {
+            s.downstreams.push_back(
+                backendName(static_cast<unsigned>(backendOf[i])));
+            ep.handler.ops.push_back(app::opRpc(
+                static_cast<std::uint32_t>(s.downstreams.size() - 1),
+                0, 128, 256));
+        }
         ep.handler.ops.push_back(app::opCompute(0, 1, 3));
         s.endpoints.push_back(std::move(ep));
+        // Extra entry queries: same call pattern as endpoint 0 with
+        // progressively heavier compute and larger responses. No Rng
+        // draws, so the knob leaves default topologies untouched.
+        for (unsigned q = 1; q < spec.endpointsPerService; ++q) {
+            app::EndpointSpec extra = s.endpoints.front();
+            extra.name = "req" + std::to_string(q);
+            extra.handler.ops.insert(
+                extra.handler.ops.begin(),
+                app::opCompute(0, 1 + q, 3 + 3 * q));
+            const unsigned shift = q < 4 ? q : 4;
+            extra.responseBytesMin = extra.responseBytesMax =
+                64u << shift;
+            s.endpoints.push_back(std::move(extra));
+        }
+        topo.specs.push_back(std::move(s));
+    }
+
+    // The shared backends themselves: lock-serialized file state with
+    // a prewarmed working set.
+    topo.backends = nBackends;
+    for (unsigned b = 0; b < nBackends; ++b) {
+        app::ServiceSpec s;
+        s.name = backendName(b);
+        s.threads.workers = std::max(2u, spec.workersPerService);
+        if (spec.rpcDeadline > 0)
+            s.resilience.rpcDeadline = spec.rpcDeadline;
+        hw::BlockSpec bs;
+        bs.label = s.name + ".h";
+        bs.instCount = std::max(1u, spec.handlerInsts);
+        bs.seed = spec.seed ^ (0xdb5eedull + b);
+        s.blocks.push_back(hw::buildBlock(bs));
+        s.locks = 1;
+        s.fileBytes.push_back(std::uint64_t{256} << 10);
+        s.filePrewarmFraction = 0.5;
+        app::EndpointSpec ep;
+        ep.name = "req";
+        ep.handler.ops.push_back(app::opCompute(0, 1, 3));
+        ep.handler.ops.push_back(app::opLock(0));
+        ep.handler.ops.push_back(app::opFileRead(0, 256, 4096));
+        ep.handler.ops.push_back(app::opUnlock(0));
+        s.endpoints.push_back(std::move(ep));
+        topo.level.push_back(depth);
         topo.specs.push_back(std::move(s));
     }
     return topo;

@@ -75,16 +75,52 @@ struct TopoSpec
     /** Instructions per handler compute block. */
     unsigned handlerInsts = 64;
     std::uint64_t seed = 1;
+
+    // ---- production shape knobs (all off by default; when off the
+    // ---- generator draws exactly the same Rng sequence as before,
+    // ---- so existing seeds stay byte-identical) ---------------------
+
+    /**
+     * Entry queries per service. Production services expose several
+     * operations with distinct cost and response-size profiles; extra
+     * endpoints ("req1", "req2", ...) share endpoint 0's call pattern
+     * but run progressively heavier compute and return progressively
+     * larger responses.
+     */
+    unsigned endpointsPerService = 1;
+    /**
+     * Shared stateful backends ("db0", ...). Each leaf service calls
+     * one sampled backend per request; backends serialize on a lock
+     * and touch a prewarmed file, modeling the databases and caches
+     * many production call paths converge on.
+     */
+    unsigned sharedBackends = 0;
+    /**
+     * When > 0, the per-service extra fan-out count is drawn from a
+     * Pareto tail with this alpha instead of uniform 0..extraFanout:
+     * most services keep small fan-out while a few become the
+     * hub-like aggregators real traces show. Smaller alpha = heavier
+     * tail; counts are still capped by the deeper-level population.
+     */
+    double fanoutTailAlpha = 0.0;
+    /**
+     * Probability that a service at level >= 2 gains a second parent
+     * one level up, forming diamond dependencies (two paths from a
+     * common ancestor reconverging on the same callee).
+     */
+    double diamondProbability = 0.0;
 };
 
 struct GeneratedTopology
 {
-    /** specs[0] is the root. */
+    /** specs[0] is the root; shared backends (if any) come last. */
     std::vector<app::ServiceSpec> specs;
-    /** Level of each service (0 = root). */
+    /** Level of each service (0 = root; backends = depth). */
     std::vector<unsigned> level;
     /** Total caller->callee edges emitted. */
     std::size_t edges = 0;
+    /** Shared stateful backends appended to `specs`. */
+    unsigned backends = 0;
 };
 
 /** Generate the layered topology described by `spec`. */

@@ -1,6 +1,8 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -63,8 +65,14 @@ class Parser
     [[noreturn]] void
     fail(const char *what) const
     {
+        failAt(pos_, what);
+    }
+
+    [[noreturn]] void
+    failAt(std::size_t at, const char *what) const
+    {
         throw std::runtime_error("json: " + std::string(what) +
-                                 " at byte " + std::to_string(pos_));
+                                 " at byte " + std::to_string(at));
     }
 
     void
@@ -259,9 +267,26 @@ class Parser
         }
     }
 
+    std::size_t
+    consumeDigits()
+    {
+        std::size_t n = 0;
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9') {
+            ++pos_;
+            ++n;
+        }
+        return n;
+    }
+
     JsonValue
     parseNumber()
     {
+        // Strict RFC 8259 number grammar. Foreign Jaeger exports carry
+        // float microsecond timestamps and ids above 2^53, so every
+        // token must either convert exactly or fail loudly with the
+        // byte offset — a truncated or garbage-suffixed number here
+        // silently corrupts the recovered trace downstream.
         const std::size_t start = pos_;
         bool negative = false;
         bool integral = true;
@@ -269,28 +294,48 @@ class Parser
             negative = true;
             ++pos_;
         }
-        while (pos_ < text_.size()) {
-            const char c = text_[pos_];
-            if (c >= '0' && c <= '9') {
-                ++pos_;
-            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
-                       c == '-') {
-                integral = false;
-                ++pos_;
-            } else {
-                break;
-            }
+        const std::size_t intDigits = consumeDigits();
+        if (intDigits == 0)
+            failAt(start, "malformed number");
+        if (intDigits > 1 && text_[start + (negative ? 1u : 0u)] == '0')
+            failAt(start, "number has leading zero");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            integral = false;
+            ++pos_;
+            if (consumeDigits() == 0)
+                failAt(start, "number has empty fraction");
         }
-        if (pos_ == start || (negative && pos_ == start + 1))
-            fail("bad number");
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (consumeDigits() == 0)
+                failAt(start, "number has empty exponent");
+        }
         const std::string tok = text_.substr(start, pos_ - start);
         JsonValue v;
+        v.str = tok;  // raw literal, kept for lossless reconversion
+        char *end = nullptr;
         if (integral && !negative) {
             v.kind = JsonValue::Kind::Unsigned;
-            v.unsignedValue = std::strtoull(tok.c_str(), nullptr, 10);
+            errno = 0;
+            v.unsignedValue = std::strtoull(tok.c_str(), &end, 10);
+            if (errno == ERANGE)
+                failAt(start, "integer overflows uint64");
+            if (end != tok.c_str() + tok.size())
+                failAt(start, "malformed number");
         } else {
             v.kind = JsonValue::Kind::Double;
-            v.doubleValue = std::strtod(tok.c_str(), nullptr);
+            errno = 0;
+            v.doubleValue = std::strtod(tok.c_str(), &end);
+            if (errno == ERANGE &&
+                (v.doubleValue >= HUGE_VAL || v.doubleValue <= -HUGE_VAL))
+                failAt(start, "number overflows double");
+            if (end != tok.c_str() + tok.size())
+                failAt(start, "malformed number");
         }
         return v;
     }

@@ -37,6 +37,11 @@ struct JsonValue
     bool boolean = false;
     std::uint64_t unsignedValue = 0;
     double doubleValue = 0.0;
+    /**
+     * String content for Kind::String; for numbers, the raw source
+     * literal (e.g. "123.456"), so callers can reconvert units
+     * losslessly instead of going through a rounded double.
+     */
     std::string str;
     std::vector<JsonValue> items;  //!< Array elements
     /** Object members in document order. */
@@ -52,7 +57,7 @@ struct JsonValue
     /** Numeric value as u64 (Unsigned exactly, Double truncated). */
     std::uint64_t asU64() const;
     double asDouble() const;
-    /** String content, or "" for non-strings. */
+    /** String content (raw literal for numbers), "" otherwise. */
     const std::string &asString() const { return str; }
 };
 

@@ -153,9 +153,14 @@ LatencyHistogram
 LatencyHistogram::since(const LatencyHistogram &baseline) const
 {
     LatencyHistogram window;
+    std::size_t lowest = buckets_.size();
+    std::size_t highest = 0;
+    bool shrunk = false;  // a reset happened between the snapshots
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         const std::uint64_t before = baseline.buckets_[i];
         const std::uint64_t now = buckets_[i];
+        if (now < before)
+            shrunk = true;
         if (now <= before)
             continue;  // tolerate a reset between the snapshots
         const std::uint64_t delta = now - before;
@@ -170,6 +175,40 @@ LatencyHistogram::since(const LatencyHistogram &baseline) const
             window.min_ = std::min(window.min_, mid);
             window.max_ = std::max(window.max_, mid);
         }
+        lowest = std::min(lowest, i);
+        highest = std::max(highest, i);
+    }
+    if (window.total_ == 0 || shrunk)
+        return window;
+    // Refine the midpoint extrema to exact values where derivable:
+    // if the baseline holds nothing at or below the window's lowest
+    // occupied bucket, every value under that bucket's ceiling arrived
+    // inside the window, so this histogram's exact min_ is a window
+    // value (symmetrically for max_). This makes single-bucket windows
+    // beyond the baseline's range exact instead of bucket-rounded,
+    // which percentile() then propagates via its [min_, max_] clamp.
+    bool baselineAtOrBelow = false;
+    for (std::size_t i = 0; i <= lowest; ++i) {
+        if (baseline.buckets_[i] != 0) {
+            baselineAtOrBelow = true;
+            break;
+        }
+    }
+    if (!baselineAtOrBelow)
+        window.min_ = min_;
+    bool baselineAtOrAbove = false;
+    for (std::size_t i = highest; i < buckets_.size(); ++i) {
+        if (baseline.buckets_[i] != 0) {
+            baselineAtOrAbove = true;
+            break;
+        }
+    }
+    if (!baselineAtOrAbove)
+        window.max_ = max_;
+    if (window.min_ > window.max_) {
+        // Midpoint on one side, exact value on the other can cross
+        // (an exact max below its bucket's midpoint); re-order.
+        std::swap(window.min_, window.max_);
     }
     return window;
 }

@@ -88,9 +88,13 @@ class LatencyHistogram
      * Bucket-wise difference against an earlier snapshot of the same
      * histogram: the distribution of values recorded after `baseline`
      * was copied. Windowed percentiles for cumulative histograms
-     * (autoscaler control input). The window's extrema are only known
-     * to bucket resolution, so its percentile() answers are bucket
-     * midpoints even at q = 0 / q = 1.
+     * (autoscaler control input, clone service-time fitting). An
+     * empty window (baseline equals current) is exactly empty. The
+     * extrema are exact whenever the window extends beyond the
+     * baseline's occupied bucket range -- in particular a
+     * single-bucket window past the baseline reports exact min/max
+     * and thus exact percentiles; extrema inside buckets the baseline
+     * also occupies remain bucket midpoints.
      */
     LatencyHistogram since(const LatencyHistogram &baseline) const;
 

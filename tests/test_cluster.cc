@@ -561,6 +561,132 @@ TEST(TopoGen, DeployedTopologyServesTraffic)
     EXPECT_GT(gen.completedOk(), 0u);
 }
 
+TEST(TopoGenProdShapes, KnobsOffIsByteIdenticalToDefault)
+{
+    // The production-shape knobs must not consume RNG draws when
+    // disabled: explicit zeros generate the same topology as the
+    // all-defaults spec, so existing seeds stay reproducible.
+    cluster::TopoSpec plain;
+    plain.services = 40;
+    plain.depth = 4;
+    plain.seed = 11;
+    cluster::TopoSpec off = plain;
+    off.endpointsPerService = 1;
+    off.sharedBackends = 0;
+    off.fanoutTailAlpha = 0.0;
+    off.diamondProbability = 0.0;
+    const cluster::GeneratedTopology a =
+        cluster::generateTopology(plain);
+    const cluster::GeneratedTopology b = cluster::generateTopology(off);
+    ASSERT_EQ(a.specs.size(), b.specs.size());
+    EXPECT_EQ(a.edges, b.edges);
+    EXPECT_EQ(a.backends, 0u);
+    for (std::size_t i = 0; i < a.specs.size(); ++i) {
+        EXPECT_EQ(a.specs[i].name, b.specs[i].name);
+        EXPECT_EQ(a.specs[i].downstreams, b.specs[i].downstreams);
+        EXPECT_EQ(a.specs[i].endpoints.size(),
+                  b.specs[i].endpoints.size());
+    }
+}
+
+TEST(TopoGenProdShapes, ExtraEndpointsAndSharedBackends)
+{
+    cluster::TopoSpec ts;
+    ts.services = 30;
+    ts.depth = 4;
+    ts.seed = 13;
+    ts.endpointsPerService = 2;
+    ts.sharedBackends = 2;
+    const cluster::GeneratedTopology gen =
+        cluster::generateTopology(ts);
+
+    // Backend specs ride after the 30 services.
+    EXPECT_EQ(gen.backends, 2u);
+    ASSERT_EQ(gen.specs.size(), 32u);
+    ASSERT_EQ(gen.level.size(), 32u);
+    for (unsigned b = 0; b < 2; ++b) {
+        const app::ServiceSpec &db = gen.specs[30 + b];
+        EXPECT_EQ(db.name, "db" + std::to_string(b));
+        // Stateful: serialized sections and file-backed reads.
+        EXPECT_GE(db.locks, 1u);
+        ASSERT_FALSE(db.fileBytes.empty());
+        EXPECT_GT(db.fileBytes[0], 0u);
+        EXPECT_EQ(gen.level[30 + b], ts.depth);
+    }
+
+    // Every non-backend service carries the second entry query.
+    for (std::size_t i = 0; i < 30; ++i) {
+        ASSERT_EQ(gen.specs[i].endpoints.size(), 2u) << i;
+        EXPECT_EQ(gen.specs[i].endpoints[1].name, "req1");
+    }
+
+    // Every former leaf now reaches a shared backend, and backends
+    // only ever appear as callees.
+    unsigned leafToBackend = 0;
+    for (std::size_t i = 0; i < 30; ++i)
+        for (const std::string &d : gen.specs[i].downstreams)
+            if (d.substr(0, 2) == "db")
+                ++leafToBackend;
+    EXPECT_GT(leafToBackend, 0u);
+    for (unsigned b = 0; b < 2; ++b)
+        EXPECT_TRUE(gen.specs[30 + b].downstreams.empty());
+}
+
+TEST(TopoGenProdShapes, DiamondsAndHeavyTailAddEdgesDeterministically)
+{
+    cluster::TopoSpec plain;
+    plain.services = 60;
+    plain.depth = 5;
+    plain.seed = 17;
+    const cluster::GeneratedTopology base =
+        cluster::generateTopology(plain);
+
+    cluster::TopoSpec prod = plain;
+    prod.fanoutTailAlpha = 1.2;
+    prod.diamondProbability = 0.5;
+    const cluster::GeneratedTopology a = cluster::generateTopology(prod);
+    const cluster::GeneratedTopology b = cluster::generateTopology(prod);
+
+    // Diamonds add convergent edges on top of the spanning tree.
+    EXPECT_GT(a.edges, base.edges);
+    // Still a pure function of the spec.
+    EXPECT_EQ(a.edges, b.edges);
+    for (std::size_t i = 0; i < a.specs.size(); ++i)
+        EXPECT_EQ(a.specs[i].downstreams, b.specs[i].downstreams);
+
+    // Diamond edges still point strictly deeper: acyclic.
+    auto indexOf = [](const std::string &name) {
+        return static_cast<std::size_t>(std::stoul(name.substr(1)));
+    };
+    for (std::size_t i = 0; i < a.specs.size(); ++i)
+        for (const std::string &d : a.specs[i].downstreams)
+            EXPECT_LT(a.level[i], a.level[indexOf(d)]);
+}
+
+TEST(TopoGenProdShapes, ProdTopologyServesBothEntryQueries)
+{
+    cluster::TopoSpec ts;
+    ts.services = 20;
+    ts.depth = 3;
+    ts.seed = 19;
+    ts.endpointsPerService = 2;
+    ts.sharedBackends = 2;
+    ts.fanoutTailAlpha = 1.2;
+    ts.diamondProbability = 0.35;
+    const cluster::GeneratedTopology topo =
+        cluster::generateTopology(ts);
+
+    app::Deployment dep(23);
+    app::ServiceInstance &root = cluster::deployTopology(dep, topo, 2);
+    workload::LoadSpec load = clientLoad(800, sim::milliseconds(30));
+    load.endpoints = {workload::EndpointLoad{0, 0.7, 64, 64},
+                      workload::EndpointLoad{1, 0.3, 64, 64}};
+    workload::LoadGen gen(dep, root, load, 37);
+    gen.start();
+    dep.runFor(sim::milliseconds(60));
+    EXPECT_GT(gen.completedOk(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Machine-crash failover (the ISSUE acceptance scenario)
 // ---------------------------------------------------------------------------

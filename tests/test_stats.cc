@@ -201,6 +201,120 @@ TEST(LatencyHistogram, MonotonePercentiles)
     }
 }
 
+TEST(LatencyHistogramSince, EmptyWindowIsAllZero)
+{
+    LatencyHistogram h;
+    h.record(1000);
+    h.record(2000);
+    const LatencyHistogram w = h.since(h);  // baseline == current
+    EXPECT_EQ(w.count(), 0u);
+    EXPECT_EQ(w.percentile(0.5), 0u);
+    EXPECT_EQ(w.percentile(1.0), 0u);
+    EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+TEST(LatencyHistogramSince, SingleBucketBeyondBaselineClaimsExactMax)
+{
+    // All window mass lands above everything in the baseline: the
+    // refinement claims the cumulative histogram's exact maximum.
+    // The other extreme stays at bucket resolution (min/max re-order
+    // when the exact value sits below its bucket's midpoint).
+    LatencyHistogram h;
+    h.record(100);
+    const LatencyHistogram baseline = h;
+    h.record(777777);
+    const LatencyHistogram w = h.since(baseline);
+    EXPECT_EQ(w.count(), 1u);
+    const auto lo = w.percentile(0.0);
+    const auto hi = w.percentile(1.0);
+    EXPECT_TRUE(lo == 777777u || hi == 777777u);
+    EXPECT_LE(lo, hi);
+    for (double q : {0.0, 0.01, 0.5, 0.99, 1.0})
+        EXPECT_NEAR(static_cast<double>(w.percentile(q)), 777777.0,
+                    777777.0 * 0.03);
+}
+
+TEST(LatencyHistogramSince, WindowBelowBaselineRangeClaimsExactMin)
+{
+    // Mirror case: window mass entirely below the baseline's values,
+    // so the exact minimum is derivable (it arrived in the window).
+    LatencyHistogram h;
+    h.record(900000);
+    const LatencyHistogram baseline = h;
+    h.record(4321);
+    const LatencyHistogram w = h.since(baseline);
+    EXPECT_EQ(w.count(), 1u);
+    const auto lo = w.percentile(0.0);
+    const auto hi = w.percentile(1.0);
+    EXPECT_TRUE(lo == 4321u || hi == 4321u);
+    EXPECT_LE(lo, hi);
+    for (double q : {0.0, 0.5, 1.0})
+        EXPECT_NEAR(static_cast<double>(w.percentile(q)), 4321.0,
+                    4321.0 * 0.03);
+}
+
+TEST(LatencyHistogramSince, WindowStraddlingBaselineIsExactAtBothEnds)
+{
+    // Window mass strictly below AND strictly above every baseline
+    // value: both refinements fire and the window's extrema are the
+    // cumulative histogram's exact min and max.
+    LatencyHistogram h;
+    h.record(5000);
+    const LatencyHistogram baseline = h;
+    h.record(100);
+    h.record(777777);
+    const LatencyHistogram w = h.since(baseline);
+    EXPECT_EQ(w.count(), 2u);
+    EXPECT_EQ(w.percentile(0.0), 100u);
+    EXPECT_EQ(w.percentile(1.0), 777777u);
+}
+
+TEST(LatencyHistogramSince, SharedBucketFallsBackToMidpoint)
+{
+    // Baseline already holds mass in the window's bucket: exact
+    // extrema are not derivable, so the window reports values within
+    // the bucket's bounds (midpoint resolution).
+    LatencyHistogram h;
+    h.record(5000);
+    const LatencyHistogram baseline = h;
+    h.record(5100);  // same bucket as 5000
+    const LatencyHistogram w = h.since(baseline);
+    EXPECT_EQ(w.count(), 1u);
+    EXPECT_NEAR(static_cast<double>(w.percentile(0.5)), 5100.0,
+                5100.0 * 0.04);
+    EXPECT_NEAR(static_cast<double>(w.percentile(1.0)), 5100.0,
+                5100.0 * 0.04);
+}
+
+TEST(LatencyHistogramSince, ResetBetweenSnapshotsYieldsEmptyWindow)
+{
+    // A shrunken counter means a reset happened: the delta is
+    // meaningless, so the window reports nothing rather than garbage.
+    LatencyHistogram h;
+    h.record(1000);
+    h.record(1000);
+    const LatencyHistogram baseline = h;
+    h.reset();
+    h.record(1000);
+    const LatencyHistogram w = h.since(baseline);
+    EXPECT_EQ(w.count(), 0u);
+    EXPECT_EQ(w.percentile(0.99), 0u);
+}
+
+TEST(LatencyHistogramSince, WindowCountAndMeanTrackDeltas)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.record(1000);
+    const LatencyHistogram baseline = h;
+    for (int i = 0; i < 50; ++i)
+        h.record(9000);
+    const LatencyHistogram w = h.since(baseline);
+    EXPECT_EQ(w.count(), 50u);
+    EXPECT_NEAR(w.mean(), 9000.0, 9000.0 * 0.04);
+    EXPECT_EQ(h.count(), 150u);  // cumulative histogram untouched
+}
+
 TEST(TablePrinter, RendersAlignedCells)
 {
     TablePrinter t({"name", "value"});

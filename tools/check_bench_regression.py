@@ -42,15 +42,48 @@ def load(path):
 def comparable_metrics(entry):
     """Yield (metric, value) pairs worth diffing from one bench entry.
 
-    Two shapes exist today: {"wall_seconds": ..., "jobs": ...} from
-    recordBenchTiming, and flat {"10": ns, "100": ns, ...} maps like
-    scale_per_event_ns.  Anything numeric except "jobs" qualifies.
+    Three shapes exist today: {"wall_seconds": ..., "jobs": ...} from
+    recordBenchTiming, flat {"10": ns, "100": ns, ...} maps like
+    scale_per_event_ns, and fidelity entries like clone_fidelity with
+    pass/fail flags and error percentages.  Anything numeric except
+    "jobs" qualifies.
     """
     for key, value in entry.items():
         if key == "jobs":
             continue
         if isinstance(value, (int, float)):
             yield key, float(value)
+
+
+def check_metric(metric, base, value, tolerance):
+    """Return (is_regression, description) for one metric pair.
+
+    Fidelity semantics ride on the metric name:
+      - "pass" / "*_ok" are 0/1 flags: any decrease is a regression,
+        the timing tolerance does not apply.
+      - "*_err_pct" are error percentages near zero: regression means
+        more than one percentage point above the baseline (a ratio
+        would divide by a near-zero base).
+    Everything else is a timing: slower than base * (1 + tolerance).
+    """
+    if metric == "pass" or metric.endswith("_ok"):
+        if value < base:
+            return True, f"{base:g} -> {value:g} (fidelity flag dropped)"
+        return False, ""
+    if metric.endswith("_err_pct"):
+        if value > base + 1.0:
+            return True, (f"{base:g} -> {value:g} "
+                          f"(+{value - base:.2f} percentage points, "
+                          f"allowed +1.00)")
+        return False, ""
+    if base <= 0:
+        return False, ""
+    ratio = value / base
+    if ratio > 1.0 + tolerance:
+        return True, (f"{base:g} -> {value:g} "
+                      f"({(ratio - 1) * 100:+.1f}%, tolerance "
+                      f"{tolerance * 100:.0f}%)")
+    return False, ""
 
 
 def main():
@@ -102,22 +135,20 @@ def main():
         base_metrics = dict(comparable_metrics(base_entry))
         for metric, value in comparable_metrics(entry):
             base = base_metrics.get(metric)
-            if base is None or base <= 0:
-                continue
+            if base is None:
+                continue  # new metric: nothing to compare against
             compared += 1
-            ratio = value / base
-            if ratio > 1.0 + args.tolerance:
-                regressions.append((bench, metric, base, value, ratio))
+            bad, why = check_metric(metric, base, value, args.tolerance)
+            if bad:
+                regressions.append((bench, metric, why))
 
     if not compared:
         print("check_bench_regression: no comparable entries "
               "(different benches or worker counts)")
         return 0
 
-    for bench, metric, base, value, ratio in regressions:
-        print(f"REGRESSION {bench}.{metric}: {base:g} -> {value:g} "
-              f"({(ratio - 1) * 100:+.1f}%, tolerance "
-              f"{args.tolerance * 100:.0f}%)")
+    for bench, metric, why in regressions:
+        print(f"REGRESSION {bench}.{metric}: {why}")
     if regressions:
         print(f"check_bench_regression: {len(regressions)} of "
               f"{compared} metrics regressed beyond "

@@ -18,7 +18,7 @@
  *   ditto-chaos [--plans N] [--seed S] [--services N] [--machines N]
  *               [--regions N] [--qps Q] [--run-ms D] [--drain-ms D]
  *               [--max-shrink-probes N] [--plant-ledger-bug]
- *               [--plant-wan-ledger-bug] [--jobs N]
+ *               [--plant-wan-ledger-bug] [--prod-shapes] [--jobs N]
  *
  * --plant-ledger-bug arms the test-fixture accounting bug (the
  * message-ledger checker forgets dropped messages), demonstrating
@@ -99,6 +99,8 @@ main(int argc, char **argv)
             cfg.plantLedgerBug = true;
         else if (std::strcmp(argv[i], "--plant-wan-ledger-bug") == 0)
             cfg.plantWanLedgerBug = true;
+        else if (std::strcmp(argv[i], "--prod-shapes") == 0)
+            cfg.prodShapes = true;
         // --jobs is consumed by jobsFromArgs below.
     }
 
