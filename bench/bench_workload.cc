@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Knee-point sweep for the sessionized workload engine.
+ *
+ * Drives a two-endpoint sleep-based service (capacity is calculable:
+ * 2 workers / 0.52 ms mean service time ~= 3.8k calls/s) with the
+ * WorkloadEngine at offered loads from 0.2x to 2x capacity under
+ * three traffic shapes (steady Poisson, diurnal sinusoid, flash
+ * crowd). Per shape it prints offered vs goodput-within-deadline per
+ * step, the detected knee point (first offered rate where goodput
+ * diverges, workload/slo.h), and the per-class SLO table at 1x.
+ *
+ * The CloudNativeSim-style evaluation: the knee is where the QoS
+ * story starts, and it must be *visible* -- goodput tracks offered
+ * below capacity and diverges past it. Knee rates and 1x SLO columns
+ * go to BENCH_pipeline.json (`workload_knees` entry; the
+ * `*_knee_qps` keys carry higher-is-better regression semantics in
+ * tools/check_bench_regression.py).
+ *
+ * Runs fan out on the RunExecutor; all stdout is printed after the
+ * ordered join, so output is byte-identical at any --jobs.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "app/deployment.h"
+#include "bench/bench_common.h"
+#include "hw/block_builder.h"
+#include "hw/platform.h"
+#include "workload/engine.h"
+
+using namespace ditto;
+
+namespace {
+
+/** Nominal capacity the sweep is scaled against (calls/second). */
+constexpr double kCapacityQps = 3800;
+
+/** 0.2x .. 2x capacity. */
+constexpr double kFactors[] = {0.2, 0.4, 0.6, 0.8, 1.0,
+                               1.2, 1.4, 1.6, 1.8, 2.0};
+
+struct SweepCase
+{
+    workload::ShapeKind shape;
+    double factor;
+};
+
+struct SweepRow
+{
+    double targetQps = 0;
+    double offeredQps = 0;
+    double goodputQps = 0;
+    double p99Ms = 0;
+    double violRead = 0;
+    double violWrite = 0;
+    std::string sloTable; //!< filled at the 1x point only
+};
+
+/** Two-endpoint backend: read sleeps 400us, write sleeps 1ms. */
+app::ServiceSpec
+backendSpec()
+{
+    app::ServiceSpec spec;
+    spec.name = "api";
+    spec.threads.workers = 2;
+    hw::BlockSpec bs;
+    bs.label = "api.h";
+    bs.instCount = 64;
+    bs.seed = 7;
+    spec.blocks.push_back(hw::buildBlock(bs));
+    app::EndpointSpec read;
+    read.name = "read";
+    read.handler.ops = {app::opSleep(sim::microseconds(400))};
+    read.responseBytesMin = read.responseBytesMax = 512;
+    spec.endpoints.push_back(read);
+    app::EndpointSpec write;
+    write.name = "write";
+    write.handler.ops = {app::opSleep(sim::milliseconds(1))};
+    write.responseBytesMin = write.responseBytesMax = 128;
+    spec.endpoints.push_back(write);
+    return spec;
+}
+
+workload::WorkloadSpec
+engineSpec(const SweepCase &sc)
+{
+    workload::WorkloadSpec ws;
+    // Keep the *call* rate on the sweep axis: a session averages
+    // (3+10)/2 = 6.5 calls.
+    const double target = kCapacityQps * sc.factor;
+    ws.sessionsPerSec = target /
+        ((ws.session.minCalls + ws.session.maxCalls) / 2.0);
+    ws.connections = 16;
+    ws.session.meanThink = sim::milliseconds(1);
+    ws.shape.kind = sc.shape;
+    ws.shape.amplitude = 0.5;                    // diurnal
+    ws.shape.period = sim::milliseconds(100);    // diurnal
+    ws.shape.stepAt = sim::milliseconds(250);    // flash (in-window)
+    ws.shape.stepMagnitude = 3.0;                // flash
+    ws.shape.decayHalfLife = sim::milliseconds(50);
+    workload::EndpointClass read;
+    read.name = "read";
+    read.endpoint = 0;
+    read.weight = 0.8;
+    read.slo.deadline = sim::milliseconds(4);
+    workload::EndpointClass write;
+    write.name = "write";
+    write.endpoint = 1;
+    write.weight = 0.2;
+    write.slo.deadline = sim::milliseconds(8);
+    ws.classes = {read, write};
+    // A client timeout keeps sessions progressing past saturation
+    // (an unbounded wait would throttle the offered rate instead of
+    // surfacing the violation).
+    ws.timeout = sim::milliseconds(12);
+    return ws;
+}
+
+SweepRow
+runSweepCase(const SweepCase &sc)
+{
+    app::Deployment dep(2026, /*traceSampleRate=*/0.01);
+    os::Machine &m = dep.addMachine("api-m", hw::platformA());
+    app::ServiceInstance &svc = dep.deploy(backendSpec(), m);
+    dep.wireAll();
+
+    workload::WorkloadEngine eng(dep, svc, engineSpec(sc), 11);
+    eng.start();
+    dep.runFor(sim::milliseconds(100));
+    eng.beginMeasure();
+    dep.runFor(sim::milliseconds(400));
+
+    const workload::SloReport slo = eng.sloReport();
+    SweepRow row;
+    row.targetQps = kCapacityQps * sc.factor;
+    row.offeredQps = slo.offeredQps;
+    row.goodputQps = slo.goodputQps;
+    row.p99Ms =
+        static_cast<double>(eng.latency().percentile(0.99)) / 1e6;
+    row.violRead = slo.classes[0].violationRate;
+    row.violWrite = slo.classes[1].violationRate;
+    if (sc.factor == 1.0)
+        row.sloTable = slo.table();
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchRuntime rt(argc, argv, "workload");
+
+    const workload::ShapeKind shapes[] = {
+        workload::ShapeKind::Constant, workload::ShapeKind::Diurnal,
+        workload::ShapeKind::FlashCrowd};
+
+    std::vector<std::function<SweepRow()>> tasks;
+    for (const workload::ShapeKind shape : shapes)
+        for (const double factor : kFactors)
+            tasks.push_back([shape, factor] {
+                return runSweepCase(SweepCase{shape, factor});
+            });
+    const std::vector<SweepRow> rows =
+        rt.executor().runOrdered<SweepRow>(std::move(tasks));
+
+    std::printf(
+        "# bench_workload: sessionized load sweep, 0.2x-2x of "
+        "%.0f qps capacity\n",
+        kCapacityQps);
+    std::string json = "{";
+    std::size_t idx = 0;
+    for (const workload::ShapeKind shape : shapes) {
+        const char *name = workload::shapeKindName(shape);
+        std::printf("## shape %s\n", name);
+        std::printf("%6s %10s %11s %11s %8s %9s %9s\n", "x",
+                    "target_qps", "offered_qps", "goodput_qps",
+                    "p99_ms", "viol_read", "viol_write");
+        std::vector<std::pair<double, double>> sweep;
+        std::string slo1x;
+        for (const double factor : kFactors) {
+            const SweepRow &r = rows[idx++];
+            std::printf(
+                "%6.1f %10.0f %11.1f %11.1f %8.3f %9.4f %9.4f\n",
+                factor, r.targetQps, r.offeredQps, r.goodputQps,
+                r.p99Ms, r.violRead, r.violWrite);
+            sweep.emplace_back(r.targetQps, r.goodputQps);
+            if (!r.sloTable.empty())
+                slo1x = r.sloTable;
+        }
+        const double knee = workload::kneePointRate(sweep);
+        if (knee > 0)
+            std::printf("knee point: goodput diverges at %.0f qps "
+                        "(%.2fx capacity)\n",
+                        knee, knee / kCapacityQps);
+        else
+            std::printf("knee point: none observed in sweep\n");
+        std::printf("SLO at 1.0x:\n%s", slo1x.c_str());
+        char cell[96];
+        std::snprintf(cell, sizeof cell,
+                      "%s\"%s_knee_qps\": %.0f",
+                      json.size() > 1 ? ", " : "", name, knee);
+        json += cell;
+    }
+    // 1x steady goodput rides along as a throughput-style column.
+    char cell[96];
+    std::snprintf(cell, sizeof cell, ", \"steady_goodput_1x\": %.1f",
+                  rows[4].goodputQps);
+    json += cell;
+    json += "}";
+    bench::recordBenchEntry("workload_knees", json);
+
+    rt.finish();
+    return 0;
+}

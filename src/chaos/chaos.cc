@@ -15,6 +15,7 @@
 #include "os/network.h"
 #include "profile/probe_collector.h"
 #include "sim/rng.h"
+#include "workload/engine.h"
 #include "workload/loadgen.h"
 
 namespace ditto::chaos {
@@ -198,9 +199,54 @@ probeTotal(const ChaosWorld &w, trace::OutcomeKind kind)
     return total;
 }
 
+/**
+ * Client-side outcome counters, fillable from either client model
+ * (LoadGen or WorkloadEngine) so the invariants are model-agnostic.
+ */
+struct ClientCounts
+{
+    std::uint64_t sent = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t error = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t late = 0;
+    std::uint64_t cancels = 0;
+    std::uint64_t inFlight = 0;
+};
+
+ClientCounts
+countsOf(const workload::LoadGen &lg)
+{
+    ClientCounts cc;
+    cc.sent = lg.sent();
+    cc.ok = lg.completedOk();
+    cc.error = lg.completedError();
+    cc.shed = lg.completedShed();
+    cc.timedOut = lg.timedOut();
+    cc.late = lg.lateResponses();
+    cc.cancels = lg.cancelsSent();
+    return cc;
+}
+
+ClientCounts
+countsOf(const workload::WorkloadEngine &eng)
+{
+    ClientCounts cc;
+    cc.sent = eng.sent();
+    cc.ok = eng.completedOk();
+    cc.error = eng.completedError();
+    cc.shed = eng.completedShed();
+    cc.timedOut = eng.timedOut();
+    cc.late = eng.lateResponses();
+    cc.cancels = eng.cancelsSent();
+    cc.inFlight = eng.inFlight();
+    return cc;
+}
+
 void
 checkInvariants(const ChaosConfig &cfg, ChaosWorld &w,
-                const workload::LoadGen &lg,
+                const ClientCounts &cc,
                 std::vector<std::string> &out)
 {
     using trace::OutcomeKind;
@@ -235,18 +281,19 @@ checkInvariants(const ChaosConfig &cfg, ChaosWorld &w,
             (unsigned long long)net.bytesDropped()));
     }
 
-    // (3) Client-side conservation: every sent request settles.
-    const std::uint64_t settled = lg.completedOk() +
-        lg.completedError() + lg.completedShed() + lg.timedOut();
-    if (lg.sent() != settled) {
+    // (3) Client-side conservation: every sent request settles (the
+    // in-flight term is zero after a sufficient drain).
+    const std::uint64_t settled =
+        cc.ok + cc.error + cc.shed + cc.timedOut + cc.inFlight;
+    if (cc.sent != settled) {
         out.push_back(format(
             "client-conservation: sent %llu != ok %llu + error %llu "
-            "+ shed %llu + timeout %llu",
-            (unsigned long long)lg.sent(),
-            (unsigned long long)lg.completedOk(),
-            (unsigned long long)lg.completedError(),
-            (unsigned long long)lg.completedShed(),
-            (unsigned long long)lg.timedOut()));
+            "+ shed %llu + timeout %llu + in-flight %llu",
+            (unsigned long long)cc.sent, (unsigned long long)cc.ok,
+            (unsigned long long)cc.error,
+            (unsigned long long)cc.shed,
+            (unsigned long long)cc.timedOut,
+            (unsigned long long)cc.inFlight));
     }
 
     // (4-7) Per-service books.
@@ -540,35 +587,63 @@ runPlan(const ChaosConfig &cfg, const fault::FaultPlan &plan)
 {
     ChaosWorld w(cfg);
 
-    workload::LoadSpec ls;
-    ls.qps = cfg.qps;
-    ls.connections = cfg.connections;
-    ls.openLoop = true;
-    ls.timeout = cfg.clientTimeout;
-    ls.propagateDeadline = true;
-    ls.cancelOnTimeout = true;
-    workload::LoadGen lg(w.dep, *w.root, ls, cfg.seed ^ 0x10adull);
+    std::unique_ptr<workload::LoadGen> lg;
+    std::unique_ptr<workload::WorkloadEngine> eng;
+    if (cfg.sessions) {
+        workload::WorkloadSpec ws;
+        // A session averages (minCalls+maxCalls)/2 calls, so divide
+        // to keep the offered *call* rate comparable to cfg.qps.
+        ws.sessionsPerSec = cfg.qps /
+            ((ws.session.minCalls + ws.session.maxCalls) / 2.0);
+        ws.connections = cfg.connections;
+        ws.arrivals.kind = workload::ArrivalKind::Mmpp;
+        ws.session.meanThink = sim::milliseconds(1);
+        ws.classes[0].slo.deadline = cfg.clientTimeout;
+        ws.timeout = cfg.clientTimeout;
+        ws.propagateDeadline = true;
+        ws.cancelOnTimeout = true;
+        eng = std::make_unique<workload::WorkloadEngine>(
+            w.dep, *w.root, ws, cfg.seed ^ 0x10adull);
+    } else {
+        workload::LoadSpec ls;
+        ls.qps = cfg.qps;
+        ls.connections = cfg.connections;
+        ls.openLoop = true;
+        ls.timeout = cfg.clientTimeout;
+        ls.propagateDeadline = true;
+        ls.cancelOnTimeout = true;
+        lg = std::make_unique<workload::LoadGen>(
+            w.dep, *w.root, ls, cfg.seed ^ 0x10adull);
+    }
 
     fault::FaultInjector inj(w.dep);
     inj.install(plan);
 
-    lg.start();
+    if (eng)
+        eng->start();
+    else
+        lg->start();
     w.dep.runFor(cfg.runFor);
-    lg.stop();
+    if (eng)
+        eng->stop();
+    else
+        lg->stop();
     inj.clearAll();
     w.dep.runFor(cfg.drain);
 
+    const ClientCounts cc = eng ? countsOf(*eng) : countsOf(*lg);
+
     PlanRunResult result;
-    checkInvariants(cfg, w, lg, result.violations);
+    checkInvariants(cfg, w, cc, result.violations);
 
     OutcomeMix &mix = result.mix;
-    mix.clientSent = lg.sent();
-    mix.clientOk = lg.completedOk();
-    mix.clientError = lg.completedError();
-    mix.clientShed = lg.completedShed();
-    mix.clientTimedOut = lg.timedOut();
-    mix.clientLate = lg.lateResponses();
-    mix.cancelsSent = lg.cancelsSent();
+    mix.clientSent = cc.sent;
+    mix.clientOk = cc.ok;
+    mix.clientError = cc.error;
+    mix.clientShed = cc.shed;
+    mix.clientTimedOut = cc.timedOut;
+    mix.clientLate = cc.late;
+    mix.cancelsSent = cc.cancels;
     for (const auto &svc : w.dep.services()) {
         const app::ServiceStats &s = svc->stats();
         mix.rpcOk += s.rpcOk;

@@ -71,6 +71,15 @@ struct ChaosConfig
     unsigned regions = 0;
     double qps = 5000;
     unsigned connections = 8;
+    /**
+     * Drive the world with the sessionized WorkloadEngine (MMPP
+     * session arrivals, think times, per-session connection
+     * affinity) instead of the plain open-loop LoadGen. The same
+     * client-side conservation invariant is checked against the
+     * engine's counters -- faults must not lose or double-settle a
+     * call no matter which client model offered it.
+     */
+    bool sessions = false;
     /** Client deadline; cancellation chases fire on its expiry. */
     sim::Time clientTimeout = sim::milliseconds(3);
     /** Load window (faults are sampled inside it). */

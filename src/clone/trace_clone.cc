@@ -5,6 +5,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <tuple>
@@ -16,6 +17,7 @@
 #include "hw/block_builder.h"
 #include "hw/platform.h"
 #include "trace/tracer.h"
+#include "workload/engine.h"
 
 namespace ditto::clone {
 
@@ -662,8 +664,40 @@ runClosure(const std::string &json, const ClosureOptions &opts)
     workload::LoadSpec load = res.clone.load;
     load.qps = opts.qps;
     load.connections = opts.connections;
-    workload::LoadGen gen(dep, *root, load, opts.seed ^ 0x10adc10eull);
-    gen.start();
+    std::unique_ptr<workload::LoadGen> gen;
+    std::unique_ptr<workload::WorkloadEngine> engine;
+    if (opts.sessionized) {
+        // Synthesized mix -> endpoint classes; qps stays the offered
+        // call rate, so divide by the mean calls per session.
+        workload::WorkloadSpec ws;
+        ws.sessionsPerSec = opts.qps /
+            ((ws.session.minCalls + ws.session.maxCalls) / 2.0);
+        ws.connections = opts.connections;
+        ws.timeout = load.timeout;
+        ws.propagateDeadline = load.propagateDeadline;
+        ws.cancelOnTimeout = load.cancelOnTimeout;
+        // The fidelity diff is an exact graph isomorphism: a
+        // "workload" root span would add a service node the original
+        // topology does not have.
+        ws.traceSessions = false;
+        ws.classes.clear();
+        for (const workload::EndpointLoad &ep : load.endpoints) {
+            workload::EndpointClass ec;
+            ec.name = "ep" + std::to_string(ep.endpoint);
+            ec.endpoint = ep.endpoint;
+            ec.weight = ep.weight;
+            ec.reqBytesMin = ep.reqBytesMin;
+            ec.reqBytesMax = ep.reqBytesMax;
+            ws.classes.push_back(std::move(ec));
+        }
+        engine = std::make_unique<workload::WorkloadEngine>(
+            dep, *root, ws, opts.seed ^ 0x10adc10eull);
+        engine->start();
+    } else {
+        gen = std::make_unique<workload::LoadGen>(
+            dep, *root, load, opts.seed ^ 0x10adc10eull);
+        gen->start();
+    }
     dep.runFor(opts.warmup);
     const stats::LatencyHistogram baseline = root->stats().latency;
     dep.runFor(opts.measure);
@@ -671,7 +705,10 @@ runClosure(const std::string &json, const ClosureOptions &opts)
         root->stats().latency.since(baseline);
     res.windowP50Ns = window.percentile(0.50);
     res.windowP99Ns = window.percentile(0.99);
-    gen.stop();
+    if (engine)
+        engine->stop();
+    else
+        gen->stop();
     // Drain in-flight request trees so the re-exported traces hold
     // few half-recorded call paths (which would skew edge rates).
     dep.runFor(sim::milliseconds(50));

@@ -179,6 +179,15 @@ struct ClosureOptions
     sim::Time warmup = sim::milliseconds(50);
     sim::Time measure = sim::milliseconds(400);
     std::uint64_t seed = 1;
+    /**
+     * Drive the clone with the sessionized WorkloadEngine instead of
+     * the plain LoadGen: the synthesized endpoint mix becomes the
+     * engine's endpoint classes (same weights and request sizes) and
+     * `qps` stays the offered *call* rate. Session root spans are
+     * disabled in this mode so the re-analyzed topology still
+     * contains exactly the cloned service graph.
+     */
+    bool sessionized = false;
 };
 
 /** Full ingest -> clone -> run -> re-export -> re-analyze result. */

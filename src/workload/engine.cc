@@ -1,0 +1,442 @@
+#include "workload/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/tracer.h"
+
+namespace ditto::workload {
+
+WorkloadEngine::WorkloadEngine(app::Deployment &dep,
+                               app::ServiceInstance &target,
+                               WorkloadSpec spec, std::uint64_t seed)
+    : dep_(dep), target_(target), spec_(std::move(spec)), rng_(seed),
+      arrivals_(spec_.arrivals, rng_.split())
+{
+    if (spec_.classes.empty())
+        spec_.classes.push_back(EndpointClass{});
+    for (std::size_t i = 0; i < spec_.classes.size(); ++i)
+        classPick_.add(static_cast<std::int64_t>(i),
+                       spec_.classes[i].weight);
+    classes_.resize(spec_.classes.size());
+
+    // Parameterize the think log-normal so its *mean* is meanThink:
+    // mean = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+    const double meanNs = std::max(
+        1.0, static_cast<double>(spec_.session.meanThink));
+    thinkMu_ = std::log(meanNs) -
+        spec_.session.thinkSigma * spec_.session.thinkSigma / 2.0;
+
+    conns_.resize(std::max(1u, spec_.connections));
+    std::uint64_t sockId = 0xe6e00000;
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+        conns_[i].client = std::make_unique<os::Socket>(sockId++);
+        conns_[i].client->machine = nullptr; // external client
+        conns_[i].server = target_.openConnection();
+        os::Network::connect(*conns_[i].client, *conns_[i].server);
+        const std::size_t idx = i;
+        conns_[i].client->onDeliver = [this, idx](const os::Message &m) {
+            onResponse(idx, m);
+        };
+    }
+}
+
+WorkloadEngine::~WorkloadEngine() = default;
+
+void
+WorkloadEngine::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    measureStart_ = dep_.events().now();
+    scheduleNextArrival();
+}
+
+void
+WorkloadEngine::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    // Sessions mid-think log out now; sessions with a call in flight
+    // log out when it settles (continueSession checks running_).
+    std::vector<std::uint64_t> idle;
+    for (const auto &e : sessions_.entries())
+        if (e.value.thinkTimer != 0)
+            idle.push_back(e.tag);
+    for (const std::uint64_t id : idle) {
+        Session *s = sessions_.find(id);
+        if (s != nullptr && s->thinkTimer != 0) {
+            dep_.events().cancel(s->thinkTimer);
+            s->thinkTimer = 0;
+        }
+        endSession(id);
+    }
+}
+
+void
+WorkloadEngine::beginMeasure()
+{
+    latency_.reset();
+    measureStart_ = dep_.events().now();
+    measuredCompleted_ = 0;
+    measuredOk_ = 0;
+    for (ClassState &cs : classes_) {
+        cs.mSent = 0;
+        cs.mSettled = 0;
+        cs.mOkInDeadline = 0;
+        cs.mViolations = 0;
+        cs.latency.reset();
+    }
+}
+
+void
+WorkloadEngine::setSessionsPerSec(double rate)
+{
+    spec_.sessionsPerSec = rate;
+    // The arrival loop re-reads the spec at every draw, and draws are
+    // bounded by the shape's refresh horizon, so the new rate takes
+    // effect at the next checkpoint without rescheduling here.
+}
+
+std::uint64_t
+WorkloadEngine::inFlight() const
+{
+    std::uint64_t n = 0;
+    for (const Conn &c : conns_)
+        n += c.pending.size();
+    return n;
+}
+
+double
+WorkloadEngine::achievedQps() const
+{
+    const double secs =
+        sim::toSeconds(dep_.events().now() - measureStart_);
+    return secs > 0
+        ? static_cast<double>(measuredCompleted_) / secs : 0.0;
+}
+
+double
+WorkloadEngine::goodput() const
+{
+    const double secs =
+        sim::toSeconds(dep_.events().now() - measureStart_);
+    return secs > 0 ? static_cast<double>(measuredOk_) / secs : 0.0;
+}
+
+std::uint64_t
+WorkloadEngine::classSent(std::size_t i) const
+{
+    return classes_[i].sent;
+}
+
+std::uint64_t
+WorkloadEngine::classOkInDeadline(std::size_t i) const
+{
+    return classes_[i].okInDeadline;
+}
+
+std::uint64_t
+WorkloadEngine::classViolations(std::size_t i) const
+{
+    return classes_[i].violations;
+}
+
+SloReport
+WorkloadEngine::sloReport() const
+{
+    SloReport report;
+    const double secs =
+        sim::toSeconds(dep_.events().now() - measureStart_);
+    std::uint64_t totalSent = 0;
+    std::uint64_t totalGood = 0;
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+        const ClassState &cs = classes_[i];
+        const EndpointClass &ec = spec_.classes[i];
+        SloClassReport row;
+        row.name = ec.name;
+        row.endpoint = ec.endpoint;
+        row.slo = ec.slo;
+        row.sent = cs.mSent;
+        row.settled = cs.mSettled;
+        row.okInDeadline = cs.mOkInDeadline;
+        row.violations = cs.mViolations;
+        row.offeredQps = secs > 0
+            ? static_cast<double>(cs.mSent) / secs : 0.0;
+        row.goodputQps = secs > 0
+            ? static_cast<double>(cs.mOkInDeadline) / secs : 0.0;
+        row.violationRate = cs.mSettled > 0
+            ? static_cast<double>(cs.mViolations) /
+                static_cast<double>(cs.mSettled)
+            : 0.0;
+        row.latencyAtTargetNs =
+            cs.latency.percentile(ec.slo.targetPercentile);
+        row.met = cs.mSettled > 0 && cs.mViolations == 0
+            ? true
+            : (cs.latency.count() > 0 &&
+               row.latencyAtTargetNs <= ec.slo.deadline &&
+               row.violationRate <= 1.0 - ec.slo.targetPercentile);
+        totalSent += cs.mSent;
+        totalGood += cs.mOkInDeadline;
+        report.classes.push_back(std::move(row));
+    }
+    report.offeredQps = secs > 0
+        ? static_cast<double>(totalSent) / secs : 0.0;
+    report.goodputQps = secs > 0
+        ? static_cast<double>(totalGood) / secs : 0.0;
+    return report;
+}
+
+void
+WorkloadEngine::scheduleNextArrival()
+{
+    if (!running_)
+        return;
+    const sim::Time now = dep_.events().now();
+    const double rate =
+        spec_.sessionsPerSec * spec_.shape.factorAt(now);
+    const ArrivalProcess::Draw d =
+        arrivals_.next(rate, now, spec_.shape.refreshHorizon(now));
+    dep_.events().scheduleAfter(
+        d.gap, [this, arrival = d.arrival] {
+            if (!running_)
+                return;
+            if (arrival)
+                startSession();
+            scheduleNextArrival();
+        });
+}
+
+void
+WorkloadEngine::startSession()
+{
+    const std::uint64_t id = nextSession_++;
+    Session s;
+    s.conn = static_cast<std::size_t>(id % conns_.size());
+    s.callsLeft = static_cast<unsigned>(rng_.uniformInt(
+        static_cast<std::int64_t>(spec_.session.minCalls),
+        static_cast<std::int64_t>(std::max(spec_.session.minCalls,
+                                           spec_.session.maxCalls))));
+    s.startTime = dep_.events().now();
+    if (spec_.traceSessions) {
+        const std::uint64_t tid = nextTrace_++;
+        if (dep_.tracer().sampled(tid)) {
+            s.traceId = tid;
+            s.rootSpan = dep_.tracer().newSpanId();
+        }
+    }
+    ++sessionsStarted_;
+    sessions_.emplace(id, std::move(s));
+    // Login fires the first call immediately; thinks come after.
+    sendCall(id);
+}
+
+void
+WorkloadEngine::scheduleNextCall(std::uint64_t sessionId)
+{
+    Session *s = sessions_.find(sessionId);
+    if (s == nullptr)
+        return;
+    const double thinkNs =
+        rng_.logNormal(thinkMu_, spec_.session.thinkSigma);
+    s->thinkTimer = dep_.events().scheduleAfter(
+        static_cast<sim::Time>(std::max(1.0, thinkNs)),
+        [this, sessionId] {
+            Session *sp = sessions_.find(sessionId);
+            if (sp == nullptr)
+                return;
+            sp->thinkTimer = 0;
+            if (!running_) {
+                endSession(sessionId);
+                return;
+            }
+            sendCall(sessionId);
+        });
+}
+
+std::uint32_t
+WorkloadEngine::pickClass(Session &s)
+{
+    if (s.hasLast && rng_.bernoulli(spec_.session.endpointAffinity))
+        return s.lastClass;
+    return static_cast<std::uint32_t>(classPick_.sample(rng_));
+}
+
+void
+WorkloadEngine::sendCall(std::uint64_t sessionId)
+{
+    Session *s = sessions_.find(sessionId);
+    if (s == nullptr)
+        return;
+    const std::uint32_t cls = pickClass(*s);
+    s->lastClass = cls;
+    s->hasLast = true;
+    const EndpointClass &ec = spec_.classes[cls];
+    const std::uint32_t bytes = ec.reqBytesMin >= ec.reqBytesMax
+        ? ec.reqBytesMin
+        : static_cast<std::uint32_t>(rng_.uniformInt(
+              static_cast<std::int64_t>(ec.reqBytesMin),
+              static_cast<std::int64_t>(ec.reqBytesMax)));
+
+    const std::size_t connIdx = s->conn;
+    Conn &conn = conns_[connIdx];
+
+    os::Message req;
+    req.kind = os::MsgKind::Request;
+    req.bytes = bytes;
+    req.endpoint = ec.endpoint;
+    req.tag = nextTag_++;
+    req.traceId = s->traceId != 0 ? s->traceId : nextTrace_++;
+    if (s->rootSpan != 0)
+        req.parentSpan = s->rootSpan;
+    req.sendTime = dep_.events().now();
+    if (spec_.propagateDeadline && spec_.timeout > 0)
+        req.deadline = req.sendTime + spec_.timeout;
+
+    Pending p;
+    p.session = sessionId;
+    p.cls = cls;
+    p.sendTime = req.sendTime;
+    const std::uint64_t tag = req.tag;
+    if (spec_.timeout > 0) {
+        p.timer = dep_.events().scheduleAfter(
+            spec_.timeout,
+            [this, connIdx, tag] { onTimeout(connIdx, tag); });
+    }
+    conn.pending.emplace(tag, p);
+    ++sent_;
+    ClassState &cs = classes_[cls];
+    ++cs.sent;
+    if (req.sendTime >= measureStart_)
+        ++cs.mSent;
+    dep_.network().send(*conn.client, std::move(req));
+}
+
+void
+WorkloadEngine::settleCall(const Pending &p, bool ok,
+                           sim::Time latencyNs, bool wasTimeout)
+{
+    ClassState &cs = classes_[p.cls];
+    const EndpointClass &ec = spec_.classes[p.cls];
+    ++cs.settled;
+    const bool good =
+        ok && !wasTimeout && latencyNs <= ec.slo.deadline;
+    if (good)
+        ++cs.okInDeadline;
+    else
+        ++cs.violations;
+    if (p.sendTime >= measureStart_) {
+        ++cs.mSettled;
+        if (good)
+            ++cs.mOkInDeadline;
+        else
+            ++cs.mViolations;
+        // Timeouts carry no response latency; they show up in the
+        // violation rate instead of skewing the percentile.
+        if (!wasTimeout)
+            cs.latency.record(latencyNs);
+    }
+}
+
+void
+WorkloadEngine::onResponse(std::size_t connIdx,
+                           const os::Message &resp)
+{
+    Conn &conn = conns_[connIdx];
+    Pending *found = conn.pending.find(resp.tag);
+    if (found == nullptr) {
+        ++lateResponses_; // reply to a call that already timed out
+        return;
+    }
+    const Pending p = *found;
+    if (p.timer != 0)
+        dep_.events().cancel(p.timer);
+    conn.pending.erase(resp.tag);
+    ++completed_;
+    ++measuredCompleted_;
+    bool ok = false;
+    switch (resp.status) {
+      case os::MsgStatus::Ok:
+        ++completedOk_;
+        ++measuredOk_;
+        ok = true;
+        break;
+      case os::MsgStatus::Error:
+        ++completedError_;
+        break;
+      case os::MsgStatus::Shed:
+        ++completedShed_;
+        break;
+    }
+    const sim::Time now = dep_.events().now();
+    const sim::Time lat =
+        now > resp.sendTime ? now - resp.sendTime : 0;
+    latency_.record(lat);
+    settleCall(p, ok, lat, /*wasTimeout=*/false);
+    continueSession(p.session);
+}
+
+void
+WorkloadEngine::onTimeout(std::size_t connIdx, std::uint64_t tag)
+{
+    Conn &conn = conns_[connIdx];
+    Pending *found = conn.pending.find(tag);
+    if (found == nullptr)
+        return;
+    const Pending p = *found;
+    conn.pending.erase(tag);
+    ++timedOut_;
+    settleCall(p, /*ok=*/false, spec_.timeout, /*wasTimeout=*/true);
+    if (spec_.cancelOnTimeout) {
+        os::Message cancel;
+        cancel.kind = os::MsgKind::Cancel;
+        cancel.bytes = os::kCancelMsgBytes;
+        cancel.tag = tag;
+        cancel.traceId = tag;
+        cancel.sendTime = dep_.events().now();
+        ++cancelsSent_;
+        dep_.network().send(*conn.client, std::move(cancel));
+    }
+    continueSession(p.session);
+}
+
+void
+WorkloadEngine::continueSession(std::uint64_t sessionId)
+{
+    Session *s = sessions_.find(sessionId);
+    if (s == nullptr)
+        return;
+    if (s->callsLeft > 0)
+        --s->callsLeft;
+    if (s->callsLeft == 0 || !running_) {
+        endSession(sessionId);
+        return;
+    }
+    scheduleNextCall(sessionId);
+}
+
+void
+WorkloadEngine::endSession(std::uint64_t sessionId)
+{
+    Session *s = sessions_.find(sessionId);
+    if (s == nullptr)
+        return;
+    if (s->traceId != 0) {
+        trace::Span span;
+        span.traceId = s->traceId;
+        span.spanId = s->rootSpan;
+        span.parentSpanId = 0;
+        span.service = "workload";
+        span.endpoint =
+            s->hasLast ? spec_.classes[s->lastClass].endpoint : 0;
+        span.start = s->startTime;
+        span.end = dep_.events().now();
+        dep_.tracer().recordSpan(std::move(span));
+    }
+    ++sessionsFinished_;
+    sessions_.erase(sessionId);
+}
+
+} // namespace ditto::workload

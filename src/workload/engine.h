@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Sessionized workload engine: the millions-of-users client model.
+ *
+ * Where LoadGen offers a single memoryless request stream, the
+ * WorkloadEngine models *users*: a session logs in, issues a sequence
+ * of endpoint calls separated by log-normal think times (with
+ * endpoint affinity -- users tend to hammer the page they are on),
+ * and logs out. Sessions arrive through a pluggable ArrivalProcess
+ * (Poisson / MMPP / deterministic) modulated by a time-varying
+ * RateCurve (diurnal / ramp / flash crowd), each session is pinned to
+ * one client connection for its lifetime (connection reuse), and
+ * every endpoint class carries an SloSpec so the engine can report
+ * goodput-within-deadline and violation rates per class.
+ *
+ * Determinism: one seeded Rng stream drives arrivals, session
+ * shaping, and per-call choices in event order, so a run is
+ * bit-identical at any RunExecutor --jobs (DESIGN.md §8). The engine,
+ * like LoadGen, is an external client: its CPU is not modeled and its
+ * requests enter through the target's NIC and kernel.
+ */
+
+#ifndef DITTO_WORKLOAD_ENGINE_H_
+#define DITTO_WORKLOAD_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/deployment.h"
+#include "app/service.h"
+#include "os/socket.h"
+#include "sim/distributions.h"
+#include "sim/rng.h"
+#include "stats/histogram.h"
+#include "workload/arrivals.h"
+#include "workload/pending_map.h"
+#include "workload/slo.h"
+
+namespace ditto::workload {
+
+/** One endpoint class: traffic mix entry plus its SLO. */
+struct EndpointClass
+{
+    std::string name = "default";
+    std::uint32_t endpoint = 0;
+    double weight = 1.0;
+    std::uint32_t reqBytesMin = 64;
+    std::uint32_t reqBytesMax = 64;
+    SloSpec slo;
+};
+
+/** Shape of an individual user session. */
+struct SessionModel
+{
+    /** Calls per session, uniform in [minCalls, maxCalls]. */
+    unsigned minCalls = 3;
+    unsigned maxCalls = 10;
+    /** Mean think time between calls (log-normal). */
+    sim::Time meanThink = sim::milliseconds(2);
+    /** Log-space sigma of the think-time log-normal. */
+    double thinkSigma = 0.7;
+    /**
+     * Probability the next call repeats the previous call's endpoint
+     * class instead of redrawing from the weights.
+     */
+    double endpointAffinity = 0.6;
+};
+
+/** Full description of the sessionized offered load. */
+struct WorkloadSpec
+{
+    /** Base session arrival rate (sessions/second, before shaping). */
+    double sessionsPerSec = 200;
+    unsigned connections = 8;
+    ArrivalSpec arrivals;
+    RateCurve shape;
+    SessionModel session;
+    std::vector<EndpointClass> classes = {EndpointClass{}};
+    /** Client-side deadline per call; 0 disables (see LoadSpec). */
+    sim::Time timeout = 0;
+    bool propagateDeadline = false;
+    bool cancelOnTimeout = false;
+    /**
+     * Record one `workload` span per sampled session on the Jaeger
+     * path, with every call in the session sharing the session's
+     * trace id under that root span. Disable when downstream topology
+     * analysis must see only the service graph (clone closure).
+     */
+    bool traceSessions = true;
+};
+
+class WorkloadEngine
+{
+  public:
+    WorkloadEngine(app::Deployment &dep, app::ServiceInstance &target,
+                   WorkloadSpec spec, std::uint64_t seed = 99);
+    ~WorkloadEngine();
+
+    WorkloadEngine(const WorkloadEngine &) = delete;
+    WorkloadEngine &operator=(const WorkloadEngine &) = delete;
+
+    /** Begin admitting sessions. */
+    void start();
+
+    /**
+     * Stop admitting sessions. Active sessions end at their next
+     * think event; in-flight calls settle normally, so a short drain
+     * brings inFlight() to zero.
+     */
+    void stop();
+
+    /** Reset the measured window (latency + per-class SLO tallies). */
+    void beginMeasure();
+
+    /** Change the base session arrival rate immediately. */
+    void setSessionsPerSec(double rate);
+
+    // ---- per-call outcome accounting --------------------------------
+    // sent() == completedOk() + completedError() + completedShed() +
+    // timedOut() + inFlight() at any instant: the same conservation
+    // contract as LoadGen, checked by the chaos harness.
+
+    std::uint64_t sent() const { return sent_; }
+    std::uint64_t completed() const { return completed_; }
+    std::uint64_t completedOk() const { return completedOk_; }
+    std::uint64_t completedError() const { return completedError_; }
+    std::uint64_t completedShed() const { return completedShed_; }
+    std::uint64_t timedOut() const { return timedOut_; }
+    std::uint64_t lateResponses() const { return lateResponses_; }
+    std::uint64_t cancelsSent() const { return cancelsSent_; }
+
+    /** Calls currently awaiting a response or timeout. */
+    std::uint64_t inFlight() const;
+
+    // ---- session accounting -----------------------------------------
+    std::uint64_t sessionsStarted() const { return sessionsStarted_; }
+    std::uint64_t sessionsFinished() const
+    {
+        return sessionsFinished_;
+    }
+    std::uint64_t activeSessions() const
+    {
+        return sessionsStarted_ - sessionsFinished_;
+    }
+
+    const stats::LatencyHistogram &latency() const { return latency_; }
+
+    /** Completed calls per second over the measured window. */
+    double achievedQps() const;
+
+    /** Ok-status calls per second over the measured window. */
+    double goodput() const;
+
+    /** Per-class SLO outcome over the measured window. */
+    SloReport sloReport() const;
+
+    // ---- class introspection (metrics registration) -----------------
+    std::size_t classCount() const { return spec_.classes.size(); }
+    const EndpointClass &classSpec(std::size_t i) const
+    {
+        return spec_.classes[i];
+    }
+    std::uint64_t classSent(std::size_t i) const;
+    std::uint64_t classOkInDeadline(std::size_t i) const;
+    std::uint64_t classViolations(std::size_t i) const;
+
+    const WorkloadSpec &spec() const { return spec_; }
+
+  private:
+    /** One in-flight call, keyed by tag in its connection's map. */
+    struct Pending
+    {
+        sim::EventId timer = 0; //!< client deadline event (0 = none)
+        std::uint64_t session = 0;
+        std::uint32_t cls = 0;
+        /** Send instant; settles count toward the measured window
+         *  only when they were also sent inside it. */
+        sim::Time sendTime = 0;
+    };
+
+    struct Conn
+    {
+        std::unique_ptr<os::Socket> client;
+        os::Socket *server = nullptr;
+        TagMap<Pending> pending;
+    };
+
+    /** One live user session. */
+    struct Session
+    {
+        std::size_t conn = 0;    //!< pinned connection index
+        unsigned callsLeft = 0;
+        std::uint32_t lastClass = 0;
+        bool hasLast = false;
+        std::uint64_t traceId = 0; //!< 0 when the session is untraced
+        std::uint64_t rootSpan = 0;
+        sim::Time startTime = 0;
+        sim::EventId thinkTimer = 0; //!< pending think event (0 = none)
+    };
+
+    /** Per-class cumulative + measured-window SLO tallies. */
+    struct ClassState
+    {
+        std::uint64_t sent = 0;
+        std::uint64_t settled = 0;
+        std::uint64_t okInDeadline = 0;
+        std::uint64_t violations = 0;
+        std::uint64_t mSent = 0;
+        std::uint64_t mSettled = 0;
+        std::uint64_t mOkInDeadline = 0;
+        std::uint64_t mViolations = 0;
+        stats::LatencyHistogram latency; //!< measured window only
+    };
+
+    app::Deployment &dep_;
+    app::ServiceInstance &target_;
+    WorkloadSpec spec_;
+    sim::Rng rng_;
+    ArrivalProcess arrivals_;
+    sim::EmpiricalDist classPick_;
+    double thinkMu_ = 0; //!< log-space mean for the think log-normal
+    std::vector<Conn> conns_;
+    TagMap<Session> sessions_; //!< keyed by monotone session id
+    std::vector<ClassState> classes_;
+    stats::LatencyHistogram latency_;
+    std::uint64_t sent_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t completedOk_ = 0;
+    std::uint64_t completedError_ = 0;
+    std::uint64_t completedShed_ = 0;
+    std::uint64_t timedOut_ = 0;
+    std::uint64_t lateResponses_ = 0;
+    std::uint64_t cancelsSent_ = 0;
+    std::uint64_t sessionsStarted_ = 0;
+    std::uint64_t sessionsFinished_ = 0;
+    std::uint64_t nextSession_ = 1;
+    std::uint64_t nextTrace_ = 1;
+    std::uint64_t nextTag_ = 1;
+    bool running_ = false;
+    sim::Time measureStart_ = 0;
+    std::uint64_t measuredCompleted_ = 0;
+    std::uint64_t measuredOk_ = 0;
+
+    void scheduleNextArrival();
+    void startSession();
+    void scheduleNextCall(std::uint64_t sessionId);
+    void sendCall(std::uint64_t sessionId);
+    void onResponse(std::size_t connIdx, const os::Message &resp);
+    void onTimeout(std::size_t connIdx, std::uint64_t tag);
+    void settleCall(const Pending &p, bool ok, sim::Time latencyNs,
+                    bool timedOut);
+    void continueSession(std::uint64_t sessionId);
+    void endSession(std::uint64_t sessionId);
+    std::uint32_t pickClass(Session &s);
+};
+
+} // namespace ditto::workload
+
+#endif // DITTO_WORKLOAD_ENGINE_H_

@@ -74,13 +74,29 @@ LoadGen::goodput() const
 }
 
 void
+LoadGen::setQps(double qps)
+{
+    spec_.qps = qps;
+    if (!running_ || !spec_.openLoop)
+        return;
+    // Drop the gap sampled at the old rate and resample at the new
+    // one -- exponential memorylessness makes this bias-free.
+    if (openArrival_ != 0) {
+        dep_.events().cancel(openArrival_);
+        openArrival_ = 0;
+    }
+    scheduleNextOpen();
+}
+
+void
 LoadGen::scheduleNextOpen()
 {
     if (!running_ || spec_.qps <= 0)
         return;
     const double gapNs = rng_.exponential(1e9 / spec_.qps);
-    dep_.events().scheduleAfter(
+    openArrival_ = dep_.events().scheduleAfter(
         static_cast<sim::Time>(gapNs), [this] {
+            openArrival_ = 0;
             if (!running_)
                 return;
             sendOn(rrConn_++ % conns_.size());
@@ -148,14 +164,14 @@ void
 LoadGen::onResponse(std::size_t connIdx, const os::Message &resp)
 {
     Conn &conn = conns_[connIdx];
-    auto it = conn.pending.find(resp.tag);
-    if (it == conn.pending.end()) {
+    const sim::EventId *timer = conn.pending.find(resp.tag);
+    if (timer == nullptr) {
         ++lateResponses_;  // reply to a request that already timed out
         return;
     }
-    if (it->second != 0)
-        dep_.events().cancel(it->second);
-    conn.pending.erase(it);
+    if (*timer != 0)
+        dep_.events().cancel(*timer);
+    conn.pending.erase(resp.tag);
     ++completed_;
     ++measuredCompleted_;
     switch (resp.status) {
@@ -180,10 +196,8 @@ void
 LoadGen::onTimeout(std::size_t connIdx, std::uint64_t tag)
 {
     Conn &conn = conns_[connIdx];
-    auto it = conn.pending.find(tag);
-    if (it == conn.pending.end())
+    if (!conn.pending.erase(tag))
         return;
-    conn.pending.erase(it);
     ++timedOut_;
     if (spec_.cancelOnTimeout) {
         os::Message cancel;

@@ -17,7 +17,6 @@
 #define DITTO_WORKLOAD_LOADGEN_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -27,6 +26,7 @@
 #include "sim/distributions.h"
 #include "sim/rng.h"
 #include "stats/histogram.h"
+#include "workload/pending_map.h"
 
 namespace ditto::workload {
 
@@ -117,8 +117,13 @@ class LoadGen
      */
     double goodput() const;
 
-    /** Change the target rate on the fly. */
-    void setQps(double qps) { spec_.qps = qps; }
+    /**
+     * Change the target rate on the fly. Open-loop clients reschedule
+     * their pending arrival immediately (the old gap was sampled at
+     * the old rate; memorylessness makes the resample bias-free), so
+     * rate curves see the new rate now, not one stale gap later.
+     */
+    void setQps(double qps);
 
   private:
     struct Conn
@@ -128,9 +133,10 @@ class LoadGen
         /**
          * In-flight requests: tag -> pending deadline event (0 when
          * no client timeout is configured). Open-loop connections can
-         * have several requests in flight at once.
+         * have several requests in flight at once. Tags are monotone,
+         * so the sorted small-vector map inserts at the back.
          */
-        std::map<std::uint64_t, sim::EventId> pending;
+        TagMap<sim::EventId> pending;
 
         bool outstanding() const { return !pending.empty(); }
     };
@@ -153,6 +159,8 @@ class LoadGen
     std::uint64_t nextTrace_ = 1;
     unsigned rrConn_ = 0;
     bool running_ = false;
+    /** Pending open-loop arrival event (0 when none is scheduled). */
+    sim::EventId openArrival_ = 0;
     sim::Time measureStart_ = 0;
     std::uint64_t measuredCompleted_ = 0;
     std::uint64_t measuredOk_ = 0;

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Sorted small-vector map from request tag to per-request state.
+ *
+ * Load generators key their in-flight requests by tag, and the map
+ * sits on the per-request hot path (one insert + one erase per
+ * request, one lookup per response or timeout). Tags come from a
+ * monotonically increasing counter, so inserts land at the back of a
+ * sorted vector (amortized push_back) and lookups are a binary search
+ * over a handful of contiguous entries -- no node allocation, no
+ * pointer chasing, unlike the std::map it replaces. The population is
+ * small (per-connection in-flight window), so erase's memmove is
+ * cheaper than a tree rebalance at every size we ever see.
+ */
+
+#ifndef DITTO_WORKLOAD_PENDING_MAP_H_
+#define DITTO_WORKLOAD_PENDING_MAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ditto::workload {
+
+/** Insert / find / erase map over monotonically increasing tags. */
+template <typename V>
+class TagMap
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t tag;
+        V value;
+    };
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+    /** Value for `tag`, or nullptr when not present. */
+    V *
+    find(std::uint64_t tag)
+    {
+        auto it = lowerBound(tag);
+        return (it != entries_.end() && it->tag == tag) ? &it->value
+                                                        : nullptr;
+    }
+
+    /**
+     * Insert (tag, value); keeps the vector sorted. Tags are unique
+     * by construction (a monotone counter), so no duplicate check.
+     */
+    void
+    emplace(std::uint64_t tag, V value)
+    {
+        if (entries_.empty() || entries_.back().tag < tag) {
+            entries_.push_back(Entry{tag, std::move(value)});
+            return;
+        }
+        entries_.insert(lowerBound(tag), Entry{tag, std::move(value)});
+    }
+
+    /** @retval true when `tag` was present and is now removed. */
+    bool
+    erase(std::uint64_t tag)
+    {
+        auto it = lowerBound(tag);
+        if (it == entries_.end() || it->tag != tag)
+            return false;
+        entries_.erase(it);
+        return true;
+    }
+
+    /** In-flight entries in tag order (drain / inspection). */
+    const std::vector<Entry> &entries() const { return entries_; }
+
+  private:
+    typename std::vector<Entry>::iterator
+    lowerBound(std::uint64_t tag)
+    {
+        return std::lower_bound(entries_.begin(), entries_.end(), tag,
+                                [](const Entry &e, std::uint64_t t) {
+                                    return e.tag < t;
+                                });
+    }
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace ditto::workload
+
+#endif // DITTO_WORKLOAD_PENDING_MAP_H_

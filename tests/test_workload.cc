@@ -136,6 +136,26 @@ TEST(LoadGen, StopCeasesArrivals)
     EXPECT_EQ(gen.sent(), sentAtStop);
 }
 
+TEST(LoadGen, SetQpsTakesEffectImmediately)
+{
+    // A pending open-loop arrival scheduled under the old (tiny)
+    // rate must be rescheduled, not waited out: at 5 qps the next
+    // arrival is ~200 ms away, so any burst within 40 ms of the
+    // setQps call proves the reschedule happened.
+    World w;
+    workload::LoadSpec load;
+    load.qps = 5;
+    load.connections = 4;
+    load.openLoop = true;
+    workload::LoadGen gen(w.dep, w.svc, load, 9);
+    gen.start();
+    w.dep.runFor(sim::milliseconds(10));
+    const auto sentBefore = gen.sent();
+    gen.setQps(20000);
+    w.dep.runFor(sim::milliseconds(40));
+    EXPECT_GT(gen.sent(), sentBefore + 100);
+}
+
 TEST(LoadGen, RequestBytesWithinConfiguredRange)
 {
     World w;

@@ -64,11 +64,26 @@ def check_metric(metric, base, value, tolerance):
       - "*_err_pct" are error percentages near zero: regression means
         more than one percentage point above the baseline (a ratio
         would divide by a near-zero base).
+      - "*_knee_qps" / "*_goodput*" are higher-is-better rates (the
+        workload engine's knee point and goodput columns): regression
+        means *dropping* below base * (1 - tolerance).  New keys are
+        tolerated like any other new metric (skipped until they have
+        a baseline).
     Everything else is a timing: slower than base * (1 + tolerance).
     """
     if metric == "pass" or metric.endswith("_ok"):
         if value < base:
             return True, f"{base:g} -> {value:g} (fidelity flag dropped)"
+        return False, ""
+    if metric.endswith("_knee_qps") or "_goodput" in metric:
+        if base <= 0:
+            return False, ""
+        ratio = value / base
+        if ratio < 1.0 - tolerance:
+            return True, (f"{base:g} -> {value:g} "
+                          f"({(ratio - 1) * 100:+.1f}%, knee/goodput "
+                          f"may not drop more than "
+                          f"{tolerance * 100:.0f}%)")
         return False, ""
     if metric.endswith("_err_pct"):
         if value > base + 1.0:

@@ -18,7 +18,12 @@
  *   ditto-chaos [--plans N] [--seed S] [--services N] [--machines N]
  *               [--regions N] [--qps Q] [--run-ms D] [--drain-ms D]
  *               [--max-shrink-probes N] [--plant-ledger-bug]
- *               [--plant-wan-ledger-bug] [--prod-shapes] [--jobs N]
+ *               [--plant-wan-ledger-bug] [--prod-shapes]
+ *               [--sessions] [--jobs N]
+ *
+ * --sessions swaps the open-loop LoadGen for the sessionized
+ * WorkloadEngine (MMPP session arrivals, think times, per-session
+ * connection affinity); the same conservation invariants apply.
  *
  * --plant-ledger-bug arms the test-fixture accounting bug (the
  * message-ledger checker forgets dropped messages), demonstrating
@@ -101,6 +106,8 @@ main(int argc, char **argv)
             cfg.plantWanLedgerBug = true;
         else if (std::strcmp(argv[i], "--prod-shapes") == 0)
             cfg.prodShapes = true;
+        else if (std::strcmp(argv[i], "--sessions") == 0)
+            cfg.sessions = true;
         // --jobs is consumed by jobsFromArgs below.
     }
 

@@ -21,7 +21,11 @@
  * Usage:
  *   ditto_clone [--in FILE] [--out DIR] [--lenient] [--qps Q]
  *               [--duration-ms D] [--seed S] [--runs K] [--jobs N]
- *               [--write-demo FILE]
+ *               [--sessions] [--write-demo FILE]
+ *
+ * --sessions drives the clone with the sessionized WorkloadEngine
+ * (the synthesized endpoint mix becomes the engine's endpoint
+ * classes) instead of the plain LoadGen.
  */
 
 #include <cstdint>
@@ -54,6 +58,7 @@ struct Options
     sim::Time duration = sim::milliseconds(400);
     std::uint64_t seed = 1;
     unsigned runs = 1;
+    bool sessions = false;
 };
 
 void
@@ -125,6 +130,8 @@ main(int argc, char **argv)
                 std::strtoul(v.c_str(), nullptr, 10));
         else if (std::strcmp(argv[i], "--lenient") == 0)
             opt.lenient = true;
+        else if (std::strcmp(argv[i], "--sessions") == 0)
+            opt.sessions = true;
         // --jobs is consumed by jobsFromArgs below.
     }
 
@@ -160,6 +167,7 @@ main(int argc, char **argv)
             copts.qps = opt.qps;
             copts.measure = opt.duration;
             copts.seed = seed;
+            copts.sessionized = opt.sessions;
             return clone::runClosure(input, copts);
         });
     }

@@ -16,6 +16,8 @@
 #   region    multi-region: WAN links, prefer-local, failover RTO
 #   clone     trace-driven cloning: foreign ingest, closure fidelity,
 #             malformed-Jaeger defect corpus
+#   workload  sessionized workload engine: arrivals, rate curves,
+#             SLO reports, outcome conservation, determinism
 #   parallel  RunExecutor determinism (the -DDITTO_TSAN=ON subset;
 #             overlaps the labels above, so the default passes skip it)
 #
@@ -56,7 +58,7 @@ fi
 # pass because every parallel test already carries one of these
 # labels; it exists for the TSan build to select.
 status=0
-for label in sanitize obs cluster chaos region clone; do
+for label in sanitize obs cluster chaos region clone workload; do
     echo "== tier-1 label: $label =="
     ctest --output-on-failure -j "$jobs" --no-tests=error \
         -L "$label" || status=$?
@@ -65,7 +67,8 @@ done
 # Everything not covered by a labeled pass (the core suite).
 echo "== tier-1 remainder =="
 ctest --output-on-failure -j "$jobs" --no-tests=error \
-    -LE "sanitize|obs|cluster|chaos|region|clone|parallel" || status=$?
+    -LE "sanitize|obs|cluster|chaos|region|clone|workload|parallel" \
+    || status=$?
 
 # Advisory benchmark-regression check: if this build directory has a
 # fresh BENCH_pipeline.json (benches write it to their cwd), diff it
