@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Overload-control capstone: the saturation knee with vs without
+ * adaptive overload control, and a metastable-failure demonstration.
+ *
+ * Part A sweeps offered load from 0.4x to 1.6x of a calculable
+ * capacity (2 workers / 0.5 ms service time = 4k calls/s) against the
+ * same service twice: `base` (no overload control) and `ctrl`
+ * (adaptive AIMD concurrency limit + CoDel-style sojourn cap). Below
+ * the knee the two are indistinguishable; past it the controlled
+ * service keeps serving work it can finish within the deadline while
+ * the uncontrolled one burns capacity on doomed queue depth.
+ *
+ * Part B is the Bronson et al. metastable-failure scenario: offered
+ * load at 0.8x capacity (stable), a 30 ms crash window, and
+ * deadline-spaced client retries (4 attempts). Without a retry
+ * budget, the retry wave born in the fault window pushes effective
+ * load to ~4x offered; queue sojourn exceeds the client timeout, so
+ * *fresh* traffic starts failing and retrying too -- the collapse
+ * sustains itself long after the fault cleared (goodput pinned near
+ * zero). With a 10% retry budget the wave is bounded and goodput
+ * recovers within a couple of windows. Post-clear goodput fractions
+ * and the recovery time go to BENCH_pipeline.json
+ * (`overload_metastable`; `*_goodput*` higher-is-better,
+ * `*_recovery_ms` lower-is-better in check_bench_regression.py).
+ *
+ * Runs fan out on the RunExecutor; all stdout is printed after the
+ * ordered join, so output is byte-identical at any --jobs.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "app/deployment.h"
+#include "bench/bench_common.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "hw/block_builder.h"
+#include "hw/platform.h"
+#include "workload/engine.h"
+
+using namespace ditto;
+
+namespace {
+
+/** Nominal capacity (calls/second): 2 workers x 500us sleep. */
+constexpr double kCapacityQps = 4000;
+
+/** Part A sweep: 0.4x .. 1.6x capacity. */
+constexpr double kFactors[] = {0.4, 0.6, 0.8, 1.0,
+                               1.2, 1.4, 1.6};
+
+/** End-to-end deadline; goodput counts Ok answers under it. */
+constexpr sim::Time kDeadline = sim::milliseconds(10);
+
+app::ServiceSpec
+apiSpec(bool controlled)
+{
+    app::ServiceSpec spec;
+    spec.name = "api";
+    spec.threads.workers = 2;
+    hw::BlockSpec bs;
+    bs.label = "api.h";
+    bs.instCount = 64;
+    bs.seed = 7;
+    spec.blocks.push_back(hw::buildBlock(bs));
+    app::EndpointSpec ep;
+    ep.name = "get";
+    ep.handler.ops = {app::opSleep(sim::microseconds(500))};
+    ep.responseBytesMin = ep.responseBytesMax = 256;
+    spec.endpoints.push_back(ep);
+    if (controlled) {
+        app::OverloadSpec &ov = spec.resilience.overload;
+        ov.enabled = true;
+        ov.initialLimit = 64;
+        ov.minLimit = 8;
+        ov.window = 64;
+        ov.latencyRatio = 3.0;
+        // Queue sojourn past half the deadline is work the client
+        // will almost surely discard: shed it at dequeue.
+        ov.maxSojourn = kDeadline / 2;
+    }
+    return spec;
+}
+
+/**
+ * Sweep-point client: ramp from ~0.4x capacity up to the target over
+ * 50 ms so the AIMD baseline learns the uncongested latency before
+ * the offered load reaches the point under test.
+ */
+workload::WorkloadSpec
+sweepSpec(double factor)
+{
+    workload::WorkloadSpec ws;
+    const double target = kCapacityQps * factor;
+    ws.sessionsPerSec = target /
+        ((ws.session.minCalls + ws.session.maxCalls) / 2.0);
+    ws.connections = 16;
+    ws.session.meanThink = sim::milliseconds(1);
+    ws.shape.kind = workload::ShapeKind::Ramp;
+    ws.shape.startFactor = 0.4 / factor;
+    ws.shape.endFactor = 1.0;
+    ws.shape.rampDuration = sim::milliseconds(50);
+    ws.classes[0].slo.deadline = kDeadline;
+    ws.timeout = kDeadline;
+    return ws;
+}
+
+struct SweepRow
+{
+    double targetQps = 0;
+    double offeredQps = 0;
+    double goodputQps = 0;
+    double p99Ms = 0;
+    std::uint64_t sheds = 0;
+};
+
+SweepRow
+runSweepCase(double factor, bool controlled)
+{
+    app::Deployment dep(2027, /*traceSampleRate=*/0.01);
+    os::Machine &m = dep.addMachine("api-m", hw::platformA());
+    app::ServiceInstance &svc = dep.deploy(apiSpec(controlled), m);
+    dep.wireAll();
+
+    workload::WorkloadEngine eng(dep, svc, sweepSpec(factor), 13);
+    eng.start();
+    dep.runFor(sim::milliseconds(100));  // ramp + settle
+    eng.beginMeasure();
+    dep.runFor(sim::milliseconds(300));
+
+    const workload::SloReport slo = eng.sloReport();
+    SweepRow row;
+    row.targetQps = kCapacityQps * factor;
+    row.offeredQps = slo.offeredQps;
+    row.goodputQps = slo.goodputQps;
+    row.p99Ms =
+        static_cast<double>(eng.latency().percentile(0.99)) / 1e6;
+    row.sheds = svc.stats().requestsShed;
+    return row;
+}
+
+// ---------------------------------------------------------------------------
+// Part B: metastability
+// ---------------------------------------------------------------------------
+
+/**
+ * Fault timeline: load settles, crash window, observed tail. The
+ * crash must run long enough that the sessions accumulating in
+ * timeout/backoff chains fire a post-clear retry burst that pushes
+ * queue sojourn past the deadline -- that breach is what arms the
+ * fresh-traffic-times-out-and-retries feedback loop.
+ */
+constexpr sim::Time kCrashAt = sim::milliseconds(100);
+constexpr sim::Time kCrashFor = sim::milliseconds(60);
+constexpr sim::Time kWindow = sim::milliseconds(25);
+constexpr unsigned kPostWindows = 16;
+
+struct MetaRow
+{
+    double offeredQps = 0;      //!< fresh offered rate (pre-fault)
+    double steadyFrac = 0;      //!< goodput frac before the fault
+    std::vector<double> fracs;  //!< per-window post-clear frac
+    double tailFrac = 0;        //!< aggregate from clear to horizon
+    double recoveryMs = -1;     //!< first window at >= 95%, -1 never
+    std::uint64_t retries = 0;
+    std::uint64_t suppressed = 0;
+};
+
+MetaRow
+runMetastable(bool budgeted)
+{
+    app::Deployment dep(2028, /*traceSampleRate=*/0.01);
+    os::Machine &m = dep.addMachine("api-m", hw::platformA());
+    app::ServiceInstance &svc =
+        dep.deploy(apiSpec(/*controlled=*/false), m);
+    dep.wireAll();
+
+    workload::WorkloadSpec ws;
+    ws.sessionsPerSec = kCapacityQps * 0.8 /
+        ((ws.session.minCalls + ws.session.maxCalls) / 2.0);
+    ws.connections = 16;
+    // A longer think time means more concurrent sessions carry the
+    // same call rate, so more retry chains straddle the fault window
+    // -- a bigger synchronized burst at clear.
+    ws.session.meanThink = sim::milliseconds(5);
+    ws.classes[0].slo.deadline = kDeadline;
+    ws.timeout = kDeadline;
+    // Deadline-spaced client retries: the storm fuel. The ONLY
+    // difference between the two variants is the budget.
+    ws.retry.maxAttempts = 4;
+    ws.retry.backoff = sim::microseconds(200);
+    if (budgeted) {
+        ws.retry.budgetRatio = 0.1;
+        ws.retry.budgetInitial = 5;
+        ws.retry.budgetCap = 20;
+    }
+    workload::WorkloadEngine eng(dep, svc, ws, 19);
+
+    fault::FaultPlan plan;
+    plan.serviceCrash("api", kCrashAt, kCrashFor);
+    fault::FaultInjector injector(dep);
+    injector.install(plan);
+
+    eng.start();
+    MetaRow row;
+    // Steady window before the fault (offered 0.8x: must be happy).
+    dep.runFor(sim::milliseconds(50));
+    std::uint64_t sent0 = eng.classSent(0);
+    std::uint64_t ok0 = eng.classOkInDeadline(0);
+    dep.runFor(kCrashAt - sim::milliseconds(50));
+    row.offeredQps = static_cast<double>(eng.classSent(0) - sent0) /
+        ((static_cast<double>(kCrashAt) -
+          static_cast<double>(sim::milliseconds(50))) /
+         1e9);
+    row.steadyFrac = eng.classSent(0) == sent0
+        ? 0.0
+        : static_cast<double>(eng.classOkInDeadline(0) - ok0) /
+            static_cast<double>(eng.classSent(0) - sent0);
+
+    // Ride through the crash window.
+    dep.runFor(kCrashFor);
+
+    // Post-clear windows: the metastability verdict.
+    std::uint64_t prevSent = eng.classSent(0);
+    std::uint64_t prevOk = eng.classOkInDeadline(0);
+    const std::uint64_t clearSent = prevSent;
+    const std::uint64_t clearOk = prevOk;
+    for (unsigned w = 0; w < kPostWindows; ++w) {
+        dep.runFor(kWindow);
+        const std::uint64_t s = eng.classSent(0);
+        const std::uint64_t k = eng.classOkInDeadline(0);
+        const double frac = s == prevSent
+            ? 0.0
+            : static_cast<double>(k - prevOk) /
+                static_cast<double>(s - prevSent);
+        row.fracs.push_back(frac);
+        if (row.recoveryMs < 0 && frac >= 0.95)
+            row.recoveryMs =
+                static_cast<double>((w + 1) * kWindow) / 1e6;
+        prevSent = s;
+        prevOk = k;
+    }
+    row.tailFrac = prevSent == clearSent
+        ? 0.0
+        : static_cast<double>(prevOk - clearOk) /
+            static_cast<double>(prevSent - clearSent);
+    row.retries = eng.retriesSent();
+    row.suppressed = eng.retriesSuppressed();
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchRuntime rt(argc, argv, "overload");
+
+    std::vector<std::function<SweepRow()>> sweepTasks;
+    for (const bool controlled : {false, true})
+        for (const double factor : kFactors)
+            sweepTasks.push_back([factor, controlled] {
+                return runSweepCase(factor, controlled);
+            });
+    std::vector<std::function<MetaRow()>> metaTasks;
+    for (const bool budgeted : {false, true})
+        metaTasks.push_back(
+            [budgeted] { return runMetastable(budgeted); });
+
+    const std::vector<SweepRow> sweep =
+        rt.executor().runOrdered<SweepRow>(std::move(sweepTasks));
+    const std::vector<MetaRow> meta =
+        rt.executor().runOrdered<MetaRow>(std::move(metaTasks));
+
+    // ---- Part A report --------------------------------------------------
+    std::printf("# bench_overload: knee with vs without adaptive "
+                "overload control (capacity %.0f qps)\n",
+                kCapacityQps);
+    const std::size_t n = std::size(kFactors);
+    double kneeBase = 0, kneeCtrl = 0;
+    double goodBase16 = 0, goodCtrl16 = 0;
+    for (const bool controlled : {false, true}) {
+        const char *name = controlled ? "ctrl" : "base";
+        std::printf("## %s\n", name);
+        std::printf("%6s %10s %11s %11s %8s %10s\n", "x",
+                    "target_qps", "offered_qps", "goodput_qps",
+                    "p99_ms", "sheds");
+        std::vector<std::pair<double, double>> curve;
+        for (std::size_t i = 0; i < n; ++i) {
+            const SweepRow &r = sweep[(controlled ? n : 0) + i];
+            std::printf("%6.1f %10.0f %11.1f %11.1f %8.3f %10llu\n",
+                        kFactors[i], r.targetQps, r.offeredQps,
+                        r.goodputQps, r.p99Ms,
+                        static_cast<unsigned long long>(r.sheds));
+            curve.emplace_back(r.targetQps, r.goodputQps);
+            if (kFactors[i] == 1.6) {
+                (controlled ? goodCtrl16 : goodBase16) = r.goodputQps;
+            }
+        }
+        const double knee = workload::kneePointRate(curve);
+        (controlled ? kneeCtrl : kneeBase) = knee;
+        if (knee > 0)
+            std::printf("knee point: goodput diverges at %.0f qps "
+                        "(%.2fx capacity)\n",
+                        knee, knee / kCapacityQps);
+        else if (knee == workload::kKneeNone)
+            std::printf("knee point: no knee <= %.0f qps "
+                        "(max offered)\n",
+                        curve.back().first);
+        else
+            std::printf("knee point: empty sweep\n");
+    }
+
+    // ---- Part B report --------------------------------------------------
+    const MetaRow &noBudget = meta[0];
+    const MetaRow &budget = meta[1];
+    std::printf("# metastability: %.0fms crash at 0.8x load, "
+                "4 attempts, budget off vs 10%%\n",
+                static_cast<double>(kCrashFor) / 1e6);
+    for (const bool budgeted : {false, true}) {
+        const MetaRow &r = budgeted ? budget : noBudget;
+        std::printf("## retry budget %s\n", budgeted ? "10%" : "off");
+        std::printf(
+            "offered %.0f qps, steady goodput frac %.3f, "
+            "retries %llu, suppressed %llu\n",
+            r.offeredQps, r.steadyFrac,
+            static_cast<unsigned long long>(r.retries),
+            static_cast<unsigned long long>(r.suppressed));
+        std::printf("post-clear goodput frac per %.0fms window:",
+                    static_cast<double>(kWindow) / 1e6);
+        for (const double f : r.fracs)
+            std::printf(" %.2f", f);
+        std::printf("\n");
+        if (r.recoveryMs >= 0)
+            std::printf("recovered (>=95%%) %.0f ms after the fault "
+                        "cleared\n",
+                        r.recoveryMs);
+        else
+            std::printf("NOT RECOVERED within %.0f ms of the fault "
+                        "clearing\n",
+                        static_cast<double>(kPostWindows * kWindow) /
+                            1e6);
+    }
+    const bool demoOk =
+        noBudget.tailFrac < 0.5 && budget.tailFrac >= 0.95;
+    std::printf("metastable collapse without budgets: tail frac "
+                "%.3f vs %.3f with -- demo %s\n",
+                noBudget.tailFrac, budget.tailFrac,
+                demoOk ? "ok" : "FAILED");
+
+    // Horizon stands in for "never" in the recovery column so the
+    // lower-is-better regression semantics stay monotone.
+    const double horizonMs =
+        static_cast<double>(kPostWindows * kWindow) / 1e6;
+    char json[512];
+    std::snprintf(
+        json, sizeof json,
+        "{\"knee_base_qps\": %.0f, \"knee_ctrl_qps\": %.0f, "
+        "\"goodput_1p6x_base\": %.1f, \"goodput_1p6x_ctrl\": %.1f, "
+        "\"nobudget_tail_frac\": %.3f, "
+        "\"budget_goodput_frac\": %.3f, "
+        "\"budget_recovery_ms\": %.0f, "
+        "\"metastable_demo_ok\": %d}",
+        kneeBase > 0 ? kneeBase : 0.0, kneeCtrl > 0 ? kneeCtrl : 0.0,
+        goodBase16, goodCtrl16, noBudget.tailFrac, budget.tailFrac,
+        budget.recoveryMs >= 0 ? budget.recoveryMs : horizonMs,
+        demoOk ? 1 : 0);
+    bench::recordBenchEntry("overload_metastable", json);
+
+    rt.finish();
+    return 0;
+}

@@ -198,13 +198,20 @@ main(int argc, char **argv)
             std::printf("knee point: goodput diverges at %.0f qps "
                         "(%.2fx capacity)\n",
                         knee, knee / kCapacityQps);
+        else if (knee == workload::kKneeNone)
+            std::printf("knee point: no knee <= %.0f qps "
+                        "(max offered)\n",
+                        sweep.empty() ? 0.0 : sweep.back().first);
         else
-            std::printf("knee point: none observed in sweep\n");
+            std::printf("knee point: empty sweep\n");
         std::printf("SLO at 1.0x:\n%s", slo1x.c_str());
+        // JSON keeps the old no-knee encoding (0): `*_knee_qps`
+        // regression checks skip non-positive baselines.
         char cell[96];
         std::snprintf(cell, sizeof cell,
                       "%s\"%s_knee_qps\": %.0f",
-                      json.size() > 1 ? ", " : "", name, knee);
+                      json.size() > 1 ? ", " : "", name,
+                      knee > 0 ? knee : 0.0);
         json += cell;
     }
     // 1x steady goodput rides along as a throughput-style column.

@@ -1,0 +1,81 @@
+#include "app/overload.h"
+
+namespace ditto::app {
+
+OverloadController::OverloadController(const OverloadSpec &spec)
+    : spec_(spec)
+{
+    const unsigned init = std::clamp(spec_.initialLimit,
+                                     std::max(1u, spec_.minLimit),
+                                     std::max(1u, spec_.maxLimit));
+    limit_ = static_cast<double>(init);
+}
+
+unsigned
+OverloadController::limitFor(std::uint8_t priority) const
+{
+    const unsigned levels = std::max(1u, spec_.priorityLevels);
+    const unsigned p = std::min<unsigned>(priority, levels - 1);
+    const unsigned full = static_cast<unsigned>(limit_);
+    return std::max(1u, full * (p + 1) / levels);
+}
+
+const char *
+OverloadController::admit(sim::Time now, sim::Time sendTime,
+                          sim::Time deadline, std::uint8_t priority,
+                          std::size_t outstanding)
+{
+    if (spec_.maxSojourn > 0 && now > sendTime &&
+        now - sendTime > spec_.maxSojourn) {
+        ++sojournSheds_;
+        return "sojourn";
+    }
+    if (spec_.deadlineAware && deadline != 0 && baseline_ > 0 &&
+        static_cast<double>(deadline - now) < baseline_) {
+        // The caller's remaining budget is smaller than what serving
+        // currently costs: the reply would arrive dead. (deadline >
+        // now is guaranteed -- expired requests were dropped before
+        // admission.)
+        ++deadlineSheds_;
+        return "deadline_unreachable";
+    }
+    if (spec_.enabled && outstanding >= limitFor(priority)) {
+        ++limitSheds_;
+        return "concurrency_limit";
+    }
+    return nullptr;
+}
+
+void
+OverloadController::onRequestDone(sim::Time latency)
+{
+    windowSum_ += static_cast<double>(latency);
+    if (++windowCount_ < std::max(1u, spec_.window))
+        return;
+    const double avg = windowSum_ / windowCount_;
+    windowSum_ = 0;
+    windowCount_ = 0;
+    if (baseline_ <= 0) {
+        // First window seeds the baseline; no verdict yet.
+        baseline_ = avg;
+        return;
+    }
+    if (avg > spec_.latencyRatio * baseline_) {
+        // Congested: shrink multiplicatively. The baseline is NOT
+        // updated here -- folding congested windows in would let the
+        // baseline creep up and mask sustained overload.
+        limit_ = std::max(static_cast<double>(spec_.minLimit),
+                          limit_ * spec_.decrease);
+        congested_ = true;
+        ++congestedWindows_;
+        return;
+    }
+    limit_ = std::min(static_cast<double>(spec_.maxLimit),
+                      limit_ + static_cast<double>(spec_.increase));
+    congested_ = false;
+    ++uncongestedWindows_;
+    baseline_ = (1.0 - spec_.baselineAlpha) * baseline_ +
+        spec_.baselineAlpha * avg;
+}
+
+} // namespace ditto::app

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Adaptive overload control & graceful degradation.
+ *
+ * Four mechanisms real services layer on top of static queue bounds:
+ *
+ *  - An **adaptive concurrency limiter** (AIMD on observed request
+ *    latency vs a moving baseline, Netflix-concurrency-limits style):
+ *    the admission threshold on outstanding work grows additively
+ *    while latency tracks the baseline and shrinks multiplicatively
+ *    when a window runs hotter than `latencyRatio` x baseline.
+ *  - **Deadline-aware queue management** (CoDel-flavoured): requests
+ *    whose queue sojourn exceeds `maxSojourn`, or whose propagated
+ *    deadline can no longer be met given the latency baseline, are
+ *    shed at dequeue instead of wasting service capacity on work the
+ *    caller will discard.
+ *  - **Priority shedding**: requests carry a priority stamped by the
+ *    workload engine's EndpointClass and propagated downstream like
+ *    deadlines; under pressure the limiter grants lower-priority
+ *    classes proportionally smaller admission thresholds, so the
+ *    lowest classes shed first.
+ *  - **Retry budgets** (Finagle-style token bucket): fresh traffic
+ *    deposits `ratio` tokens, each retry withdraws one, so retries
+ *    are bounded to a fraction of fresh load and a transient fault
+ *    cannot ignite a metastable retry storm. Used on both the server
+ *    (RetryPolicy) and the client (WorkloadSpec) side.
+ *
+ * Everything here is deterministic (simulated time only, no RNG) and
+ * off by default: a default-constructed OverloadSpec leaves the
+ * runtime's behaviour bit-identical to a build without this header.
+ */
+
+#ifndef DITTO_APP_OVERLOAD_H_
+#define DITTO_APP_OVERLOAD_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace ditto::app {
+
+/** Overload-control configuration of one service. */
+struct OverloadSpec
+{
+    /** Master switch for the adaptive concurrency limiter. */
+    bool enabled = false;
+    /** Floor of the adaptive limit (keeps a trickle admitted). */
+    unsigned minLimit = 4;
+    /** Ceiling of the adaptive limit. */
+    unsigned maxLimit = 4096;
+    /** Limit before the first adjustment window completes. */
+    unsigned initialLimit = 64;
+    /** Latency samples per limit-adjustment window. */
+    unsigned window = 32;
+    /** Congestion trip: window mean > latencyRatio x baseline. */
+    double latencyRatio = 2.0;
+    /** Multiplicative decrease applied on a congested window. */
+    double decrease = 0.7;
+    /** Additive increase applied on an uncongested window. */
+    unsigned increase = 2;
+    /** EWMA weight folding uncongested windows into the baseline. */
+    double baselineAlpha = 0.1;
+    /**
+     * CoDel-style sojourn cap: shed requests that waited longer than
+     * this in the inbound queue (measured send-to-dequeue); 0
+     * disables.
+     */
+    sim::Time maxSojourn = 0;
+    /**
+     * Shed queued work already destined to miss its propagated
+     * deadline: remaining budget < the latency baseline. Needs
+     * ResilienceSpec::propagateDeadline and an established baseline.
+     */
+    bool deadlineAware = false;
+    /**
+     * Graduated priority admission: priority p (0 = lowest) gets
+     * (p+1)/priorityLevels of the adaptive limit, so the lowest
+     * classes shed first under pressure. 1 disables (all priorities
+     * share the full limit).
+     */
+    unsigned priorityLevels = 1;
+    /**
+     * Brownout: while the limiter is congested, skip downstream RPC
+     * edges marked RpcCallSpec::optional (settled as RpcCancelled
+     * with cause "brownout", response not degraded).
+     */
+    bool brownout = false;
+
+    bool
+    any() const
+    {
+        return enabled || maxSojourn > 0 || deadlineAware;
+    }
+};
+
+/**
+ * Finagle-style retry budget: a token bucket where fresh attempts
+ * deposit `ratio` tokens and every retry withdraws one, capping
+ * retries at ~ratio x fresh traffic once `initial` burns off. A zero
+ * ratio disables the budget (allowWithdraw always grants), keeping
+ * the default-off contract.
+ */
+class RetryBudget
+{
+  public:
+    RetryBudget() = default;
+
+    void
+    configure(double ratio, double initial, double cap)
+    {
+        ratio_ = ratio;
+        cap_ = cap;
+        tokens_ = std::min(initial, cap);
+    }
+
+    bool enabled() const { return ratio_ > 0.0; }
+
+    /** A fresh (first-attempt) call was issued. */
+    void
+    onFresh()
+    {
+        if (enabled())
+            tokens_ = std::min(cap_, tokens_ + ratio_);
+    }
+
+    /**
+     * Try to pay for one retry. Always grants when the budget is
+     * disabled; otherwise withdraws a whole token or refuses.
+     */
+    bool
+    allowWithdraw()
+    {
+        if (!enabled())
+            return true;
+        if (tokens_ >= 1.0) {
+            tokens_ -= 1.0;
+            ++withdrawals_;
+            return true;
+        }
+        ++suppressed_;
+        return false;
+    }
+
+    double tokens() const { return tokens_; }
+    std::uint64_t withdrawals() const { return withdrawals_; }
+    std::uint64_t suppressed() const { return suppressed_; }
+
+  private:
+    double ratio_ = 0.0;
+    double cap_ = 0.0;
+    double tokens_ = 0.0;
+    std::uint64_t withdrawals_ = 0;
+    std::uint64_t suppressed_ = 0;
+};
+
+/**
+ * Per-service-instance overload controller: owns the AIMD limiter
+ * state and answers the admission question at dequeue time. Shared
+ * by all workers of an instance (like a listener-level admission
+ * filter in front of a shared accept queue).
+ */
+class OverloadController
+{
+  public:
+    explicit OverloadController(const OverloadSpec &spec);
+
+    /**
+     * Admission check for one dequeued request.
+     *
+     * @param now        dequeue instant.
+     * @param sendTime   the request's Message::sendTime.
+     * @param deadline   propagated absolute deadline (0 = none / not
+     *                   honored by the caller's ResilienceSpec).
+     * @param priority   request priority (0 = lowest).
+     * @param outstanding requests executing + still queued on the
+     *                   instance, excluding this one.
+     * @return nullptr to admit, else a static cause string
+     *         ("sojourn", "deadline_unreachable", "concurrency_limit")
+     *         recorded on the shed outcome.
+     */
+    const char *admit(sim::Time now, sim::Time sendTime,
+                      sim::Time deadline, std::uint8_t priority,
+                      std::size_t outstanding);
+
+    /** Feed one completed-request latency (the AIMD signal). */
+    void onRequestDone(sim::Time latency);
+
+    /** Current adaptive limit (full-priority admission threshold). */
+    unsigned currentLimit() const
+    {
+        return static_cast<unsigned>(limit_);
+    }
+
+    /** Admission threshold granted to `priority`. */
+    unsigned limitFor(std::uint8_t priority) const;
+
+    /** Moving latency baseline in ns (0 until the first window). */
+    double baselineNs() const { return baseline_; }
+
+    /** The last completed window ran congested (brownout signal). */
+    bool brownoutActive() const { return congested_; }
+
+    // ---- counters for ditto_overload_* metrics ----------------------
+    std::uint64_t limitSheds() const { return limitSheds_; }
+    std::uint64_t sojournSheds() const { return sojournSheds_; }
+    std::uint64_t deadlineSheds() const { return deadlineSheds_; }
+    std::uint64_t congestedWindows() const
+    {
+        return congestedWindows_;
+    }
+    std::uint64_t uncongestedWindows() const
+    {
+        return uncongestedWindows_;
+    }
+
+  private:
+    OverloadSpec spec_;
+    double limit_ = 0;
+    double baseline_ = 0;
+    double windowSum_ = 0;
+    unsigned windowCount_ = 0;
+    bool congested_ = false;
+    std::uint64_t limitSheds_ = 0;
+    std::uint64_t sojournSheds_ = 0;
+    std::uint64_t deadlineSheds_ = 0;
+    std::uint64_t congestedWindows_ = 0;
+    std::uint64_t uncongestedWindows_ = 0;
+};
+
+} // namespace ditto::app
+
+#endif // DITTO_APP_OVERLOAD_H_

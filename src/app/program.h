@@ -44,6 +44,14 @@ struct RpcCallSpec
     std::uint32_t endpoint = 0;
     std::uint32_t requestBytes = 128;
     std::uint32_t responseBytes = 256;
+    /**
+     * Brownout candidate: the caller's response is useful without
+     * this edge (recommendations, decorations). While the caller's
+     * overload limiter is congested and OverloadSpec::brownout is
+     * set, the call is skipped (RpcCancelled, cause "brownout")
+     * without degrading the response.
+     */
+    bool optional = false;
 };
 
 enum class OpKind : std::uint8_t

@@ -60,6 +60,11 @@ CircuitBreaker::onSuccess()
 {
     if (!policy_.enabled)
         return;
+    // A stale success -- a call admitted before the breaker (re)
+    // tripped, e.g. the slower of two concurrent Half-Open probes --
+    // must not shortcut the open window.
+    if (state_ == State::Open)
+        return;
     // A successful probe closes the breaker; in Closed state a
     // success resets the consecutive-failure streak.
     state_ = State::Closed;

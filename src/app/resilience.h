@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "app/overload.h"
 #include "sim/rng.h"
 #include "sim/time.h"
 
@@ -38,6 +39,19 @@ struct RetryPolicy
     sim::Time maxBackoff = sim::milliseconds(50);
     /** Symmetric jitter fraction in [0, 1): backoff *= 1 +/- jitter. */
     double jitter = 0.0;
+    /**
+     * Server-side retry budget (token bucket, see app::RetryBudget):
+     * each fresh downstream call deposits `budgetRatio` tokens and
+     * every retry withdraws one, so retries stay bounded to roughly
+     * this fraction of fresh traffic. A call denied a retry settles
+     * as the timeout it is, with outcome cause "retry_budget". 0
+     * disables the budget (unbounded retries, the prior behaviour).
+     */
+    double budgetRatio = 0.0;
+    /** Tokens pre-filled at startup (allows a small initial burst). */
+    double budgetInitial = 10.0;
+    /** Token-bucket cap. */
+    double budgetCap = 100.0;
 };
 
 /**
@@ -165,13 +179,20 @@ struct ResilienceSpec
      */
     bool cancellation = false;
     HedgePolicy hedge;
+    /**
+     * Adaptive overload control: concurrency limiter, sojourn /
+     * deadline-aware queue drops, priority shedding, brownout. See
+     * app/overload.h; default-constructed = everything off.
+     */
+    OverloadSpec overload;
 
     bool
     any() const
     {
         return rpcDeadline > 0 || retry.maxAttempts > 1 ||
             breaker.enabled || shedQueueThreshold > 0 ||
-            propagateDeadline || cancellation || hedge.enabled;
+            propagateDeadline || cancellation || hedge.enabled ||
+            overload.any();
     }
 };
 

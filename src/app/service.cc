@@ -55,6 +55,8 @@ ServiceStats::reset(sim::Time now)
     rpcHedges = 0;
     rpcHedgeWins = 0;
     requestsCancelled = 0;
+    rpcRetriesSuppressed = 0;
+    rpcBrownoutSkipped = 0;
     measureStart = now;
 }
 
@@ -236,6 +238,9 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
             req.parentSpan = worker.currentRequest().serverSpan;
             req.sendTime = worker.now(ctx);
             req.deadline = deadline;
+            // Priority rides downstream with every hop, like the
+            // deadline: a child call works at its root's priority.
+            req.priority = worker.currentRequest().msg.priority;
             const std::uint64_t tag = req.tag;
             worker.probeSyscall(SysKind::SocketWrite, req.bytes);
             if (service.probe()) {
@@ -305,6 +310,24 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                         rs.callOpen = true;
                         rs.callTarget = call.target;
                         rs.callEndpoint = call.endpoint;
+                        service.retryBudget().onFresh();
+                        if (call.optional &&
+                            service.brownoutActive()) {
+                            // Brownout: the limiter is congested, so
+                            // shed this optional edge outright. The
+                            // response is NOT degraded -- optional
+                            // means the caller renders fine without
+                            // it.
+                            service.stats().rpcBrownoutSkipped++;
+                            service.noteOutcome(
+                                worker,
+                                trace::OutcomeKind::RpcCancelled,
+                                call.target, call.endpoint, 0,
+                                traceId, "brownout");
+                            rs.reset();
+                            frame.phase += 2;  // skip the call
+                            continue;
+                        }
                     }
                     const sim::Time budget = hop_budget();
                     if (budget != 0 && budget <= worker.now(ctx)) {
@@ -477,7 +500,19 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                         rs.attemptOpen = false;
                         rs.hedgeConn = nullptr;
                         rs.hedgeTag = 0;
-                        if (rs.attempt < res.retry.maxAttempts) {
+                        bool retryAllowed =
+                            rs.attempt < res.retry.maxAttempts;
+                        const char *giveUpCause = "";
+                        if (retryAllowed &&
+                            !service.retryBudget().allowWithdraw()) {
+                            // Retry budget exhausted: the attempt
+                            // settles as the timeout it is instead of
+                            // feeding a retry storm.
+                            retryAllowed = false;
+                            giveUpCause = "retry_budget";
+                            service.stats().rpcRetriesSuppressed++;
+                        }
+                        if (retryAllowed) {
                             service.stats().rpcRetries++;
                             rs.inBackoff = true;
                             worker.armRpcTimer(
@@ -489,7 +524,7 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                         service.noteOutcome(
                             worker, trace::OutcomeKind::RpcTimeout,
                             call.target, call.endpoint, rs.attempt,
-                            traceId);
+                            traceId, giveUpCause);
                         worker.currentRequest().degraded = true;
                         rs.reset();
                         frame.phase++;  // give up on this call
@@ -548,6 +583,17 @@ ProgramRunner::execOp(os::StepCtx &ctx, Worker &worker, Frame &frame,
                 rs.fanoutEndpoints[i] = call.endpoint;
                 if (res.any())
                     service.stats().rpcCallsStarted++;
+                service.retryBudget().onFresh();
+                if (call.optional && service.brownoutActive()) {
+                    // Brownout: drop the optional leg of the fanout
+                    // without degrading the response (see sync path).
+                    service.stats().rpcBrownoutSkipped++;
+                    service.noteOutcome(
+                        worker, trace::OutcomeKind::RpcCancelled,
+                        call.target, call.endpoint, 0, traceId,
+                        "brownout");
+                    continue;
+                }
                 if (budgetDead) {
                     // Budget exhausted before the fanout: fail every
                     // call fast, nothing on the wire.
@@ -813,6 +859,16 @@ ServiceInstance::ServiceInstance(const ServiceSpec &spec,
     locks_.resize(spec_.locks);
     for (LockState &lock : locks_)
         lock.queue = machine_.createWaitQueue();
+
+    if (spec_.resilience.overload.any()) {
+        overload_ = std::make_unique<OverloadController>(
+            spec_.resilience.overload);
+    }
+    if (spec_.resilience.retry.budgetRatio > 0) {
+        retryBudget_.configure(spec_.resilience.retry.budgetRatio,
+                               spec_.resilience.retry.budgetInitial,
+                               spec_.resilience.retry.budgetCap);
+    }
 
     // Long-lived worker pool (unless connections spawn threads).
     if (!spec_.threads.threadPerConnection) {
@@ -1567,6 +1623,24 @@ Worker::beginRequest(os::StepCtx &ctx, os::Socket *sock,
                              "expired_on_arrival");
         return;
     }
+    if (OverloadController *ov = service_.overload()) {
+        // Adaptive admission at dequeue: sojourn / doomed-deadline
+        // drops first (CoDel-style -- staleness is judged where it is
+        // observable), then the concurrency limit graduated by the
+        // request's propagated priority. `outstanding` counts the
+        // whole instance, not this worker: the limiter guards shared
+        // service capacity the way a listener-level filter would.
+        const std::size_t outstanding =
+            service_.activeRequests() + service_.inboundQueueDepth();
+        const char *cause = ov->admit(
+            now(ctx), msg.sendTime,
+            res.propagateDeadline ? msg.deadline : 0, msg.priority,
+            outstanding);
+        if (cause != nullptr) {
+            shedRequest(ctx, sock, std::move(msg), cause);
+            return;
+        }
+    }
     const unsigned shedAt = res.shedQueueThreshold;
     if (shedAt > 0 && inboundQueueDepth() >= shedAt) {
         shedRequest(ctx, sock, std::move(msg));
@@ -1623,6 +1697,8 @@ Worker::finishRequest(os::StepCtx &ctx)
     const sim::Time latency =
         end > req_.start ? end - req_.start : 0;
     stats.latency.record(latency);
+    if (OverloadController *ov = service_.overload())
+        ov->onRequestDone(latency);
     if (service_.probe())
         service_.probe()->onRequestDone(req_.msg.endpoint, latency);
     if (req_.serverSpan && service_.tracer()) {
@@ -1642,7 +1718,7 @@ Worker::finishRequest(os::StepCtx &ctx)
 
 void
 Worker::shedRequest(os::StepCtx &ctx, os::Socket *sock,
-                    os::Message msg)
+                    os::Message msg, const char *cause)
 {
     // Fail fast: a tiny rejection response, no handler execution.
     os::Message resp;
@@ -1658,7 +1734,7 @@ Worker::shedRequest(os::StepCtx &ctx, os::Socket *sock,
     stats.rxBytes += msg.bytes;
     stats.txBytes += resp.bytes;
     service_.noteOutcome(*this, trace::OutcomeKind::RequestShed, 0,
-                         msg.endpoint, 0, msg.traceId);
+                         msg.endpoint, 0, msg.traceId, cause);
     ctx.kernel.sysSocketWrite(ctx, *this, *sock, std::move(resp));
 }
 

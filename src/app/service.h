@@ -193,6 +193,9 @@ struct ServiceStats
     std::uint64_t rpcHedges = 0;          //!< hedge attempts launched
     std::uint64_t rpcHedgeWins = 0;       //!< calls won by the hedge attempt
     std::uint64_t requestsCancelled = 0;  //!< inbound requests cancelled
+    // ---- overload control (adaptive limiter / budgets / brownout) ---
+    std::uint64_t rpcRetriesSuppressed = 0; //!< retries denied by budget
+    std::uint64_t rpcBrownoutSkipped = 0;   //!< optional calls skipped
     sim::Time measureStart = 0;
 
     void reset(sim::Time now);
@@ -327,6 +330,31 @@ class ServiceInstance
     CircuitBreaker *breaker(std::uint32_t target);
 
     /**
+     * Adaptive overload controller, or nullptr when the spec's
+     * OverloadSpec enables nothing.
+     */
+    OverloadController *overload() { return overload_.get(); }
+    const OverloadController *overload() const
+    {
+        return overload_.get();
+    }
+
+    /** Server-side retry budget (disabled unless budgetRatio > 0). */
+    RetryBudget &retryBudget() { return retryBudget_; }
+    const RetryBudget &retryBudget() const { return retryBudget_; }
+
+    /**
+     * Brownout gate: skip optional downstream edges while the
+     * limiter's last window ran congested.
+     */
+    bool
+    brownoutActive() const
+    {
+        return overload_ && spec_.resilience.overload.brownout &&
+            overload_->brownoutActive();
+    }
+
+    /**
      * Record an outcome into stats, probe, and tracer. `cause` (may
      * be empty) says why work was abandoned for the cancellation
      * outcome kinds and rides along on the traced event.
@@ -458,6 +486,8 @@ class ServiceInstance
     /** Per-edge region pin (kNoRegionPin when unpinned). */
     std::vector<std::uint32_t> edgeRegionPins_;
     std::vector<CircuitBreaker> breakers_;
+    std::unique_ptr<OverloadController> overload_;
+    RetryBudget retryBudget_;
     unsigned nextWorkerForConn_ = 0;
     unsigned nextThreadSlot_ = 0;
     std::uint64_t nextTag_ = 1;
@@ -671,7 +701,7 @@ class Worker : public os::Thread
                       os::Message msg);
     void finishRequest(os::StepCtx &ctx);
     void shedRequest(os::StepCtx &ctx, os::Socket *sock,
-                     os::Message msg);
+                     os::Message msg, const char *cause = "");
     void finishCancelledRequest(os::StepCtx &ctx);
     /**
      * Settle every unsettled downstream call of the current request

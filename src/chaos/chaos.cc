@@ -118,6 +118,25 @@ struct ChaosWorld
                 res.hedge.enabled = true;
                 res.hedge.delay = sim::microseconds(300);
             }
+            if (cfg.overload) {
+                app::OverloadSpec &ov = res.overload;
+                ov.enabled = true;
+                ov.initialLimit = 48;
+                ov.minLimit = 4;
+                ov.window = 16;
+                ov.maxSojourn = sim::milliseconds(2);
+                ov.deadlineAware = true;
+                ov.brownout = true;
+                res.retry.budgetRatio = 0.1;
+                // Mark the tail call of multi-call fanouts as a
+                // brownout candidate so congested windows actually
+                // exercise the skip path.
+                for (app::EndpointSpec &ep : topo.specs[i].endpoints)
+                    for (app::Op &op : ep.handler.ops)
+                        if (op.kind == app::OpKind::Rpc &&
+                            op.rpcs.size() > 1)
+                            op.rpcs.back().optional = true;
+            }
         }
         if (cfg.regions == 0) {
             root = &cluster::deployTopology(dep, topo, cfg.machines);
@@ -602,6 +621,14 @@ runPlan(const ChaosConfig &cfg, const fault::FaultPlan &plan)
         ws.timeout = cfg.clientTimeout;
         ws.propagateDeadline = true;
         ws.cancelOnTimeout = true;
+        if (cfg.overload) {
+            // Budgeted client retries: every retry is a fresh sent
+            // call, so the conservation invariant is exercised with
+            // the retry wave bounded at 10% of fresh traffic.
+            ws.retry.maxAttempts = 2;
+            ws.retry.backoff = sim::microseconds(200);
+            ws.retry.budgetRatio = 0.1;
+        }
         eng = std::make_unique<workload::WorkloadEngine>(
             w.dep, *w.root, ws, cfg.seed ^ 0x10adull);
     } else {

@@ -80,6 +80,16 @@ struct ChaosConfig
      * call no matter which client model offered it.
      */
     bool sessions = false;
+    /**
+     * Arm adaptive overload control on every service: AIMD
+     * concurrency limits, sojourn/deadline shedding, brownout on
+     * optional RPC edges, and retry budgets (client-side too when
+     * `sessions` is set). Adds the overload shed/skip causes to the
+     * outcome mix the invariants must conserve; the fault-kind
+     * sampling space is unchanged, so seed-for-seed plan sequences
+     * are byte-identical with the flag off.
+     */
+    bool overload = false;
     /** Client deadline; cancellation chases fire on its expiry. */
     sim::Time clientTimeout = sim::milliseconds(3);
     /** Load window (faults are sampled inside it). */

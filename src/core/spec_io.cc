@@ -64,6 +64,10 @@ writeOp(std::ostream &os, const app::Op &op, int depth)
             os << " call=" << call.target << ":" << call.endpoint
                << ":" << call.requestBytes << ":"
                << call.responseBytes;
+            // Trailing marker only when set: specs without brownout
+            // edges round-trip byte-identically to the old format.
+            if (call.optional)
+                os << ":opt";
         }
         os << "\n";
         break;
@@ -252,6 +256,9 @@ parseOpInto(Parser &p, app::Program &prog, const std::string &line)
                             &call.responseBytes) != 4) {
                 p.fail("malformed rpc call " + token);
             }
+            if (token.size() >= 4 &&
+                token.compare(token.size() - 4, 4, ":opt") == 0)
+                call.optional = true;
             calls.push_back(call);
         }
         prog.ops.push_back(app::opRpcFanout(std::move(calls)));

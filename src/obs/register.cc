@@ -88,6 +88,91 @@ registerServiceMetrics(MetricsRegistry &reg,
                        return static_cast<double>(
                            svc->inboundQueueDepth());
                    });
+
+    // Circuit breaker series: one {service, downstream} pair per RPC
+    // edge, registered only when the breaker policy is enabled (no
+    // series -- and no output change -- otherwise).
+    if (svc->spec().resilience.breaker.enabled) {
+        const auto &downs = svc->spec().downstreams;
+        for (std::uint32_t t = 0;
+             t < static_cast<std::uint32_t>(downs.size()); ++t) {
+            const MetricsRegistry::Labels labels{
+                {"downstream", downs[t]},
+                {"service", svc->instanceLabel()}};
+            reg.addGaugeFn(
+                "ditto_breaker_state", labels,
+                "Breaker state (0=closed 1=open 2=half-open)",
+                [svc, t] {
+                    const app::CircuitBreaker *cb = svc->breaker(t);
+                    return cb ? static_cast<double>(
+                                    static_cast<std::uint8_t>(
+                                        cb->state()))
+                              : 0.0;
+                });
+            reg.addCounterFn(
+                "ditto_breaker_opened_total", labels,
+                "Times the breaker tripped to Open", [svc, t] {
+                    const app::CircuitBreaker *cb = svc->breaker(t);
+                    return cb ? cb->timesOpened()
+                              : std::uint64_t{0};
+                });
+        }
+    }
+
+    // Overload-control series, present only when the controller is
+    // armed (OverloadSpec::any()).
+    if (const app::OverloadController *ov = svc->overload()) {
+        const MetricsRegistry::Labels labels{
+            {"service", svc->instanceLabel()}};
+        reg.addGaugeFn("ditto_overload_limit", labels,
+                       "Adaptive concurrency limit", [ov] {
+                           return static_cast<double>(
+                               ov->currentLimit());
+                       });
+        reg.addGaugeFn("ditto_overload_baseline_ns", labels,
+                       "Latency baseline the limiter adapts against",
+                       [ov] { return ov->baselineNs(); });
+        reg.addGaugeFn("ditto_overload_brownout_active", labels,
+                       "1 while optional RPC edges are skipped",
+                       [svc] {
+                           return svc->brownoutActive() ? 1.0 : 0.0;
+                       });
+        reg.addCounterFn("ditto_overload_limit_sheds_total", labels,
+                         "Requests shed by the concurrency limit",
+                         [ov] { return ov->limitSheds(); });
+        reg.addCounterFn("ditto_overload_sojourn_sheds_total",
+                         labels,
+                         "Requests shed for excess queue sojourn",
+                         [ov] { return ov->sojournSheds(); });
+        reg.addCounterFn(
+            "ditto_overload_deadline_sheds_total", labels,
+            "Requests shed as unable to meet their deadline",
+            [ov] { return ov->deadlineSheds(); });
+        reg.addCounterFn("ditto_overload_congested_windows_total",
+                         labels, "Windows that tripped the limiter",
+                         [ov] { return ov->congestedWindows(); });
+        reg.addCounterFn(
+            "ditto_overload_uncongested_windows_total", labels,
+            "Windows that grew the limit",
+            [ov] { return ov->uncongestedWindows(); });
+        serviceCounter(reg, svc, "ditto_overload_brownout_skips_total",
+                       "Optional RPC edges skipped in brownout",
+                       &app::ServiceStats::rpcBrownoutSkipped);
+    }
+
+    // Server-side retry budget series (RetryPolicy::budgetRatio > 0).
+    if (svc->retryBudget().enabled()) {
+        const MetricsRegistry::Labels labels{
+            {"service", svc->instanceLabel()}};
+        reg.addGaugeFn("ditto_retry_budget_tokens", labels,
+                       "Retry-budget tokens available", [svc] {
+                           return svc->retryBudget().tokens();
+                       });
+        serviceCounter(
+            reg, svc, "ditto_overload_retries_suppressed_total",
+            "Retries suppressed by the exhausted retry budget",
+            &app::ServiceStats::rpcRetriesSuppressed);
+    }
 }
 
 void

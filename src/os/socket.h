@@ -64,6 +64,13 @@ struct Message
      * opts into deadline propagation.
      */
     sim::Time deadline = 0;
+    /**
+     * Request priority stamped by the client's endpoint class and
+     * propagated downstream like the deadline; 0 (the default and
+     * lowest) sheds first under graduated priority admission. Only
+     * honored by services whose OverloadSpec sets priorityLevels > 1.
+     */
+    std::uint8_t priority = 0;
     /** Client-side completion hook (used by load generators). */
     std::function<void(const Message &)> onResponse;
 };

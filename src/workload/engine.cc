@@ -15,6 +15,11 @@ WorkloadEngine::WorkloadEngine(app::Deployment &dep,
 {
     if (spec_.classes.empty())
         spec_.classes.push_back(EndpointClass{});
+    if (spec_.retry.budgetRatio > 0) {
+        retryBudget_.configure(spec_.retry.budgetRatio,
+                               spec_.retry.budgetInitial,
+                               spec_.retry.budgetCap);
+    }
     for (std::size_t i = 0; i < spec_.classes.size(); ++i)
         classPick_.add(static_cast<std::int64_t>(i),
                        spec_.classes[i].weight);
@@ -279,7 +284,19 @@ WorkloadEngine::sendCall(std::uint64_t sessionId)
         : static_cast<std::uint32_t>(rng_.uniformInt(
               static_cast<std::int64_t>(ec.reqBytesMin),
               static_cast<std::int64_t>(ec.reqBytesMax)));
+    retryBudget_.onFresh();
+    sendAttempt(sessionId, cls, bytes, /*attempt=*/1);
+}
 
+void
+WorkloadEngine::sendAttempt(std::uint64_t sessionId,
+                            std::uint32_t cls, std::uint32_t bytes,
+                            unsigned attempt)
+{
+    Session *s = sessions_.find(sessionId);
+    if (s == nullptr)
+        return;
+    const EndpointClass &ec = spec_.classes[cls];
     const std::size_t connIdx = s->conn;
     Conn &conn = conns_[connIdx];
 
@@ -294,11 +311,14 @@ WorkloadEngine::sendCall(std::uint64_t sessionId)
     req.sendTime = dep_.events().now();
     if (spec_.propagateDeadline && spec_.timeout > 0)
         req.deadline = req.sendTime + spec_.timeout;
+    req.priority = ec.priority;
 
     Pending p;
     p.session = sessionId;
     p.cls = cls;
     p.sendTime = req.sendTime;
+    p.attempt = attempt;
+    p.bytes = bytes;
     const std::uint64_t tag = req.tag;
     if (spec_.timeout > 0) {
         p.timer = dep_.events().scheduleAfter(
@@ -312,6 +332,41 @@ WorkloadEngine::sendCall(std::uint64_t sessionId)
     if (req.sendTime >= measureStart_)
         ++cs.mSent;
     dep_.network().send(*conn.client, std::move(req));
+}
+
+bool
+WorkloadEngine::maybeRetry(const Pending &p, bool fromShed)
+{
+    if (spec_.retry.maxAttempts <= 1 ||
+        p.attempt >= spec_.retry.maxAttempts)
+        return false;
+    if (fromShed && !spec_.retry.retryOnShed)
+        return false;
+    if (!running_ || sessions_.find(p.session) == nullptr)
+        return false;
+    // The budget token is withdrawn only once every cheaper gate has
+    // passed, so a disabled-retry config never touches the bucket.
+    if (!retryBudget_.allowWithdraw()) {
+        ++retriesSuppressed_;
+        return false;
+    }
+    ++retriesSent_;
+    dep_.events().scheduleAfter(
+        std::max<sim::Time>(1, spec_.retry.backoff),
+        [this, sessionId = p.session, cls = p.cls, bytes = p.bytes,
+         attempt = p.attempt + 1] {
+            if (sessions_.find(sessionId) == nullptr)
+                return;
+            if (!running_) {
+                // Engine stopped during the backoff: the call ends
+                // here (every attempt already settled) and the
+                // session logs out through the normal path.
+                continueSession(sessionId);
+                return;
+            }
+            sendAttempt(sessionId, cls, bytes, attempt);
+        });
+    return true;
 }
 
 void
@@ -375,6 +430,8 @@ WorkloadEngine::onResponse(std::size_t connIdx,
         now > resp.sendTime ? now - resp.sendTime : 0;
     latency_.record(lat);
     settleCall(p, ok, lat, /*wasTimeout=*/false);
+    if (resp.status == os::MsgStatus::Shed && maybeRetry(p, true))
+        return; // the retry attempt carries the session forward
     continueSession(p.session);
 }
 
@@ -399,6 +456,8 @@ WorkloadEngine::onTimeout(std::size_t connIdx, std::uint64_t tag)
         ++cancelsSent_;
         dep_.network().send(*conn.client, std::move(cancel));
     }
+    if (maybeRetry(p, false))
+        return; // the retry attempt carries the session forward
     continueSession(p.session);
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "app/deployment.h"
+#include "app/overload.h"
 #include "app/service.h"
 #include "os/socket.h"
 #include "sim/distributions.h"
@@ -49,6 +50,39 @@ struct EndpointClass
     std::uint32_t reqBytesMin = 64;
     std::uint32_t reqBytesMax = 64;
     SloSpec slo;
+    /**
+     * Priority stamped on every call of this class (0 = lowest,
+     * sheds first) and propagated downstream by services hop by hop.
+     * Only consulted by services whose OverloadSpec grades admission
+     * by priority.
+     */
+    std::uint8_t priority = 0;
+};
+
+/**
+ * Client-side retry policy: failed calls (timeouts and, optionally,
+ * shed responses) are re-sent after a fixed deterministic backoff,
+ * bounded by an app::RetryBudget token bucket. Every attempt is its
+ * own sent/settled call, so the engine's conservation contract is
+ * untouched. Defaults disable retries entirely.
+ */
+struct ClientRetrySpec
+{
+    /** Total attempts per logical call including the first. */
+    unsigned maxAttempts = 1;
+    /** Fixed pause before a retry (no jitter: determinism). */
+    sim::Time backoff = sim::microseconds(500);
+    /** Also retry calls answered with MsgStatus::Shed. */
+    bool retryOnShed = true;
+    /**
+     * Retry-budget token ratio: fresh calls deposit this many tokens,
+     * each retry withdraws one (retries <= ~ratio x fresh traffic).
+     * 0 disables the budget -- retries are then unbounded, which is
+     * exactly the configuration that goes metastable (bench_overload).
+     */
+    double budgetRatio = 0.0;
+    double budgetInitial = 10.0;
+    double budgetCap = 100.0;
 };
 
 /** Shape of an individual user session. */
@@ -82,6 +116,8 @@ struct WorkloadSpec
     sim::Time timeout = 0;
     bool propagateDeadline = false;
     bool cancelOnTimeout = false;
+    /** Client-side retries + retry budget (off by default). */
+    ClientRetrySpec retry;
     /**
      * Record one `workload` span per sampled session on the Jaeger
      * path, with every call in the session sharing the session's
@@ -131,6 +167,16 @@ class WorkloadEngine
     std::uint64_t lateResponses() const { return lateResponses_; }
     std::uint64_t cancelsSent() const { return cancelsSent_; }
 
+    // ---- client retry accounting ------------------------------------
+    // Every retry is a fresh sent() call, so the conservation
+    // contract above is untouched by retries.
+    std::uint64_t retriesSent() const { return retriesSent_; }
+    std::uint64_t retriesSuppressed() const
+    {
+        return retriesSuppressed_;
+    }
+    double retryTokens() const { return retryBudget_.tokens(); }
+
     /** Calls currently awaiting a response or timeout. */
     std::uint64_t inFlight() const;
 
@@ -178,6 +224,10 @@ class WorkloadEngine
         /** Send instant; settles count toward the measured window
          *  only when they were also sent inside it. */
         sim::Time sendTime = 0;
+        /** Attempt number of this send (1 = first). */
+        unsigned attempt = 1;
+        /** Request bytes, reused verbatim by a retry (no redraw). */
+        std::uint32_t bytes = 64;
     };
 
     struct Conn
@@ -233,6 +283,9 @@ class WorkloadEngine
     std::uint64_t timedOut_ = 0;
     std::uint64_t lateResponses_ = 0;
     std::uint64_t cancelsSent_ = 0;
+    std::uint64_t retriesSent_ = 0;
+    std::uint64_t retriesSuppressed_ = 0;
+    app::RetryBudget retryBudget_;
     std::uint64_t sessionsStarted_ = 0;
     std::uint64_t sessionsFinished_ = 0;
     std::uint64_t nextSession_ = 1;
@@ -247,6 +300,14 @@ class WorkloadEngine
     void startSession();
     void scheduleNextCall(std::uint64_t sessionId);
     void sendCall(std::uint64_t sessionId);
+    void sendAttempt(std::uint64_t sessionId, std::uint32_t cls,
+                     std::uint32_t bytes, unsigned attempt);
+    /**
+     * Schedule a retry of the failed attempt `p` when the retry spec,
+     * attempt count, and budget all allow it. @retval false the call
+     * is final -- the caller must continueSession.
+     */
+    bool maybeRetry(const Pending &p, bool fromShed);
     void onResponse(std::size_t connIdx, const os::Message &resp);
     void onTimeout(std::size_t connIdx, std::uint64_t tag);
     void settleCall(const Pending &p, bool ok, sim::Time latencyNs,

@@ -41,13 +41,15 @@ double
 kneePointRate(const std::vector<std::pair<double, double>> &sweep,
               double tolerance)
 {
+    bool sawOffered = false;
     for (const auto &[offered, goodput] : sweep) {
         if (offered <= 0)
             continue;
+        sawOffered = true;
         if (goodput < offered * (1.0 - tolerance))
             return offered;
     }
-    return 0.0;
+    return sawOffered ? kKneeNone : kKneeEmptySweep;
 }
 
 namespace {
@@ -138,6 +140,23 @@ registerEngineMetrics(obs::MetricsRegistry &registry,
                             return static_cast<double>(
                                 engine.activeSessions());
                         });
+    // Client-side retry series, present only when retries are armed
+    // (ClientRetrySpec::maxAttempts > 1) so default engines register
+    // an unchanged set.
+    if (engine.spec().retry.maxAttempts > 1) {
+        registry.addCounterFn(
+            "ditto_client_retries_sent_total", labels,
+            "Retry attempts issued by the client",
+            [&engine] { return engine.retriesSent(); });
+        registry.addCounterFn(
+            "ditto_client_retries_suppressed_total", labels,
+            "Retries suppressed by the exhausted client budget",
+            [&engine] { return engine.retriesSuppressed(); });
+        registry.addGaugeFn(
+            "ditto_client_retry_tokens", labels,
+            "Client retry-budget tokens available",
+            [&engine] { return engine.retryTokens(); });
+    }
     for (std::size_t i = 0; i < engine.classCount(); ++i) {
         const obs::MetricsRegistry::Labels classLabels = {
             {"class", engine.classSpec(i).name}, {"client", client}};

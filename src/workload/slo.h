@@ -76,11 +76,24 @@ struct SloReport
 };
 
 /**
+ * kneePointRate sentinels. Both are negative so `rate > 0` still
+ * means "a knee was observed at this offered rate", but "goodput
+ * tracked offered through the whole sweep" and "there was nothing to
+ * analyze" are no longer conflated (they used to both return 0).
+ */
+/** Goodput tracked offered load through the maximum offered rate. */
+inline constexpr double kKneeNone = -1.0;
+/** The sweep was empty (or held no positive offered rate). */
+inline constexpr double kKneeEmptySweep = -2.0;
+
+/**
  * Knee point of a load sweep: the first offered rate where goodput
  * falls short of the offered load by more than `tolerance`
  * (fractional). `sweep` holds (offeredQps, goodputQps) pairs in
- * ascending offered order. Returns 0 when goodput tracks offered
- * across the whole sweep (no knee observed).
+ * ascending offered order. Returns kKneeNone when goodput tracks
+ * offered across the whole sweep (no knee at or below the max
+ * offered rate) and kKneeEmptySweep when no entry has a positive
+ * offered rate.
  */
 double kneePointRate(
     const std::vector<std::pair<double, double>> &sweep,

@@ -92,6 +92,45 @@ TEST(ChaosSmoke, LifecycleMechanismsExercised)
     EXPECT_GT(total.rpcCancelled + total.requestsCancelled, 0u);
 }
 
+TEST(ChaosSmoke, OverloadCampaignHoldsEveryInvariant)
+{
+    // Adaptive limits, sojourn/deadline shedding, brownout, and
+    // retry budgets armed on every service (plus budgeted client
+    // retries via sessions): the same conservation invariants must
+    // hold with the new shed/skip causes in the mix.
+    chaos::ChaosConfig cfg = smallConfig();
+    cfg.overload = true;
+    cfg.sessions = true;
+    cfg.runFor = sim::milliseconds(20);
+    cfg.drain = sim::milliseconds(20);
+    const chaos::ChaosReport report = chaos::runChaos(cfg, 4);
+    chaos::OutcomeMix total;
+    for (const chaos::PlanReport &p : report.plans) {
+        EXPECT_TRUE(p.result.ok())
+            << "plan seed " << p.planSeed << " violated: "
+            << (p.result.violations.empty()
+                    ? ""
+                    : p.result.violations.front());
+        total += p.result.mix;
+    }
+    EXPECT_EQ(report.violating(), 0u);
+    EXPECT_GT(total.clientSent, 0u);
+}
+
+TEST(ChaosSmoke, OverloadOffKeepsPlanSequence)
+{
+    // The overload switch must not perturb plan sampling: the same
+    // seed yields byte-identical fault plans with and without it.
+    const chaos::ChaosConfig off = smallConfig();
+    chaos::ChaosConfig on = smallConfig();
+    on.overload = true;
+    for (std::uint64_t s : {1ull, 7ull, 42ull}) {
+        EXPECT_EQ(
+            chaos::formatFaultPlan(chaos::generateRandomPlan(off, s)),
+            chaos::formatFaultPlan(chaos::generateRandomPlan(on, s)));
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Determinism
 // ---------------------------------------------------------------------------

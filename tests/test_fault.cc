@@ -154,6 +154,86 @@ TEST(CircuitBreaker, HalfOpenProbeFailureReopens)
     EXPECT_TRUE(cb.allowRequest(sim::milliseconds(20)));
 }
 
+// With halfOpenProbes == 2, exactly two concurrent probes are
+// admitted; the first success closes the breaker and the second
+// probe's result is harmless (no double-close side effects).
+TEST(CircuitBreaker, HalfOpenConcurrentProbesCloseOnce)
+{
+    app::CircuitBreakerPolicy policy = testBreakerPolicy();
+    policy.halfOpenProbes = 2;
+    app::CircuitBreaker cb(policy);
+    for (int i = 0; i < 3; ++i)
+        cb.onFailure(0);
+    ASSERT_EQ(cb.state(), app::CircuitBreaker::State::Open);
+
+    const sim::Time probeAt = sim::milliseconds(10);
+    ASSERT_TRUE(cb.allowRequest(probeAt));   // probe A
+    EXPECT_EQ(cb.state(), app::CircuitBreaker::State::HalfOpen);
+    ASSERT_TRUE(cb.allowRequest(probeAt));   // probe B
+    EXPECT_FALSE(cb.allowRequest(probeAt));  // accounting caps at 2
+
+    cb.onSuccess();  // probe A settles first: closed
+    EXPECT_EQ(cb.state(), app::CircuitBreaker::State::Closed);
+    cb.onSuccess();  // probe B lands on a closed breaker: no-op+
+    EXPECT_EQ(cb.state(), app::CircuitBreaker::State::Closed);
+    EXPECT_EQ(cb.timesOpened(), 1u);
+    // The late success must not have corrupted the failure streak:
+    // the full threshold is still required to re-trip.
+    cb.onFailure(probeAt);
+    cb.onFailure(probeAt);
+    EXPECT_EQ(cb.state(), app::CircuitBreaker::State::Closed);
+    cb.onFailure(probeAt);
+    EXPECT_EQ(cb.state(), app::CircuitBreaker::State::Open);
+    EXPECT_EQ(cb.timesOpened(), 2u);
+}
+
+// The first failed probe re-trips the breaker; the second concurrent
+// probe's failure lands in Open state and must be a no-op -- no
+// double-trip (timesOpened once) and no open-window extension.
+TEST(CircuitBreaker, HalfOpenConcurrentProbesTripOnce)
+{
+    app::CircuitBreakerPolicy policy = testBreakerPolicy();
+    policy.halfOpenProbes = 2;
+    app::CircuitBreaker cb(policy);
+    for (int i = 0; i < 3; ++i)
+        cb.onFailure(0);
+    ASSERT_EQ(cb.timesOpened(), 1u);
+
+    const sim::Time probeAt = sim::milliseconds(10);
+    ASSERT_TRUE(cb.allowRequest(probeAt));
+    ASSERT_TRUE(cb.allowRequest(probeAt));
+    cb.onFailure(probeAt);  // probe A fails: back to Open
+    EXPECT_EQ(cb.state(), app::CircuitBreaker::State::Open);
+    EXPECT_EQ(cb.timesOpened(), 2u);
+    cb.onFailure(probeAt + sim::milliseconds(5));  // probe B, late
+    EXPECT_EQ(cb.timesOpened(), 2u);  // no double-trip
+    // The open window still expires at probeAt + openDuration -- the
+    // late failure did not extend it.
+    EXPECT_FALSE(cb.allowRequest(probeAt + sim::milliseconds(9)));
+    EXPECT_TRUE(cb.allowRequest(probeAt + sim::milliseconds(10)));
+}
+
+// A probe failure followed by the other probe's *success* must not
+// shortcut the fresh open window: the stale success is ignored.
+TEST(CircuitBreaker, HalfOpenStaleSuccessDoesNotReclose)
+{
+    app::CircuitBreakerPolicy policy = testBreakerPolicy();
+    policy.halfOpenProbes = 2;
+    app::CircuitBreaker cb(policy);
+    for (int i = 0; i < 3; ++i)
+        cb.onFailure(0);
+
+    const sim::Time probeAt = sim::milliseconds(10);
+    ASSERT_TRUE(cb.allowRequest(probeAt));
+    ASSERT_TRUE(cb.allowRequest(probeAt));
+    cb.onFailure(probeAt);  // probe A: re-trip
+    ASSERT_EQ(cb.state(), app::CircuitBreaker::State::Open);
+    cb.onSuccess();         // probe B settles Ok after the re-trip
+    EXPECT_EQ(cb.state(), app::CircuitBreaker::State::Open);
+    EXPECT_FALSE(cb.allowRequest(probeAt + sim::milliseconds(9)));
+    EXPECT_TRUE(cb.allowRequest(probeAt + sim::milliseconds(10)));
+}
+
 // ---------------------------------------------------------------------------
 // Shared two-tier world
 // ---------------------------------------------------------------------------

@@ -1,0 +1,725 @@
+/**
+ * @file
+ * Overload-control tests: AIMD limiter math, retry-budget token
+ * bucket, admission causes (sojourn / doomed deadline / concurrency
+ * limit), graduated priority shedding, brownout edge skipping,
+ * server- and client-side retry budgets, conservation of the new
+ * shed/skip causes, and determinism of an armed configuration.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "app/deployment.h"
+#include "app/overload.h"
+#include "hw/block_builder.h"
+#include "hw/platform.h"
+#include "obs/metrics.h"
+#include "obs/register.h"
+#include "trace/tracer.h"
+#include "workload/engine.h"
+#include "workload/loadgen.h"
+#include "workload/slo.h"
+
+namespace {
+
+using namespace ditto;
+
+// ---------------------------------------------------------------------------
+// OverloadController unit tests
+// ---------------------------------------------------------------------------
+
+app::OverloadSpec
+limiterSpec()
+{
+    app::OverloadSpec ov;
+    ov.enabled = true;
+    ov.minLimit = 4;
+    ov.maxLimit = 128;
+    ov.initialLimit = 16;
+    ov.window = 4;
+    ov.latencyRatio = 2.0;
+    ov.decrease = 0.5;
+    ov.increase = 2;
+    ov.baselineAlpha = 0.5;
+    return ov;
+}
+
+/** Feed one full window of identical latencies. */
+void
+feedWindow(app::OverloadController &ov, sim::Time latency,
+           unsigned window = 4)
+{
+    for (unsigned i = 0; i < window; ++i)
+        ov.onRequestDone(latency);
+}
+
+TEST(OverloadLimiter, FirstWindowSeedsBaseline)
+{
+    app::OverloadController ov(limiterSpec());
+    EXPECT_EQ(ov.baselineNs(), 0.0);
+    EXPECT_EQ(ov.currentLimit(), 16u);
+    feedWindow(ov, sim::milliseconds(1));
+    EXPECT_DOUBLE_EQ(ov.baselineNs(),
+                     static_cast<double>(sim::milliseconds(1)));
+    // The seeding window neither grows nor shrinks the limit.
+    EXPECT_EQ(ov.currentLimit(), 16u);
+}
+
+TEST(OverloadLimiter, GrowsAdditivelyWhileUncongested)
+{
+    app::OverloadController ov(limiterSpec());
+    feedWindow(ov, sim::milliseconds(1));  // seed
+    feedWindow(ov, sim::milliseconds(1));
+    EXPECT_EQ(ov.currentLimit(), 18u);
+    feedWindow(ov, sim::milliseconds(1));
+    EXPECT_EQ(ov.currentLimit(), 20u);
+    EXPECT_EQ(ov.uncongestedWindows(), 2u);
+    EXPECT_FALSE(ov.brownoutActive());
+}
+
+TEST(OverloadLimiter, ShrinksMultiplicativelyOnCongestion)
+{
+    app::OverloadController ov(limiterSpec());
+    feedWindow(ov, sim::milliseconds(1));  // baseline = 1ms
+    feedWindow(ov, sim::milliseconds(3));  // 3x baseline > ratio 2x
+    EXPECT_EQ(ov.currentLimit(), 8u);      // 16 * 0.5
+    EXPECT_EQ(ov.congestedWindows(), 1u);
+    EXPECT_TRUE(ov.brownoutActive());
+    // A congested window must NOT creep the baseline upward --
+    // otherwise sustained overload would look normal.
+    EXPECT_DOUBLE_EQ(ov.baselineNs(),
+                     static_cast<double>(sim::milliseconds(1)));
+    // Recovery: an uncongested window grows again and folds into the
+    // baseline by EWMA.
+    feedWindow(ov, sim::milliseconds(1));
+    EXPECT_EQ(ov.currentLimit(), 10u);
+    EXPECT_FALSE(ov.brownoutActive());
+}
+
+TEST(OverloadLimiter, LimitClampsToFloorAndCeiling)
+{
+    app::OverloadSpec spec = limiterSpec();
+    spec.minLimit = 6;
+    spec.maxLimit = 20;
+    app::OverloadController ov(spec);
+    feedWindow(ov, sim::milliseconds(1));
+    for (int i = 0; i < 10; ++i)
+        feedWindow(ov, sim::milliseconds(10));
+    EXPECT_EQ(ov.currentLimit(), 6u);  // floor holds
+    for (int i = 0; i < 50; ++i)
+        feedWindow(ov, sim::milliseconds(1));
+    EXPECT_EQ(ov.currentLimit(), 20u);  // ceiling holds
+}
+
+TEST(OverloadLimiter, AdmissionCauses)
+{
+    app::OverloadSpec spec = limiterSpec();
+    spec.maxSojourn = sim::microseconds(100);
+    spec.deadlineAware = true;
+    app::OverloadController ov(spec);
+
+    // Sojourn: queued longer than maxSojourn -> shed at dequeue.
+    EXPECT_STREQ(ov.admit(sim::microseconds(200), /*sendTime=*/0,
+                          /*deadline=*/0, 0, 0),
+                 "sojourn");
+    EXPECT_EQ(ov.sojournSheds(), 1u);
+    EXPECT_EQ(ov.admit(sim::microseconds(50), 0, 0, 0, 0), nullptr);
+
+    // Doomed deadline: remaining budget below the latency baseline.
+    feedWindow(ov, sim::milliseconds(2));  // baseline = 2ms
+    EXPECT_STREQ(ov.admit(sim::milliseconds(10), sim::milliseconds(10),
+                          sim::milliseconds(11), 0, 0),
+                 "deadline_unreachable");
+    EXPECT_EQ(ov.deadlineSheds(), 1u);
+    EXPECT_EQ(ov.admit(sim::milliseconds(10), sim::milliseconds(10),
+                       sim::milliseconds(13), 0, 0),
+              nullptr);
+    // No propagated deadline (0) never triggers the check.
+    EXPECT_EQ(ov.admit(sim::milliseconds(10), sim::milliseconds(10),
+                       0, 0, 0),
+              nullptr);
+
+    // Concurrency limit: outstanding at/above the limit sheds.
+    EXPECT_STREQ(ov.admit(0, 0, 0, 0, /*outstanding=*/16),
+                 "concurrency_limit");
+    EXPECT_EQ(ov.limitSheds(), 1u);
+    EXPECT_EQ(ov.admit(0, 0, 0, 0, 15), nullptr);
+}
+
+TEST(OverloadLimiter, PriorityGraduatesTheLimit)
+{
+    app::OverloadSpec spec = limiterSpec();
+    spec.priorityLevels = 4;
+    app::OverloadController ov(spec);  // limit 16
+    EXPECT_EQ(ov.limitFor(0), 4u);
+    EXPECT_EQ(ov.limitFor(1), 8u);
+    EXPECT_EQ(ov.limitFor(2), 12u);
+    EXPECT_EQ(ov.limitFor(3), 16u);
+    // Priorities past the top level clamp to the full limit.
+    EXPECT_EQ(ov.limitFor(9), 16u);
+    // Lowest class sheds at 1/4 of the limit; highest still admits.
+    EXPECT_STREQ(ov.admit(0, 0, 0, /*priority=*/0, 4),
+                 "concurrency_limit");
+    EXPECT_EQ(ov.admit(0, 0, 0, /*priority=*/3, 4), nullptr);
+}
+
+TEST(OverloadLimiter, PriorityLevelsOneIsUngraded)
+{
+    app::OverloadController ov(limiterSpec());
+    EXPECT_EQ(ov.limitFor(0), 16u);
+    EXPECT_EQ(ov.limitFor(255), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// RetryBudget unit tests
+// ---------------------------------------------------------------------------
+
+TEST(RetryBudget, DisabledAlwaysGrantsStateFree)
+{
+    app::RetryBudget budget;
+    EXPECT_FALSE(budget.enabled());
+    for (int i = 0; i < 100; ++i) {
+        budget.onFresh();
+        EXPECT_TRUE(budget.allowWithdraw());
+    }
+    EXPECT_EQ(budget.tokens(), 0.0);
+    EXPECT_EQ(budget.withdrawals(), 0u);
+    EXPECT_EQ(budget.suppressed(), 0u);
+}
+
+TEST(RetryBudget, InitialAllowanceThenRatioBound)
+{
+    app::RetryBudget budget;
+    budget.configure(/*ratio=*/0.1, /*initial=*/2, /*cap=*/10);
+    EXPECT_TRUE(budget.enabled());
+    // The initial allowance burns off first.
+    EXPECT_TRUE(budget.allowWithdraw());
+    EXPECT_TRUE(budget.allowWithdraw());
+    EXPECT_FALSE(budget.allowWithdraw());
+    EXPECT_EQ(budget.suppressed(), 1u);
+    // ~10 fresh calls deposit one retry token (15 here: the sum of
+    // fifteen 0.1 deposits is safely past 1.0 in floating point).
+    for (int i = 0; i < 15; ++i)
+        budget.onFresh();
+    EXPECT_TRUE(budget.allowWithdraw());
+    EXPECT_FALSE(budget.allowWithdraw());
+    EXPECT_EQ(budget.withdrawals(), 3u);
+    EXPECT_EQ(budget.suppressed(), 2u);
+}
+
+TEST(RetryBudget, TokensCapAtConfiguredCeiling)
+{
+    app::RetryBudget budget;
+    budget.configure(1.0, 0, /*cap=*/3);
+    for (int i = 0; i < 100; ++i)
+        budget.onFresh();
+    EXPECT_DOUBLE_EQ(budget.tokens(), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: single service under an external client
+// ---------------------------------------------------------------------------
+
+app::ServiceSpec
+slowService(const app::OverloadSpec &ov)
+{
+    app::ServiceSpec spec;
+    spec.name = "api";
+    spec.threads.workers = 2;
+    hw::BlockSpec bs;
+    bs.label = "api.h";
+    bs.instCount = 64;
+    bs.seed = 5;
+    spec.blocks.push_back(hw::buildBlock(bs));
+    app::EndpointSpec ep;
+    ep.name = "get";
+    ep.handler.ops = {app::opSleep(sim::microseconds(500))};
+    ep.responseBytesMin = ep.responseBytesMax = 128;
+    spec.endpoints.push_back(ep);
+    spec.resilience.overload = ov;
+    return spec;
+}
+
+workload::LoadSpec
+openLoop(double qps, sim::Time timeout = sim::milliseconds(20))
+{
+    workload::LoadSpec load;
+    load.qps = qps;
+    load.connections = 8;
+    load.openLoop = true;
+    load.timeout = timeout;
+    return load;
+}
+
+TEST(OverloadService, ConcurrencyLimitShedsAndConserves)
+{
+    // Pin the limit (min == max == initial) well under what 4x
+    // overload needs, so admission sheds deterministically.
+    app::OverloadSpec ov;
+    ov.enabled = true;
+    ov.minLimit = ov.maxLimit = ov.initialLimit = 4;
+    app::Deployment dep(91);
+    os::Machine &m = dep.addMachine("n", hw::platformA());
+    app::ServiceInstance &svc = dep.deploy(slowService(ov), m);
+    dep.wireAll();
+    workload::LoadGen gen(dep, svc, openLoop(16000), 7);
+    gen.start();
+    dep.runFor(sim::milliseconds(60));
+    gen.stop();
+    dep.runFor(sim::milliseconds(40));  // drain
+
+    ASSERT_NE(svc.overload(), nullptr);
+    EXPECT_GT(svc.overload()->limitSheds(), 0u);
+    EXPECT_EQ(svc.stats().requestsShed, svc.overload()->limitSheds());
+    // Tracer books agree with the stats books.
+    EXPECT_EQ(dep.tracer().outcomeCount(
+                  trace::OutcomeKind::RequestShed),
+              svc.stats().requestsShed);
+    // Client conservation: every sent call settled exactly once.
+    EXPECT_EQ(gen.sent(),
+              gen.completedOk() + gen.completedError() +
+                  gen.completedShed() + gen.timedOut());
+    EXPECT_GT(gen.completedShed(), 0u);
+    EXPECT_GT(gen.completedOk(), 0u);
+}
+
+TEST(OverloadService, SojournCapShedsStaleQueue)
+{
+    // Limiter off; only the CoDel-style sojourn cap is armed
+    // (OverloadSpec::any() via maxSojourn).
+    app::OverloadSpec ov;
+    ov.maxSojourn = sim::microseconds(400);
+    app::Deployment dep(92);
+    os::Machine &m = dep.addMachine("n", hw::platformA());
+    app::ServiceInstance &svc = dep.deploy(slowService(ov), m);
+    dep.wireAll();
+    workload::LoadGen gen(dep, svc, openLoop(16000), 7);
+    gen.start();
+    dep.runFor(sim::milliseconds(60));
+    gen.stop();
+    dep.runFor(sim::milliseconds(40));
+
+    ASSERT_NE(svc.overload(), nullptr);
+    EXPECT_GT(svc.overload()->sojournSheds(), 0u);
+    EXPECT_EQ(svc.overload()->limitSheds(), 0u);
+    EXPECT_EQ(svc.stats().requestsShed,
+              svc.overload()->sojournSheds());
+    EXPECT_EQ(gen.sent(),
+              gen.completedOk() + gen.completedError() +
+                  gen.completedShed() + gen.timedOut());
+}
+
+// ---------------------------------------------------------------------------
+// Integration: priority shedding via the workload engine
+// ---------------------------------------------------------------------------
+
+TEST(OverloadService, LowPriorityShedsFirst)
+{
+    app::OverloadSpec ov;
+    ov.enabled = true;
+    ov.minLimit = ov.maxLimit = ov.initialLimit = 4;
+    ov.priorityLevels = 2;  // p0 -> limit 2, p1 -> limit 4
+    app::Deployment dep(93);
+    os::Machine &m = dep.addMachine("n", hw::platformA());
+    app::ServiceInstance &svc = dep.deploy(slowService(ov), m);
+    dep.wireAll();
+
+    workload::WorkloadSpec ws;
+    ws.sessionsPerSec = 12000 / 6.5;  // ~3x the 4k qps capacity
+    ws.connections = 16;
+    ws.session.meanThink = sim::microseconds(200);
+    ws.timeout = sim::milliseconds(20);
+    workload::EndpointClass batch;
+    batch.name = "batch";
+    batch.endpoint = 0;
+    batch.weight = 0.5;
+    batch.priority = 0;
+    workload::EndpointClass user;
+    user.name = "user";
+    user.endpoint = 0;
+    user.weight = 0.5;
+    user.priority = 1;
+    user.slo.deadline = batch.slo.deadline = sim::milliseconds(20);
+    ws.classes = {batch, user};
+    workload::WorkloadEngine eng(dep, svc, ws, 17);
+    eng.start();
+    dep.runFor(sim::milliseconds(80));
+    eng.stop();
+    dep.runFor(sim::milliseconds(40));
+
+    // Both classes offered comparable load; the low-priority class
+    // must have shed (failed) at a clearly higher rate.
+    ASSERT_GT(eng.classSent(0), 100u);
+    ASSERT_GT(eng.classSent(1), 100u);
+    const double okFrac0 = static_cast<double>(
+                               eng.classOkInDeadline(0)) /
+                           static_cast<double>(eng.classSent(0));
+    const double okFrac1 = static_cast<double>(
+                               eng.classOkInDeadline(1)) /
+                           static_cast<double>(eng.classSent(1));
+    EXPECT_GT(okFrac1, okFrac0 + 0.1);
+    EXPECT_GT(svc.overload()->limitSheds(), 0u);
+    EXPECT_EQ(eng.inFlight(), 0u);
+    EXPECT_EQ(eng.sent(),
+              eng.completedOk() + eng.completedError() +
+                  eng.completedShed() + eng.timedOut());
+}
+
+// ---------------------------------------------------------------------------
+// Integration: brownout and server-side retry budget (two tiers)
+// ---------------------------------------------------------------------------
+
+app::ServiceSpec
+backendSpec(const char *name)
+{
+    app::ServiceSpec spec;
+    spec.name = name;
+    spec.threads.workers = 2;
+    hw::BlockSpec bs;
+    bs.label = std::string(name) + ".h";
+    bs.instCount = 64;
+    bs.seed = 3;
+    spec.blocks.push_back(hw::buildBlock(bs));
+    app::EndpointSpec ep;
+    ep.name = "get";
+    ep.handler.ops = {app::opCompute(0, 5)};
+    spec.endpoints.push_back(ep);
+    return spec;
+}
+
+TEST(OverloadService, BrownoutSkipsOptionalEdges)
+{
+    app::Deployment dep(94);
+    os::Machine &m = dep.addMachine("n", hw::platformA());
+    dep.deploy(backendSpec("core"), m);
+    dep.deploy(backendSpec("recs"), m);
+
+    app::ServiceSpec front;
+    front.name = "front";
+    front.threads.workers = 2;
+    front.downstreams = {"core", "recs"};
+    hw::BlockSpec bs;
+    bs.label = "front.h";
+    bs.instCount = 64;
+    bs.seed = 4;
+    front.blocks.push_back(hw::buildBlock(bs));
+    app::EndpointSpec ep;
+    ep.name = "page";
+    app::Op fanout = app::opRpcFanout(
+        {{/*target=*/0, 0, 128, 256, /*optional=*/false},
+         {/*target=*/1, 0, 128, 256, /*optional=*/true}});
+    ep.handler.ops = {app::opSleep(sim::microseconds(300)), fanout};
+    front.endpoints.push_back(ep);
+    front.clientModel = app::ClientModel::Async;
+    front.resilience.rpcDeadline = sim::milliseconds(5);
+    // latencyRatio < 1 makes every window after the first congested
+    // by construction: a deterministic brownout forcer.
+    front.resilience.overload.enabled = true;
+    front.resilience.overload.latencyRatio = 0.5;
+    front.resilience.overload.window = 8;
+    front.resilience.overload.maxLimit = 4096;
+    front.resilience.overload.initialLimit = 4096;
+    front.resilience.overload.brownout = true;
+
+    app::ServiceInstance &svc = dep.deploy(front, m);
+    dep.wireAll();
+    workload::LoadGen gen(dep, svc, openLoop(4000), 7);
+    gen.start();
+    dep.runFor(sim::milliseconds(60));
+    gen.stop();
+    dep.runFor(sim::milliseconds(40));
+
+    // Brownout engaged: optional edges skipped, counted as cancelled
+    // RPCs for conservation, and the response NOT degraded.
+    EXPECT_GT(svc.stats().rpcBrownoutSkipped, 0u);
+    EXPECT_EQ(svc.stats().rpcCallsStarted,
+              svc.stats().rpcOk + svc.stats().rpcTimeouts +
+                  svc.stats().rpcBreakerFastFails +
+                  svc.stats().rpcCancelled);
+    EXPECT_GE(svc.stats().rpcCancelled,
+              svc.stats().rpcBrownoutSkipped);
+    EXPECT_GT(gen.completedOk(), 0u);
+    EXPECT_EQ(gen.completedError(), 0u);
+    // The mandatory edge kept being called even in brownout.
+    EXPECT_GT(dep.find("core")->stats().requests,
+              dep.find("recs")->stats().requests);
+    EXPECT_EQ(gen.sent(),
+              gen.completedOk() + gen.completedError() +
+                  gen.completedShed() + gen.timedOut());
+}
+
+TEST(OverloadService, ServerRetryBudgetStopsRetryAmplification)
+{
+    app::Deployment dep(95);
+    os::Machine &m = dep.addMachine("n", hw::platformA());
+    dep.deploy(backendSpec("back"), m);
+
+    app::ServiceSpec front;
+    front.name = "front";
+    front.threads.workers = 2;
+    front.downstreams = {"back"};
+    hw::BlockSpec bs;
+    bs.label = "front.h";
+    bs.instCount = 64;
+    bs.seed = 4;
+    front.blocks.push_back(hw::buildBlock(bs));
+    app::EndpointSpec ep;
+    ep.name = "page";
+    ep.handler.ops = {app::opRpc(0, 0, 128, 256)};
+    front.endpoints.push_back(ep);
+    // An impossible RPC deadline: every call times out and wants a
+    // retry; the budget must bound the retry wave near 10% of fresh.
+    front.resilience.rpcDeadline = sim::microseconds(2);
+    front.resilience.retry.maxAttempts = 3;
+    front.resilience.retry.baseBackoff = sim::microseconds(50);
+    front.resilience.retry.budgetRatio = 0.1;
+    front.resilience.retry.budgetInitial = 5;
+
+    app::ServiceInstance &svc = dep.deploy(front, m);
+    dep.wireAll();
+    workload::LoadGen gen(dep, svc, openLoop(2000), 7);
+    gen.start();
+    dep.runFor(sim::milliseconds(60));
+    gen.stop();
+    dep.runFor(sim::milliseconds(40));
+
+    const app::ServiceStats &s = svc.stats();
+    EXPECT_GT(s.rpcRetriesSuppressed, 0u);
+    EXPECT_GT(s.rpcRetries, 0u);
+    // Retries bounded by budget: ~0.1 x fresh + the initial
+    // allowance (fresh calls = started - retries).
+    const double fresh =
+        static_cast<double>(s.rpcCallsStarted - s.rpcRetries);
+    EXPECT_LE(static_cast<double>(s.rpcRetries),
+              0.1 * fresh + 5 + 1);
+    EXPECT_EQ(s.rpcCallsStarted,
+              s.rpcOk + s.rpcTimeouts + s.rpcBreakerFastFails +
+                  s.rpcCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: client-side retry budget (workload engine)
+// ---------------------------------------------------------------------------
+
+TEST(OverloadClient, RetryBudgetBoundsClientRetries)
+{
+    // Service sheds nearly everything (pinned tiny limit), so every
+    // call wants a retry; the client budget must keep retries near
+    // 10% of fresh traffic instead of doubling the offered load.
+    app::OverloadSpec ov;
+    ov.enabled = true;
+    ov.minLimit = ov.maxLimit = ov.initialLimit = 2;
+    app::Deployment dep(96);
+    os::Machine &m = dep.addMachine("n", hw::platformA());
+    app::ServiceInstance &svc = dep.deploy(slowService(ov), m);
+    dep.wireAll();
+
+    workload::WorkloadSpec ws;
+    ws.sessionsPerSec = 10000 / 6.5;
+    ws.connections = 16;
+    ws.session.meanThink = sim::microseconds(200);
+    ws.timeout = sim::milliseconds(10);
+    ws.retry.maxAttempts = 2;
+    ws.retry.backoff = sim::microseconds(200);
+    ws.retry.budgetRatio = 0.1;
+    ws.retry.budgetInitial = 5;
+    workload::WorkloadEngine eng(dep, svc, ws, 27);
+    eng.start();
+    dep.runFor(sim::milliseconds(80));
+    eng.stop();
+    dep.runFor(sim::milliseconds(40));
+
+    EXPECT_GT(eng.retriesSent(), 0u);
+    EXPECT_GT(eng.retriesSuppressed(), 0u);
+    const double fresh =
+        static_cast<double>(eng.sent() - eng.retriesSent());
+    EXPECT_LE(static_cast<double>(eng.retriesSent()),
+              0.1 * fresh + 5 + 1);
+    // Conservation: retries are their own sent/settled calls.
+    EXPECT_EQ(eng.inFlight(), 0u);
+    EXPECT_EQ(eng.sent(),
+              eng.completedOk() + eng.completedError() +
+                  eng.completedShed() + eng.timedOut());
+}
+
+TEST(OverloadClient, UnbudgetedRetriesAreUnbounded)
+{
+    // The budgetRatio = 0 configuration the metastability bench
+    // exploits: every shed call earns a retry.
+    app::OverloadSpec ov;
+    ov.enabled = true;
+    ov.minLimit = ov.maxLimit = ov.initialLimit = 2;
+    app::Deployment dep(96);  // same seed as the budgeted twin
+    os::Machine &m = dep.addMachine("n", hw::platformA());
+    app::ServiceInstance &svc = dep.deploy(slowService(ov), m);
+    dep.wireAll();
+
+    workload::WorkloadSpec ws;
+    ws.sessionsPerSec = 10000 / 6.5;
+    ws.connections = 16;
+    ws.session.meanThink = sim::microseconds(200);
+    ws.timeout = sim::milliseconds(10);
+    ws.retry.maxAttempts = 2;
+    ws.retry.backoff = sim::microseconds(200);
+    workload::WorkloadEngine eng(dep, svc, ws, 27);
+    eng.start();
+    dep.runFor(sim::milliseconds(80));
+    eng.stop();
+    dep.runFor(sim::milliseconds(40));
+
+    EXPECT_GT(eng.retriesSent(), 0u);
+    EXPECT_EQ(eng.retriesSuppressed(), 0u);
+    // Far beyond any 10% budget: most failed calls retried.
+    const double fresh =
+        static_cast<double>(eng.sent() - eng.retriesSent());
+    EXPECT_GT(static_cast<double>(eng.retriesSent()), 0.3 * fresh);
+    EXPECT_EQ(eng.sent(),
+              eng.completedOk() + eng.completedError() +
+                  eng.completedShed() + eng.timedOut());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registration
+// ---------------------------------------------------------------------------
+
+TEST(OverloadMetrics, BreakerAndOverloadSeriesRegistered)
+{
+    app::Deployment dep(97);
+    os::Machine &m = dep.addMachine("n", hw::platformA());
+    dep.deploy(backendSpec("back"), m);
+
+    app::ServiceSpec front;
+    front.name = "front";
+    front.threads.workers = 2;
+    front.downstreams = {"back"};
+    hw::BlockSpec bs;
+    bs.label = "front.h";
+    bs.instCount = 64;
+    bs.seed = 4;
+    front.blocks.push_back(hw::buildBlock(bs));
+    app::EndpointSpec ep;
+    ep.name = "page";
+    ep.handler.ops = {app::opRpc(0, 0, 128, 256)};
+    front.endpoints.push_back(ep);
+    front.resilience.rpcDeadline = sim::milliseconds(2);
+    front.resilience.breaker.enabled = true;
+    front.resilience.overload.enabled = true;
+    front.resilience.retry.maxAttempts = 2;
+    front.resilience.retry.budgetRatio = 0.1;
+    app::ServiceInstance &svc = dep.deploy(front, m);
+    dep.wireAll();
+
+    obs::MetricsRegistry reg;
+    obs::registerDeploymentMetrics(reg, dep);
+    workload::LoadGen gen(dep, svc, openLoop(500), 7);
+    gen.start();
+    dep.runFor(sim::milliseconds(20));
+
+    const std::string text = reg.prometheusText();
+    EXPECT_NE(text.find("ditto_breaker_state"), std::string::npos);
+    EXPECT_NE(text.find("ditto_breaker_opened_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("ditto_overload_limit"), std::string::npos);
+    EXPECT_NE(text.find("ditto_overload_limit_sheds_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("ditto_retry_budget_tokens"),
+              std::string::npos);
+    EXPECT_EQ(reg.readGauge("ditto_breaker_state",
+                            {{"downstream", "back"},
+                             {"service", "front"}}),
+              0.0);
+    EXPECT_GT(reg.readGauge("ditto_overload_limit",
+                            {{"service", "front"}}),
+              0.0);
+
+    // The backend armed nothing: none of the new series for it.
+    EXPECT_EQ(text.find("ditto_breaker_state{downstream=\"back\","
+                        "service=\"back\"}"),
+              std::string::npos);
+}
+
+TEST(OverloadMetrics, ClientRetrySeriesGatedOnRetries)
+{
+    app::Deployment dep(98);
+    os::Machine &m = dep.addMachine("n", hw::platformA());
+    app::ServiceInstance &svc =
+        dep.deploy(slowService(app::OverloadSpec{}), m);
+    dep.wireAll();
+    workload::WorkloadSpec ws;
+    workload::WorkloadEngine plain(dep, svc, ws, 5);
+    ws.retry.maxAttempts = 2;
+    workload::WorkloadEngine retrying(dep, svc, ws, 6);
+
+    obs::MetricsRegistry reg;
+    workload::registerEngineMetrics(reg, plain, "plain");
+    const std::string before = reg.prometheusText();
+    EXPECT_EQ(before.find("ditto_client_retries_sent_total"),
+              std::string::npos);
+    workload::registerEngineMetrics(reg, retrying, "retrying");
+    const std::string after = reg.prometheusText();
+    EXPECT_NE(after.find("ditto_client_retries_sent_total"),
+              std::string::npos);
+    EXPECT_NE(after.find("ditto_client_retry_tokens"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of an armed configuration
+// ---------------------------------------------------------------------------
+
+struct RunDigest
+{
+    std::uint64_t sent, ok, shed, timedOut, sheds, retries;
+
+    bool
+    operator==(const RunDigest &o) const
+    {
+        return sent == o.sent && ok == o.ok && shed == o.shed &&
+               timedOut == o.timedOut && sheds == o.sheds &&
+               retries == o.retries;
+    }
+};
+
+RunDigest
+armedRun()
+{
+    app::OverloadSpec ov;
+    ov.enabled = true;
+    ov.initialLimit = 8;
+    ov.maxSojourn = sim::milliseconds(1);
+    app::Deployment dep(99);
+    os::Machine &m = dep.addMachine("n", hw::platformA());
+    app::ServiceInstance &svc = dep.deploy(slowService(ov), m);
+    dep.wireAll();
+    workload::WorkloadSpec ws;
+    ws.sessionsPerSec = 8000 / 6.5;
+    ws.connections = 8;
+    ws.timeout = sim::milliseconds(8);
+    ws.retry.maxAttempts = 2;
+    ws.retry.budgetRatio = 0.2;
+    workload::WorkloadEngine eng(dep, svc, ws, 31);
+    eng.start();
+    dep.runFor(sim::milliseconds(60));
+    eng.stop();
+    dep.runFor(sim::milliseconds(30));
+    return RunDigest{eng.sent(),
+                     eng.completedOk(),
+                     eng.completedShed(),
+                     eng.timedOut(),
+                     svc.stats().requestsShed,
+                     eng.retriesSent()};
+}
+
+TEST(OverloadDeterminism, ArmedRunsAreReproducible)
+{
+    const RunDigest a = armedRun();
+    const RunDigest b = armedRun();
+    EXPECT_TRUE(a == b);
+    EXPECT_GT(a.sheds, 0u);
+    EXPECT_GT(a.retries, 0u);
+}
+
+} // namespace

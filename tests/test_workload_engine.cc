@@ -358,8 +358,15 @@ TEST(Slo, KneePointRate)
     // (the comparison is strict: goodput == offered * 0.9 is not yet
     // a knee).
     EXPECT_DOUBLE_EQ(workload::kneePointRate(sweep, 0.1), 3000);
-    EXPECT_DOUBLE_EQ(workload::kneePointRate({{1000, 995}}, 0.1), 0);
-    EXPECT_DOUBLE_EQ(workload::kneePointRate({}, 0.1), 0);
+    // No knee and empty sweep are distinguishable sentinels, not a
+    // shared (and knee-shaped-looking) 0.
+    EXPECT_DOUBLE_EQ(workload::kneePointRate({{1000, 995}}, 0.1),
+                     workload::kKneeNone);
+    EXPECT_DOUBLE_EQ(workload::kneePointRate({}, 0.1),
+                     workload::kKneeEmptySweep);
+    // Zero-offered entries do not count as an analyzable sweep.
+    EXPECT_DOUBLE_EQ(workload::kneePointRate({{0, 0}}, 0.1),
+                     workload::kKneeEmptySweep);
 }
 
 // ---- metrics registration -------------------------------------------

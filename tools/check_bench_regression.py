@@ -65,10 +65,16 @@ def check_metric(metric, base, value, tolerance):
         more than one percentage point above the baseline (a ratio
         would divide by a near-zero base).
       - "*_knee_qps" / "*_goodput*" are higher-is-better rates (the
-        workload engine's knee point and goodput columns): regression
-        means *dropping* below base * (1 - tolerance).  New keys are
-        tolerated like any other new metric (skipped until they have
-        a baseline).
+        workload engine's knee point and goodput columns, and
+        bench_overload's knee_{base,ctrl}_qps / budget_goodput_frac):
+        regression means *dropping* below base * (1 - tolerance).
+        New keys are tolerated like any other new metric (skipped
+        until they have a baseline).
+      - "*_recovery_ms" is a post-fault recovery time
+        (bench_overload): lower is better, same ratio tolerance as a
+        timing.  (bench_overload's nobudget_tail_frac rides the
+        default lower-is-better branch too: the metastable collapse
+        weakening -- the fraction rising -- is the regression.)
     Everything else is a timing: slower than base * (1 + tolerance).
     """
     if metric == "pass" or metric.endswith("_ok"):
@@ -83,6 +89,16 @@ def check_metric(metric, base, value, tolerance):
             return True, (f"{base:g} -> {value:g} "
                           f"({(ratio - 1) * 100:+.1f}%, knee/goodput "
                           f"may not drop more than "
+                          f"{tolerance * 100:.0f}%)")
+        return False, ""
+    if metric.endswith("_recovery_ms"):
+        if base <= 0:
+            return False, ""
+        ratio = value / base
+        if ratio > 1.0 + tolerance:
+            return True, (f"{base:g} -> {value:g} "
+                          f"({(ratio - 1) * 100:+.1f}%, recovery "
+                          f"may not slow more than "
                           f"{tolerance * 100:.0f}%)")
         return False, ""
     if metric.endswith("_err_pct"):

@@ -19,11 +19,18 @@
  *               [--regions N] [--qps Q] [--run-ms D] [--drain-ms D]
  *               [--max-shrink-probes N] [--plant-ledger-bug]
  *               [--plant-wan-ledger-bug] [--prod-shapes]
- *               [--sessions] [--jobs N]
+ *               [--sessions] [--overload] [--jobs N]
  *
  * --sessions swaps the open-loop LoadGen for the sessionized
  * WorkloadEngine (MMPP session arrivals, think times, per-session
  * connection affinity); the same conservation invariants apply.
+ *
+ * --overload arms adaptive overload control on every service (AIMD
+ * concurrency limits, sojourn/deadline shedding, brownout, retry
+ * budgets; client retry budgets too under --sessions). The fault
+ * sampling space is unchanged, so plan sequences stay seed-for-seed
+ * identical with the flag off; the invariants must conserve the new
+ * shed/skip causes.
  *
  * --plant-ledger-bug arms the test-fixture accounting bug (the
  * message-ledger checker forgets dropped messages), demonstrating
@@ -108,6 +115,8 @@ main(int argc, char **argv)
             cfg.prodShapes = true;
         else if (std::strcmp(argv[i], "--sessions") == 0)
             cfg.sessions = true;
+        else if (std::strcmp(argv[i], "--overload") == 0)
+            cfg.overload = true;
         // --jobs is consumed by jobsFromArgs below.
     }
 

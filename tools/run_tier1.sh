@@ -18,6 +18,8 @@
 #             malformed-Jaeger defect corpus
 #   workload  sessionized workload engine: arrivals, rate curves,
 #             SLO reports, outcome conservation, determinism
+#   overload  adaptive overload control: AIMD limiter, retry budgets,
+#             priority shedding, brownout, armed determinism
 #   parallel  RunExecutor determinism (the -DDITTO_TSAN=ON subset;
 #             overlaps the labels above, so the default passes skip it)
 #
@@ -58,7 +60,8 @@ fi
 # pass because every parallel test already carries one of these
 # labels; it exists for the TSan build to select.
 status=0
-for label in sanitize obs cluster chaos region clone workload; do
+for label in sanitize obs cluster chaos region clone workload \
+             overload; do
     echo "== tier-1 label: $label =="
     ctest --output-on-failure -j "$jobs" --no-tests=error \
         -L "$label" || status=$?
@@ -67,7 +70,7 @@ done
 # Everything not covered by a labeled pass (the core suite).
 echo "== tier-1 remainder =="
 ctest --output-on-failure -j "$jobs" --no-tests=error \
-    -LE "sanitize|obs|cluster|chaos|region|clone|workload|parallel" \
+    -LE "sanitize|obs|cluster|chaos|region|clone|workload|overload|parallel" \
     || status=$?
 
 # Advisory benchmark-regression check: if this build directory has a
